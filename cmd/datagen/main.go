@@ -1,0 +1,107 @@
+// Command datagen emits the synthetic smart-city datasets.
+//
+//	datagen -preset Day -format xml  > day.xml
+//	datagen -preset Week -format json > week.json
+//	datagen -feed airquality -n 500 -format json > air.json
+//	datagen -preset Day -format csv  > day.csv     # fact tuples
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/smartcity"
+)
+
+func main() {
+	preset := flag.String("preset", "Day", "Table 2 dataset (Day,Week,Month,TMonth,SMonth); ignored with -n")
+	n := flag.Int("n", 0, "explicit record count (overrides -preset)")
+	format := flag.String("format", "xml", "output format: xml, json, csv")
+	feed := flag.String("feed", "bikes", "feed: bikes, carpark, airquality, auction")
+	seed := flag.Int64("seed", 2016, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriterSize(f, 1<<16)
+	}
+	defer w.Flush()
+
+	count := *n
+	if count <= 0 {
+		p, err := smartcity.PresetByName(*preset)
+		if err != nil {
+			fatal(err)
+		}
+		count = p.Tuples
+	}
+
+	var err error
+	switch *feed {
+	case "bikes":
+		recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: *seed}).Take(count)
+		switch *format {
+		case "xml":
+			err = smartcity.WriteBikesXML(w, recs)
+		case "json":
+			err = smartcity.WriteBikesJSON(w, recs)
+		case "csv":
+			cw := csv.NewWriter(w)
+			cw.Write(append(append([]string{}, smartcity.BikeDims...), "measure"))
+			for _, r := range recs {
+				t := r.Tuple()
+				cw.Write(append(t.Dims, strconv.FormatFloat(t.Measure, 'g', -1, 64)))
+			}
+			cw.Flush()
+			err = cw.Error()
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+	case "carpark":
+		recs := smartcity.NewCarParkFeed(*seed, 0).Take(count)
+		switch *format {
+		case "xml":
+			err = smartcity.WriteCarParksXML(w, recs)
+		default:
+			err = fmt.Errorf("carpark feed supports xml only")
+		}
+	case "airquality":
+		recs := smartcity.NewAirQualityFeed(*seed, 0).Take(count)
+		switch *format {
+		case "json":
+			err = smartcity.WriteAirQualityJSON(w, recs)
+		default:
+			err = fmt.Errorf("airquality feed supports json only")
+		}
+	case "auction":
+		recs := smartcity.NewAuctionFeed(*seed).Take(count)
+		cw := csv.NewWriter(w)
+		cw.Write(append(append([]string{}, smartcity.AuctionDims...), "price"))
+		for _, r := range recs {
+			t := r.Tuple()
+			cw.Write(append(t.Dims, strconv.FormatFloat(t.Measure, 'g', -1, 64)))
+		}
+		cw.Flush()
+		err = cw.Error()
+	default:
+		err = fmt.Errorf("unknown feed %q", *feed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

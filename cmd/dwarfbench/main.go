@@ -1,0 +1,136 @@
+// Command dwarfbench regenerates the paper's evaluation tables.
+//
+//	dwarfbench -exp table2            # datasets (Table 2)
+//	dwarfbench -exp table4            # storage sizes (Table 4)
+//	dwarfbench -exp table5            # insertion times (Table 5)
+//	dwarfbench -exp bao               # §5.1 flat-file baseline comparison
+//	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
+//
+// Tables 4 and 5 come from the same run (one bulk save per schema model and
+// dataset), exactly as in the paper. The default presets keep runtime small;
+// pass the full list to reproduce the paper's scale (SMonth saves take
+// minutes on the relational schemas, as they did for the authors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/mapper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, all")
+	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
+	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
+	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
+	verify := flag.Bool("verify", false, "also Load each saved cube and check the round trip")
+	quiet := flag.Bool("q", false, "suppress progress lines")
+	flag.Parse()
+
+	presets := strings.Split(*presetsFlag, ",")
+	for i := range presets {
+		presets[i] = strings.TrimSpace(presets[i])
+	}
+	kinds := mapper.AllKinds()
+	if *kindsFlag != "" {
+		kinds = nil
+		for _, k := range strings.Split(*kindsFlag, ",") {
+			kinds = append(kinds, mapper.Kind(strings.TrimSpace(k)))
+		}
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, msg)
+		}
+	}
+
+	runTables45 := func() error {
+		results, err := bench.RunStorageExperiment(kinds, presets, *dir, *verify, progress)
+		if err != nil {
+			return err
+		}
+		// Both tables come from the same run, so print both whichever was
+		// asked for.
+		bench.FormatTable4(results, presets).Fprint(os.Stdout)
+		fmt.Println()
+		bench.FormatTable5(results, presets).Fprint(os.Stdout)
+		fmt.Println()
+		{
+			if *verify {
+				t := bench.NewTable("Load (rebuild) times", "Schema model", "Dataset", "Load ms")
+				for _, r := range results {
+					if r.Loaded {
+						t.AddRow(string(r.Kind), r.Preset, bench.FormatMs(r.LoadTime))
+					}
+				}
+				t.Fprint(os.Stdout)
+				fmt.Println()
+			}
+		}
+		return nil
+	}
+
+	var err error
+	switch *exp {
+	case "table2":
+		err = runTable2(presets)
+	case "table4", "table5":
+		err = runTables45()
+	case "bao":
+		err = runBao(presets, *dir)
+	case "query":
+		err = runQuery(presets, *dir)
+	case "all":
+		if err = runTable2(presets); err == nil {
+			if err = runTables45(); err == nil {
+				if err = runBao(presets, *dir); err == nil {
+					err = runQuery(presets[:1], *dir)
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runTable2(presets []string) error {
+	rows, err := bench.RunTable2(presets)
+	if err != nil {
+		return err
+	}
+	bench.FormatTable2(rows).Fprint(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func runBao(presets []string, dir string) error {
+	results, err := bench.RunBaoComparison(presets, dir)
+	if err != nil {
+		return err
+	}
+	bench.FormatBao(results).Fprint(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func runQuery(presets []string, dir string) error {
+	var all []bench.QueryResult
+	for _, preset := range presets {
+		results, err := bench.RunQueryExperiment(mapper.AllKinds(), preset, 400, dir)
+		if err != nil {
+			return err
+		}
+		all = append(all, results...)
+	}
+	bench.FormatQuery(all).Fprint(os.Stdout)
+	fmt.Println()
+	return nil
+}

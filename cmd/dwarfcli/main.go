@@ -1,0 +1,157 @@
+// Command dwarfcli builds, stores and queries DWARF cubes from feed files.
+//
+//	dwarfcli build -in day.xml -feed bikes-xml -store NoSQL-DWARF -dir ./dw
+//	dwarfcli list  -store NoSQL-DWARF -dir ./dw
+//	dwarfcli query -store NoSQL-DWARF -dir ./dw -id 1 -keys '2015,06,*,*,*,*,*,*'
+//	dwarfcli rollup -store NoSQL-DWARF -dir ./dw -id 1 -dim Area
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/dwarf"
+	"repro/internal/hierarchy"
+	"repro/internal/jsonstream"
+	"repro/internal/mapper"
+	"repro/internal/xmlstream"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	in := fs.String("in", "", "input feed file")
+	feed := fs.String("feed", "bikes-xml", "feed spec: bikes-xml, bikes-json, carpark-xml, airquality-json")
+	storeKind := fs.String("store", "NoSQL-DWARF", "schema model: MySQL-DWARF, MySQL-Min, NoSQL-DWARF, NoSQL-Min")
+	dir := fs.String("dir", "./dwarfdata", "store directory")
+	id := fs.Int64("id", 1, "schema id")
+	keys := fs.String("keys", "", "comma-separated query keys, * = ALL")
+	dim := fs.String("dim", "", "dimension for rollup/drilldown")
+	fs.Parse(os.Args[2:])
+
+	st, err := mapper.OpenStore(mapper.Kind(*storeKind), *dir, mapper.Options{}, mapper.EngineOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+
+	switch cmd {
+	case "build":
+		if *in == "" {
+			fatal(fmt.Errorf("build needs -in"))
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var dims []string
+		var tuples []dwarf.Tuple
+		switch *feed {
+		case "bikes-xml":
+			spec := xmlstream.BikeFeedSpec()
+			dims = spec.DimNames()
+			tuples, err = xmlstream.Parse(f, spec)
+		case "carpark-xml":
+			spec := xmlstream.CarParkFeedSpec()
+			dims = spec.DimNames()
+			tuples, err = xmlstream.Parse(f, spec)
+		case "bikes-json":
+			spec := jsonstream.BikeFeedSpec()
+			dims = spec.DimNames()
+			tuples, err = jsonstream.Parse(f, spec)
+		case "airquality-json":
+			spec := jsonstream.AirQualityFeedSpec()
+			dims = spec.DimNames()
+			tuples, err = jsonstream.Parse(f, spec)
+		default:
+			err = fmt.Errorf("unknown feed %q", *feed)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		cube, err := dwarf.New(dims, tuples)
+		if err != nil {
+			fatal(err)
+		}
+		sid, err := st.Save(cube)
+		if err != nil {
+			fatal(err)
+		}
+		stats := cube.Stats()
+		fmt.Printf("stored schema %d: %d tuples, %d nodes, %d cells (%s)\n",
+			sid, len(tuples), stats.Nodes, stats.TotalCells(), *storeKind)
+
+	case "list":
+		infos, err := st.Schemas()
+		if err != nil {
+			fatal(err)
+		}
+		for _, info := range infos {
+			fmt.Printf("schema %d: dims=%v nodes=%d cells=%d size_as_mb=%d is_cube=%t tuples=%d\n",
+				info.ID, info.Dimensions, info.NodeCount, info.CellCount,
+				info.SizeAsMB, info.IsCube, info.SourceRows)
+		}
+
+	case "query":
+		cube, err := st.Load(mapper.SchemaID(*id))
+		if err != nil {
+			fatal(err)
+		}
+		parts := strings.Split(*keys, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		agg, err := cube.Point(parts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%v -> sum=%g count=%d min=%g max=%g avg=%.2f\n",
+			parts, agg.Sum, agg.Count, agg.Min, agg.Max, agg.Avg())
+
+	case "rollup":
+		cube, err := st.Load(mapper.SchemaID(*id))
+		if err != nil {
+			fatal(err)
+		}
+		if *dim == "" {
+			fatal(fmt.Errorf("rollup needs -dim"))
+		}
+		groups, err := hierarchy.DrillDown(cube, nil, *dim)
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(groups))
+		for k := range groups {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			agg := groups[k]
+			fmt.Printf("%-20s sum=%-10g count=%-8d avg=%.2f\n", k, agg.Sum, agg.Count, agg.Avg())
+		}
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dwarfcli <build|list|query|rollup> [flags]
+  build  -in feed.xml -feed bikes-xml -store NoSQL-DWARF -dir ./dw
+  list   -store NoSQL-DWARF -dir ./dw
+  query  -store NoSQL-DWARF -dir ./dw -id 1 -keys '2015,06,*,*,*,*,*,*'
+  rollup -store NoSQL-DWARF -dir ./dw -id 1 -dim Area`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwarfcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Multistore: the paper's §5 evaluation in miniature. One day of bike data
+// is saved in all four schema models; the program prints the Table 4/5-style
+// comparison (size and bulk-insert time per schema) and verifies that every
+// store rebuilds an equivalent cube.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	tuples, err := repro.BikeDataset("Day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube, err := repro.BuildCube(repro.BikeDims(), tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := cube.Stats()
+	fmt.Printf("Day dataset: %d facts -> %d nodes, %d cells\n\n",
+		st.SourceTuples, st.Nodes, st.TotalCells())
+
+	base, err := os.MkdirTemp("", "multistore-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	allQ := make([]string, 8)
+	for i := range allQ {
+		allQ[i] = repro.All
+	}
+	want, _ := cube.Point(allQ...)
+
+	fmt.Printf("%-13s %10s %12s %12s %8s\n", "Schema model", "size MB", "insert ms", "load ms", "verified")
+	for _, kind := range repro.AllStoreKinds() {
+		dir := filepath.Join(base, string(kind))
+		store, err := repro.OpenStore(kind, dir, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		id, err := store.Save(cube)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saveMs := time.Since(start).Milliseconds()
+		bytes, err := store.StoredBytes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		loaded, err := store.Load(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loadMs := time.Since(start).Milliseconds()
+		got, _ := loaded.Point(allQ...)
+		verified := got.Equal(want)
+		fmt.Printf("%-13s %10.2f %12d %12d %8t\n",
+			kind, float64(bytes)/(1<<20), saveMs, loadMs, verified)
+		store.Close()
+	}
+	fmt.Println("\n(see cmd/dwarfbench for the full Table 4/5 sweep incl. TMonth/SMonth)")
+}

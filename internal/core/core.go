@@ -1,0 +1,5 @@
+// Package core ties the paper's pipeline together: a smart-city feed
+// (XML/JSON) is ingested into fact tuples, a DWARF cube is constructed from
+// them (internal/dwarf), and the cube is persisted through one of the four
+// storage schema mappers (internal/mapper). See Pipeline.
+package core

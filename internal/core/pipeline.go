@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/dwarf"
+	"repro/internal/jsonstream"
+	"repro/internal/mapper"
+	"repro/internal/xmlstream"
+)
+
+// Pipeline wires the paper's end-to-end flow: a web-produced feed document
+// (XML or JSON) is parsed into fact tuples, a DWARF cube is constructed,
+// and the cube is persisted through a schema-model store for later
+// retrieval and querying.
+type Pipeline struct {
+	// Store receives the constructed cubes. Optional: with no store the
+	// pipeline stops at the in-memory cube.
+	Store mapper.Store
+	// Options tune cube construction (suffix-coalescing ablations).
+	Options []dwarf.Option
+}
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	Cube     *dwarf.Cube
+	SchemaID mapper.SchemaID
+	Stored   bool
+	Tuples   int
+}
+
+// ErrNoTuples reports an input document with no records.
+var ErrNoTuples = errors.New("core: feed produced no tuples")
+
+// RunXML ingests one XML feed document.
+func (p *Pipeline) RunXML(r io.Reader, spec xmlstream.Spec) (*Result, error) {
+	tuples, err := xmlstream.Parse(r, spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunTuples(spec.DimNames(), tuples)
+}
+
+// RunJSON ingests one JSON feed document.
+func (p *Pipeline) RunJSON(r io.Reader, spec jsonstream.Spec) (*Result, error) {
+	tuples, err := jsonstream.Parse(r, spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunTuples(spec.DimNames(), tuples)
+}
+
+// RunTuples constructs and (when a store is configured) persists a cube
+// from already-extracted facts.
+func (p *Pipeline) RunTuples(dims []string, tuples []dwarf.Tuple) (*Result, error) {
+	if len(tuples) == 0 {
+		return nil, ErrNoTuples
+	}
+	cube, err := dwarf.New(dims, tuples, p.Options...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cube: cube, Tuples: len(tuples)}
+	if p.Store != nil {
+		id, err := p.Store.Save(cube)
+		if err != nil {
+			return nil, fmt.Errorf("core: persist: %w", err)
+		}
+		res.SchemaID = id
+		res.Stored = true
+	}
+	return res, nil
+}
+
+// Update folds a fresh feed batch into an existing cube and re-persists the
+// merged cube — the incremental-maintenance loop of the paper's §7.
+func (p *Pipeline) Update(base *dwarf.Cube, tuples []dwarf.Tuple) (*Result, error) {
+	if len(tuples) == 0 {
+		return nil, ErrNoTuples
+	}
+	merged, err := base.Append(tuples)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cube: merged, Tuples: merged.NumSourceTuples()}
+	if p.Store != nil {
+		id, err := p.Store.Save(merged)
+		if err != nil {
+			return nil, fmt.Errorf("core: persist: %w", err)
+		}
+		res.SchemaID = id
+		res.Stored = true
+	}
+	return res, nil
+}

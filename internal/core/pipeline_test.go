@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/dwarf"
+	"repro/internal/jsonstream"
+	"repro/internal/mapper"
+	"repro/internal/smartcity"
+	"repro/internal/xmlstream"
+)
+
+func TestPipelineXMLToStore(t *testing.T) {
+	store, err := mapper.OpenStore(mapper.KindNoSQLDwarf, t.TempDir(), mapper.Options{}, mapper.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	p := &Pipeline{Store: store}
+
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 1}).Take(300)
+	var doc bytes.Buffer
+	if err := smartcity.WriteBikesXML(&doc, recs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunXML(&doc, xmlstream.BikeFeedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stored || res.Tuples != 300 {
+		t.Fatalf("res = %+v", res)
+	}
+	loaded, err := store.Load(res.SchemaID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSourceTuples() != 300 {
+		t.Errorf("loaded tuples = %d", loaded.NumSourceTuples())
+	}
+}
+
+func TestPipelineJSONWithoutStore(t *testing.T) {
+	p := &Pipeline{}
+	recs := smartcity.NewAirQualityFeed(2, 3).Take(60)
+	var doc bytes.Buffer
+	if err := smartcity.WriteAirQualityJSON(&doc, recs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunJSON(&doc, jsonstream.AirQualityFeedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stored || res.Cube == nil {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPipelineEmptyFeed(t *testing.T) {
+	p := &Pipeline{}
+	if _, err := p.RunTuples([]string{"a"}, nil); !errors.Is(err, ErrNoTuples) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestPipelineUpdate(t *testing.T) {
+	store, err := mapper.OpenStore(mapper.KindMySQLMin, t.TempDir(), mapper.Options{}, mapper.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	p := &Pipeline{Store: store}
+	base, err := p.RunTuples([]string{"d"}, []dwarf.Tuple{{Dims: []string{"x"}, Measure: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, err := p.Update(base.Cube, []dwarf.Tuple{{Dims: []string{"y"}, Measure: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.Tuples != 2 || updated.SchemaID == base.SchemaID {
+		t.Fatalf("updated = %+v (base id %d)", updated, base.SchemaID)
+	}
+	agg, _ := updated.Cube.Point(dwarf.All)
+	if agg.Sum != 3 {
+		t.Errorf("merged sum = %g", agg.Sum)
+	}
+	if _, err := p.Update(base.Cube, nil); !errors.Is(err, ErrNoTuples) {
+		t.Errorf("empty update: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package dwarf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregate is the full aggregation state kept in every DWARF leaf cell and
+// ALL cell. The paper stores a single integer measure (SUM); we keep the
+// complete distributive state so that SUM, COUNT, MIN, MAX and AVG can all
+// be answered from one cube without rebuilding.
+type Aggregate struct {
+	Sum   float64
+	Count int64
+	Min   float64
+	Max   float64
+}
+
+// NewAggregate returns the aggregate state of a single measure value.
+func NewAggregate(v float64) Aggregate {
+	return Aggregate{Sum: v, Count: 1, Min: v, Max: v}
+}
+
+// Add folds one more measure value into the aggregate.
+func (a *Aggregate) Add(v float64) {
+	if a.Count == 0 {
+		*a = NewAggregate(v)
+		return
+	}
+	a.Sum += v
+	a.Count++
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+// MergeAggregates combines two aggregate states. Merging with the zero
+// aggregate is the identity.
+func MergeAggregates(a, b Aggregate) Aggregate {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	out := Aggregate{
+		Sum:   a.Sum + b.Sum,
+		Count: a.Count + b.Count,
+		Min:   math.Min(a.Min, b.Min),
+		Max:   math.Max(a.Max, b.Max),
+	}
+	return out
+}
+
+// Avg returns the mean of the aggregated measures, or 0 for an empty
+// aggregate.
+func (a Aggregate) Avg() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// IsZero reports whether no measures have been folded in.
+func (a Aggregate) IsZero() bool { return a.Count == 0 }
+
+// Equal reports exact equality of the aggregate states. Float comparison is
+// exact: construction order is deterministic, so identical inputs produce
+// identical states.
+func (a Aggregate) Equal(b Aggregate) bool {
+	return a.Sum == b.Sum && a.Count == b.Count && a.Min == b.Min && a.Max == b.Max
+}
+
+// String renders the aggregate for debugging and example output.
+func (a Aggregate) String() string {
+	if a.Count == 0 {
+		return "{empty}"
+	}
+	return fmt.Sprintf("{sum=%g count=%d min=%g max=%g}", a.Sum, a.Count, a.Min, a.Max)
+}

@@ -1,0 +1,444 @@
+package dwarf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tuple is one fact: a key per dimension plus the measure, the shape the
+// paper's Fig. 1 feeds into cube construction:
+// (dimension_1, ..., dimension_n, measure).
+type Tuple struct {
+	Dims    []string
+	Measure float64
+}
+
+// Options tune cube construction. The zero value enables all DWARF
+// compression; the Disable* switches exist for the ablation benchmarks.
+type Options struct {
+	// DisableSuffixCoalescing materializes every ALL sub-dwarf and every
+	// single-input merge as a private deep copy instead of sharing the
+	// sub-dwarf by pointer. The result is the uncompressed cube tree.
+	DisableSuffixCoalescing bool
+	// DisableHashConsing turns off cross-branch detection of structurally
+	// identical sub-dwarfs. Construction-time suffix coalescing (single
+	// input merges) still shares pointers unless DisableSuffixCoalescing
+	// is also set.
+	DisableHashConsing bool
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithoutSuffixCoalescing disables pointer sharing of identical sub-dwarfs.
+func WithoutSuffixCoalescing() Option {
+	return func(o *Options) { o.DisableSuffixCoalescing = true }
+}
+
+// WithoutHashConsing disables cross-branch identical sub-dwarf detection.
+func WithoutHashConsing() Option {
+	return func(o *Options) { o.DisableHashConsing = true }
+}
+
+// Cube is a built DWARF cube. Cubes are immutable after construction; Merge
+// and Append return new cubes that may share sub-structure with their
+// inputs.
+type Cube struct {
+	dims      []string
+	root      *Node
+	opts      Options
+	numTuples int
+	// FromQuery mirrors the paper's is_cube flag: true when this cube was
+	// produced by querying/extracting from another DWARF rather than built
+	// directly from source tuples.
+	FromQuery bool
+
+	nextSeq int64
+}
+
+// Validation errors returned by New and related constructors.
+var (
+	ErrNoDimensions   = errors.New("dwarf: cube needs at least one dimension")
+	ErrDimMismatch    = errors.New("dwarf: tuple dimension count does not match cube dimensions")
+	ErrReservedKey    = errors.New("dwarf: tuple uses the reserved wildcard key")
+	ErrDimsMismatch   = errors.New("dwarf: cubes have different dimension lists")
+	ErrBadQuery       = errors.New("dwarf: query key count does not match cube dimensions")
+	ErrNotFiniteValue = errors.New("dwarf: measure must be a finite number")
+)
+
+// New constructs a DWARF cube from the given fact tuples. The tuple slice is
+// not modified; tuples are copied and sorted internally. Duplicate dimension
+// key combinations are merged into one leaf aggregate.
+func New(dims []string, tuples []Tuple, opts ...Option) (*Cube, error) {
+	ats := make([]AggTuple, len(tuples))
+	for i := range tuples {
+		if math.IsNaN(tuples[i].Measure) || math.IsInf(tuples[i].Measure, 0) {
+			return nil, fmt.Errorf("%w: tuple %d", ErrNotFiniteValue, i)
+		}
+		ats[i] = AggTuple{Dims: tuples[i].Dims, Agg: NewAggregate(tuples[i].Measure)}
+	}
+	c, err := NewFromAggregates(dims, ats, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.numTuples = len(tuples)
+	return c, nil
+}
+
+// AggTuple is a fact carrying full aggregate state instead of a raw
+// measure; rollups and re-materializations use it to preserve counts and
+// min/max through a rebuild.
+type AggTuple struct {
+	Dims []string
+	Agg  Aggregate
+}
+
+// NewFromAggregates constructs a cube from pre-aggregated facts. The source
+// tuple count is the sum of the aggregate counts.
+func NewFromAggregates(dims []string, tuples []AggTuple, opts ...Option) (*Cube, error) {
+	if len(dims) == 0 {
+		return nil, ErrNoDimensions
+	}
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	numTuples := 0
+	for i := range tuples {
+		if len(tuples[i].Dims) != len(dims) {
+			return nil, fmt.Errorf("%w: tuple %d has %d dims, cube has %d",
+				ErrDimMismatch, i, len(tuples[i].Dims), len(dims))
+		}
+		for _, k := range tuples[i].Dims {
+			if k == All {
+				return nil, fmt.Errorf("%w: %q in tuple %d", ErrReservedKey, All, i)
+			}
+		}
+		numTuples += int(tuples[i].Agg.Count)
+	}
+
+	b := newBuilder(len(dims), o)
+	root, err := b.build(tuples)
+	if err != nil {
+		return nil, err
+	}
+	return &Cube{
+		dims:      append([]string(nil), dims...),
+		root:      root,
+		opts:      o,
+		numTuples: numTuples,
+		nextSeq:   b.seq,
+	}, nil
+}
+
+// Dims returns the cube's dimension names in order.
+func (c *Cube) Dims() []string { return append([]string(nil), c.dims...) }
+
+// NumDims returns the number of dimensions.
+func (c *Cube) NumDims() int { return len(c.dims) }
+
+// NumSourceTuples returns how many fact tuples were folded into the cube
+// (before duplicate-key merging).
+func (c *Cube) NumSourceTuples() int { return c.numTuples }
+
+// Root returns the top-level node, the entry point of all traversals.
+func (c *Cube) Root() *Node { return c.root }
+
+// builder holds the construction state: the open path of nodes being filled
+// and the hash-consing table of closed nodes.
+type builder struct {
+	ndims int
+	opts  Options
+	seq   int64
+	canon map[string]*Node
+	// ident assigns builder-local identifiers to node pointers for
+	// hash-consing keys. Pointer-local ids (rather than the nodes' own seq)
+	// keep Merge safe: the two input cubes' seq numbers may collide, but
+	// distinct pointers always get distinct local ids.
+	ident    map[*Node]int64
+	identSeq int64
+	open     []*Node
+}
+
+func newBuilder(ndims int, opts Options) *builder {
+	return &builder{
+		ndims: ndims,
+		opts:  opts,
+		canon: make(map[string]*Node),
+		ident: make(map[*Node]int64),
+		open:  make([]*Node, ndims),
+	}
+}
+
+// id returns the builder-local identity of a closed node.
+func (b *builder) id(n *Node) int64 {
+	if n == nil {
+		return 0
+	}
+	if v, ok := b.ident[n]; ok {
+		return v
+	}
+	b.identSeq++
+	b.ident[n] = b.identSeq
+	return b.identSeq
+}
+
+func (b *builder) newNode(level int) *Node {
+	b.seq++
+	return &Node{Level: level, Leaf: level == b.ndims-1, seq: b.seq}
+}
+
+// build runs the classic top-down DWARF construction: sort the facts, scan
+// them keeping the path of open nodes, close sub-dwarfs as soon as the scan
+// leaves them (computing their ALL cells via suffix coalescing), and share
+// identical closed sub-dwarfs.
+func (b *builder) build(tuples []AggTuple) (*Node, error) {
+	sorted := make([]AggTuple, len(tuples))
+	copy(sorted, tuples)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return lessDims(sorted[i].Dims, sorted[j].Dims)
+	})
+
+	if len(sorted) == 0 {
+		// Empty cube: a bare root with no cells and zero aggregates.
+		root := b.newNode(0)
+		return b.close(root), nil
+	}
+
+	var prev []string
+	for ti := range sorted {
+		t := &sorted[ti]
+		p := commonPrefix(prev, t.Dims)
+		if prev != nil && p == b.ndims {
+			// Duplicate key combination: merge into the last leaf cell.
+			leaf := b.open[b.ndims-1]
+			lc := &leaf.Cells[len(leaf.Cells)-1]
+			lc.Agg = MergeAggregates(lc.Agg, t.Agg)
+			continue
+		}
+		if prev == nil {
+			b.open[0] = b.newNode(0)
+			p = 0
+		} else {
+			// Close everything below the divergence level, deepest first,
+			// attaching each closed node to its parent cell.
+			for l := b.ndims - 1; l > p; l-- {
+				b.attachClosed(l)
+			}
+		}
+		// Open the new suffix: one new cell per level from p down.
+		for l := p; l < b.ndims; l++ {
+			n := b.open[l]
+			if n.Leaf {
+				n.Cells = append(n.Cells, Cell{Key: t.Dims[l], Agg: t.Agg})
+			} else {
+				n.Cells = append(n.Cells, Cell{Key: t.Dims[l]})
+				b.open[l+1] = b.newNode(l + 1)
+			}
+		}
+		prev = t.Dims
+	}
+	// Final close of the whole open path, root last.
+	for l := b.ndims - 1; l > 0; l-- {
+		b.attachClosed(l)
+	}
+	return b.close(b.open[0]), nil
+}
+
+// attachClosed closes the open node at level l and stores it as the child
+// of the most recent cell of level l-1.
+func (b *builder) attachClosed(l int) {
+	closed := b.close(b.open[l])
+	parent := b.open[l-1]
+	parent.Cells[len(parent.Cells)-1].Child = closed
+	b.open[l] = nil
+}
+
+// close computes the node's ALL cell and canonicalizes the node. Children of
+// the node are already closed.
+func (b *builder) close(n *Node) *Node {
+	if n.Leaf {
+		var agg Aggregate
+		for i := range n.Cells {
+			agg = MergeAggregates(agg, n.Cells[i].Agg)
+		}
+		n.AllAgg = agg
+	} else if len(n.Cells) > 0 {
+		children := make([]*Node, 0, len(n.Cells))
+		for i := range n.Cells {
+			children = append(children, n.Cells[i].Child)
+		}
+		n.AllChild = b.suffixCoalesce(children)
+	}
+	return b.canonicalize(n)
+}
+
+// suffixCoalesce merges a set of closed sub-dwarfs of the same level into the
+// sub-dwarf of their union. With a single input the result is the input
+// itself — the suffix coalescing that gives DWARF its compression.
+func (b *builder) suffixCoalesce(nodes []*Node) *Node {
+	nodes = dropNil(nodes)
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(nodes) == 1 {
+		if b.opts.DisableSuffixCoalescing {
+			return b.deepCopy(nodes[0])
+		}
+		return nodes[0]
+	}
+	out := b.newNode(nodes[0].Level)
+
+	// K-way merge of the sorted cell lists.
+	idx := make([]int, len(nodes))
+	for {
+		minKey, found := "", false
+		for i, n := range nodes {
+			if idx[i] < len(n.Cells) {
+				k := n.Cells[idx[i]].Key
+				if !found || k < minKey {
+					minKey, found = k, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		if out.Leaf {
+			var agg Aggregate
+			for i, n := range nodes {
+				if idx[i] < len(n.Cells) && n.Cells[idx[i]].Key == minKey {
+					agg = MergeAggregates(agg, n.Cells[idx[i]].Agg)
+					idx[i]++
+				}
+			}
+			out.Cells = append(out.Cells, Cell{Key: minKey, Agg: agg})
+		} else {
+			var sub []*Node
+			for i, n := range nodes {
+				if idx[i] < len(n.Cells) && n.Cells[idx[i]].Key == minKey {
+					sub = append(sub, n.Cells[idx[i]].Child)
+					idx[i]++
+				}
+			}
+			out.Cells = append(out.Cells, Cell{Key: minKey, Child: b.suffixCoalesce(sub)})
+		}
+	}
+
+	// The merged node's ALL is the merge of the inputs' ALLs, which is
+	// equivalent to (and cheaper than) coalescing the merged cells again.
+	if out.Leaf {
+		var agg Aggregate
+		for _, n := range nodes {
+			agg = MergeAggregates(agg, n.AllAgg)
+		}
+		out.AllAgg = agg
+	} else {
+		alls := make([]*Node, 0, len(nodes))
+		for _, n := range nodes {
+			alls = append(alls, n.AllChild)
+		}
+		out.AllChild = b.suffixCoalesce(alls)
+	}
+	return b.canonicalize(out)
+}
+
+// canonicalize returns an existing structurally identical node if one was
+// already closed, sharing the sub-dwarf across branches; otherwise it
+// registers and returns n. Children are canonical already, so structural
+// identity reduces to comparing cell keys, child sequence ids and aggregate
+// bits.
+func (b *builder) canonicalize(n *Node) *Node {
+	if b.opts.DisableHashConsing || b.opts.DisableSuffixCoalescing {
+		return n
+	}
+	var sb strings.Builder
+	sb.Grow(len(n.Cells)*16 + 32)
+	sb.WriteByte(byte(n.Level))
+	if n.Leaf {
+		sb.WriteByte(1)
+	} else {
+		sb.WriteByte(0)
+	}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		sb.WriteString(c.Key)
+		sb.WriteByte(0)
+		if n.Leaf {
+			writeAggKey(&sb, c.Agg)
+		} else {
+			sb.WriteString(strconv.FormatInt(b.id(c.Child), 36))
+		}
+		sb.WriteByte(1)
+	}
+	if n.Leaf {
+		writeAggKey(&sb, n.AllAgg)
+	} else if n.AllChild != nil {
+		sb.WriteString(strconv.FormatInt(b.id(n.AllChild), 36))
+	}
+	key := sb.String()
+	if existing, ok := b.canon[key]; ok {
+		return existing
+	}
+	b.canon[key] = n
+	return n
+}
+
+func writeAggKey(sb *strings.Builder, a Aggregate) {
+	sb.WriteString(strconv.FormatUint(math.Float64bits(a.Sum), 36))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.FormatInt(a.Count, 36))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.FormatUint(math.Float64bits(a.Min), 36))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.FormatUint(math.Float64bits(a.Max), 36))
+}
+
+// deepCopy clones an entire sub-dwarf with no sharing (ablation support).
+func (b *builder) deepCopy(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	out := b.newNode(n.Level)
+	out.Cells = make([]Cell, len(n.Cells))
+	for i := range n.Cells {
+		out.Cells[i] = Cell{Key: n.Cells[i].Key, Agg: n.Cells[i].Agg, Child: b.deepCopy(n.Cells[i].Child)}
+	}
+	out.AllAgg = n.AllAgg
+	out.AllChild = b.deepCopy(n.AllChild)
+	return out
+}
+
+func dropNil(nodes []*Node) []*Node {
+	out := nodes[:0]
+	for _, n := range nodes {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func lessDims(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func commonPrefix(a, b []string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

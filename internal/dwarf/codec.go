@@ -1,0 +1,360 @@
+package dwarf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary cube format, used by the flat-file baselines and for moving cubes
+// between processes:
+//
+//	magic "DWRFCUBE" | version u8 | flags u8 | numTuples uvarint
+//	ndims uvarint | dim names (uvarint len + bytes) ...
+//	node count uvarint
+//	nodes in child-before-parent order, each:
+//	  level uvarint | leaf u8 | ncells uvarint
+//	  cells: key (uvarint len + bytes) + (child id uvarint | aggregate)
+//	  all:   child id uvarint (non-leaf; 0 = nil) | aggregate (leaf)
+//	root id uvarint
+//	crc32 (IEEE) of everything between magic and trailer, fixed u32
+//
+// Node ids are 1-based positions in the emission order, so every child id
+// refers to an already-decoded node.
+const (
+	codecMagic   = "DWRFCUBE"
+	codecVersion = 1
+)
+
+// Codec errors.
+var (
+	ErrBadMagic    = errors.New("dwarf: not a DWARF cube stream")
+	ErrBadVersion  = errors.New("dwarf: unsupported cube format version")
+	ErrCorruptCube = errors.New("dwarf: corrupt cube stream")
+)
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+// Encode writes the cube to w in the binary cube format.
+func (c *Cube) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := cw.Write(scratch[:n])
+		return err
+	}
+	writeByte := func(b byte) error {
+		_, err := cw.Write([]byte{b})
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, s)
+		return err
+	}
+	writeAgg := func(a Aggregate) error {
+		var buf [8]byte
+		for _, f := range []float64{a.Sum, a.Min, a.Max} {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			if _, err := cw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		return writeUvarint(uint64(a.Count))
+	}
+
+	flags := byte(0)
+	if c.FromQuery {
+		flags |= 1
+	}
+	if err := writeByte(codecVersion); err != nil {
+		return err
+	}
+	if err := writeByte(flags); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(c.numTuples)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(c.dims))); err != nil {
+		return err
+	}
+	for _, d := range c.dims {
+		if err := writeString(d); err != nil {
+			return err
+		}
+	}
+
+	// Assign ids children-first so references always point backwards.
+	ids := make(map[*Node]uint64)
+	var order []*Node
+	c.VisitDepthFirst(func(n *Node) bool {
+		order = append(order, n)
+		ids[n] = uint64(len(order))
+		return true
+	})
+	if err := writeUvarint(uint64(len(order))); err != nil {
+		return err
+	}
+	for _, n := range order {
+		if err := writeUvarint(uint64(n.Level)); err != nil {
+			return err
+		}
+		leaf := byte(0)
+		if n.Leaf {
+			leaf = 1
+		}
+		if err := writeByte(leaf); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(n.Cells))); err != nil {
+			return err
+		}
+		for i := range n.Cells {
+			cell := &n.Cells[i]
+			if err := writeString(cell.Key); err != nil {
+				return err
+			}
+			var err error
+			if n.Leaf {
+				err = writeAgg(cell.Agg)
+			} else {
+				err = writeUvarint(ids[cell.Child])
+			}
+			if err != nil {
+				return err
+			}
+		}
+		var err error
+		if n.Leaf {
+			err = writeAgg(n.AllAgg)
+		} else {
+			err = writeUvarint(ids[n.AllChild]) // 0 when nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	var rootID uint64
+	if c.root != nil {
+		rootID = ids[c.root]
+	}
+	if err := writeUvarint(rootID); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads a cube previously written by Encode, verifying the CRC
+// trailer before parsing. The whole stream is buffered in memory; cube
+// files are bounded by the cube's compressed size.
+func Decode(r io.Reader) (*Cube, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBytes(data)
+}
+
+// DecodeBytes parses an encoded cube held in memory.
+func DecodeBytes(data []byte) (*Cube, error) {
+	if err := VerifyEncoded(data); err != nil {
+		return nil, err
+	}
+	rb := bytes.NewReader(data[len(codecMagic) : len(data)-4])
+
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(rb) }
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(rb.Len()) {
+			return "", ErrCorruptCube
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(rb, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	readAgg := func() (Aggregate, error) {
+		var a Aggregate
+		var buf [8]byte
+		for _, dst := range []*float64{&a.Sum, &a.Min, &a.Max} {
+			if _, err := io.ReadFull(rb, buf[:]); err != nil {
+				return a, err
+			}
+			*dst = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		}
+		cnt, err := readUvarint()
+		if err != nil {
+			return a, err
+		}
+		a.Count = int64(cnt)
+		return a, nil
+	}
+
+	version, err := rb.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	flags, err := rb.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	numTuples, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	ndims, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ndims == 0 || ndims > 1<<16 {
+		return nil, ErrCorruptCube
+	}
+	dims := make([]string, ndims)
+	for i := range dims {
+		if dims[i], err = readString(); err != nil {
+			return nil, err
+		}
+	}
+
+	nodeCount, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nodeCount > uint64(len(data)) {
+		return nil, ErrCorruptCube
+	}
+	nodes := make([]*Node, nodeCount+1) // 1-based; nodes[0] stays nil
+	resolve := func(id uint64) (*Node, error) {
+		if id == 0 {
+			return nil, nil
+		}
+		if id >= uint64(len(nodes)) || nodes[id] == nil {
+			return nil, ErrCorruptCube
+		}
+		return nodes[id], nil
+	}
+	for id := uint64(1); id <= nodeCount; id++ {
+		level, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		leafByte, err := rb.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		ncells, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ncells > uint64(len(data)) {
+			return nil, ErrCorruptCube
+		}
+		n := &Node{Level: int(level), Leaf: leafByte == 1, seq: int64(id)}
+		n.Cells = make([]Cell, ncells)
+		for i := range n.Cells {
+			key, err := readString()
+			if err != nil {
+				return nil, err
+			}
+			n.Cells[i].Key = key
+			if n.Leaf {
+				if n.Cells[i].Agg, err = readAgg(); err != nil {
+					return nil, err
+				}
+			} else {
+				childID, err := readUvarint()
+				if err != nil {
+					return nil, err
+				}
+				if n.Cells[i].Child, err = resolve(childID); err != nil {
+					return nil, err
+				}
+				if n.Cells[i].Child == nil {
+					return nil, ErrCorruptCube
+				}
+			}
+		}
+		if n.Leaf {
+			if n.AllAgg, err = readAgg(); err != nil {
+				return nil, err
+			}
+		} else {
+			allID, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n.AllChild, err = resolve(allID); err != nil {
+				return nil, err
+			}
+		}
+		nodes[id] = n
+	}
+	rootID, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	root, err := resolve(rootID)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil && nodeCount > 0 {
+		return nil, ErrCorruptCube
+	}
+	return &Cube{
+		dims:      dims,
+		root:      root,
+		numTuples: int(numTuples),
+		FromQuery: flags&1 != 0,
+		nextSeq:   int64(nodeCount),
+	}, nil
+}
+
+// VerifyEncoded checks the magic and CRC trailer of an encoded cube held in
+// memory. It returns nil when the checksum matches the payload.
+func VerifyEncoded(data []byte) error {
+	if len(data) < len(codecMagic)+4 {
+		return ErrCorruptCube
+	}
+	if string(data[:len(codecMagic)]) != codecMagic {
+		return ErrBadMagic
+	}
+	payload := data[len(codecMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorruptCube)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package dwarf
+
+import "fmt"
+
+// Incremental accumulates fact tuples in bounded chunks and maintains a
+// standing cube by merging each completed chunk — the streaming
+// construction mode for feeds too large to buffer entirely, and the
+// building block of the paper's §7 maintenance loop. The zero value is not
+// usable; call NewIncremental.
+type Incremental struct {
+	dims      []string
+	opts      []Option
+	chunkSize int
+	pending   []Tuple
+	cube      *Cube
+}
+
+// NewIncremental creates a streaming builder. chunkSize bounds how many
+// buffered tuples trigger a merge; <= 0 selects 65536.
+func NewIncremental(dims []string, chunkSize int, opts ...Option) (*Incremental, error) {
+	if chunkSize <= 0 {
+		chunkSize = 65536
+	}
+	empty, err := New(dims, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{
+		dims:      append([]string(nil), dims...),
+		opts:      opts,
+		chunkSize: chunkSize,
+		cube:      empty,
+	}, nil
+}
+
+// Add buffers one tuple, merging the chunk into the standing cube when the
+// buffer fills.
+func (inc *Incremental) Add(t Tuple) error {
+	if len(t.Dims) != len(inc.dims) {
+		return fmt.Errorf("%w: tuple has %d dims, builder has %d",
+			ErrDimMismatch, len(t.Dims), len(inc.dims))
+	}
+	inc.pending = append(inc.pending, Tuple{Dims: append([]string(nil), t.Dims...), Measure: t.Measure})
+	if len(inc.pending) >= inc.chunkSize {
+		return inc.flush()
+	}
+	return nil
+}
+
+// AddBatch buffers many tuples.
+func (inc *Incremental) AddBatch(tuples []Tuple) error {
+	for _, t := range tuples {
+		if err := inc.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (inc *Incremental) flush() error {
+	if len(inc.pending) == 0 {
+		return nil
+	}
+	delta, err := New(inc.dims, inc.pending, inc.opts...)
+	if err != nil {
+		return err
+	}
+	merged, err := Merge(inc.cube, delta)
+	if err != nil {
+		return err
+	}
+	inc.cube = merged
+	inc.pending = inc.pending[:0]
+	return nil
+}
+
+// Cube merges any pending chunk and returns the standing cube. The builder
+// remains usable; later Adds extend from this point.
+func (inc *Incremental) Cube() (*Cube, error) {
+	if err := inc.flush(); err != nil {
+		return nil, err
+	}
+	return inc.cube, nil
+}
+
+// Buffered reports the tuples waiting for the next merge.
+func (inc *Incremental) Buffered() int { return len(inc.pending) }

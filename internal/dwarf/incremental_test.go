@@ -1,0 +1,115 @@
+package dwarf
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestIncrementalEqualsBatchBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dims := []string{"a", "b", "c"}
+	tuples := randomTuples(rng, 3, 500, 7)
+
+	inc, err := NewIncremental(dims, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		if err := inc.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed, err := inc.Cube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := New(dims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.NumSourceTuples() != batch.NumSourceTuples() {
+		t.Errorf("tuples %d != %d", streamed.NumSourceTuples(), batch.NumSourceTuples())
+	}
+	for q := 0; q < 50; q++ {
+		keys := randomQuery(rng, 3, 8)
+		a, _ := streamed.Point(keys...)
+		b, _ := batch.Point(keys...)
+		if !a.Equal(b) {
+			t.Fatalf("query %v: streamed=%v batch=%v", keys, a, b)
+		}
+	}
+	if err := streamed.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalContinuesAfterCube(t *testing.T) {
+	inc, err := NewIncremental([]string{"d"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.AddBatch([]Tuple{{Dims: []string{"x"}, Measure: 1}, {Dims: []string{"y"}, Measure: 2}})
+	c1, err := inc.Cube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg, _ := c1.Point(All); agg.Sum != 3 {
+		t.Errorf("first cube = %v", agg)
+	}
+	if err := inc.Add(Tuple{Dims: []string{"z"}, Measure: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Buffered() != 1 {
+		t.Errorf("buffered = %d", inc.Buffered())
+	}
+	c2, err := inc.Cube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg, _ := c2.Point(All); agg.Sum != 7 || agg.Count != 3 {
+		t.Errorf("second cube = %v", agg)
+	}
+	// The earlier snapshot is immutable.
+	if agg, _ := c1.Point(All); agg.Sum != 3 {
+		t.Errorf("snapshot mutated: %v", agg)
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	inc, err := NewIncremental([]string{"a", "b"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(Tuple{Dims: []string{"only-one"}, Measure: 1}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	if _, err := NewIncremental(nil, 10); !errors.Is(err, ErrNoDimensions) {
+		t.Errorf("no dims: %v", err)
+	}
+}
+
+func TestDumpRendersTree(t *testing.T) {
+	c := mustCube(t, paperDims, paperTuples())
+	var sb strings.Builder
+	if err := c.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"Ireland"`, `"Fenian St"`, "ALL", "[Country]", "[Station]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %s:\n%s", want, out)
+		}
+	}
+	// Coalesced sub-dwarfs render as shared references.
+	if !strings.Contains(out, "(shared)") {
+		t.Errorf("dump should mark shared sub-dwarfs:\n%s", out)
+	}
+	// Empty cube.
+	e := mustCube(t, []string{"x"}, nil)
+	sb.Reset()
+	if err := e.Dump(&sb); err != nil || !strings.Contains(sb.String(), "node #") {
+		t.Errorf("empty dump = %q, %v", sb.String(), err)
+	}
+}

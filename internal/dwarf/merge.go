@@ -1,0 +1,61 @@
+package dwarf
+
+import "fmt"
+
+// Merge combines two cubes over identical dimension lists into a new cube
+// whose aggregates equal a cube built from the union of both inputs' facts.
+// The result may share unchanged sub-dwarfs with the inputs (cubes are
+// immutable, so sharing is safe). This is the primitive behind the paper's
+// §7 future-work item, incremental cube updates: build a small DWARF from
+// the new batch and merge it into the standing cube.
+func Merge(a, b *Cube) (*Cube, error) {
+	if len(a.dims) != len(b.dims) {
+		return nil, fmt.Errorf("%w: %d vs %d dimensions", ErrDimsMismatch, len(a.dims), len(b.dims))
+	}
+	for i := range a.dims {
+		if a.dims[i] != b.dims[i] {
+			return nil, fmt.Errorf("%w: dimension %d is %q vs %q", ErrDimsMismatch, i, a.dims[i], b.dims[i])
+		}
+	}
+	mb := newBuilder(len(a.dims), a.opts)
+	mb.seq = maxInt64(a.nextSeq, b.nextSeq)
+	root := mb.suffixCoalesce([]*Node{a.root, b.root})
+	if root == nil {
+		root = mb.close(mb.newNode(0))
+	}
+	return &Cube{
+		dims:      append([]string(nil), a.dims...),
+		root:      root,
+		opts:      a.opts,
+		numTuples: a.numTuples + b.numTuples,
+		nextSeq:   mb.seq,
+	}, nil
+}
+
+// Append folds a batch of new fact tuples into the cube, returning the
+// updated cube. The receiver is unchanged.
+func (c *Cube) Append(tuples []Tuple) (*Cube, error) {
+	delta, err := New(c.dims, tuples, optionsAsList(c.opts)...)
+	if err != nil {
+		return nil, err
+	}
+	return Merge(c, delta)
+}
+
+func optionsAsList(o Options) []Option {
+	var out []Option
+	if o.DisableSuffixCoalescing {
+		out = append(out, WithoutSuffixCoalescing())
+	}
+	if o.DisableHashConsing {
+		out = append(out, WithoutHashConsing())
+	}
+	return out
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

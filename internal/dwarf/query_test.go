@@ -1,0 +1,245 @@
+package dwarf
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRangeSelectors(t *testing.T) {
+	c := mustCube(t, paperDims, paperTuples())
+
+	cases := []struct {
+		name string
+		sels []Selector
+		sum  float64
+		cnt  int64
+	}{
+		{"all-all-all", []Selector{SelectAll(), SelectAll(), SelectAll()}, 14, 4},
+		{"ireland-only", []Selector{SelectKeys("Ireland"), SelectAll(), SelectAll()}, 10, 3},
+		{"two-cities", []Selector{SelectAll(), SelectKeys("Dublin", "Cork"), SelectAll()}, 10, 3},
+		{"city-range", []Selector{SelectAll(), SelectRange("Cork", "Dublin"), SelectAll()}, 10, 3},
+		{"station-range", []Selector{SelectAll(), SelectAll(), SelectRange("Patrick St", "Pearse St")}, 7, 2},
+		{"missing-key", []Selector{SelectKeys("Spain"), SelectAll(), SelectAll()}, 0, 0},
+		{"duplicate-keys", []Selector{SelectKeys("Ireland", "Ireland"), SelectAll(), SelectAll()}, 10, 3},
+	}
+	for _, tc := range cases {
+		got, err := c.Range(tc.sels)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.Sum != tc.sum || got.Count != tc.cnt {
+			t.Errorf("%s = %v, want sum=%g count=%d", tc.name, got, tc.sum, tc.cnt)
+		}
+	}
+
+	if _, err := c.Range([]Selector{SelectAll()}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("short selector list: err = %v", err)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	c := mustCube(t, paperDims, paperTuples())
+
+	byCountry, err := c.GroupBy(0, []Selector{SelectAll(), SelectAll(), SelectAll()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byCountry) != 2 {
+		t.Fatalf("byCountry = %v", byCountry)
+	}
+	if byCountry["Ireland"].Sum != 10 || byCountry["France"].Sum != 4 {
+		t.Errorf("byCountry = %v", byCountry)
+	}
+
+	// Group by city restricted to Ireland.
+	byCity, err := c.GroupBy(1, []Selector{SelectKeys("Ireland"), SelectAll(), SelectAll()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byCity) != 2 || byCity["Dublin"].Sum != 8 || byCity["Cork"].Sum != 2 {
+		t.Errorf("byCity = %v", byCity)
+	}
+
+	// Group by the last (leaf) dimension.
+	byStation, err := c.GroupBy(2, []Selector{SelectAll(), SelectAll(), SelectAll()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byStation) != 4 || byStation["Fenian St"].Sum != 3 {
+		t.Errorf("byStation = %v", byStation)
+	}
+
+	if _, err := c.GroupBy(7, []Selector{SelectAll(), SelectAll(), SelectAll()}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("bad dim: err = %v", err)
+	}
+	if _, err := c.GroupBy(0, nil); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("bad sels: err = %v", err)
+	}
+}
+
+func TestTuplesEnumeration(t *testing.T) {
+	c := mustCube(t, paperDims, paperTuples())
+	var got [][]string
+	var sum float64
+	c.Tuples(func(dims []string, agg Aggregate) bool {
+		got = append(got, append([]string(nil), dims...))
+		sum += agg.Sum
+		return true
+	})
+	if len(got) != 4 {
+		t.Fatalf("enumerated %d tuples, want 4", len(got))
+	}
+	if sum != 14 {
+		t.Errorf("sum of enumerated = %g, want 14", sum)
+	}
+	// Sorted order: France first.
+	if got[0][0] != "France" {
+		t.Errorf("first tuple = %v, want France row", got[0])
+	}
+	// Early abort.
+	n := 0
+	c.Tuples(func([]string, Aggregate) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("aborted enumeration saw %d tuples", n)
+	}
+}
+
+func TestExtractSubcube(t *testing.T) {
+	c := mustCube(t, paperDims, paperTuples())
+	sub, err := c.Extract([]Selector{SelectKeys("Ireland"), SelectAll(), SelectAll()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.FromQuery {
+		t.Error("FromQuery flag not set")
+	}
+	if sub.NumSourceTuples() != 3 {
+		t.Errorf("sub tuples = %d, want 3", sub.NumSourceTuples())
+	}
+	all, _ := sub.Point(All, All, All)
+	if all.Sum != 10 {
+		t.Errorf("sub ALL = %v, want sum=10", all)
+	}
+	if fr, _ := sub.Point("France", All, All); !fr.IsZero() {
+		t.Errorf("France should be absent from the Ireland sub-cube: %v", fr)
+	}
+
+	if _, err := c.Extract(nil); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("bad extract: err = %v", err)
+	}
+}
+
+func TestMustPointPanics(t *testing.T) {
+	c := mustCube(t, paperDims, paperTuples())
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPoint with wrong arity should panic")
+		}
+	}()
+	c.MustPoint("Ireland")
+}
+
+func TestMergeDimensionMismatch(t *testing.T) {
+	a := mustCube(t, []string{"x"}, nil)
+	b := mustCube(t, []string{"x", "y"}, nil)
+	if _, err := Merge(a, b); !errors.Is(err, ErrDimsMismatch) {
+		t.Errorf("err = %v, want ErrDimsMismatch", err)
+	}
+	c := mustCube(t, []string{"z"}, nil)
+	if _, err := Merge(a, c); !errors.Is(err, ErrDimsMismatch) {
+		t.Errorf("renamed dim: err = %v, want ErrDimsMismatch", err)
+	}
+}
+
+func TestMergeEmptyCubes(t *testing.T) {
+	a := mustCube(t, []string{"x", "y"}, nil)
+	b := mustCube(t, []string{"x", "y"}, nil)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg, _ := m.Point(All, All); !agg.IsZero() {
+		t.Errorf("merged empty cube = %v", agg)
+	}
+
+	// Empty merged with non-empty equals the non-empty cube.
+	c := mustCube(t, []string{"x", "y"}, []Tuple{{Dims: []string{"a", "b"}, Measure: 5}})
+	m2, err := Merge(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg, _ := m2.Point("a", "b"); agg.Sum != 5 {
+		t.Errorf("merge with empty = %v", agg)
+	}
+}
+
+func TestAppendIncremental(t *testing.T) {
+	day1 := []Tuple{
+		{Dims: []string{"mon", "s1"}, Measure: 4},
+		{Dims: []string{"mon", "s2"}, Measure: 6},
+	}
+	c := mustCube(t, []string{"day", "station"}, day1)
+	c2, err := c.Append([]Tuple{
+		{Dims: []string{"tue", "s1"}, Measure: 10},
+		{Dims: []string{"mon", "s1"}, Measure: 1}, // same keys as an existing fact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg, _ := c2.Point("mon", "s1"); agg.Sum != 5 || agg.Count != 2 {
+		t.Errorf("(mon,s1) after append = %v, want sum=5 count=2", agg)
+	}
+	if agg, _ := c2.Point(All, All); agg.Sum != 21 || agg.Count != 4 {
+		t.Errorf("ALL after append = %v", agg)
+	}
+	// Original cube unchanged.
+	if agg, _ := c.Point(All, All); agg.Sum != 10 || agg.Count != 2 {
+		t.Errorf("original mutated: %v", agg)
+	}
+	if c2.NumSourceTuples() != 4 {
+		t.Errorf("tuple count = %d, want 4", c2.NumSourceTuples())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBytes([]byte("not a cube at all")); !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorruptCube) {
+		t.Errorf("garbage: err = %v", err)
+	}
+	c := mustCube(t, paperDims, paperTuples())
+	var buf safeBuffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	// Flip a payload byte: CRC must catch it.
+	data[len(data)/2] ^= 0xFF
+	if _, err := DecodeBytes(data); !errors.Is(err, ErrCorruptCube) {
+		t.Errorf("tampered: err = %v, want ErrCorruptCube", err)
+	}
+	// Truncated stream.
+	if _, err := DecodeBytes(buf.Bytes()[:10]); err == nil {
+		t.Error("truncated stream decoded without error")
+	}
+}
+
+func TestEncodeDecodeEmptyAndFlag(t *testing.T) {
+	c := mustCube(t, []string{"a"}, nil)
+	c.FromQuery = true
+	var buf safeBuffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.FromQuery {
+		t.Error("FromQuery flag lost")
+	}
+	if d.NumDims() != 1 || d.NumSourceTuples() != 0 {
+		t.Errorf("decoded empty cube: dims=%d tuples=%d", d.NumDims(), d.NumSourceTuples())
+	}
+}

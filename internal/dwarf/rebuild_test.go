@@ -1,0 +1,123 @@
+package dwarf
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildRawPair wires a 2-level node graph by hand, as a storage mapper
+// would during Load.
+func buildRawPair() (*Node, *Node) {
+	leaf := NewNode(2)
+	leaf.Cells = append(leaf.Cells, Cell{Key: "x", Agg: NewAggregate(1)})
+	leaf.AllAgg = NewAggregate(1)
+	root := NewNode(1)
+	root.Cells = append(root.Cells, Cell{Key: "a", Child: leaf})
+	root.AllChild = leaf
+	return root, leaf
+}
+
+func TestFromPartsAssignsLevelsAndSorts(t *testing.T) {
+	root, _ := buildRawPair()
+	// Add a second cell out of order: FromParts must sort.
+	leaf2 := NewNode(3)
+	leaf2.Cells = append(leaf2.Cells, Cell{Key: "y", Agg: NewAggregate(2)})
+	leaf2.AllAgg = NewAggregate(2)
+	root.Cells = append(root.Cells, Cell{Key: "A", Child: leaf2}) // "A" < "a"
+	c, err := FromParts([]string{"d1", "d2"}, root, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.FromQuery || c.NumSourceTuples() != 2 {
+		t.Errorf("metadata: fromQuery=%t tuples=%d", c.FromQuery, c.NumSourceTuples())
+	}
+	if got := c.Root().Keys(); got[0] != "A" || got[1] != "a" {
+		t.Errorf("cells unsorted after FromParts: %v", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	agg, _ := c.Point("a", "x")
+	if agg.Sum != 1 {
+		t.Errorf("query after rebuild: %v", agg)
+	}
+}
+
+func TestFromPartsRejectsCorruptGraphs(t *testing.T) {
+	// Nil root.
+	if _, err := FromParts([]string{"a"}, nil, 0, false); !errors.Is(err, ErrInvalidStructure) {
+		t.Errorf("nil root: %v", err)
+	}
+	// No dims.
+	root, _ := buildRawPair()
+	if _, err := FromParts(nil, root, 0, false); !errors.Is(err, ErrNoDimensions) {
+		t.Errorf("no dims: %v", err)
+	}
+	// Too deep: 2-level graph in a 1-dim cube.
+	root, _ = buildRawPair()
+	if _, err := FromParts([]string{"only"}, root, 1, false); !errors.Is(err, ErrInvalidStructure) {
+		t.Errorf("depth: %v", err)
+	}
+	// Duplicate keys in one node.
+	root, leaf := buildRawPair()
+	root.Cells = append(root.Cells, Cell{Key: "a", Child: leaf})
+	if _, err := FromParts([]string{"d1", "d2"}, root, 1, false); !errors.Is(err, ErrInvalidStructure) {
+		t.Errorf("dup keys: %v", err)
+	}
+	// Leaf cell with a child pointer.
+	root, leaf = buildRawPair()
+	leaf.Cells[0].Child = NewNode(9)
+	if _, err := FromParts([]string{"d1", "d2"}, root, 1, false); !errors.Is(err, ErrInvalidStructure) {
+		t.Errorf("leaf with child: %v", err)
+	}
+	// Interior cell without a child.
+	root, _ = buildRawPair()
+	root.Cells[0].Child = nil
+	if _, err := FromParts([]string{"d1", "d2"}, root, 1, false); !errors.Is(err, ErrInvalidStructure) {
+		t.Errorf("interior without child: %v", err)
+	}
+	// A node reachable at two different levels.
+	root, leaf = buildRawPair()
+	mid := NewNode(7)
+	mid.Cells = append(mid.Cells, Cell{Key: "m", Child: leaf})
+	mid.AllChild = leaf
+	root.Cells[0].Child = mid
+	root.AllChild = mid
+	// leaf reachable at level 2 via mid... build a 3-dim cube where root
+	// ALSO points directly at leaf (level mismatch).
+	root.Cells = append(root.Cells, Cell{Key: "direct", Child: leaf})
+	if _, err := FromParts([]string{"d1", "d2", "d3"}, root, 1, false); !errors.Is(err, ErrInvalidStructure) {
+		t.Errorf("level conflict: %v", err)
+	}
+}
+
+func TestCheckInvariantsCatchesDamage(t *testing.T) {
+	c := mustCube(t, paperDims, paperTuples())
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("fresh cube: %v", err)
+	}
+	// Damage a leaf ALL aggregate.
+	var leaf *Node
+	c.Visit(func(n *Node) bool {
+		if n.Leaf && len(n.Cells) > 0 {
+			leaf = n
+			return false
+		}
+		return true
+	})
+	saved := leaf.AllAgg
+	leaf.AllAgg = NewAggregate(12345)
+	if err := c.CheckInvariants(); !errors.Is(err, ErrInvalidStructure) {
+		t.Errorf("damaged ALL undetected: %v", err)
+	}
+	leaf.AllAgg = saved
+	// Damage sort order.
+	root := c.Root()
+	if len(root.Cells) >= 2 {
+		root.Cells[0], root.Cells[1] = root.Cells[1], root.Cells[0]
+		if err := c.CheckInvariants(); !errors.Is(err, ErrInvalidStructure) {
+			t.Errorf("unsorted cells undetected: %v", err)
+		}
+		root.Cells[0], root.Cells[1] = root.Cells[1], root.Cells[0]
+	}
+}

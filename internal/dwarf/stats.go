@@ -1,0 +1,42 @@
+package dwarf
+
+// Stats summarizes a cube's size: the node_count / cell_count the paper's
+// DWARF_Schema column family records, plus an in-memory byte estimate.
+type Stats struct {
+	// Nodes is the number of distinct DWARF nodes.
+	Nodes int
+	// Cells is the number of key cells across distinct nodes (ALL cells
+	// excluded; see AllCells).
+	Cells int
+	// AllCells is the number of ALL cells, one per node.
+	AllCells int
+	// SourceTuples is the number of fact tuples folded in.
+	SourceTuples int
+	// EstBytes is a rough in-memory footprint estimate.
+	EstBytes int64
+}
+
+// TotalCells returns key cells plus ALL cells, the cell_count convention
+// used when persisting a schema row.
+func (s Stats) TotalCells() int { return s.Cells + s.AllCells }
+
+const (
+	nodeOverheadBytes = 64 // Node struct + slice header + map slot share
+	cellOverheadBytes = 56 // Cell struct: string header, pointer, aggregate
+)
+
+// Stats traverses the cube once and counts distinct nodes and cells.
+func (c *Cube) Stats() Stats {
+	st := Stats{SourceTuples: c.numTuples}
+	c.Visit(func(n *Node) bool {
+		st.Nodes++
+		st.AllCells++
+		st.Cells += len(n.Cells)
+		st.EstBytes += nodeOverheadBytes
+		for i := range n.Cells {
+			st.EstBytes += cellOverheadBytes + int64(len(n.Cells[i].Key))
+		}
+		return true
+	})
+	return st
+}

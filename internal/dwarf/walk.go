@@ -1,0 +1,59 @@
+package dwarf
+
+// Visit walks every distinct node of the cube breadth-first starting at the
+// root — the traversal order the paper's §4 uses to map a DWARF into NoSQL
+// rows. Because suffix coalescing gives nodes multiple parents, a visited
+// set guarantees each node is delivered exactly once. Return false from fn
+// to stop early.
+func (c *Cube) Visit(fn func(n *Node) bool) {
+	if c.root == nil {
+		return
+	}
+	seen := make(map[*Node]bool)
+	queue := []*Node{c.root}
+	seen[c.root] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if !fn(n) {
+			return
+		}
+		push := func(child *Node) {
+			if child != nil && !seen[child] {
+				seen[child] = true
+				queue = append(queue, child)
+			}
+		}
+		for i := range n.Cells {
+			push(n.Cells[i].Child)
+		}
+		push(n.AllChild)
+	}
+}
+
+// VisitDepthFirst walks every distinct node with children delivered before
+// their parents (post-order), the order codecs need so that child ids exist
+// before they are referenced.
+func (c *Cube) VisitDepthFirst(fn func(n *Node) bool) {
+	if c.root == nil {
+		return
+	}
+	seen := make(map[*Node]bool)
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n == nil || seen[n] {
+			return true
+		}
+		seen[n] = true
+		for i := range n.Cells {
+			if !walk(n.Cells[i].Child) {
+				return false
+			}
+		}
+		if !walk(n.AllChild) {
+			return false
+		}
+		return fn(n)
+	}
+	walk(c.root)
+}

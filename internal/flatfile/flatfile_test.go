@@ -1,0 +1,169 @@
+package flatfile
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dwarf"
+)
+
+func testCube(t *testing.T, seed int64, n int) *dwarf.Cube {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dims := []string{"a", "b", "c"}
+	tuples := make([]dwarf.Tuple, n)
+	for i := range tuples {
+		tuples[i] = dwarf.Tuple{
+			Dims:    []string{fmt.Sprintf("k%d", rng.Intn(8)), fmt.Sprintf("k%d", rng.Intn(8)), fmt.Sprintf("k%d", rng.Intn(8))},
+			Measure: float64(rng.Intn(50)),
+		}
+	}
+	c, err := dwarf.New(dims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBothLayoutsAnswerQueries(t *testing.T) {
+	cube := testCube(t, 1, 300)
+	for _, layout := range []Layout{Hierarchical, Recursive} {
+		t.Run(layout.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cube.dwf")
+			size, err := Write(path, cube, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size <= 0 {
+				t.Fatalf("size = %d", size)
+			}
+			f, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if f.Layout() != layout {
+				t.Errorf("layout = %v", f.Layout())
+			}
+			if f.Size() != size {
+				t.Errorf("Size() = %d, wrote %d", f.Size(), size)
+			}
+			if f.NumSourceTuples() != cube.NumSourceTuples() {
+				t.Errorf("tuples = %d", f.NumSourceTuples())
+			}
+
+			// Every base tuple and a wildcard battery answer identically.
+			cube.Tuples(func(keys []string, agg dwarf.Aggregate) bool {
+				got, err := f.Point(keys...)
+				if err != nil || !got.Equal(agg) {
+					t.Errorf("point %v: %v vs %v (%v)", keys, got, agg, err)
+					return false
+				}
+				return true
+			})
+			for _, q := range [][]string{
+				{dwarf.All, dwarf.All, dwarf.All},
+				{"k1", dwarf.All, dwarf.All},
+				{dwarf.All, "k2", "k3"},
+				{"missing", dwarf.All, dwarf.All},
+			} {
+				want, _ := cube.Point(q...)
+				got, err := f.Point(q...)
+				if err != nil || !got.Equal(want) {
+					t.Errorf("point %v: %v vs %v (%v)", q, got, want, err)
+				}
+			}
+			// Range queries.
+			want, _ := cube.Range([]dwarf.Selector{
+				dwarf.SelectKeys("k1", "k2"), dwarf.SelectAll(), dwarf.SelectKeys("k0"),
+			})
+			got, err := f.RangeKeys([][]string{{"k1", "k2"}, nil, {"k0"}})
+			if err != nil || !got.Equal(want) {
+				t.Errorf("range: %v vs %v (%v)", got, want, err)
+			}
+
+			// Full round trip.
+			back, err := f.ReadCube()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, bs := cube.Stats(), back.Stats()
+			if cs.Nodes != bs.Nodes || cs.Cells != bs.Cells {
+				t.Errorf("round trip stats: %+v vs %+v", cs, bs)
+			}
+			if err := back.CheckInvariants(); err != nil {
+				t.Errorf("invariants: %v", err)
+			}
+		})
+	}
+}
+
+func TestLayoutSizesComparable(t *testing.T) {
+	// Same cube, both layouts: identical node content, so sizes should be
+	// equal up to varint id differences (within a few percent).
+	cube := testCube(t, 3, 2000)
+	dir := t.TempDir()
+	h, err := Write(filepath.Join(dir, "h.dwf"), cube, Hierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Write(filepath.Join(dir, "r.dwf"), cube, Recursive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(h) / float64(r)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("layout sizes diverge: hierarchical=%d recursive=%d", h, r)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	cube := testCube(t, 5, 100)
+	path := filepath.Join(t.TempDir(), "c.dwf")
+	if _, err := Write(path, cube, Hierarchical); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrCorruptFile) {
+		t.Errorf("corrupt file opened: %v", err)
+	}
+	if err := os.WriteFile(path, data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("truncated file opened")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	cube := testCube(t, 7, 50)
+	path := filepath.Join(t.TempDir(), "x.dwf")
+	if _, err := Write(path, cube, Layout(9)); !errors.Is(err, ErrBadLayout) {
+		t.Errorf("bad layout: %v", err)
+	}
+	if _, err := Write(path, cube, Hierarchical); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Point("only-one"); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("short query: %v", err)
+	}
+	if _, err := f.RangeKeys([][]string{{"a"}}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("short range: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package hierarchy implements the dimensional-hierarchy extension the
+// paper discusses in §6 (after Sismanis et al., "Hierarchical dwarfs for
+// the rollup cube"): dimension hierarchies over DWARF cubes with ROLLUP and
+// DRILL DOWN operations. Hierarchy levels are materialized as derived
+// dimensions (Station → Area, Day → Month → Year), so the standard DWARF
+// ALL machinery answers rollups; RollUp materializes a coarser cube and
+// DrillDown enumerates one member's children.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dwarf"
+)
+
+// Hierarchy derives coarser levels from a base dimension.
+type Hierarchy struct {
+	// BaseDim is the fine-grained dimension the hierarchy refines.
+	BaseDim string
+	// Levels are the derived levels, coarsest first; each maps a base key
+	// to its ancestor key at that level.
+	Levels []Level
+}
+
+// Level is one derived hierarchy level.
+type Level struct {
+	Name string
+	Map  func(baseKey string) string
+}
+
+// Hierarchy errors.
+var (
+	ErrUnknownDim = errors.New("hierarchy: unknown dimension")
+	ErrBadLevels  = errors.New("hierarchy: hierarchy needs at least one level")
+)
+
+// Expand inserts the derived level dimensions immediately before each base
+// dimension, returning the new dimension list and rewritten tuples. The
+// result feeds dwarf.New to build a hierarchical cube where a rollup is an
+// ALL wildcard on the finer levels.
+func Expand(dims []string, tuples []dwarf.Tuple, hs ...Hierarchy) ([]string, []dwarf.Tuple, error) {
+	type insertion struct {
+		at     int
+		levels []Level
+	}
+	var ins []insertion
+	for _, h := range hs {
+		if len(h.Levels) == 0 {
+			return nil, nil, ErrBadLevels
+		}
+		at := -1
+		for i, d := range dims {
+			if d == h.BaseDim {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return nil, nil, fmt.Errorf("%w: %s", ErrUnknownDim, h.BaseDim)
+		}
+		ins = append(ins, insertion{at: at, levels: h.Levels})
+	}
+
+	// Build the new dimension list in a single pass.
+	levelsAt := make(map[int][]Level)
+	for _, i := range ins {
+		levelsAt[i.at] = append(levelsAt[i.at], i.levels...)
+	}
+	var newDims []string
+	for i, d := range dims {
+		for _, l := range levelsAt[i] {
+			newDims = append(newDims, l.Name)
+		}
+		newDims = append(newDims, d)
+	}
+	newTuples := make([]dwarf.Tuple, len(tuples))
+	for ti, t := range tuples {
+		if len(t.Dims) != len(dims) {
+			return nil, nil, fmt.Errorf("hierarchy: tuple %d has %d dims, want %d", ti, len(t.Dims), len(dims))
+		}
+		keys := make([]string, 0, len(newDims))
+		for i, k := range t.Dims {
+			for _, l := range levelsAt[i] {
+				keys = append(keys, l.Map(k))
+			}
+			keys = append(keys, k)
+		}
+		newTuples[ti] = dwarf.Tuple{Dims: keys, Measure: t.Measure}
+	}
+	return newDims, newTuples, nil
+}
+
+// RollUp materializes the cube at a coarser grain: only the dimensions in
+// keep survive (in the cube's dimension order); all others are aggregated
+// away. Aggregate state (count/min/max) is preserved through the rebuild.
+func RollUp(c *dwarf.Cube, keep ...string) (*dwarf.Cube, error) {
+	dims := c.Dims()
+	keepIdx := make([]int, 0, len(keep))
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	for i, d := range dims {
+		if keepSet[d] {
+			keepIdx = append(keepIdx, i)
+			delete(keepSet, d)
+		}
+	}
+	for k := range keepSet {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDim, k)
+	}
+	if len(keepIdx) == 0 {
+		return nil, fmt.Errorf("%w: nothing to keep", ErrUnknownDim)
+	}
+	newDims := make([]string, len(keepIdx))
+	for i, idx := range keepIdx {
+		newDims[i] = dims[idx]
+	}
+	var ats []dwarf.AggTuple
+	c.Tuples(func(keys []string, agg dwarf.Aggregate) bool {
+		projected := make([]string, len(keepIdx))
+		for i, idx := range keepIdx {
+			projected[i] = keys[idx]
+		}
+		ats = append(ats, dwarf.AggTuple{Dims: projected, Agg: agg})
+		return true
+	})
+	return dwarf.NewFromAggregates(newDims, ats)
+}
+
+// DrillDown enumerates the members one level below a fixed path: fixed maps
+// dimension name → key (missing dimensions are wildcards), dim names the
+// dimension whose members are enumerated. Each member key maps to its
+// aggregate under the fixed path — the DRILL DOWN of §6.
+func DrillDown(c *dwarf.Cube, fixed map[string]string, dim string) (map[string]dwarf.Aggregate, error) {
+	dims := c.Dims()
+	dimIdx := -1
+	sels := make([]dwarf.Selector, len(dims))
+	for i, d := range dims {
+		if d == dim {
+			dimIdx = i
+		}
+		if k, ok := fixed[d]; ok {
+			sels[i] = dwarf.SelectKeys(k)
+		} else {
+			sels[i] = dwarf.SelectAll()
+		}
+	}
+	if dimIdx < 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDim, dim)
+	}
+	for d := range fixed {
+		found := false
+		for _, have := range dims {
+			if have == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownDim, d)
+		}
+	}
+	return c.GroupBy(dimIdx, sels)
+}

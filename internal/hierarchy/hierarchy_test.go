@@ -1,0 +1,184 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+func bikeCube(t *testing.T, n int) *dwarf.Cube {
+	t.Helper()
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 5}).Take(n)
+	tuples := make([]dwarf.Tuple, len(recs))
+	for i, r := range recs {
+		tuples[i] = r.Tuple()
+	}
+	c, err := dwarf.New(smartcity.BikeDims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExpandInsertsLevels(t *testing.T) {
+	dims := []string{"Station", "Day"}
+	tuples := []dwarf.Tuple{
+		{Dims: []string{"station-001", "07"}, Measure: 2},
+		{Dims: []string{"station-014", "08"}, Measure: 5},
+	}
+	h := Hierarchy{
+		BaseDim: "Station",
+		Levels: []Level{{
+			Name: "Dock",
+			Map:  func(k string) string { return "dock-" + strings.TrimPrefix(k, "station-0") },
+		}},
+	}
+	newDims, newTuples, err := Expand(dims, tuples, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newDims) != 3 || newDims[0] != "Dock" || newDims[1] != "Station" {
+		t.Fatalf("dims = %v", newDims)
+	}
+	if newTuples[0].Dims[0] != "dock-01" || newTuples[1].Dims[0] != "dock-14" {
+		t.Errorf("tuples = %+v", newTuples)
+	}
+
+	if _, _, err := Expand(dims, tuples, Hierarchy{BaseDim: "Nope", Levels: h.Levels}); !errors.Is(err, ErrUnknownDim) {
+		t.Errorf("unknown dim: %v", err)
+	}
+	if _, _, err := Expand(dims, tuples, Hierarchy{BaseDim: "Day"}); !errors.Is(err, ErrBadLevels) {
+		t.Errorf("no levels: %v", err)
+	}
+}
+
+func TestRollUpMatchesWildcardQueries(t *testing.T) {
+	cube := bikeCube(t, 800)
+	// Roll up to (Month, Area): equivalent to wildcards everywhere else.
+	up, err := RollUp(cube, "Month", "Area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := up.Dims(); len(got) != 2 || got[0] != "Month" || got[1] != "Area" {
+		t.Fatalf("rolled dims = %v", got)
+	}
+	byArea, err := up.GroupBy(1, []dwarf.Selector{dwarf.SelectAll(), dwarf.SelectAll()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for area, agg := range byArea {
+		want, _ := cube.Point(dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, area, dwarf.All, dwarf.All)
+		if !agg.Equal(want) {
+			t.Errorf("area %s: rollup %v != wildcard %v", area, agg, want)
+		}
+	}
+	// Counts survive the rebuild.
+	allUp, _ := up.Point(dwarf.All, dwarf.All)
+	allBase, _ := cube.Point(dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All)
+	if !allUp.Equal(allBase) {
+		t.Errorf("grand total: %v != %v", allUp, allBase)
+	}
+	if up.NumSourceTuples() != cube.NumSourceTuples() {
+		t.Errorf("tuple count: %d != %d", up.NumSourceTuples(), cube.NumSourceTuples())
+	}
+
+	if _, err := RollUp(cube, "Bogus"); !errors.Is(err, ErrUnknownDim) {
+		t.Errorf("unknown keep: %v", err)
+	}
+	if _, err := RollUp(cube); !errors.Is(err, ErrUnknownDim) {
+		t.Errorf("empty keep: %v", err)
+	}
+}
+
+func TestDrillDown(t *testing.T) {
+	cube := bikeCube(t, 600)
+	// Drill from the grand total into areas.
+	areas, err := DrillDown(cube, nil, "Area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(areas) == 0 {
+		t.Fatal("no areas")
+	}
+	var sum float64
+	for _, agg := range areas {
+		sum += agg.Sum
+	}
+	total, _ := cube.Point(dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All)
+	if sum != total.Sum {
+		t.Errorf("area sums %g != total %g", sum, total.Sum)
+	}
+	// Drill within one area into stations.
+	var area string
+	for a := range areas {
+		area = a
+		break
+	}
+	stations, err := DrillDown(cube, map[string]string{"Area": area}, "Station")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ssum float64
+	for _, agg := range stations {
+		ssum += agg.Sum
+	}
+	if ssum != areas[area].Sum {
+		t.Errorf("station sums %g != area %g", ssum, areas[area].Sum)
+	}
+
+	if _, err := DrillDown(cube, nil, "Bogus"); !errors.Is(err, ErrUnknownDim) {
+		t.Errorf("unknown dim: %v", err)
+	}
+	if _, err := DrillDown(cube, map[string]string{"Nope": "x"}, "Area"); !errors.Is(err, ErrUnknownDim) {
+		t.Errorf("unknown fixed: %v", err)
+	}
+}
+
+func TestExpandedHierarchyRollupEquivalence(t *testing.T) {
+	// Build with a derived Area-group level, then check ROLLUP on the
+	// hierarchy equals GroupBy on the expanded cube.
+	dims := []string{"Station", "Slot"}
+	var tuples []dwarf.Tuple
+	for s := 0; s < 12; s++ {
+		for slot := 0; slot < 4; slot++ {
+			tuples = append(tuples, dwarf.Tuple{
+				Dims:    []string{fmt.Sprintf("station-%02d", s), fmt.Sprintf("slot-%d", slot)},
+				Measure: float64(s + slot),
+			})
+		}
+	}
+	h := Hierarchy{BaseDim: "Station", Levels: []Level{{
+		Name: "Area",
+		Map: func(k string) string {
+			return "area-" + string(k[len(k)-1]) // last digit buckets
+		},
+	}}}
+	newDims, newTuples, err := Expand(dims, tuples, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := dwarf.New(newDims, newTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ROLLUP over Station = query at the Area level via wildcard.
+	perArea, err := cube.GroupBy(0, []dwarf.Selector{dwarf.SelectAll(), dwarf.SelectAll(), dwarf.SelectAll()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for area, agg := range perArea {
+		var want float64
+		for _, t2 := range newTuples {
+			if t2.Dims[0] == area {
+				want += t2.Measure
+			}
+		}
+		if agg.Sum != want {
+			t.Errorf("area %s: %g != %g", area, agg.Sum, want)
+		}
+	}
+}

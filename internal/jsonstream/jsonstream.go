@@ -1,0 +1,283 @@
+// Package jsonstream is the JSON counterpart of xmlstream: it maps the
+// objects of a JSON feed document onto DWARF fact tuples through a Spec
+// with dotted field paths into nested objects, streaming one record at a
+// time.
+package jsonstream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// Spec maps a JSON document onto fact tuples.
+type Spec struct {
+	// RecordsPath is the dotted path to the array of record objects
+	// (e.g. "stations"). Empty means the document root is the array.
+	RecordsPath string
+	// Dimensions map dotted field paths to cube dimensions, in order.
+	Dimensions []DimSpec
+	// MeasureField is the dotted path to the numeric measure.
+	MeasureField string
+}
+
+// DimSpec maps one dotted field path to one dimension.
+type DimSpec struct {
+	Name      string
+	Field     string
+	Transform Transform
+}
+
+// Transform rewrites a raw field value into a dimension key.
+type Transform func(string) (string, error)
+
+// Ingestion errors.
+var (
+	ErrBadSpec      = errors.New("jsonstream: invalid spec")
+	ErrBadDocument  = errors.New("jsonstream: document does not match the spec")
+	ErrMissingField = errors.New("jsonstream: record is missing a mapped field")
+	ErrBadMeasure   = errors.New("jsonstream: measure is not numeric")
+)
+
+// DimNames returns the dimension names in order.
+func (s Spec) DimNames() []string {
+	out := make([]string, len(s.Dimensions))
+	for i, d := range s.Dimensions {
+		out[i] = d.Name
+	}
+	return out
+}
+
+func (s Spec) validate() error {
+	if len(s.Dimensions) == 0 {
+		return fmt.Errorf("%w: no dimensions", ErrBadSpec)
+	}
+	if s.MeasureField == "" {
+		return fmt.Errorf("%w: no measure field", ErrBadSpec)
+	}
+	return nil
+}
+
+// ParseFunc streams tuples out of the document, calling fn for each record.
+// The decoder walks to the records array and decodes one object at a time.
+func ParseFunc(r io.Reader, spec Spec, fn func(dwarf.Tuple) error) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := seekRecords(dec, spec.RecordsPath); err != nil {
+		return err
+	}
+	// Consume '['.
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDocument, err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("%w: expected an array at %q", ErrBadDocument, spec.RecordsPath)
+	}
+	for dec.More() {
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadDocument, err)
+		}
+		tuple, err := spec.tupleFrom(obj)
+		if err != nil {
+			return err
+		}
+		if err := fn(tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse collects every tuple of the document.
+func Parse(r io.Reader, spec Spec) ([]dwarf.Tuple, error) {
+	var out []dwarf.Tuple
+	err := ParseFunc(r, spec, func(t dwarf.Tuple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// seekRecords advances the decoder to the value at the dotted path.
+func seekRecords(dec *json.Decoder, path string) error {
+	if path == "" {
+		return nil
+	}
+	parts := strings.Split(path, ".")
+	for _, want := range parts {
+		// Enter the object.
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadDocument, err)
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			return fmt.Errorf("%w: expected object while walking to %q", ErrBadDocument, path)
+		}
+		found := false
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadDocument, err)
+			}
+			key, _ := keyTok.(string)
+			if key == want {
+				found = true
+				break
+			}
+			// Skip the value.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadDocument, err)
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: path %q not found", ErrBadDocument, path)
+		}
+	}
+	return nil
+}
+
+// lookup resolves a dotted path inside a decoded object.
+func lookup(obj map[string]any, path string) (any, bool) {
+	parts := strings.Split(path, ".")
+	var cur any = obj
+	for _, p := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func stringify(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case json.Number:
+		return x.String()
+	case bool:
+		return strconv.FormatBool(x)
+	case nil:
+		return ""
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func (s Spec) tupleFrom(obj map[string]any) (dwarf.Tuple, error) {
+	dims := make([]string, len(s.Dimensions))
+	for i, d := range s.Dimensions {
+		raw, ok := lookup(obj, d.Field)
+		if !ok {
+			return dwarf.Tuple{}, fmt.Errorf("%w: %q (dimension %s)", ErrMissingField, d.Field, d.Name)
+		}
+		str := stringify(raw)
+		if d.Transform != nil {
+			v, err := d.Transform(str)
+			if err != nil {
+				return dwarf.Tuple{}, fmt.Errorf("jsonstream: dimension %s: %w", d.Name, err)
+			}
+			dims[i] = v
+		} else {
+			dims[i] = str
+		}
+	}
+	raw, ok := lookup(obj, s.MeasureField)
+	if !ok {
+		return dwarf.Tuple{}, fmt.Errorf("%w: measure %q", ErrMissingField, s.MeasureField)
+	}
+	var m float64
+	switch x := raw.(type) {
+	case json.Number:
+		v, err := x.Float64()
+		if err != nil {
+			return dwarf.Tuple{}, fmt.Errorf("%w: %v", ErrBadMeasure, x)
+		}
+		m = v
+	case float64:
+		m = x
+	default:
+		return dwarf.Tuple{}, fmt.Errorf("%w: %T", ErrBadMeasure, raw)
+	}
+	return dwarf.Tuple{Dims: dims, Measure: m}, nil
+}
+
+// TimePart returns a transform extracting one part of a timestamp (same
+// parts as xmlstream.TimePart).
+func TimePart(layout, part string) Transform {
+	return func(raw string) (string, error) {
+		ts, err := time.Parse(layout, raw)
+		if err != nil {
+			return "", fmt.Errorf("bad timestamp %q: %w", raw, err)
+		}
+		switch part {
+		case "year":
+			return fmt.Sprintf("%04d", ts.Year()), nil
+		case "month":
+			return fmt.Sprintf("%02d", int(ts.Month())), nil
+		case "day":
+			return fmt.Sprintf("%02d", ts.Day()), nil
+		case "hour":
+			return fmt.Sprintf("%02d", ts.Hour()), nil
+		case "quarter":
+			return fmt.Sprintf("q%d", ts.Minute()/15), nil
+		default:
+			return "", fmt.Errorf("unknown time part %q", part)
+		}
+	}
+}
+
+// BikeFeedSpec maps the smartcity JSON bike feed onto the 8-dimension
+// layout (location.area exercises nested paths).
+func BikeFeedSpec() Spec {
+	return Spec{
+		RecordsPath: "stations",
+		Dimensions: []DimSpec{
+			{Name: "Year", Field: "timestamp", Transform: TimePart(time.RFC3339, "year")},
+			{Name: "Month", Field: "timestamp", Transform: TimePart(time.RFC3339, "month")},
+			{Name: "Day", Field: "timestamp", Transform: TimePart(time.RFC3339, "day")},
+			{Name: "Hour", Field: "timestamp", Transform: TimePart(time.RFC3339, "hour")},
+			{Name: "Quarter", Field: "timestamp", Transform: TimePart(time.RFC3339, "quarter")},
+			{Name: "Area", Field: "location.area"},
+			{Name: "Station", Field: "id"},
+			{Name: "Status", Field: "status"},
+		},
+		MeasureField: "bikes",
+	}
+}
+
+// AirQualityFeedSpec maps the smartcity air-quality JSON feed.
+func AirQualityFeedSpec() Spec {
+	return Spec{
+		RecordsPath: "readings",
+		Dimensions: []DimSpec{
+			{Name: "Year", Field: "timestamp", Transform: TimePart(time.RFC3339, "year")},
+			{Name: "Month", Field: "timestamp", Transform: TimePart(time.RFC3339, "month")},
+			{Name: "Day", Field: "timestamp", Transform: TimePart(time.RFC3339, "day")},
+			{Name: "Hour", Field: "timestamp", Transform: TimePart(time.RFC3339, "hour")},
+			{Name: "Zone", Field: "zone"},
+			{Name: "Sensor", Field: "sensor"},
+			{Name: "Pollutant", Field: "pollutant"},
+		},
+		MeasureField: "value",
+	}
+}

@@ -1,0 +1,145 @@
+package jsonstream
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+func TestBikeFeedRoundTrip(t *testing.T) {
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 21}).Take(150)
+	var buf bytes.Buffer
+	if err := smartcity.WriteBikesJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := Parse(&buf, BikeFeedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 150 {
+		t.Fatalf("parsed %d tuples", len(tuples))
+	}
+	for i, r := range recs {
+		want := r.Tuple()
+		got := tuples[i]
+		if got.Measure != want.Measure {
+			t.Fatalf("tuple %d measure %g != %g", i, got.Measure, want.Measure)
+		}
+		for d := range want.Dims {
+			if got.Dims[d] != want.Dims[d] {
+				t.Fatalf("tuple %d dim %d: %q != %q", i, d, got.Dims[d], want.Dims[d])
+			}
+		}
+	}
+}
+
+func TestAirQualityRoundTrip(t *testing.T) {
+	recs := smartcity.NewAirQualityFeed(3, 5).Take(80)
+	var buf bytes.Buffer
+	if err := smartcity.WriteAirQualityJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	spec := AirQualityFeedSpec()
+	tuples, err := Parse(&buf, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 80 {
+		t.Fatalf("parsed %d", len(tuples))
+	}
+	if _, err := dwarf.New(spec.DimNames(), tuples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXMLAndJSONAgree(t *testing.T) {
+	// The paper's canonical-approach claim: the same feed through either
+	// wire format yields the same cube.
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 31}).Take(100)
+	var jbuf bytes.Buffer
+	smartcity.WriteBikesJSON(&jbuf, recs)
+	jt, err := Parse(&jbuf, BikeFeedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := make([]dwarf.Tuple, len(recs))
+	for i, r := range recs {
+		direct[i] = r.Tuple()
+	}
+	a, _ := dwarf.New(BikeFeedSpec().DimNames(), jt)
+	b, _ := dwarf.New(smartcity.BikeDims, direct)
+	allQ := make([]string, 8)
+	for i := range allQ {
+		allQ[i] = dwarf.All
+	}
+	ga, _ := a.Point(allQ...)
+	gb, _ := b.Point(allQ...)
+	if !ga.Equal(gb) {
+		t.Errorf("JSON cube %v != direct cube %v", ga, gb)
+	}
+}
+
+func TestTopLevelArray(t *testing.T) {
+	doc := `[{"k":"a","v":1},{"k":"b","v":2.5}]`
+	spec := Spec{
+		Dimensions:   []DimSpec{{Name: "K", Field: "k"}},
+		MeasureField: "v",
+	}
+	tuples, err := Parse(strings.NewReader(doc), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 || tuples[1].Measure != 2.5 {
+		t.Fatalf("tuples = %+v", tuples)
+	}
+}
+
+func TestDottedPathsAndCoercion(t *testing.T) {
+	doc := `{"data":{"items":[{"a":{"b":{"c":"deep"}},"n":7,"flag":true,"v":3}]}}`
+	spec := Spec{
+		RecordsPath: "data.items",
+		Dimensions: []DimSpec{
+			{Name: "C", Field: "a.b.c"},
+			{Name: "N", Field: "n"},
+			{Name: "F", Field: "flag"},
+		},
+		MeasureField: "v",
+	}
+	tuples, err := Parse(strings.NewReader(doc), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tuples[0].Dims
+	if got[0] != "deep" || got[1] != "7" || got[2] != "true" {
+		t.Errorf("dims = %v", got)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	spec := BikeFeedSpec()
+	if _, err := Parse(strings.NewReader(`{"stations": [{"id": "x"`), spec); !errors.Is(err, ErrBadDocument) {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := Parse(strings.NewReader(`{"wrong": []}`), spec); !errors.Is(err, ErrBadDocument) {
+		t.Errorf("missing path: %v", err)
+	}
+	if _, err := Parse(strings.NewReader(`{"stations": {"not":"array"}}`), spec); !errors.Is(err, ErrBadDocument) {
+		t.Errorf("non-array: %v", err)
+	}
+	doc := `{"stations":[{"id":"s","status":"open","timestamp":"2015-06-01T00:00:00Z",
+		"location":{"area":"a"},"bikes":"many"}]}`
+	if _, err := Parse(strings.NewReader(doc), spec); !errors.Is(err, ErrBadMeasure) {
+		t.Errorf("bad measure: %v", err)
+	}
+	doc = `{"stations":[{"id":"s","status":"open","timestamp":"2015-06-01T00:00:00Z","bikes":3}]}`
+	if _, err := Parse(strings.NewReader(doc), spec); !errors.Is(err, ErrMissingField) {
+		t.Errorf("missing nested field: %v", err)
+	}
+	if _, err := Parse(strings.NewReader("[]"), Spec{}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("empty spec: %v", err)
+	}
+}

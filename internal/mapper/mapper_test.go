@@ -1,0 +1,370 @@
+package mapper
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dwarf"
+	"repro/internal/nosql"
+)
+
+func paperCube(t *testing.T) *dwarf.Cube {
+	t.Helper()
+	c, err := dwarf.New([]string{"Country", "City", "Station"}, []dwarf.Tuple{
+		{Dims: []string{"Ireland", "Dublin", "Fenian St"}, Measure: 3},
+		{Dims: []string{"Ireland", "Dublin", "Pearse St"}, Measure: 5},
+		{Dims: []string{"Ireland", "Cork", "Patrick St"}, Measure: 2},
+		{Dims: []string{"France", "Paris", "Rue Cler"}, Measure: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomCube(t *testing.T, seed int64, n int) *dwarf.Cube {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ndims := 2 + rng.Intn(3)
+	dims := make([]string, ndims)
+	for i := range dims {
+		dims[i] = fmt.Sprintf("d%d", i)
+	}
+	tuples := make([]dwarf.Tuple, n)
+	for i := range tuples {
+		keys := make([]string, ndims)
+		for d := range keys {
+			keys[d] = fmt.Sprintf("k%d", rng.Intn(6))
+		}
+		tuples[i] = dwarf.Tuple{Dims: keys, Measure: float64(rng.Intn(20))}
+	}
+	c, err := dwarf.New(dims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func openTestStore(t *testing.T, kind Kind) Store {
+	t.Helper()
+	st, err := OpenStore(kind, t.TempDir(), Options{BatchSize: 64}, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// equalCubes compares two cubes by structure stats and a battery of
+// queries, including every base tuple and ALL queries.
+func equalCubes(t *testing.T, a, b *dwarf.Cube, label string) {
+	t.Helper()
+	as, bs := a.Stats(), b.Stats()
+	if as.Nodes != bs.Nodes || as.Cells != bs.Cells {
+		t.Errorf("%s: stats differ: %+v vs %+v", label, as, bs)
+	}
+	if a.NumSourceTuples() != b.NumSourceTuples() {
+		t.Errorf("%s: tuple counts differ: %d vs %d", label, a.NumSourceTuples(), b.NumSourceTuples())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Errorf("%s: invariants: %v", label, err)
+	}
+	ndims := a.NumDims()
+	allQ := make([]string, ndims)
+	for i := range allQ {
+		allQ[i] = dwarf.All
+	}
+	ga, _ := a.Point(allQ...)
+	gb, _ := b.Point(allQ...)
+	if !ga.Equal(gb) {
+		t.Errorf("%s: ALL query differs: %v vs %v", label, ga, gb)
+	}
+	a.Tuples(func(keys []string, agg dwarf.Aggregate) bool {
+		got, err := b.Point(keys...)
+		if err != nil || !got.Equal(agg) {
+			t.Errorf("%s: tuple %v: %v vs %v (%v)", label, keys, agg, got, err)
+			return false
+		}
+		// Probe one wildcard variant per tuple.
+		probe := append([]string(nil), keys...)
+		probe[len(probe)-1] = dwarf.All
+		wa, _ := a.Point(probe...)
+		wb, _ := b.Point(probe...)
+		if !wa.Equal(wb) {
+			t.Errorf("%s: wildcard %v: %v vs %v", label, probe, wa, wb)
+			return false
+		}
+		return true
+	})
+}
+
+func TestAllStoresRoundTripPaperExample(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			st := openTestStore(t, kind)
+			cube := paperCube(t)
+			id, err := st.Save(cube)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := st.Load(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalCubes(t, cube, loaded, string(kind))
+
+			// Metadata round trip.
+			infos, err := st.Schemas()
+			if err != nil || len(infos) != 1 {
+				t.Fatalf("Schemas: %v %v", infos, err)
+			}
+			info := infos[0]
+			stats := cube.Stats()
+			if info.NodeCount != stats.Nodes || info.CellCount != stats.TotalCells() {
+				t.Errorf("schema row counts %+v vs stats %+v", info, stats)
+			}
+			if info.SourceRows != 4 || info.IsCube {
+				t.Errorf("schema row = %+v", info)
+			}
+			if len(info.Dimensions) != 3 || info.Dimensions[0] != "Country" {
+				t.Errorf("dimensions = %v", info.Dimensions)
+			}
+			size, err := st.StoredBytes()
+			if err != nil || size <= 0 {
+				t.Errorf("StoredBytes = %d, %v", size, err)
+			}
+		})
+	}
+}
+
+func TestAllStoresRoundTripRandomCubes(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			st := openTestStore(t, kind)
+			for seed := int64(1); seed <= 3; seed++ {
+				cube := randomCube(t, seed, 60+int(seed)*40)
+				id, err := st.Save(cube)
+				if err != nil {
+					t.Fatal(err)
+				}
+				loaded, err := st.Load(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalCubes(t, cube, loaded, fmt.Sprintf("%s/seed%d", kind, seed))
+			}
+			// Three schemas coexist in one store.
+			infos, err := st.Schemas()
+			if err != nil || len(infos) != 3 {
+				t.Fatalf("Schemas after 3 saves: %d, %v", len(infos), err)
+			}
+		})
+	}
+}
+
+func TestIsCubeFlagRoundTrip(t *testing.T) {
+	for _, kind := range AllKinds() {
+		st := openTestStore(t, kind)
+		cube := paperCube(t)
+		sub, err := cube.Extract([]dwarf.Selector{
+			dwarf.SelectKeys("Ireland"), dwarf.SelectAll(), dwarf.SelectAll(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := st.Save(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := st.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !loaded.FromQuery {
+			t.Errorf("%s: is_cube flag lost", kind)
+		}
+	}
+}
+
+func TestLoadMissingSchema(t *testing.T) {
+	for _, kind := range AllKinds() {
+		st := openTestStore(t, kind)
+		if _, err := st.Load(42); !errors.Is(err, ErrNoSuchSchema) {
+			t.Errorf("%s: missing schema: %v", kind, err)
+		}
+	}
+}
+
+func TestSizeAsMBRecorded(t *testing.T) {
+	// A big enough cube should cross the 1 MB threshold and have the
+	// paper's size_as_mb field populated by the post-save UPDATE.
+	st := openTestStore(t, KindNoSQLDwarf)
+	cube := randomCube(t, 99, 5000)
+	id, err := st.Save(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := st.Schemas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.ID == id && info.SizeAsMB < 0 {
+			t.Errorf("size_as_mb = %d", info.SizeAsMB)
+		}
+	}
+}
+
+// TestPaperFigure3CQL checks the Fig. 3 cell→CQL transformation renders the
+// statement shape the paper prints, and that it executes.
+func TestPaperFigure3CQL(t *testing.T) {
+	stmt := CellInsertCQL(3, "Fenian St", dwarf.NewAggregate(3), 3, 0, true, 1, "Station")
+	for _, want := range []string{"INSERT INTO dwarf.dwarf_cell", "'Fenian St'", "null", "true"} {
+		if !strings.Contains(stmt, want) {
+			t.Errorf("CQL %q missing %q", stmt, want)
+		}
+	}
+	st := openTestStore(t, KindNoSQLDwarf).(*NoSQLDwarf)
+	sess := nosql.NewSession(st.DB())
+	if _, err := sess.Execute(stmt); err != nil {
+		t.Errorf("Fig. 3 CQL failed to execute: %v", err)
+	}
+}
+
+// TestMySQLDwarfJoinQuery exercises the Fig. 4 join path on the relational
+// engine: fetching a node's cells through NODE_CHILDREN.
+func TestMySQLDwarfJoinQuery(t *testing.T) {
+	st := openTestStore(t, KindMySQLDwarf).(*MySQLDwarf)
+	cube := paperCube(t)
+	id, err := st.Save(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootID := int64(id)*idStride + 1
+	rows, err := st.CellsOfNode(rootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root node: France + Ireland + the ALL cell.
+	if len(rows.Data) != 3 {
+		t.Fatalf("root cells via join = %d rows", len(rows.Data))
+	}
+	keys := map[string]bool{}
+	for _, r := range rows.Data {
+		keys[r[1].Text] = true
+	}
+	if !keys["France"] || !keys["Ireland"] || !keys["*"] {
+		t.Errorf("root cell keys = %v", keys)
+	}
+}
+
+// TestNoSQLMinIndexQuery exercises the Table 3 secondary index.
+func TestNoSQLMinIndexQuery(t *testing.T) {
+	st := openTestStore(t, KindNoSQLMin).(*NoSQLMin)
+	cube := paperCube(t)
+	id, err := st.Save(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootID := int64(id)*idStride + 1
+	rows, err := st.CellsUnderNode(rootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("cells under root via index = %d", len(rows))
+	}
+}
+
+// TestSchemaDDLShapes pins the published schema definitions: Table 1,
+// Table 3 and Fig. 4 column families/tables exist with their documented
+// columns after store creation.
+func TestSchemaDDLShapes(t *testing.T) {
+	t.Run("NoSQLDwarf-Table1", func(t *testing.T) {
+		st := openTestStore(t, KindNoSQLDwarf).(*NoSQLDwarf)
+		for _, table := range []string{"dwarf_schema", "dwarf_node", "dwarf_cell"} {
+			if !st.DB().HasTable("dwarf", table) {
+				t.Errorf("missing column family %s", table)
+			}
+		}
+		schema, err := st.DB().Schema("dwarf", "dwarf_node")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range []string{"id", "parent_ids", "children_ids", "root", "schema_id"} {
+			if _, err := schema.Column(col); err != nil {
+				t.Errorf("dwarf_node missing %s", col)
+			}
+		}
+	})
+	t.Run("NoSQLMin-Table3", func(t *testing.T) {
+		st := openTestStore(t, KindNoSQLMin).(*NoSQLMin)
+		if !st.DB().HasIndex("dwarfmin", "dwarf_cell", "parent_node_id") ||
+			!st.DB().HasIndex("dwarfmin", "dwarf_cell", "child_node_id") {
+			t.Error("NoSQL-Min must carry its two secondary indexes")
+		}
+	})
+	t.Run("MySQLDwarf-Fig4", func(t *testing.T) {
+		st := openTestStore(t, KindMySQLDwarf).(*MySQLDwarf)
+		tables := st.DB().Tables()
+		want := []string{"cell_children", "dwarf_cell", "dwarf_node", "dwarf_schema", "node_children"}
+		if len(tables) != len(want) {
+			t.Fatalf("tables = %v", tables)
+		}
+		for i := range want {
+			if tables[i] != want[i] {
+				t.Errorf("tables = %v, want %v", tables, want)
+			}
+		}
+	})
+	t.Run("MySQLMin", func(t *testing.T) {
+		st := openTestStore(t, KindMySQLMin).(*MySQLMin)
+		def, err := st.DB().TableDef("dwarf_cell")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(def.Indexes) != 0 {
+			t.Errorf("MySQL-Min should have no secondary indexes: %v", def.Indexes)
+		}
+	})
+}
+
+func TestOpenStoreUnknownKind(t *testing.T) {
+	if _, err := OpenStore(Kind("bogus"), t.TempDir(), Options{}, EngineOptions{}); err == nil {
+		t.Error("unknown kind opened")
+	}
+}
+
+// TestStorePersistenceAcrossReopen saves, closes, reopens, loads.
+func TestStorePersistenceAcrossReopen(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := OpenStore(kind, dir, Options{}, EngineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cube := paperCube(t)
+			id, err := st.Save(cube)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := OpenStore(kind, dir, Options{}, EngineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			loaded, err := st2.Load(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalCubes(t, cube, loaded, string(kind)+"/reopen")
+		})
+	}
+}

@@ -1,0 +1,347 @@
+package mapper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dwarf"
+	"repro/internal/sqlengine"
+)
+
+// MySQLDwarfDDL is the Fig. 4 relational schema. A node's cell memberships
+// and a cell's node pointer are rows in the NODE_CHILDREN / CELL_CHILDREN
+// join tables because "this multi-inheritance like structure is hard to
+// represent accurately in a traditional RDBMS"; the FK indexes are what a
+// real MySQL would create to make the load-side joins feasible.
+var MySQLDwarfDDL = []string{
+	`CREATE TABLE IF NOT EXISTS dwarf_schema (
+		id INT PRIMARY KEY, node_count INT, cell_count INT, size_as_mb INT,
+		entry_node_id INT, is_cube BOOLEAN, dimensions TEXT, source_tuples INT)`,
+	`CREATE TABLE IF NOT EXISTS dwarf_node (
+		id INT PRIMARY KEY, root BOOLEAN, schema_id INT)`,
+	`CREATE TABLE IF NOT EXISTS dwarf_cell (
+		id INT PRIMARY KEY, cell_key TEXT, measure DOUBLE, measure_count INT,
+		measure_min DOUBLE, measure_max DOUBLE, leaf BOOLEAN, schema_id INT,
+		dimension_table_name TEXT)`,
+	`CREATE TABLE IF NOT EXISTS node_children (
+		id INT PRIMARY KEY, node_id INT, cell_id INT)`,
+	`CREATE TABLE IF NOT EXISTS cell_children (
+		id INT PRIMARY KEY, cell_id INT, node_id INT)`,
+	`CREATE INDEX IF NOT EXISTS nc_node ON node_children (node_id)`,
+	`CREATE INDEX IF NOT EXISTS cc_cell ON cell_children (cell_id)`,
+}
+
+// MySQLDwarf is the fully relational DWARF schema (Fig. 4).
+type MySQLDwarf struct {
+	db   *sqlengine.DB
+	opts Options
+}
+
+// NewMySQLDwarf opens (or creates) a MySQL-DWARF store under dir.
+func NewMySQLDwarf(dir string, opts Options, engine sqlengine.Options) (*MySQLDwarf, error) {
+	db, err := sqlengine.Open(dir, engine)
+	if err != nil {
+		return nil, err
+	}
+	for _, ddl := range MySQLDwarfDDL {
+		if _, err := db.Exec(ddl); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return &MySQLDwarf{db: db, opts: opts.withDefaults()}, nil
+}
+
+// Name implements Store.
+func (s *MySQLDwarf) Name() string { return "MySQL-DWARF" }
+
+// DB exposes the underlying engine.
+func (s *MySQLDwarf) DB() *sqlengine.DB { return s.db }
+
+// Close implements Store.
+func (s *MySQLDwarf) Close() error { return s.db.Close() }
+
+func (s *MySQLDwarf) nextSchemaID() (SchemaID, error) {
+	rows, err := s.db.Query("SELECT max(id) FROM dwarf_schema")
+	if err != nil {
+		return 0, err
+	}
+	if rows.Data[0][0].IsNull() {
+		return 1, nil
+	}
+	return SchemaID(rows.Data[0][0].Int + 1), nil
+}
+
+// bulkInserter accumulates rows and emits multi-row INSERT statements — the
+// MySQL bulk-load path of the evaluation.
+type bulkInserter struct {
+	db    *sqlengine.DB
+	table string
+	cols  []string
+	max   int
+	args  []any
+	rows  int
+}
+
+func (b *bulkInserter) add(vals ...any) error {
+	b.args = append(b.args, vals...)
+	b.rows++
+	if b.rows >= b.max {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *bulkInserter) flush() error {
+	if b.rows == 0 {
+		return nil
+	}
+	one := "(" + strings.TrimSuffix(strings.Repeat("?, ", len(b.cols)), ", ") + ")"
+	stmt := fmt.Sprintf("INSERT INTO %s (%s) VALUES %s",
+		b.table, strings.Join(b.cols, ", "),
+		strings.TrimSuffix(strings.Repeat(one+", ", b.rows), ", "))
+	_, err := b.db.Exec(stmt, b.args...)
+	b.args = b.args[:0]
+	b.rows = 0
+	return err
+}
+
+// Save implements Store: BFS emission; one row per node and cell, one join
+// row per node→cell membership and per cell→node pointer.
+func (s *MySQLDwarf) Save(c *dwarf.Cube) (SchemaID, error) {
+	sid, err := s.nextSchemaID()
+	if err != nil {
+		return 0, err
+	}
+	base := int64(sid) * idStride
+	e := enumerate(c)
+	dims := c.Dims()
+
+	if _, err := s.db.Exec("BEGIN"); err != nil {
+		return 0, err
+	}
+	if _, err := s.db.Exec(`INSERT INTO dwarf_schema (id, node_count, cell_count,
+		size_as_mb, entry_node_id, is_cube, dimensions, source_tuples)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+		int64(sid), len(e.nodes), e.cellCount, 0, base+1, c.FromQuery,
+		encodeDims(dims), c.NumSourceTuples()); err != nil {
+		return 0, err
+	}
+
+	nodeIns := &bulkInserter{db: s.db, table: "dwarf_node",
+		cols: []string{"id", "root", "schema_id"}, max: s.opts.BatchSize}
+	cellIns := &bulkInserter{db: s.db, table: "dwarf_cell",
+		cols: []string{"id", "cell_key", "measure", "measure_count", "measure_min",
+			"measure_max", "leaf", "schema_id", "dimension_table_name"},
+		max: s.opts.BatchSize}
+	ncIns := &bulkInserter{db: s.db, table: "node_children",
+		cols: []string{"id", "node_id", "cell_id"}, max: s.opts.BatchSize}
+	ccIns := &bulkInserter{db: s.db, table: "cell_children",
+		cols: []string{"id", "cell_id", "node_id"}, max: s.opts.BatchSize}
+
+	var ncSeq, ccSeq int64
+	for i, n := range e.nodes {
+		nodeID := base + e.nodeIDs[n]
+		ids := e.cellIDs[i]
+		if err := nodeIns.add(nodeID, i == 0, int64(sid)); err != nil {
+			return 0, err
+		}
+		dimName := ""
+		if n.Level < len(dims) {
+			dimName = dims[n.Level]
+		}
+		emit := func(cellID int64, key string, agg dwarf.Aggregate, pointer int64) error {
+			var m, mn, mx any
+			var mc any
+			if n.Leaf {
+				m, mc, mn, mx = agg.Sum, agg.Count, agg.Min, agg.Max
+			}
+			if err := cellIns.add(cellID, key, m, mc, mn, mx, n.Leaf, int64(sid), dimName); err != nil {
+				return err
+			}
+			ncSeq++
+			if err := ncIns.add(base+ncSeq, nodeID, cellID); err != nil {
+				return err
+			}
+			if pointer != 0 {
+				ccSeq++
+				if err := ccIns.add(base+ccSeq, cellID, pointer); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for j := range n.Cells {
+			cell := &n.Cells[j]
+			var pointer int64
+			if cell.Child != nil {
+				pointer = base + e.nodeID(cell.Child)
+			}
+			if err := emit(base+ids[j], cell.Key, cell.Agg, pointer); err != nil {
+				return 0, err
+			}
+		}
+		var allPointer int64
+		if n.AllChild != nil {
+			allPointer = base + e.nodeID(n.AllChild)
+		}
+		if err := emit(base+ids[len(ids)-1], allKey, n.AllAgg, allPointer); err != nil {
+			return 0, err
+		}
+	}
+	for _, ins := range []*bulkInserter{nodeIns, cellIns, ncIns, ccIns} {
+		if err := ins.flush(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.db.Exec("COMMIT"); err != nil {
+		return 0, err
+	}
+
+	if err := s.db.Checkpoint(); err != nil {
+		return 0, err
+	}
+	size, err := s.db.TotalDiskSize()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.db.Exec("UPDATE dwarf_schema SET size_as_mb = ? WHERE id = ?",
+		bytesToMB(size), int64(sid)); err != nil {
+		return 0, err
+	}
+	return sid, nil
+}
+
+// Load implements Store: filter each table to the schema's id range and
+// join node_children / cell_children back onto nodes and cells.
+func (s *MySQLDwarf) Load(id SchemaID) (*dwarf.Cube, error) {
+	info, err := s.schemaInfo(id)
+	if err != nil {
+		return nil, err
+	}
+	var nodeIDs []int64
+	rootID := info.EntryNodeID
+	rows, err := s.db.Query("SELECT id, root FROM dwarf_node WHERE schema_id = ?", int64(id))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Data {
+		nodeIDs = append(nodeIDs, r[0].Int)
+		if r[1].Bool {
+			rootID = r[0].Int
+		}
+	}
+
+	type cellRec struct {
+		key  string
+		agg  dwarf.Aggregate
+		leaf bool
+	}
+	cellsByID := map[int64]cellRec{}
+	rows, err = s.db.Query(`SELECT id, cell_key, measure, measure_count, measure_min,
+		measure_max, leaf FROM dwarf_cell WHERE schema_id = ?`, int64(id))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Data {
+		cellsByID[r[0].Int] = cellRec{
+			key:  r[1].Text,
+			agg:  dwarf.Aggregate{Sum: r[2].Float, Count: r[3].Int, Min: r[4].Float, Max: r[5].Float},
+			leaf: r[6].Bool,
+		}
+	}
+
+	lo, hi := int64(id)*idStride, (int64(id)+1)*idStride
+	parentOf := map[int64]int64{} // cell id → node id
+	rows, err = s.db.Query("SELECT node_id, cell_id FROM node_children WHERE id >= ? AND id < ?", lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Data {
+		parentOf[r[1].Int] = r[0].Int
+	}
+	pointerOf := map[int64]int64{} // cell id → node id
+	rows, err = s.db.Query("SELECT cell_id, node_id FROM cell_children WHERE id >= ? AND id < ?", lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Data {
+		pointerOf[r[0].Int] = r[1].Int
+	}
+
+	cells := make([]cellRow, 0, len(cellsByID))
+	for cid, rec := range cellsByID {
+		parent, ok := parentOf[cid]
+		if !ok {
+			return nil, fmt.Errorf("%w: cell %d has no NODE_CHILDREN row", ErrCorruptStore, cid)
+		}
+		cells = append(cells, cellRow{
+			id:          cid,
+			key:         rec.key,
+			agg:         rec.agg,
+			parentNode:  parent,
+			pointerNode: pointerOf[cid],
+			leaf:        rec.leaf,
+			isAll:       rec.key == allKey,
+		})
+	}
+	return rebuildFromCells(nodeIDs, rootID, cells, info.Dimensions, info.SourceRows, info.IsCube)
+}
+
+// CellsOfNode exercises the executor's join path on the Fig. 4 schema: the
+// key cells contained in one node, via NODE_CHILDREN ⋈ DWARF_CELL.
+func (s *MySQLDwarf) CellsOfNode(nodeID int64) (*sqlengine.Rows, error) {
+	return s.db.Query(`SELECT c.id, c.cell_key, c.measure FROM node_children nc
+		JOIN dwarf_cell c ON nc.cell_id = c.id WHERE nc.node_id = ?`, nodeID)
+}
+
+func (s *MySQLDwarf) schemaInfo(id SchemaID) (SchemaInfo, error) {
+	rows, err := s.db.Query("SELECT node_count, cell_count, size_as_mb, entry_node_id, "+
+		"is_cube, dimensions, source_tuples FROM dwarf_schema WHERE id = ?", int64(id))
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	if len(rows.Data) == 0 {
+		return SchemaInfo{}, fmt.Errorf("%w: %d", ErrNoSuchSchema, id)
+	}
+	r := rows.Data[0]
+	dims, err := decodeDims(r[5].Text)
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	return SchemaInfo{
+		ID:          id,
+		NodeCount:   int(r[0].Int),
+		CellCount:   int(r[1].Int),
+		SizeAsMB:    r[2].Int,
+		EntryNodeID: r[3].Int,
+		IsCube:      r[4].Bool,
+		Dimensions:  dims,
+		SourceRows:  int(r[6].Int),
+	}, nil
+}
+
+// Schemas implements Store.
+func (s *MySQLDwarf) Schemas() ([]SchemaInfo, error) {
+	rows, err := s.db.Query("SELECT id FROM dwarf_schema")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SchemaInfo, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		info, err := s.schemaInfo(SchemaID(r[0].Int))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// StoredBytes implements Store.
+func (s *MySQLDwarf) StoredBytes() (int64, error) {
+	if err := s.db.Checkpoint(); err != nil {
+		return 0, err
+	}
+	return s.db.TotalDiskSize()
+}

@@ -1,0 +1,233 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/dwarf"
+	"repro/internal/sqlengine"
+)
+
+// MySQLMinDDL is the NoSQL-Min layout ported to the relational engine: one
+// cube table plus one cell table, no join tables, no secondary indexes —
+// the paper's "schema without joins".
+var MySQLMinDDL = []string{
+	`CREATE TABLE IF NOT EXISTS dwarf_cube (
+		id INT PRIMARY KEY, node_count INT, cell_count INT, size_as_mb INT,
+		is_cube BOOLEAN, dimensions TEXT, source_tuples INT)`,
+	`CREATE TABLE IF NOT EXISTS dwarf_cell (
+		id INT PRIMARY KEY, item DOUBLE, item_count INT, item_min DOUBLE,
+		item_max DOUBLE, name TEXT, leaf BOOLEAN, root BOOLEAN, cubeid INT,
+		parent_node_id INT, child_node_id INT)`,
+}
+
+// MySQLMin is the single-table relational schema.
+type MySQLMin struct {
+	db   *sqlengine.DB
+	opts Options
+}
+
+// NewMySQLMin opens (or creates) a MySQL-Min store under dir.
+func NewMySQLMin(dir string, opts Options, engine sqlengine.Options) (*MySQLMin, error) {
+	db, err := sqlengine.Open(dir, engine)
+	if err != nil {
+		return nil, err
+	}
+	for _, ddl := range MySQLMinDDL {
+		if _, err := db.Exec(ddl); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return &MySQLMin{db: db, opts: opts.withDefaults()}, nil
+}
+
+// Name implements Store.
+func (s *MySQLMin) Name() string { return "MySQL-Min" }
+
+// DB exposes the underlying engine.
+func (s *MySQLMin) DB() *sqlengine.DB { return s.db }
+
+// Close implements Store.
+func (s *MySQLMin) Close() error { return s.db.Close() }
+
+func (s *MySQLMin) nextSchemaID() (SchemaID, error) {
+	rows, err := s.db.Query("SELECT max(id) FROM dwarf_cube")
+	if err != nil {
+		return 0, err
+	}
+	if rows.Data[0][0].IsNull() {
+		return 1, nil
+	}
+	return SchemaID(rows.Data[0][0].Int + 1), nil
+}
+
+// Save implements Store: cell rows only, multi-row INSERTs in one
+// transaction.
+func (s *MySQLMin) Save(c *dwarf.Cube) (SchemaID, error) {
+	sid, err := s.nextSchemaID()
+	if err != nil {
+		return 0, err
+	}
+	base := int64(sid) * idStride
+	e := enumerate(c)
+
+	if _, err := s.db.Exec("BEGIN"); err != nil {
+		return 0, err
+	}
+	if _, err := s.db.Exec(`INSERT INTO dwarf_cube (id, node_count, cell_count,
+		size_as_mb, is_cube, dimensions, source_tuples) VALUES (?, ?, ?, ?, ?, ?, ?)`,
+		int64(sid), len(e.nodes), e.cellCount, 0, c.FromQuery,
+		encodeDims(c.Dims()), c.NumSourceTuples()); err != nil {
+		return 0, err
+	}
+	ins := &bulkInserter{db: s.db, table: "dwarf_cell",
+		cols: []string{"id", "item", "item_count", "item_min", "item_max", "name",
+			"leaf", "root", "cubeid", "parent_node_id", "child_node_id"},
+		max: s.opts.BatchSize}
+
+	for i, n := range e.nodes {
+		nodeID := base + e.nodeIDs[n]
+		ids := e.cellIDs[i]
+		isRoot := i == 0
+		emit := func(cellID int64, key string, agg dwarf.Aggregate, child int64) error {
+			var item, mn, mx, mc any
+			if n.Leaf {
+				item, mc, mn, mx = agg.Sum, agg.Count, agg.Min, agg.Max
+			}
+			var childVal any
+			if child != 0 {
+				childVal = child
+			}
+			return ins.add(cellID, item, mc, mn, mx, key, n.Leaf, isRoot,
+				int64(sid), nodeID, childVal)
+		}
+		for j := range n.Cells {
+			cell := &n.Cells[j]
+			var child int64
+			if cell.Child != nil {
+				child = base + e.nodeID(cell.Child)
+			}
+			if err := emit(base+ids[j], cell.Key, cell.Agg, child); err != nil {
+				return 0, err
+			}
+		}
+		var allChild int64
+		if n.AllChild != nil {
+			allChild = base + e.nodeID(n.AllChild)
+		}
+		if err := emit(base+ids[len(ids)-1], allKey, n.AllAgg, allChild); err != nil {
+			return 0, err
+		}
+	}
+	if err := ins.flush(); err != nil {
+		return 0, err
+	}
+	if _, err := s.db.Exec("COMMIT"); err != nil {
+		return 0, err
+	}
+
+	if err := s.db.Checkpoint(); err != nil {
+		return 0, err
+	}
+	size, err := s.db.TotalDiskSize()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.db.Exec("UPDATE dwarf_cube SET size_as_mb = ? WHERE id = ?",
+		bytesToMB(size), int64(sid)); err != nil {
+		return 0, err
+	}
+	return sid, nil
+}
+
+// Load implements Store: one filtered scan of the cell table, nodes derived
+// from parent ids (as the paper anticipates, "DWARF Node reconstruction is
+// required").
+func (s *MySQLMin) Load(id SchemaID) (*dwarf.Cube, error) {
+	info, err := s.cubeInfo(id)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.db.Query(`SELECT id, item, item_count, item_min, item_max, name,
+		leaf, root, parent_node_id, child_node_id FROM dwarf_cell WHERE cubeid = ?`, int64(id))
+	if err != nil {
+		return nil, err
+	}
+	var cells []cellRow
+	nodeSet := map[int64]bool{}
+	var rootID int64
+	for _, r := range rows.Data {
+		parent := r[8].Int
+		nodeSet[parent] = true
+		if r[7].Bool {
+			rootID = parent
+		}
+		cells = append(cells, cellRow{
+			id:          r[0].Int,
+			key:         r[5].Text,
+			agg:         dwarf.Aggregate{Sum: r[1].Float, Count: r[2].Int, Min: r[3].Float, Max: r[4].Float},
+			parentNode:  parent,
+			pointerNode: r[9].Int,
+			leaf:        r[6].Bool,
+			isAll:       r[5].Text == allKey,
+		})
+	}
+	if rootID == 0 {
+		return nil, fmt.Errorf("%w: cube %d has no root cells", ErrCorruptStore, id)
+	}
+	nodeIDs := make([]int64, 0, len(nodeSet))
+	for nid := range nodeSet {
+		nodeIDs = append(nodeIDs, nid)
+	}
+	return rebuildFromCells(nodeIDs, rootID, cells, info.Dimensions, info.SourceRows, info.IsCube)
+}
+
+func (s *MySQLMin) cubeInfo(id SchemaID) (SchemaInfo, error) {
+	rows, err := s.db.Query("SELECT node_count, cell_count, size_as_mb, is_cube, "+
+		"dimensions, source_tuples FROM dwarf_cube WHERE id = ?", int64(id))
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	if len(rows.Data) == 0 {
+		return SchemaInfo{}, fmt.Errorf("%w: %d", ErrNoSuchSchema, id)
+	}
+	r := rows.Data[0]
+	dims, err := decodeDims(r[4].Text)
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	return SchemaInfo{
+		ID:         id,
+		NodeCount:  int(r[0].Int),
+		CellCount:  int(r[1].Int),
+		SizeAsMB:   r[2].Int,
+		IsCube:     r[3].Bool,
+		Dimensions: dims,
+		SourceRows: int(r[5].Int),
+	}, nil
+}
+
+// Schemas implements Store.
+func (s *MySQLMin) Schemas() ([]SchemaInfo, error) {
+	rows, err := s.db.Query("SELECT id FROM dwarf_cube")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SchemaInfo, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		info, err := s.cubeInfo(SchemaID(r[0].Int))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// StoredBytes implements Store.
+func (s *MySQLMin) StoredBytes() (int64, error) {
+	if err := s.db.Checkpoint(); err != nil {
+		return 0, err
+	}
+	return s.db.TotalDiskSize()
+}

@@ -1,0 +1,332 @@
+package mapper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dwarf"
+	"repro/internal/nosql"
+)
+
+// idStride separates the id spaces of schemas sharing one store: global id =
+// schema id * idStride + local id.
+const idStride = int64(1) << 40
+
+// NoSQLDwarfDDL is the Table 1 schema (with the documented aggregate and
+// dimension extras) as executable CQL.
+var NoSQLDwarfDDL = []string{
+	`CREATE KEYSPACE IF NOT EXISTS dwarf`,
+	`CREATE TABLE IF NOT EXISTS dwarf.dwarf_schema (
+		id int PRIMARY KEY,
+		node_count int,
+		cell_count int,
+		size_as_mb int,
+		entry_node_id int,
+		is_cube boolean,
+		dimensions text,
+		source_tuples int)`,
+	`CREATE TABLE IF NOT EXISTS dwarf.dwarf_node (
+		id int PRIMARY KEY,
+		parent_ids set<int>,
+		children_ids set<int>,
+		root boolean,
+		schema_id int)`,
+	`CREATE TABLE IF NOT EXISTS dwarf.dwarf_cell (
+		id int PRIMARY KEY,
+		key text,
+		measure double,
+		measure_count int,
+		measure_min double,
+		measure_max double,
+		parent_node int,
+		pointer_node int,
+		leaf boolean,
+		schema_id int,
+		dimension_table_name text)`,
+}
+
+// NoSQLDwarf is the paper's primary schema model: the full DWARF structure
+// in three column families with primary indexes only (Table 1).
+type NoSQLDwarf struct {
+	db   *nosql.DB
+	opts Options
+}
+
+// NewNoSQLDwarf opens (or creates) a NoSQL-DWARF store under dir.
+func NewNoSQLDwarf(dir string, opts Options, engine nosql.Options) (*NoSQLDwarf, error) {
+	db, err := nosql.Open(dir, engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &NoSQLDwarf{db: db, opts: opts.withDefaults()}
+	sess := nosql.NewSession(db)
+	for _, ddl := range NoSQLDwarfDDL {
+		if _, err := sess.Execute(ddl); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name implements Store.
+func (s *NoSQLDwarf) Name() string { return "NoSQL-DWARF" }
+
+// DB exposes the underlying engine (examples, tests).
+func (s *NoSQLDwarf) DB() *nosql.DB { return s.db }
+
+// Close implements Store.
+func (s *NoSQLDwarf) Close() error { return s.db.Close() }
+
+// nextSchemaID scans the schema table for the next free id — the paper's
+// "querying the DWARF_Schema column family to determine the next id".
+func (s *NoSQLDwarf) nextSchemaID() (SchemaID, error) {
+	var maxID int64
+	err := s.db.Scan("dwarf", "dwarf_schema", func(r nosql.Row) bool {
+		if id := r.Get("id").Int; id > maxID {
+			maxID = id
+		}
+		return true
+	})
+	return SchemaID(maxID + 1), err
+}
+
+// CellInsertCQL renders the CQL INSERT for one cell row — the Fig. 3
+// transformation. The bulk path batches the same values through the engine
+// API instead of parsing one statement per cell.
+func CellInsertCQL(id int64, key string, agg dwarf.Aggregate, parentNode, pointerNode int64,
+	leaf bool, schemaID SchemaID, dimName string) string {
+
+	pointer := "null"
+	if pointerNode != 0 {
+		pointer = fmt.Sprint(pointerNode)
+	}
+	return fmt.Sprintf("INSERT INTO dwarf.dwarf_cell (id, key, measure, measure_count, "+
+		"measure_min, measure_max, parent_node, pointer_node, leaf, schema_id, "+
+		"dimension_table_name) VALUES (%d, '%s', %g, %d, %g, %g, %d, %s, %t, %d, '%s');",
+		id, strings.ReplaceAll(key, "'", "''"), agg.Sum, agg.Count, agg.Min, agg.Max,
+		parentNode, pointer, leaf, int64(schemaID), strings.ReplaceAll(dimName, "'", "''"))
+}
+
+// Save implements Store: BFS emission with the §4 visited table, batched
+// inserts, then the size_as_mb update.
+func (s *NoSQLDwarf) Save(c *dwarf.Cube) (SchemaID, error) {
+	sid, err := s.nextSchemaID()
+	if err != nil {
+		return 0, err
+	}
+	base := int64(sid) * idStride
+	e := enumerate(c)
+	dims := c.Dims()
+
+	sess := nosql.NewSession(s.db)
+	_, err = sess.Execute(`INSERT INTO dwarf.dwarf_schema (id, node_count, cell_count,
+		size_as_mb, entry_node_id, is_cube, dimensions, source_tuples)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+		int64(sid), int64(len(e.nodes)), int64(e.cellCount), int64(0),
+		base+1, c.FromQuery, encodeDims(dims), c.NumSourceTuples())
+	if err != nil {
+		return 0, err
+	}
+
+	batch := nosql.NewBatch()
+	flush := func(force bool) error {
+		if batch.Len() == 0 || (!force && batch.Len() < s.opts.BatchSize) {
+			return nil
+		}
+		if err := s.db.ApplyBatch(batch); err != nil {
+			return err
+		}
+		batch.Reset()
+		return nil
+	}
+
+	for i, n := range e.nodes {
+		nodeID := base + e.nodeIDs[n]
+		ids := e.cellIDs[i]
+		children := make([]int64, len(ids))
+		for j, cid := range ids {
+			children[j] = base + cid
+		}
+		parents := make([]int64, 0, len(e.parentCells[e.nodeIDs[n]]))
+		for _, pid := range e.parentCells[e.nodeIDs[n]] {
+			parents = append(parents, base+pid)
+		}
+		batch.Insert("dwarf", "dwarf_node", nosql.Row{
+			"id":           nosql.Int(nodeID),
+			"parent_ids":   nosql.IntSet(parents...),
+			"children_ids": nosql.IntSet(children...),
+			"root":         nosql.Bool(i == 0),
+			"schema_id":    nosql.Int(int64(sid)),
+		})
+		if err := flush(false); err != nil {
+			return 0, err
+		}
+		dimName := ""
+		if n.Level < len(dims) {
+			dimName = dims[n.Level]
+		}
+		emitCell := func(cellID int64, key string, agg dwarf.Aggregate, pointer int64) {
+			row := nosql.Row{
+				"id":                   nosql.Int(cellID),
+				"key":                  nosql.Text(key),
+				"parent_node":          nosql.Int(nodeID),
+				"leaf":                 nosql.Bool(n.Leaf),
+				"schema_id":            nosql.Int(int64(sid)),
+				"dimension_table_name": nosql.Text(dimName),
+			}
+			if n.Leaf {
+				row["measure"] = nosql.Float(agg.Sum)
+				row["measure_count"] = nosql.Int(agg.Count)
+				row["measure_min"] = nosql.Float(agg.Min)
+				row["measure_max"] = nosql.Float(agg.Max)
+			} else if pointer != 0 {
+				row["pointer_node"] = nosql.Int(pointer)
+			}
+			batch.Insert("dwarf", "dwarf_cell", row)
+		}
+		for j := range n.Cells {
+			cell := &n.Cells[j]
+			var pointer int64
+			if cell.Child != nil {
+				pointer = base + e.nodeID(cell.Child)
+			}
+			emitCell(base+ids[j], cell.Key, cell.Agg, pointer)
+			if err := flush(false); err != nil {
+				return 0, err
+			}
+		}
+		var allPointer int64
+		if n.AllChild != nil {
+			allPointer = base + e.nodeID(n.AllChild)
+		}
+		emitCell(base+ids[len(ids)-1], allKey, n.AllAgg, allPointer)
+		if err := flush(false); err != nil {
+			return 0, err
+		}
+	}
+	if err := flush(true); err != nil {
+		return 0, err
+	}
+
+	// Persist everything, then record the measured size (paper §4).
+	if err := s.db.FlushAll(); err != nil {
+		return 0, err
+	}
+	size, err := s.db.KeyspaceDiskSize("dwarf")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sess.Execute("UPDATE dwarf.dwarf_schema SET size_as_mb = ? WHERE id = ?",
+		bytesToMB(size), int64(sid)); err != nil {
+		return 0, err
+	}
+	return sid, nil
+}
+
+// Load implements Store: read the schema row, scan nodes and cells of this
+// schema, join on ids and rebuild the cube.
+func (s *NoSQLDwarf) Load(id SchemaID) (*dwarf.Cube, error) {
+	info, row, err := s.schemaRow(id)
+	if err != nil {
+		return nil, err
+	}
+	_ = row
+	// Ids of this schema live in [id*stride, (id+1)*stride): a key-range
+	// scan touches only this schema's rows.
+	lo, hi := nosql.Int(int64(id)*idStride), nosql.Int((int64(id)+1)*idStride)
+	var nodeIDs []int64
+	rootID := info.EntryNodeID
+	err = s.db.ScanRange("dwarf", "dwarf_node", lo, hi, func(r nosql.Row) bool {
+		nodeIDs = append(nodeIDs, r.Get("id").Int)
+		if r.Get("root").Bool {
+			rootID = r.Get("id").Int
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cells []cellRow
+	err = s.db.ScanRange("dwarf", "dwarf_cell", lo, hi, func(r nosql.Row) bool {
+		cells = append(cells, cellRow{
+			id:  r.Get("id").Int,
+			key: r.Get("key").Text,
+			agg: dwarf.Aggregate{
+				Sum:   r.Get("measure").Float,
+				Count: r.Get("measure_count").Int,
+				Min:   r.Get("measure_min").Float,
+				Max:   r.Get("measure_max").Float,
+			},
+			parentNode:  r.Get("parent_node").Int,
+			pointerNode: r.Get("pointer_node").Int,
+			leaf:        r.Get("leaf").Bool,
+			isAll:       r.Get("key").Text == allKey,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rebuildFromCells(nodeIDs, rootID, cells, info.Dimensions, info.SourceRows, info.IsCube)
+}
+
+func (s *NoSQLDwarf) schemaRow(id SchemaID) (SchemaInfo, nosql.Row, error) {
+	row, ok, err := s.db.Get("dwarf", "dwarf_schema", nosql.Int(int64(id)))
+	if err != nil {
+		return SchemaInfo{}, nil, err
+	}
+	if !ok {
+		return SchemaInfo{}, nil, fmt.Errorf("%w: %d", ErrNoSuchSchema, id)
+	}
+	dims, err := decodeDims(row.Get("dimensions").Text)
+	if err != nil {
+		return SchemaInfo{}, nil, err
+	}
+	return SchemaInfo{
+		ID:          id,
+		NodeCount:   int(row.Get("node_count").Int),
+		CellCount:   int(row.Get("cell_count").Int),
+		SizeAsMB:    row.Get("size_as_mb").Int,
+		EntryNodeID: row.Get("entry_node_id").Int,
+		IsCube:      row.Get("is_cube").Bool,
+		Dimensions:  dims,
+		SourceRows:  int(row.Get("source_tuples").Int),
+	}, row, nil
+}
+
+// Schemas implements Store.
+func (s *NoSQLDwarf) Schemas() ([]SchemaInfo, error) {
+	var out []SchemaInfo
+	var derr error
+	err := s.db.Scan("dwarf", "dwarf_schema", func(r nosql.Row) bool {
+		dims, err := decodeDims(r.Get("dimensions").Text)
+		if err != nil {
+			derr = err
+			return false
+		}
+		out = append(out, SchemaInfo{
+			ID:          SchemaID(r.Get("id").Int),
+			NodeCount:   int(r.Get("node_count").Int),
+			CellCount:   int(r.Get("cell_count").Int),
+			SizeAsMB:    r.Get("size_as_mb").Int,
+			EntryNodeID: r.Get("entry_node_id").Int,
+			IsCube:      r.Get("is_cube").Bool,
+			Dimensions:  dims,
+			SourceRows:  int(r.Get("source_tuples").Int),
+		})
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return out, err
+}
+
+// StoredBytes implements Store.
+func (s *NoSQLDwarf) StoredBytes() (int64, error) {
+	if err := s.db.FlushAll(); err != nil {
+		return 0, err
+	}
+	return s.db.KeyspaceDiskSize("dwarf")
+}

@@ -1,0 +1,289 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/dwarf"
+	"repro/internal/nosql"
+)
+
+// NoSQLMinDDL is the Table 3 schema: no node table — cells carry their
+// parent and pointer node ids and nodes are rebuilt at load time. The two
+// secondary indexes replace the node table's structure and are exactly what
+// makes this schema the slowest writer in the paper's Table 5.
+var NoSQLMinDDL = []string{
+	`CREATE KEYSPACE IF NOT EXISTS dwarfmin`,
+	`CREATE TABLE IF NOT EXISTS dwarfmin.dwarf_cube (
+		id int PRIMARY KEY,
+		node_count int,
+		cell_count int,
+		size_as_mb int,
+		is_cube boolean,
+		dimensions text,
+		source_tuples int)`,
+	`CREATE TABLE IF NOT EXISTS dwarfmin.dwarf_cell (
+		id int PRIMARY KEY,
+		item double,
+		item_count int,
+		item_min double,
+		item_max double,
+		name text,
+		leaf boolean,
+		root boolean,
+		cubeid int,
+		parent_node_id int,
+		child_node_id int)`,
+	`CREATE INDEX IF NOT EXISTS ON dwarfmin.dwarf_cell (parent_node_id)`,
+	`CREATE INDEX IF NOT EXISTS ON dwarfmin.dwarf_cell (child_node_id)`,
+}
+
+// NoSQLMin is the paper's minimal NoSQL schema (Table 3).
+type NoSQLMin struct {
+	db   *nosql.DB
+	opts Options
+}
+
+// NewNoSQLMin opens (or creates) a NoSQL-Min store under dir.
+func NewNoSQLMin(dir string, opts Options, engine nosql.Options) (*NoSQLMin, error) {
+	db, err := nosql.Open(dir, engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &NoSQLMin{db: db, opts: opts.withDefaults()}
+	sess := nosql.NewSession(db)
+	for _, ddl := range NoSQLMinDDL {
+		if _, err := sess.Execute(ddl); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name implements Store.
+func (s *NoSQLMin) Name() string { return "NoSQL-Min" }
+
+// DB exposes the underlying engine.
+func (s *NoSQLMin) DB() *nosql.DB { return s.db }
+
+// Close implements Store.
+func (s *NoSQLMin) Close() error { return s.db.Close() }
+
+func (s *NoSQLMin) nextSchemaID() (SchemaID, error) {
+	var maxID int64
+	err := s.db.Scan("dwarfmin", "dwarf_cube", func(r nosql.Row) bool {
+		if id := r.Get("id").Int; id > maxID {
+			maxID = id
+		}
+		return true
+	})
+	return SchemaID(maxID + 1), err
+}
+
+// Save implements Store. Only cell rows are written; every insert maintains
+// the two secondary indexes (with the engine's read-before-write), which is
+// the schema's characteristic cost.
+func (s *NoSQLMin) Save(c *dwarf.Cube) (SchemaID, error) {
+	sid, err := s.nextSchemaID()
+	if err != nil {
+		return 0, err
+	}
+	base := int64(sid) * idStride
+	e := enumerate(c)
+
+	if err := s.db.Insert("dwarfmin", "dwarf_cube", nosql.Row{
+		"id":            nosql.Int(int64(sid)),
+		"node_count":    nosql.Int(int64(len(e.nodes))),
+		"cell_count":    nosql.Int(int64(e.cellCount)),
+		"size_as_mb":    nosql.Int(0),
+		"is_cube":       nosql.Bool(c.FromQuery),
+		"dimensions":    nosql.Text(encodeDims(c.Dims())),
+		"source_tuples": nosql.Int(int64(c.NumSourceTuples())),
+	}); err != nil {
+		return 0, err
+	}
+
+	batch := nosql.NewBatch()
+	flush := func(force bool) error {
+		if batch.Len() == 0 || (!force && batch.Len() < s.opts.BatchSize) {
+			return nil
+		}
+		if err := s.db.ApplyBatch(batch); err != nil {
+			return err
+		}
+		batch.Reset()
+		return nil
+	}
+
+	for i, n := range e.nodes {
+		nodeID := base + e.nodeIDs[n]
+		ids := e.cellIDs[i]
+		isRoot := i == 0
+		emit := func(cellID int64, key string, agg dwarf.Aggregate, child int64) {
+			row := nosql.Row{
+				"id":             nosql.Int(cellID),
+				"name":           nosql.Text(key),
+				"leaf":           nosql.Bool(n.Leaf),
+				"root":           nosql.Bool(isRoot),
+				"cubeid":         nosql.Int(int64(sid)),
+				"parent_node_id": nosql.Int(nodeID),
+			}
+			if n.Leaf {
+				row["item"] = nosql.Float(agg.Sum)
+				row["item_count"] = nosql.Int(agg.Count)
+				row["item_min"] = nosql.Float(agg.Min)
+				row["item_max"] = nosql.Float(agg.Max)
+			} else if child != 0 {
+				row["child_node_id"] = nosql.Int(child)
+			}
+			batch.Insert("dwarfmin", "dwarf_cell", row)
+		}
+		for j := range n.Cells {
+			cell := &n.Cells[j]
+			var child int64
+			if cell.Child != nil {
+				child = base + e.nodeID(cell.Child)
+			}
+			emit(base+ids[j], cell.Key, cell.Agg, child)
+			if err := flush(false); err != nil {
+				return 0, err
+			}
+		}
+		var allChild int64
+		if n.AllChild != nil {
+			allChild = base + e.nodeID(n.AllChild)
+		}
+		emit(base+ids[len(ids)-1], allKey, n.AllAgg, allChild)
+		if err := flush(false); err != nil {
+			return 0, err
+		}
+	}
+	if err := flush(true); err != nil {
+		return 0, err
+	}
+
+	if err := s.db.FlushAll(); err != nil {
+		return 0, err
+	}
+	size, err := s.db.KeyspaceDiskSize("dwarfmin")
+	if err != nil {
+		return 0, err
+	}
+	sess := nosql.NewSession(s.db)
+	if _, err := sess.Execute("UPDATE dwarfmin.dwarf_cube SET size_as_mb = ? WHERE id = ?",
+		bytesToMB(size), int64(sid)); err != nil {
+		return 0, err
+	}
+	return sid, nil
+}
+
+// Load implements Store: scan this cube's cells, derive the node set from
+// the cells' parent ids (every node owns at least its ALL cell), and
+// rebuild — "these nodes can be rebuilt at a later stage".
+func (s *NoSQLMin) Load(id SchemaID) (*dwarf.Cube, error) {
+	info, err := s.cubeRow(id)
+	if err != nil {
+		return nil, err
+	}
+	var cells []cellRow
+	nodeSet := map[int64]bool{}
+	var rootID int64
+	lo, hi := nosql.Int(int64(id)*idStride), nosql.Int((int64(id)+1)*idStride)
+	err = s.db.ScanRange("dwarfmin", "dwarf_cell", lo, hi, func(r nosql.Row) bool {
+		parent := r.Get("parent_node_id").Int
+		nodeSet[parent] = true
+		if r.Get("root").Bool {
+			rootID = parent
+		}
+		cells = append(cells, cellRow{
+			id:  r.Get("id").Int,
+			key: r.Get("name").Text,
+			agg: dwarf.Aggregate{
+				Sum:   r.Get("item").Float,
+				Count: r.Get("item_count").Int,
+				Min:   r.Get("item_min").Float,
+				Max:   r.Get("item_max").Float,
+			},
+			parentNode:  parent,
+			pointerNode: r.Get("child_node_id").Int,
+			leaf:        r.Get("leaf").Bool,
+			isAll:       r.Get("name").Text == allKey,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rootID == 0 {
+		return nil, fmt.Errorf("%w: cube %d has no root cells", ErrCorruptStore, id)
+	}
+	nodeIDs := make([]int64, 0, len(nodeSet))
+	for nid := range nodeSet {
+		nodeIDs = append(nodeIDs, nid)
+	}
+	return rebuildFromCells(nodeIDs, rootID, cells, info.Dimensions, info.SourceRows, info.IsCube)
+}
+
+// CellsUnderNode exercises the parent_node_id secondary index: the rows of
+// one rebuilt node (used by tests and the query examples).
+func (s *NoSQLMin) CellsUnderNode(nodeID int64) ([]nosql.Row, error) {
+	return s.db.SelectByIndex("dwarfmin", "dwarf_cell", "parent_node_id", nosql.Int(nodeID))
+}
+
+func (s *NoSQLMin) cubeRow(id SchemaID) (SchemaInfo, error) {
+	row, ok, err := s.db.Get("dwarfmin", "dwarf_cube", nosql.Int(int64(id)))
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	if !ok {
+		return SchemaInfo{}, fmt.Errorf("%w: %d", ErrNoSuchSchema, id)
+	}
+	dims, err := decodeDims(row.Get("dimensions").Text)
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	return SchemaInfo{
+		ID:         id,
+		NodeCount:  int(row.Get("node_count").Int),
+		CellCount:  int(row.Get("cell_count").Int),
+		SizeAsMB:   row.Get("size_as_mb").Int,
+		IsCube:     row.Get("is_cube").Bool,
+		Dimensions: dims,
+		SourceRows: int(row.Get("source_tuples").Int),
+	}, nil
+}
+
+// Schemas implements Store.
+func (s *NoSQLMin) Schemas() ([]SchemaInfo, error) {
+	var out []SchemaInfo
+	var derr error
+	err := s.db.Scan("dwarfmin", "dwarf_cube", func(r nosql.Row) bool {
+		dims, err := decodeDims(r.Get("dimensions").Text)
+		if err != nil {
+			derr = err
+			return false
+		}
+		out = append(out, SchemaInfo{
+			ID:         SchemaID(r.Get("id").Int),
+			NodeCount:  int(r.Get("node_count").Int),
+			CellCount:  int(r.Get("cell_count").Int),
+			SizeAsMB:   r.Get("size_as_mb").Int,
+			IsCube:     r.Get("is_cube").Bool,
+			Dimensions: dims,
+			SourceRows: int(r.Get("source_tuples").Int),
+		})
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return out, err
+}
+
+// StoredBytes implements Store (secondary index files included).
+func (s *NoSQLMin) StoredBytes() (int64, error) {
+	if err := s.db.FlushAll(); err != nil {
+		return 0, err
+	}
+	return s.db.KeyspaceDiskSize("dwarfmin")
+}

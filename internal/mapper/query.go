@@ -1,0 +1,233 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/dwarf"
+	"repro/internal/nosql"
+)
+
+// On-store query primitives — the paper's §7 direction ("efficient query
+// primitives for our DWARF cubes"): answer a point/ALL query by walking the
+// stored rows directly, one dimension level at a time, without rebuilding
+// the cube. Each schema model pays its own access cost:
+//
+//   - NoSQL-DWARF: node rows carry children_ids, so a level is resolved
+//     with point reads by primary key.
+//   - NoSQL-Min: there are no node rows; a level's cells are found through
+//     the parent_node_id secondary index — the query-time price the paper
+//     anticipates for dropping the node construct.
+//   - MySQL-DWARF: a level is one NODE_CHILDREN ⋈ DWARF_CELL join plus a
+//     CELL_CHILDREN lookup for the pointer.
+//   - MySQL-Min: no indexes at all; every level filters a full scan — the
+//     worst case the paper's §5.1 warns about.
+
+// PointQuerier is implemented by stores that can answer point/ALL queries
+// against their stored representation.
+type PointQuerier interface {
+	PointOnStore(id SchemaID, keys ...string) (dwarf.Aggregate, error)
+}
+
+// Compile-time checks.
+var (
+	_ PointQuerier = (*NoSQLDwarf)(nil)
+	_ PointQuerier = (*NoSQLMin)(nil)
+	_ PointQuerier = (*MySQLDwarf)(nil)
+	_ PointQuerier = (*MySQLMin)(nil)
+)
+
+// ErrBadStoreQuery reports a key-count mismatch against the stored schema.
+var ErrBadStoreQuery = fmt.Errorf("mapper: query key count does not match stored dimensions")
+
+func wantKey(keys []string, level int) string { return keys[level] }
+
+// aggFromCellRow decodes the measure columns of a NoSQL cell row.
+func aggFromCellRow(r nosql.Row, sumCol, cntCol, minCol, maxCol string) dwarf.Aggregate {
+	return dwarf.Aggregate{
+		Sum:   r.Get(sumCol).Float,
+		Count: r.Get(cntCol).Int,
+		Min:   r.Get(minCol).Float,
+		Max:   r.Get(maxCol).Float,
+	}
+}
+
+// PointOnStore walks the Table 1 representation: node row → cell rows by
+// primary key.
+func (s *NoSQLDwarf) PointOnStore(id SchemaID, keys ...string) (dwarf.Aggregate, error) {
+	info, _, err := s.schemaRow(id)
+	if err != nil {
+		return dwarf.Aggregate{}, err
+	}
+	if len(keys) != len(info.Dimensions) {
+		return dwarf.Aggregate{}, fmt.Errorf("%w: got %d, stored %d", ErrBadStoreQuery,
+			len(keys), len(info.Dimensions))
+	}
+	nodeID := info.EntryNodeID
+	for level := 0; level < len(keys); level++ {
+		nodeRow, ok, err := s.db.Get("dwarf", "dwarf_node", nosql.Int(nodeID))
+		if err != nil {
+			return dwarf.Aggregate{}, err
+		}
+		if !ok {
+			return dwarf.Aggregate{}, fmt.Errorf("%w: node %d missing", ErrCorruptStore, nodeID)
+		}
+		want := wantKey(keys, level)
+		lookFor := want
+		if want == dwarf.All {
+			lookFor = allKey
+		}
+		var match nosql.Row
+		for _, cellID := range nodeRow.Get("children_ids").Set {
+			cellRow, ok, err := s.db.Get("dwarf", "dwarf_cell", nosql.Int(cellID))
+			if err != nil {
+				return dwarf.Aggregate{}, err
+			}
+			if !ok {
+				return dwarf.Aggregate{}, fmt.Errorf("%w: cell %d missing", ErrCorruptStore, cellID)
+			}
+			if cellRow.Get("key").Text == lookFor {
+				match = cellRow
+				break
+			}
+		}
+		if match == nil {
+			return dwarf.Aggregate{}, nil // combination absent
+		}
+		if match.Get("leaf").Bool {
+			return aggFromCellRow(match, "measure", "measure_count", "measure_min", "measure_max"), nil
+		}
+		pointer := match.Get("pointer_node")
+		if pointer.IsNull() {
+			return dwarf.Aggregate{}, nil
+		}
+		nodeID = pointer.Int
+	}
+	return dwarf.Aggregate{}, nil
+}
+
+// PointOnStore walks the Table 3 representation: each level's cells come
+// from the parent_node_id secondary index (node reconstruction on the fly).
+func (s *NoSQLMin) PointOnStore(id SchemaID, keys ...string) (dwarf.Aggregate, error) {
+	info, err := s.cubeRow(id)
+	if err != nil {
+		return dwarf.Aggregate{}, err
+	}
+	if len(keys) != len(info.Dimensions) {
+		return dwarf.Aggregate{}, fmt.Errorf("%w: got %d, stored %d", ErrBadStoreQuery,
+			len(keys), len(info.Dimensions))
+	}
+	nodeID := int64(id)*idStride + 1 // the root node id by construction
+	for level := 0; level < len(keys); level++ {
+		cells, err := s.db.SelectByIndex("dwarfmin", "dwarf_cell", "parent_node_id", nosql.Int(nodeID))
+		if err != nil {
+			return dwarf.Aggregate{}, err
+		}
+		want := wantKey(keys, level)
+		lookFor := want
+		if want == dwarf.All {
+			lookFor = allKey
+		}
+		var match nosql.Row
+		for _, r := range cells {
+			if r.Get("name").Text == lookFor {
+				match = r
+				break
+			}
+		}
+		if match == nil {
+			return dwarf.Aggregate{}, nil
+		}
+		if match.Get("leaf").Bool {
+			return aggFromCellRow(match, "item", "item_count", "item_min", "item_max"), nil
+		}
+		child := match.Get("child_node_id")
+		if child.IsNull() {
+			return dwarf.Aggregate{}, nil
+		}
+		nodeID = child.Int
+	}
+	return dwarf.Aggregate{}, nil
+}
+
+// PointOnStore walks the Fig. 4 representation with one join per level.
+func (s *MySQLDwarf) PointOnStore(id SchemaID, keys ...string) (dwarf.Aggregate, error) {
+	info, err := s.schemaInfo(id)
+	if err != nil {
+		return dwarf.Aggregate{}, err
+	}
+	if len(keys) != len(info.Dimensions) {
+		return dwarf.Aggregate{}, fmt.Errorf("%w: got %d, stored %d", ErrBadStoreQuery,
+			len(keys), len(info.Dimensions))
+	}
+	nodeID := info.EntryNodeID
+	for level := 0; level < len(keys); level++ {
+		want := wantKey(keys, level)
+		lookFor := want
+		if want == dwarf.All {
+			lookFor = allKey
+		}
+		rows, err := s.db.Query(`SELECT c.id, c.measure, c.measure_count, c.measure_min,
+			c.measure_max, c.leaf FROM node_children nc
+			JOIN dwarf_cell c ON nc.cell_id = c.id
+			WHERE nc.node_id = ? AND c.cell_key = ?`, nodeID, lookFor)
+		if err != nil {
+			return dwarf.Aggregate{}, err
+		}
+		if len(rows.Data) == 0 {
+			return dwarf.Aggregate{}, nil
+		}
+		r := rows.Data[0]
+		if r[5].Bool {
+			return dwarf.Aggregate{Sum: r[1].Float, Count: r[2].Int, Min: r[3].Float, Max: r[4].Float}, nil
+		}
+		ptr, err := s.db.Query("SELECT node_id FROM cell_children WHERE cell_id = ?", r[0].Int)
+		if err != nil {
+			return dwarf.Aggregate{}, err
+		}
+		if len(ptr.Data) == 0 {
+			return dwarf.Aggregate{}, nil
+		}
+		nodeID = ptr.Data[0][0].Int
+	}
+	return dwarf.Aggregate{}, nil
+}
+
+// PointOnStore walks the MySQL-Min representation. With no secondary
+// indexes, every level is a filtered full scan of the cell table — the
+// query-time cost of the join-free schema.
+func (s *MySQLMin) PointOnStore(id SchemaID, keys ...string) (dwarf.Aggregate, error) {
+	info, err := s.cubeInfo(id)
+	if err != nil {
+		return dwarf.Aggregate{}, err
+	}
+	if len(keys) != len(info.Dimensions) {
+		return dwarf.Aggregate{}, fmt.Errorf("%w: got %d, stored %d", ErrBadStoreQuery,
+			len(keys), len(info.Dimensions))
+	}
+	nodeID := int64(id)*idStride + 1
+	for level := 0; level < len(keys); level++ {
+		want := wantKey(keys, level)
+		lookFor := want
+		if want == dwarf.All {
+			lookFor = allKey
+		}
+		rows, err := s.db.Query(`SELECT item, item_count, item_min, item_max, leaf,
+			child_node_id FROM dwarf_cell WHERE parent_node_id = ? AND name = ?`,
+			nodeID, lookFor)
+		if err != nil {
+			return dwarf.Aggregate{}, err
+		}
+		if len(rows.Data) == 0 {
+			return dwarf.Aggregate{}, nil
+		}
+		r := rows.Data[0]
+		if r[4].Bool {
+			return dwarf.Aggregate{Sum: r[0].Float, Count: r[1].Int, Min: r[2].Float, Max: r[3].Float}, nil
+		}
+		if r[5].IsNull() {
+			return dwarf.Aggregate{}, nil
+		}
+		nodeID = r[5].Int
+	}
+	return dwarf.Aggregate{}, nil
+}

@@ -1,0 +1,113 @@
+package mapper
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dwarf"
+)
+
+// TestPointOnStoreMatchesInMemory checks that every store's on-store walk
+// answers exactly like the in-memory cube, for every base tuple and a
+// wildcard battery, without loading the cube.
+func TestPointOnStoreMatchesInMemory(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			st := openTestStore(t, kind)
+			cube := randomCube(t, 17, 120)
+			id, err := st.Save(cube)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, ok := st.(PointQuerier)
+			if !ok {
+				t.Fatalf("%s does not implement PointQuerier", kind)
+			}
+			checked := 0
+			cube.Tuples(func(keys []string, agg dwarf.Aggregate) bool {
+				got, err := q.PointOnStore(id, keys...)
+				if err != nil {
+					t.Fatalf("PointOnStore(%v): %v", keys, err)
+				}
+				if !got.Equal(agg) {
+					t.Fatalf("PointOnStore(%v) = %v, want %v", keys, got, agg)
+				}
+				// Wildcard variant.
+				probe := append([]string(nil), keys...)
+				probe[0] = dwarf.All
+				want, _ := cube.Point(probe...)
+				got, err = q.PointOnStore(id, probe...)
+				if err != nil || !got.Equal(want) {
+					t.Fatalf("PointOnStore(%v) = %v, %v; want %v", probe, got, err, want)
+				}
+				checked++
+				return checked < 40
+			})
+
+			// Grand total.
+			allQ := make([]string, cube.NumDims())
+			for i := range allQ {
+				allQ[i] = dwarf.All
+			}
+			want, _ := cube.Point(allQ...)
+			got, err := q.PointOnStore(id, allQ...)
+			if err != nil || !got.Equal(want) {
+				t.Errorf("ALL = %v, %v; want %v", got, err, want)
+			}
+
+			// Missing combination → zero aggregate.
+			miss := make([]string, cube.NumDims())
+			for i := range miss {
+				miss[i] = "no-such-key"
+			}
+			got, err = q.PointOnStore(id, miss...)
+			if err != nil || !got.IsZero() {
+				t.Errorf("missing = %v, %v; want zero", got, err)
+			}
+
+			// Arity errors.
+			if _, err := q.PointOnStore(id, "just-one"); err == nil {
+				t.Error("short query accepted")
+			}
+			// Unknown schema.
+			if _, err := q.PointOnStore(999); !errors.Is(err, ErrNoSuchSchema) {
+				t.Errorf("unknown schema: %v", err)
+			}
+		})
+	}
+}
+
+// TestPointOnStoreMultipleSchemas verifies id-space isolation between
+// schemas in one store.
+func TestPointOnStoreMultipleSchemas(t *testing.T) {
+	st := openTestStore(t, KindNoSQLDwarf)
+	q := st.(PointQuerier)
+	c1 := paperCube(t)
+	id1, err := st.Save(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := dwarf.New([]string{"Country", "City", "Station"}, []dwarf.Tuple{
+		{Dims: []string{"Spain", "Madrid", "Sol"}, Measure: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := st.Save(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.PointOnStore(id1, "Ireland", dwarf.All, dwarf.All)
+	if err != nil || got.Sum != 10 {
+		t.Errorf("schema 1: %v, %v", got, err)
+	}
+	got, err = q.PointOnStore(id2, "Spain", "Madrid", "Sol")
+	if err != nil || got.Sum != 9 {
+		t.Errorf("schema 2: %v, %v", got, err)
+	}
+	// Keys of one schema do not bleed into the other.
+	got, err = q.PointOnStore(id2, "Ireland", dwarf.All, dwarf.All)
+	if err != nil || !got.IsZero() {
+		t.Errorf("cross-schema bleed: %v, %v", got, err)
+	}
+}

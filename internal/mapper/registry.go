@@ -1,0 +1,46 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/nosql"
+	"repro/internal/sqlengine"
+)
+
+// Kind names one of the four schema models using the paper's labels.
+type Kind string
+
+// The four schema models of the evaluation (Tables 4 and 5).
+const (
+	KindMySQLDwarf Kind = "MySQL-DWARF"
+	KindMySQLMin   Kind = "MySQL-Min"
+	KindNoSQLDwarf Kind = "NoSQL-DWARF"
+	KindNoSQLMin   Kind = "NoSQL-Min"
+)
+
+// AllKinds returns the schema models in the paper's table row order.
+func AllKinds() []Kind {
+	return []Kind{KindMySQLDwarf, KindMySQLMin, KindNoSQLDwarf, KindNoSQLMin}
+}
+
+// EngineOptions carries per-engine tuning for OpenStore.
+type EngineOptions struct {
+	NoSQL nosql.Options
+	SQL   sqlengine.Options
+}
+
+// OpenStore opens a store of the given kind rooted at dir.
+func OpenStore(kind Kind, dir string, opts Options, engines EngineOptions) (Store, error) {
+	switch kind {
+	case KindNoSQLDwarf:
+		return NewNoSQLDwarf(dir, opts, engines.NoSQL)
+	case KindNoSQLMin:
+		return NewNoSQLMin(dir, opts, engines.NoSQL)
+	case KindMySQLDwarf:
+		return NewMySQLDwarf(dir, opts, engines.SQL)
+	case KindMySQLMin:
+		return NewMySQLMin(dir, opts, engines.SQL)
+	default:
+		return nil, fmt.Errorf("mapper: unknown store kind %q", kind)
+	}
+}

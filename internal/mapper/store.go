@@ -1,0 +1,229 @@
+// Package mapper implements the paper's contribution: the bi-directional
+// mapping between an in-memory DWARF cube and four storage schema models
+// (§3–§5):
+//
+//   - NoSQL-DWARF — Table 1: DWARF_Schema / DWARF_Node / DWARF_Cell column
+//     families in the columnar engine, primary indexes only.
+//   - NoSQL-Min — Table 3: cells only, nodes rebuilt at load time, two
+//     secondary indexes (parent_node_id, child_node_id).
+//   - MySQL-DWARF — Fig. 4: fully relational with NODE_CHILDREN and
+//     CELL_CHILDREN join tables (plus the FK indexes a real MySQL would
+//     carry), the schema that "most accurately describes a dwarf structure
+//     in a relational database".
+//   - MySQL-Min — the NoSQL-Min single-table layout ported to the
+//     relational engine, no joins, no secondary indexes.
+//
+// Save traverses the DWARF breadth-first, top-down, with a visited lookup
+// table so that multi-parent nodes (the product of suffix coalescing) are
+// emitted exactly once (§4), and bulk-inserts the rows. Load reads the rows
+// back, joins them on their ids and rebuilds an equivalent cube.
+//
+// Deviation from the paper's column lists: our cubes carry full aggregate
+// state (sum/count/min/max), so every cell row has measure_count,
+// measure_min and measure_max next to the paper's single measure column,
+// and every schema/cube row stores the dimension-name list and the source
+// tuple count. All four schemas carry the same extras, so the paper's
+// cross-schema comparisons are unaffected.
+package mapper
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/dwarf"
+)
+
+// SchemaID identifies one stored DWARF schema within a store.
+type SchemaID int64
+
+// SchemaInfo is the stored metadata of one DWARF schema — the paper's
+// DWARF_Schema / DWARF_Cube row.
+type SchemaInfo struct {
+	ID          SchemaID
+	NodeCount   int
+	CellCount   int
+	SizeAsMB    int64
+	EntryNodeID int64
+	IsCube      bool // built by querying another DWARF (paper's is_cube)
+	Dimensions  []string
+	SourceRows  int // fact tuples folded into the cube
+}
+
+// Store is a DWARF persistence backend (one of the four schema models).
+type Store interface {
+	// Name is the schema-model name as the paper's tables use it.
+	Name() string
+	// Save bulk-inserts the cube and returns its new schema id.
+	Save(c *dwarf.Cube) (SchemaID, error)
+	// Load rebuilds the cube identified by id.
+	Load(id SchemaID) (*dwarf.Cube, error)
+	// Schemas lists stored schema rows.
+	Schemas() ([]SchemaInfo, error)
+	// StoredBytes reports the store's on-disk footprint after flushing.
+	StoredBytes() (int64, error)
+	// Close releases the underlying engine.
+	Close() error
+}
+
+// Mapper errors.
+var (
+	ErrNoSuchSchema = errors.New("mapper: no such schema id")
+	ErrCorruptStore = errors.New("mapper: stored cube is inconsistent")
+)
+
+// Options tune a store.
+type Options struct {
+	// BatchSize is rows per bulk batch (NoSQL) or per multi-row INSERT
+	// (MySQL). <= 0 selects 1000.
+	BatchSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1000
+	}
+	return o
+}
+
+// allKey is the stored key of ALL cells. The dwarf package reserves "*" for
+// queries, so no data key collides with it.
+const allKey = "*"
+
+// enumeration assigns unique ids to distinct nodes and cells in the BFS
+// top-down order of §4. It is the "lookup table which records each Node and
+// Cell visited".
+type enumeration struct {
+	nodes   []*dwarf.Node
+	nodeIDs map[*dwarf.Node]int64
+	// cellIDs[i] holds the ids of nodes[i]'s cells; the ALL cell id is the
+	// extra last element.
+	cellIDs   [][]int64
+	cellCount int
+	// parentCells[nodeID] lists the cell ids pointing at that node.
+	parentCells map[int64][]int64
+}
+
+func enumerate(c *dwarf.Cube) *enumeration {
+	e := &enumeration{
+		nodeIDs:     make(map[*dwarf.Node]int64),
+		parentCells: make(map[int64][]int64),
+	}
+	c.Visit(func(n *dwarf.Node) bool {
+		e.nodeIDs[n] = int64(len(e.nodes) + 1)
+		e.nodes = append(e.nodes, n)
+		return true
+	})
+	var nextCell int64
+	e.cellIDs = make([][]int64, len(e.nodes))
+	for i, n := range e.nodes {
+		ids := make([]int64, len(n.Cells)+1)
+		for j := range ids {
+			nextCell++
+			ids[j] = nextCell
+		}
+		e.cellIDs[i] = ids
+		for j := range n.Cells {
+			if child := n.Cells[j].Child; child != nil {
+				e.parentCells[e.nodeIDs[child]] = append(e.parentCells[e.nodeIDs[child]], ids[j])
+			}
+		}
+		if n.AllChild != nil {
+			allID := ids[len(ids)-1]
+			e.parentCells[e.nodeIDs[n.AllChild]] = append(e.parentCells[e.nodeIDs[n.AllChild]], allID)
+		}
+	}
+	e.cellCount = int(nextCell)
+	return e
+}
+
+// nodeID returns the id of a node pointer.
+func (e *enumeration) nodeID(n *dwarf.Node) int64 {
+	if n == nil {
+		return 0
+	}
+	return e.nodeIDs[n]
+}
+
+// encodeDims serializes dimension names for the schema row.
+func encodeDims(dims []string) string {
+	b, _ := json.Marshal(dims)
+	return string(b)
+}
+
+func decodeDims(s string) ([]string, error) {
+	var dims []string
+	if err := json.Unmarshal([]byte(s), &dims); err != nil {
+		return nil, fmt.Errorf("%w: bad dimension list: %v", ErrCorruptStore, err)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("%w: empty dimension list", ErrCorruptStore)
+	}
+	return dims, nil
+}
+
+// bytesToMB converts to the paper's integer size_as_mb convention
+// (Table 4 prints "< 1" for sub-megabyte cubes).
+func bytesToMB(n int64) int64 { return n / (1 << 20) }
+
+// rebuiltNode is the shared load-side scaffolding: a node id plus its
+// future cells, filled while scanning cell rows and wired afterwards.
+type rebuiltNode struct {
+	node *dwarf.Node
+	root bool
+}
+
+// cellRow is a storage-agnostic decoded cell used by the rebuild helpers.
+type cellRow struct {
+	id          int64
+	key         string
+	agg         dwarf.Aggregate
+	parentNode  int64
+	pointerNode int64 // 0 = none
+	leaf        bool
+	isAll       bool
+}
+
+// rebuildFromCells wires nodes from decoded cell rows: every cell attaches
+// to its parent node; ALL cells set AllChild/AllAgg. rootID names the entry
+// node. The caller supplies node ids (from node rows or from the cells'
+// parent ids when the store has no node table).
+func rebuildFromCells(nodeIDs []int64, rootID int64, cells []cellRow, dims []string,
+	numTuples int, fromQuery bool) (*dwarf.Cube, error) {
+
+	nodes := make(map[int64]*dwarf.Node, len(nodeIDs))
+	for _, id := range nodeIDs {
+		nodes[id] = dwarf.NewNode(id)
+	}
+	root, ok := nodes[rootID]
+	if !ok {
+		return nil, fmt.Errorf("%w: entry node %d missing", ErrCorruptStore, rootID)
+	}
+	for _, c := range cells {
+		parent, ok := nodes[c.parentNode]
+		if !ok {
+			return nil, fmt.Errorf("%w: cell %d references missing node %d", ErrCorruptStore, c.id, c.parentNode)
+		}
+		var child *dwarf.Node
+		if c.pointerNode != 0 {
+			child, ok = nodes[c.pointerNode]
+			if !ok {
+				return nil, fmt.Errorf("%w: cell %d points to missing node %d", ErrCorruptStore, c.id, c.pointerNode)
+			}
+		}
+		if c.isAll {
+			if c.leaf {
+				parent.AllAgg = c.agg
+			} else {
+				parent.AllChild = child
+			}
+			continue
+		}
+		cell := dwarf.Cell{Key: c.key, Child: child}
+		if c.leaf {
+			cell.Agg = c.agg
+		}
+		parent.Cells = append(parent.Cells, cell)
+	}
+	return dwarf.FromParts(dims, root, numTuples, fromQuery)
+}

@@ -1,0 +1,93 @@
+package nosql
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// bloomFilter is a classic Bloom filter sized at build time for a target
+// false-positive rate. SSTables persist one per file so point reads can skip
+// tables that cannot contain the key.
+type bloomFilter struct {
+	bits []uint64
+	k    uint32
+}
+
+// newBloomFilter sizes a filter for n keys at roughly 1% false positives.
+func newBloomFilter(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	// m = -n*ln(p)/ln(2)^2 with p = 0.01 → ~9.59 bits per key.
+	m := int(math.Ceil(float64(n) * 9.6))
+	words := (m + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return &bloomFilter{bits: make([]uint64, words), k: 7}
+}
+
+// hash2 derives two independent 64-bit hashes for double hashing.
+func hash2(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
+	h2 := h.Sum64() | 1 // odd, so strides cover the table
+	return h1, h2
+}
+
+// Add inserts a key.
+func (b *bloomFilter) Add(key []byte) {
+	h1, h2 := hash2(key)
+	m := uint64(len(b.bits) * 64)
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain reports whether the key may be present (no false negatives).
+func (b *bloomFilter) MayContain(key []byte) bool {
+	if len(b.bits) == 0 {
+		return true
+	}
+	h1, h2 := hash2(key)
+	m := uint64(len(b.bits) * 64)
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal serializes the filter.
+func (b *bloomFilter) marshal() []byte {
+	out := make([]byte, 8+8*len(b.bits))
+	binary.LittleEndian.PutUint32(out[0:], b.k)
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(b.bits)))
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[8+8*i:], w)
+	}
+	return out
+}
+
+// unmarshalBloom parses a serialized filter.
+func unmarshalBloom(data []byte) (*bloomFilter, error) {
+	if len(data) < 8 {
+		return nil, ErrValueCorrupt
+	}
+	k := binary.LittleEndian.Uint32(data[0:])
+	n := binary.LittleEndian.Uint32(data[4:])
+	if uint64(len(data)) < 8+8*uint64(n) || k == 0 || k > 64 {
+		return nil, ErrValueCorrupt
+	}
+	b := &bloomFilter{bits: make([]uint64, n), k: k}
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	return b, nil
+}

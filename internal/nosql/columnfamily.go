@@ -1,0 +1,395 @@
+package nosql
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// columnFamily is one table's storage: a memtable plus a stack of SSTables,
+// newest last. Secondary indexes hang off user tables as hidden column
+// families whose keys embed (column value, primary key).
+type columnFamily struct {
+	schema      *TableSchema
+	dir         string
+	mem         *memtable
+	tables      []*sstable // oldest .. newest
+	nextFileNum int
+	watermark   uint64 // max mutation seq already persisted in sstables
+	hidden      bool
+	indexes     map[string]*secondaryIndex // lower-cased column name → index
+}
+
+// secondaryIndex is a Cassandra-style index: a hidden column family whose
+// entry keys are (indexed value, primary key) composites with empty values.
+type secondaryIndex struct {
+	column string // lower-cased
+	cf     *columnFamily
+}
+
+func newColumnFamily(schema *TableSchema, dir string, hidden bool) (*columnFamily, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cf := &columnFamily{
+		schema:  schema,
+		dir:     dir,
+		mem:     newMemtable(),
+		hidden:  hidden,
+		indexes: make(map[string]*secondaryIndex),
+	}
+	if err := cf.loadTables(); err != nil {
+		return nil, err
+	}
+	return cf, nil
+}
+
+// loadTables opens existing sstable files in file-number order.
+func (cf *columnFamily) loadTables() error {
+	entries, err := os.ReadDir(cf.dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".sst" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st, err := openSSTable(filepath.Join(cf.dir, name))
+		if err != nil {
+			return fmt.Errorf("open %s: %w", name, err)
+		}
+		cf.tables = append(cf.tables, st)
+		if st.maxSeq > cf.watermark {
+			cf.watermark = st.maxSeq
+		}
+		var num int
+		fmt.Sscanf(name, "%06d.sst", &num)
+		if num >= cf.nextFileNum {
+			cf.nextFileNum = num + 1
+		}
+	}
+	return nil
+}
+
+// apply buffers one mutation in the memtable.
+func (cf *columnFamily) apply(m mutation) {
+	cf.mem.put(m.key, m.value, m.seq, m.tombstone)
+}
+
+// get returns the newest version of a key: memtable first, then sstables
+// newest first.
+func (cf *columnFamily) get(key []byte) (entry, bool, error) {
+	if e, ok := cf.mem.get(key); ok {
+		return e, true, nil
+	}
+	for i := len(cf.tables) - 1; i >= 0; i-- {
+		e, ok, err := cf.tables[i].get(key)
+		if err != nil {
+			return entry{}, false, err
+		}
+		if ok {
+			return e, true, nil
+		}
+	}
+	return entry{}, false, nil
+}
+
+// getLive is get filtering tombstones.
+func (cf *columnFamily) getLive(key []byte) (entry, bool, error) {
+	e, ok, err := cf.get(key)
+	if err != nil || !ok || e.tombstone {
+		return entry{}, false, err
+	}
+	return e, true, nil
+}
+
+// mergedEntries materializes the newest version of every key in key order.
+// With includeTombstones false, deleted keys are dropped (read/scan view);
+// with true, tombstones are kept (not needed by full compaction, which owns
+// all history, but kept for partial merges).
+func (cf *columnFamily) mergedEntries(includeTombstones bool) ([]entry, error) {
+	merged := make(map[string]entry)
+	for _, st := range cf.tables { // oldest → newest: later puts overwrite
+		err := st.scan(func(e entry) bool {
+			merged[string(e.key)] = e
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range cf.mem.sorted() {
+		merged[string(e.key)] = e
+	}
+	out := make([]entry, 0, len(merged))
+	for _, e := range merged {
+		if e.tombstone && !includeTombstones {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i].key) < string(out[j].key) })
+	return out, nil
+}
+
+// scanLive iterates live rows in key order.
+func (cf *columnFamily) scanLive(fn func(entry) bool) error {
+	entries, err := cf.mergedEntries(false)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// scanBounded merges the newest version of every key in [lo, …) while
+// inRange holds, reading only the qualifying slice of each sstable (via the
+// sparse indexes) instead of materializing the whole column family. The
+// memtable contributes its in-range subset. Tombstoned keys are dropped.
+func (cf *columnFamily) scanBounded(lo []byte, inRange func(key []byte) bool, fn func(entry) bool) error {
+	merged := make(map[string]entry)
+	for _, st := range cf.tables { // oldest → newest: later tables overwrite
+		err := st.scanFrom(lo, func(e entry) bool {
+			if !inRange(e.key) {
+				return false
+			}
+			merged[string(e.key)] = e
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for k, e := range cf.mem.data {
+		if string(e.key) >= string(lo) && inRange(e.key) {
+			merged[k] = e
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k, e := range merged {
+		if e.tombstone {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(merged[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// scanRange iterates live entries with lo <= key < hi (nil bound =
+// unbounded).
+func (cf *columnFamily) scanRange(lo, hi []byte, fn func(entry) bool) error {
+	return cf.scanBounded(lo, func(key []byte) bool {
+		return hi == nil || string(key) < string(hi)
+	}, fn)
+}
+
+// scanPrefix iterates live entries whose key has the given prefix.
+func (cf *columnFamily) scanPrefix(prefix []byte, fn func(entry) bool) error {
+	return cf.scanBounded(prefix, func(key []byte) bool {
+		return len(key) >= len(prefix) && string(key[:len(prefix)]) == string(prefix)
+	}, fn)
+}
+
+// flush writes the memtable to a new sstable, newest in the stack.
+func (cf *columnFamily) flush() error {
+	if cf.mem.len() == 0 {
+		return nil
+	}
+	path := filepath.Join(cf.dir, fmt.Sprintf("%06d.sst", cf.nextFileNum))
+	st, err := writeSSTable(path, cf.mem.sorted())
+	if err != nil {
+		return err
+	}
+	cf.nextFileNum++
+	cf.tables = append(cf.tables, st)
+	if st.maxSeq > cf.watermark {
+		cf.watermark = st.maxSeq
+	}
+	cf.mem = newMemtable()
+	return nil
+}
+
+// compact merges everything (sstables + memtable) into one sstable and
+// drops tombstones — a full, size-tiered-to-one compaction.
+func (cf *columnFamily) compact() error {
+	if len(cf.tables) <= 1 && cf.mem.len() == 0 {
+		return nil
+	}
+	entries, err := cf.mergedEntries(false)
+	if err != nil {
+		return err
+	}
+	old := cf.tables
+	path := filepath.Join(cf.dir, fmt.Sprintf("%06d.sst", cf.nextFileNum))
+	maxSeq := cf.watermark
+	for _, e := range entries {
+		if e.seq > maxSeq {
+			maxSeq = e.seq
+		}
+	}
+	for i := range entries {
+		entries[i].seq = maxSeq // the new table supersedes everything prior
+	}
+	st, err := writeSSTable(path, entries)
+	if err != nil {
+		return err
+	}
+	cf.nextFileNum++
+	cf.tables = []*sstable{st}
+	cf.watermark = maxSeq
+	cf.mem = newMemtable()
+	for _, t := range old {
+		t.close()
+		os.Remove(t.path)
+	}
+	return nil
+}
+
+// compactTiered is the steady-state compaction: when the stack holds too
+// many sstables it merges the contiguous run of `runLen` tables with the
+// smallest total size — the size-tiered strategy's behaviour (merge small,
+// similar runs; never rewrite the whole keyspace), keeping bulk-load write
+// amplification logarithmic. Only time-contiguous runs merge, so the
+// newest-wins read order stays correct. Tombstones survive unless the run
+// starts at the oldest table.
+func (cf *columnFamily) compactTiered(maxTables int) error {
+	runLen := maxTables / 2
+	if runLen < 2 {
+		runLen = 2
+	}
+	if len(cf.tables) < maxTables || len(cf.tables) < runLen {
+		return nil
+	}
+	best, bestSize := -1, int64(0)
+	for i := 0; i+runLen <= len(cf.tables); i++ {
+		var total int64
+		for j := i; j < i+runLen; j++ {
+			total += cf.tables[j].size
+		}
+		if best < 0 || total < bestSize {
+			best, bestSize = i, total
+		}
+	}
+	run := cf.tables[best : best+runLen]
+	merged := make(map[string]entry)
+	for _, st := range run { // oldest → newest within the run
+		err := st.scan(func(e entry) bool {
+			merged[string(e.key)] = e
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	dropTombstones := best == 0
+	entries := make([]entry, 0, len(merged))
+	var maxSeq uint64
+	for _, e := range merged {
+		if e.tombstone && dropTombstones {
+			continue
+		}
+		if e.seq > maxSeq {
+			maxSeq = e.seq
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return string(entries[i].key) < string(entries[j].key) })
+	for i := range entries {
+		entries[i].seq = maxSeq
+	}
+	path := filepath.Join(cf.dir, fmt.Sprintf("%06d.sst", cf.nextFileNum))
+	st, err := writeSSTable(path, entries)
+	if err != nil {
+		return err
+	}
+	cf.nextFileNum++
+	newTables := make([]*sstable, 0, len(cf.tables)-runLen+1)
+	newTables = append(newTables, cf.tables[:best]...)
+	newTables = append(newTables, st)
+	newTables = append(newTables, cf.tables[best+runLen:]...)
+	for _, t := range run {
+		t.close()
+		os.Remove(t.path)
+	}
+	cf.tables = newTables
+	return nil
+}
+
+// diskSize is the byte total of the CF's sstable files (hidden index CFs
+// are accounted by their owners).
+func (cf *columnFamily) diskSize() int64 {
+	var total int64
+	for _, t := range cf.tables {
+		total += t.size
+	}
+	return total
+}
+
+// close releases file handles.
+func (cf *columnFamily) close() error {
+	var first error
+	for _, t := range cf.tables {
+		if err := t.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, idx := range cf.indexes {
+		if err := idx.cf.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// indexEntryKey builds the composite (value, pk) key of an index entry. The
+// value bytes are length-prefixed so that a prefix scan for one value never
+// bleeds into the next.
+func indexEntryKey(val Value, pk []byte) []byte {
+	vb := val.OrderedBytes()
+	out := binary.AppendUvarint(nil, uint64(len(vb)))
+	out = append(out, vb...)
+	return append(out, pk...)
+}
+
+// indexPrefix is the scan prefix matching all entries for one value.
+func indexPrefix(val Value) []byte {
+	vb := val.OrderedBytes()
+	out := binary.AppendUvarint(nil, uint64(len(vb)))
+	return append(out, vb...)
+}
+
+// indexedPK extracts the primary-key bytes back out of an index entry key.
+func indexedPK(entryKey []byte) ([]byte, error) {
+	l, n := binary.Uvarint(entryKey)
+	if n <= 0 || uint64(len(entryKey)-n) < l {
+		return nil, ErrValueCorrupt
+	}
+	return entryKey[n+int(l):], nil
+}
+
+// hiddenIndexSchema is the pseudo-schema of index column families; entry
+// values are empty, everything lives in the key.
+func hiddenIndexSchema(ks, name string) *TableSchema {
+	return &TableSchema{
+		Keyspace: ks,
+		Name:     name,
+		Columns:  []Column{{Name: "pk", Kind: KindText}},
+		Key:      "pk",
+	}
+}

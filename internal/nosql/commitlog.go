@@ -1,0 +1,202 @@
+package nosql
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The commit log is a single append-only file per database. Every mutation
+// batch becomes one record; a torn or corrupt tail record ends replay (the
+// standard write-ahead-log contract). Record layout:
+//
+//	crc u32 (over payload) | len u32 | payload
+//	payload: count uvarint, then per mutation:
+//	    seq uvarint | keyspace str | table str | flags u8 |
+//	    klen uvarint | key | [vlen uvarint | value]
+//
+// strings are uvarint length + bytes.
+
+// ErrCorruptLog reports a damaged commit log body (not merely a torn tail).
+var ErrCorruptLog = errors.New("nosql: corrupt commit log")
+
+// mutation is one logged write: an upsert or delete of a row.
+type mutation struct {
+	seq       uint64
+	keyspace  string
+	table     string
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+type commitLog struct {
+	path string
+	file *os.File
+	w    *bufio.Writer
+	sync bool
+}
+
+func openCommitLog(path string, syncWrites bool) (*commitLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &commitLog{path: path, file: f, w: bufio.NewWriterSize(f, 1<<16), sync: syncWrites}, nil
+}
+
+func appendLogString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// append writes one batch of mutations as a single record.
+func (cl *commitLog) append(muts []mutation) error {
+	payload := binary.AppendUvarint(nil, uint64(len(muts)))
+	for _, m := range muts {
+		payload = binary.AppendUvarint(payload, m.seq)
+		payload = appendLogString(payload, m.keyspace)
+		payload = appendLogString(payload, m.table)
+		flags := byte(0)
+		if m.tombstone {
+			flags = 1
+		}
+		payload = append(payload, flags)
+		payload = binary.AppendUvarint(payload, uint64(len(m.key)))
+		payload = append(payload, m.key...)
+		if !m.tombstone {
+			payload = binary.AppendUvarint(payload, uint64(len(m.value)))
+			payload = append(payload, m.value...)
+		}
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := cl.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := cl.w.Write(payload); err != nil {
+		return err
+	}
+	if cl.sync {
+		if err := cl.w.Flush(); err != nil {
+			return err
+		}
+		return cl.file.Sync()
+	}
+	return nil
+}
+
+// flush pushes buffered records to the OS.
+func (cl *commitLog) flush() error { return cl.w.Flush() }
+
+// truncate discards the log after all memtables were flushed to SSTables.
+func (cl *commitLog) truncate() error {
+	if err := cl.w.Flush(); err != nil {
+		return err
+	}
+	if err := cl.file.Truncate(0); err != nil {
+		return err
+	}
+	_, err := cl.file.Seek(0, io.SeekStart)
+	return err
+}
+
+func (cl *commitLog) close() error {
+	if err := cl.w.Flush(); err != nil {
+		cl.file.Close()
+		return err
+	}
+	return cl.file.Close()
+}
+
+// replayCommitLog streams every intact record's mutations to fn. A torn or
+// corrupt tail ends replay silently, matching WAL semantics; corruption in
+// the middle is still reported as corruption of the tail from that point.
+func replayCommitLog(path string, fn func(mutation) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: stop replay
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:])
+		plen := binary.LittleEndian.Uint32(hdr[4:])
+		if plen > 1<<30 {
+			return nil
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn record
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil // corrupt tail
+		}
+		count, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return fmt.Errorf("%w: bad count", ErrCorruptLog)
+		}
+		payload = payload[n:]
+		for i := uint64(0); i < count; i++ {
+			var m mutation
+			var n int
+			m.seq, n = binary.Uvarint(payload)
+			if n <= 0 {
+				return fmt.Errorf("%w: bad seq", ErrCorruptLog)
+			}
+			payload = payload[n:]
+			var s string
+			var err error
+			if s, payload, err = readLogString(payload); err != nil {
+				return err
+			}
+			m.keyspace = s
+			if s, payload, err = readLogString(payload); err != nil {
+				return err
+			}
+			m.table = s
+			if len(payload) < 1 {
+				return fmt.Errorf("%w: bad flags", ErrCorruptLog)
+			}
+			m.tombstone = payload[0]&1 != 0
+			payload = payload[1:]
+			klen, n := binary.Uvarint(payload)
+			if n <= 0 || uint64(len(payload)-n) < klen {
+				return fmt.Errorf("%w: bad key", ErrCorruptLog)
+			}
+			m.key = append([]byte(nil), payload[n:n+int(klen)]...)
+			payload = payload[n+int(klen):]
+			if !m.tombstone {
+				vlen, n := binary.Uvarint(payload)
+				if n <= 0 || uint64(len(payload)-n) < vlen {
+					return fmt.Errorf("%w: bad value", ErrCorruptLog)
+				}
+				m.value = append([]byte(nil), payload[n:n+int(vlen)]...)
+				payload = payload[n+int(vlen):]
+			}
+			if err := fn(m); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func readLogString(src []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(src)
+	if n <= 0 || uint64(len(src)-n) < l {
+		return "", nil, fmt.Errorf("%w: bad string", ErrCorruptLog)
+	}
+	return string(src[n : n+int(l)]), src[n+int(l):], nil
+}

@@ -1,0 +1,136 @@
+package cql
+
+// Statement is any parsed CQL statement.
+type Statement interface{ isStatement() }
+
+// TableName is an optionally keyspace-qualified table reference.
+type TableName struct {
+	Keyspace string // empty when unqualified (session default applies)
+	Table    string
+}
+
+// CreateKeyspace is CREATE KEYSPACE [IF NOT EXISTS] name.
+type CreateKeyspace struct {
+	Name        string
+	IfNotExists bool
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // CQL spelling, e.g. "int", "text", "set<int>"
+}
+
+// CreateTable is CREATE TABLE [IF NOT EXISTS] t (col type, ...,
+// PRIMARY KEY (col)); the key may also be declared inline on a column.
+type CreateTable struct {
+	Name        TableName
+	Columns     []ColumnDef
+	Key         string
+	IfNotExists bool
+}
+
+// CreateIndex is CREATE INDEX [IF NOT EXISTS] [name] ON t (col).
+type CreateIndex struct {
+	IndexName   string
+	Table       TableName
+	Column      string
+	IfNotExists bool
+}
+
+// Use is USE keyspace.
+type Use struct{ Keyspace string }
+
+// Insert is INSERT INTO t (cols...) VALUES (exprs...).
+type Insert struct {
+	Table   TableName
+	Columns []string
+	Values  []Expr
+}
+
+// SelectItem is one projection: a column, *, or an aggregate call.
+type SelectItem struct {
+	Star   bool
+	Column string
+	// Func is "" for plain columns, or one of count/min/max/sum/avg. A
+	// count over * has Star set and Column empty.
+	Func string
+}
+
+// Select is SELECT items FROM t [WHERE preds] [LIMIT n] [ALLOW FILTERING].
+type Select struct {
+	Table          TableName
+	Items          []SelectItem
+	Where          []Predicate
+	Limit          int // 0 = no limit
+	AllowFiltering bool
+}
+
+// Update is UPDATE t SET col = expr, ... WHERE key = expr.
+type Update struct {
+	Table TableName
+	Set   []Assignment
+	Where []Predicate
+}
+
+// Assignment is one SET column = expression.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM t WHERE key = expr.
+type Delete struct {
+	Table TableName
+	Where []Predicate
+}
+
+// Truncate is TRUNCATE t.
+type Truncate struct{ Table TableName }
+
+// DropTable is DROP TABLE [IF EXISTS] t.
+type DropTable struct {
+	Table    TableName
+	IfExists bool
+}
+
+// DropKeyspace is DROP KEYSPACE [IF EXISTS] k.
+type DropKeyspace struct {
+	Keyspace string
+	IfExists bool
+}
+
+// Predicate is one WHERE conjunct: column op expression.
+type Predicate struct {
+	Column string
+	Op     string // =, !=, <, <=, >, >=
+	Value  Expr
+}
+
+// Expr is a literal or a ? placeholder.
+type Expr struct {
+	Placeholder bool
+	Null        bool
+	IsInt       bool
+	IsFloat     bool
+	IsText      bool
+	IsBool      bool
+	IsSet       bool
+	Int         int64
+	Float       float64
+	Text        string
+	Bool        bool
+	Set         []int64
+}
+
+func (CreateKeyspace) isStatement() {}
+func (CreateTable) isStatement()    {}
+func (CreateIndex) isStatement()    {}
+func (Use) isStatement()            {}
+func (Insert) isStatement()         {}
+func (Select) isStatement()         {}
+func (Update) isStatement()         {}
+func (Delete) isStatement()         {}
+func (Truncate) isStatement()       {}
+func (DropTable) isStatement()      {}
+func (DropKeyspace) isStatement()   {}

@@ -1,0 +1,137 @@
+package cql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrSyntax wraps all lexical and grammatical errors.
+var ErrSyntax = errors.New("cql: syntax error")
+
+func syntaxErrf(pos int, format string, args ...any) error {
+	return fmt.Errorf("%w at offset %d: %s", ErrSyntax, pos, fmt.Sprintf(format, args...))
+}
+
+// lex tokenizes a statement. Strings use single quotes with ” escaping;
+// comments are not supported (statements come from code, not files).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokQuestion, "?", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokNe, "!=", i})
+				i += 2
+			} else {
+				return nil, syntaxErrf(i, "unexpected '!'")
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokLe, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, syntaxErrf(start, "unterminated string")
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '-' || c >= '0' && c <= '9':
+			start := i
+			if c == '-' {
+				i++
+				if i >= len(src) || src[i] < '0' || src[i] > '9' {
+					return nil, syntaxErrf(start, "unexpected '-'")
+				}
+			}
+			isFloat := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				(isFloat && (src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				if src[i] == '.' || src[i] == 'e' || src[i] == 'E' {
+					isFloat = true
+				}
+				i++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, src[start:i], start})
+		case c == '_' || unicode.IsLetter(rune(c)):
+			start := i
+			for i < len(src) && (src[i] == '_' || src[i] == '$' ||
+				unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i]))) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		default:
+			return nil, syntaxErrf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}

@@ -1,0 +1,592 @@
+package cql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses one CQL statement (a trailing semicolon is optional).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSemi)
+	if p.cur().kind != tokEOF {
+		return nil, syntaxErrf(p.cur().pos, "unexpected %s after statement", p.cur().kind)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// accept consumes the token if it matches.
+func (p *parser) accept(kind tokenKind) bool {
+	if p.cur().kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptKeyword consumes a case-insensitive keyword identifier.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, syntaxErrf(p.cur().pos, "expected %s, got %s %q", kind, p.cur().kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return syntaxErrf(p.cur().pos, "expected %q, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("CREATE"):
+		return p.parseCreate()
+	case p.acceptKeyword("INSERT"):
+		return p.parseInsert()
+	case p.acceptKeyword("SELECT"):
+		return p.parseSelect()
+	case p.acceptKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.acceptKeyword("DELETE"):
+		return p.parseDelete()
+	case p.acceptKeyword("USE"):
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return Use{Keyspace: t.text}, nil
+	case p.acceptKeyword("TRUNCATE"):
+		tn, err := p.parseTableName()
+		if err != nil {
+			return nil, err
+		}
+		return Truncate{Table: tn}, nil
+	case p.acceptKeyword("DROP"):
+		return p.parseDrop()
+	default:
+		return nil, syntaxErrf(p.cur().pos, "unknown statement start %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	parseIfExists := func() (bool, error) {
+		if p.acceptKeyword("IF") {
+			if err := p.expectKeyword("EXISTS"); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+	switch {
+	case p.acceptKeyword("TABLE"), p.acceptKeyword("COLUMNFAMILY"):
+		ifExists, err := parseIfExists()
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.parseTableName()
+		if err != nil {
+			return nil, err
+		}
+		return DropTable{Table: tn, IfExists: ifExists}, nil
+	case p.acceptKeyword("KEYSPACE"):
+		ifExists, err := parseIfExists()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return DropKeyspace{Keyspace: name.text, IfExists: ifExists}, nil
+	default:
+		return nil, syntaxErrf(p.cur().pos, "expected TABLE or KEYSPACE after DROP")
+	}
+}
+
+func (p *parser) parseIfNotExists() (bool, error) {
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return false, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (p *parser) parseTableName() (TableName, error) {
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return TableName{}, err
+	}
+	if p.accept(tokDot) {
+		second, err := p.expect(tokIdent)
+		if err != nil {
+			return TableName{}, err
+		}
+		return TableName{Keyspace: first.text, Table: second.text}, nil
+	}
+	return TableName{Table: first.text}, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	switch {
+	case p.acceptKeyword("KEYSPACE"):
+		ine, err := p.parseIfNotExists()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		// Swallow an optional WITH ... clause (replication etc.): accept
+		// and ignore everything to end of statement.
+		if p.acceptKeyword("WITH") {
+			for p.cur().kind != tokEOF && p.cur().kind != tokSemi {
+				p.next()
+			}
+		}
+		return CreateKeyspace{Name: name.text, IfNotExists: ine}, nil
+	case p.acceptKeyword("TABLE"), p.acceptKeyword("COLUMNFAMILY"):
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex()
+	default:
+		return nil, syntaxErrf(p.cur().pos, "expected KEYSPACE, TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	ine, err := p.parseIfNotExists()
+	if err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	ct := CreateTable{Name: tn, IfNotExists: ine}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			col, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if ct.Key != "" && !strings.EqualFold(ct.Key, col.text) {
+				return nil, syntaxErrf(col.pos, "conflicting PRIMARY KEY declarations")
+			}
+			ct.Key = col.text
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		} else {
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: name.text, Type: typ})
+			if p.acceptKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				if ct.Key != "" && !strings.EqualFold(ct.Key, name.text) {
+					return nil, syntaxErrf(name.pos, "conflicting PRIMARY KEY declarations")
+				}
+				ct.Key = name.text
+			}
+		}
+		if p.accept(tokComma) {
+			continue
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if ct.Key == "" {
+		return nil, syntaxErrf(p.cur().pos, "CREATE TABLE needs a PRIMARY KEY")
+	}
+	return ct, nil
+}
+
+// parseType reads a type name, including the generic set<int> form.
+func (p *parser) parseType() (string, error) {
+	base, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	if p.accept(tokLt) {
+		inner, err := p.expect(tokIdent)
+		if err != nil {
+			return "", err
+		}
+		if _, err := p.expect(tokGt); err != nil {
+			return "", err
+		}
+		return strings.ToLower(base.text) + "<" + strings.ToLower(inner.text) + ">", nil
+	}
+	return strings.ToLower(base.text), nil
+}
+
+func (p *parser) parseCreateIndex() (Statement, error) {
+	ine, err := p.parseIfNotExists()
+	if err != nil {
+		return nil, err
+	}
+	ci := CreateIndex{IfNotExists: ine}
+	// Optional index name before ON.
+	if p.cur().kind == tokIdent && !strings.EqualFold(p.cur().text, "ON") {
+		ci.IndexName = p.next().text
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	ci.Table = tn
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	ci.Column = col.text
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	ins := Insert{Table: tn}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ins.Columns = append(ins.Columns, col.text)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, e)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if len(ins.Columns) != len(ins.Values) {
+		return nil, syntaxErrf(p.cur().pos, "INSERT has %d columns but %d values",
+			len(ins.Columns), len(ins.Values))
+	}
+	return ins, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	sel := Select{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = tn
+	if p.acceptKeyword("WHERE") {
+		preds, err := p.parsePredicates()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = preds
+	}
+	if p.acceptKeyword("LIMIT") {
+		t, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, syntaxErrf(t.pos, "bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	if p.acceptKeyword("ALLOW") {
+		if err := p.expectKeyword("FILTERING"); err != nil {
+			return nil, err
+		}
+		sel.AllowFiltering = true
+	}
+	return sel, nil
+}
+
+var aggregateFuncs = map[string]bool{
+	"count": true, "min": true, "max": true, "sum": true, "avg": true,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokStar) {
+		return SelectItem{Star: true}, nil
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	if aggregateFuncs[strings.ToLower(name.text)] && p.accept(tokLParen) {
+		item := SelectItem{Func: strings.ToLower(name.text)}
+		if p.accept(tokStar) {
+			item.Star = true
+		} else {
+			col, err := p.expect(tokIdent)
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Column = col.text
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	return SelectItem{Column: name.text}, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	up := Update{Table: tn}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, Assignment{Column: col.text, Value: e})
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	preds, err := p.parsePredicates()
+	if err != nil {
+		return nil, err
+	}
+	up.Where = preds
+	return up, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tn, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	preds, err := p.parsePredicates()
+	if err != nil {
+		return nil, err
+	}
+	return Delete{Table: tn, Where: preds}, nil
+}
+
+func (p *parser) parsePredicates() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		var op string
+		switch {
+		case p.accept(tokEq):
+			op = "="
+		case p.accept(tokNe):
+			op = "!="
+		case p.accept(tokLe):
+			op = "<="
+		case p.accept(tokLt):
+			op = "<"
+		case p.accept(tokGe):
+			op = ">="
+		case p.accept(tokGt):
+			op = ">"
+		default:
+			return nil, syntaxErrf(p.cur().pos, "expected comparison operator, got %q", p.cur().text)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, Predicate{Column: col.text, Op: op, Value: e})
+		if p.acceptKeyword("AND") {
+			continue
+		}
+		return preds, nil
+	}
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokQuestion:
+		p.next()
+		return Expr{Placeholder: true}, nil
+	case tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Expr{}, syntaxErrf(t.pos, "bad integer %q", t.text)
+		}
+		return Expr{IsInt: true, Int: v}, nil
+	case tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Expr{}, syntaxErrf(t.pos, "bad float %q", t.text)
+		}
+		return Expr{IsFloat: true, Float: v}, nil
+	case tokString:
+		p.next()
+		return Expr{IsText: true, Text: t.text}, nil
+	case tokLBrace:
+		p.next()
+		e := Expr{IsSet: true}
+		if p.accept(tokRBrace) {
+			return e, nil
+		}
+		for {
+			it, err := p.expect(tokInt)
+			if err != nil {
+				return Expr{}, err
+			}
+			v, err := strconv.ParseInt(it.text, 10, 64)
+			if err != nil {
+				return Expr{}, syntaxErrf(it.pos, "bad set element %q", it.text)
+			}
+			e.Set = append(e.Set, v)
+			if p.accept(tokComma) {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return Expr{}, err
+		}
+		return e, nil
+	case tokIdent:
+		switch {
+		case strings.EqualFold(t.text, "true"):
+			p.next()
+			return Expr{IsBool: true, Bool: true}, nil
+		case strings.EqualFold(t.text, "false"):
+			p.next()
+			return Expr{IsBool: true, Bool: false}, nil
+		case strings.EqualFold(t.text, "null"):
+			p.next()
+			return Expr{Null: true}, nil
+		}
+	}
+	return Expr{}, syntaxErrf(t.pos, "expected a literal or '?', got %q", t.text)
+}

@@ -1,0 +1,87 @@
+// Package cql lexes and parses the CQL subset the reproduction needs: the
+// DDL and DML statements that appear in the paper's §3–§4 (CREATE KEYSPACE /
+// TABLE / INDEX, INSERT, SELECT, UPDATE, DELETE, USE, TRUNCATE), including
+// set<int> literals, ALLOW FILTERING and ? placeholders.
+package cql
+
+import "fmt"
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokComma
+	tokDot
+	tokSemi
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokStar
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokQuestion
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of statement"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokSemi:
+		return "';'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokStar:
+		return "'*'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokQuestion:
+		return "'?'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}

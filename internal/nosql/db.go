@@ -1,0 +1,957 @@
+package nosql
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options tune the engine.
+type Options struct {
+	// FlushThreshold is the memtable size in bytes that triggers an
+	// automatic flush to an SSTable. <= 0 selects 4 MiB.
+	FlushThreshold int64
+	// SyncWrites fsyncs the commit log on every batch (durable but slow).
+	SyncWrites bool
+	// MaxTablesBeforeCompact triggers a tiered compaction when a column
+	// family accumulates this many sstables. <= 0 selects 8.
+	MaxTablesBeforeCompact int
+	// GroupCommitIndexedBatches disables the modelled per-row write-path
+	// serialization for batches over tables with secondary indexes (see
+	// ApplyBatch). Off by default — the serialization is what reproduces
+	// Cassandra's slow indexed bulk loads (Table 5's NoSQL-Min row); the
+	// switch exists for the ablation benchmark.
+	GroupCommitIndexedBatches bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushThreshold <= 0 {
+		o.FlushThreshold = 4 << 20
+	}
+	if o.MaxTablesBeforeCompact <= 0 {
+		o.MaxTablesBeforeCompact = 8
+	}
+	return o
+}
+
+// DB is a columnar NoSQL database instance rooted at a directory. All
+// operations are safe for concurrent use; the engine uses a coarse
+// database-level mutex, which is honest about where this implementation
+// trades concurrency for clarity.
+type DB struct {
+	mu        sync.Mutex
+	dir       string
+	opts      Options
+	keyspaces map[string]*keyspace
+	log       *commitLog
+	seq       uint64
+	closed    bool
+}
+
+type keyspace struct {
+	name   string
+	tables map[string]*columnFamily // lower-cased name → CF (user tables only)
+}
+
+// catalog is the persisted DDL state (dir/catalog.json).
+type catalog struct {
+	Keyspaces []catalogKeyspace `json:"keyspaces"`
+}
+type catalogKeyspace struct {
+	Name   string         `json:"name"`
+	Tables []catalogTable `json:"tables"`
+}
+type catalogTable struct {
+	Name    string          `json:"name"`
+	Key     string          `json:"key"`
+	Columns []catalogColumn `json:"columns"`
+	Indexes []string        `json:"indexes,omitempty"`
+}
+type catalogColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Open opens (creating if needed) a database under dir, replaying the
+// commit log so that un-flushed writes from a previous process survive.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		dir:       dir,
+		opts:      opts,
+		keyspaces: make(map[string]*keyspace),
+	}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	// Replay mutations that post-date each CF's persisted watermark.
+	err := replayCommitLog(db.logPath(), func(m mutation) error {
+		if m.seq > db.seq {
+			db.seq = m.seq
+		}
+		cf, err := db.resolveCF(m.keyspace, m.table)
+		if err != nil {
+			return nil // table dropped since; skip
+		}
+		if m.seq > cf.watermark {
+			cf.apply(m)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ks := range db.keyspaces {
+		for _, cf := range ks.tables {
+			if cf.watermark > db.seq {
+				db.seq = cf.watermark
+			}
+			for _, idx := range cf.indexes {
+				if idx.cf.watermark > db.seq {
+					db.seq = idx.cf.watermark
+				}
+			}
+		}
+	}
+	log, err := openCommitLog(db.logPath(), opts.SyncWrites)
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	return db, nil
+}
+
+func (db *DB) logPath() string { return filepath.Join(db.dir, "commit.log") }
+
+func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+func (db *DB) loadCatalog() error {
+	data, err := os.ReadFile(db.catalogPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var cat catalog
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return fmt.Errorf("nosql: corrupt catalog: %w", err)
+	}
+	for _, cks := range cat.Keyspaces {
+		ks := &keyspace{name: cks.Name, tables: make(map[string]*columnFamily)}
+		db.keyspaces[strings.ToLower(cks.Name)] = ks
+		for _, ct := range cks.Tables {
+			cols := make([]Column, len(ct.Columns))
+			for i, cc := range ct.Columns {
+				kind, err := ParseKind(cc.Type)
+				if err != nil {
+					return err
+				}
+				cols[i] = Column{Name: cc.Name, Kind: kind}
+			}
+			schema, err := NewTableSchema(cks.Name, ct.Name, cols, ct.Key)
+			if err != nil {
+				return err
+			}
+			cf, err := newColumnFamily(schema, db.tableDir(cks.Name, ct.Name), false)
+			if err != nil {
+				return err
+			}
+			ks.tables[strings.ToLower(ct.Name)] = cf
+			for _, col := range ct.Indexes {
+				if err := db.attachIndex(cks.Name, cf, col); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) saveCatalog() error {
+	var cat catalog
+	ksNames := make([]string, 0, len(db.keyspaces))
+	for k := range db.keyspaces {
+		ksNames = append(ksNames, k)
+	}
+	sort.Strings(ksNames)
+	for _, kname := range ksNames {
+		ks := db.keyspaces[kname]
+		cks := catalogKeyspace{Name: ks.name}
+		tNames := make([]string, 0, len(ks.tables))
+		for t := range ks.tables {
+			tNames = append(tNames, t)
+		}
+		sort.Strings(tNames)
+		for _, tname := range tNames {
+			cf := ks.tables[tname]
+			ct := catalogTable{Name: cf.schema.Name, Key: cf.schema.Key}
+			for _, c := range cf.schema.Columns {
+				ct.Columns = append(ct.Columns, catalogColumn{Name: c.Name, Type: c.Kind.String()})
+			}
+			idxCols := make([]string, 0, len(cf.indexes))
+			for col := range cf.indexes {
+				idxCols = append(idxCols, col)
+			}
+			sort.Strings(idxCols)
+			ct.Indexes = idxCols
+			cks.Tables = append(cks.Tables, ct)
+		}
+		cat.Keyspaces = append(cat.Keyspaces, cks)
+	}
+	data, err := json.MarshalIndent(&cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := db.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.catalogPath())
+}
+
+func (db *DB) tableDir(ks, table string) string {
+	return filepath.Join(db.dir, strings.ToLower(ks), strings.ToLower(table))
+}
+
+func (db *DB) indexDir(ks, table, col string) string {
+	return filepath.Join(db.dir, strings.ToLower(ks), strings.ToLower(table)+"@"+strings.ToLower(col))
+}
+
+// attachIndex opens/creates the hidden CF for an index and registers it.
+func (db *DB) attachIndex(ksName string, cf *columnFamily, col string) error {
+	lcol := strings.ToLower(col)
+	hidden, err := newColumnFamily(
+		hiddenIndexSchema(ksName, cf.schema.Name+"@"+lcol),
+		db.indexDir(ksName, cf.schema.Name, lcol), true)
+	if err != nil {
+		return err
+	}
+	cf.indexes[lcol] = &secondaryIndex{column: lcol, cf: hidden}
+	return nil
+}
+
+// resolveCF finds the CF for a mutation's table name; "t@col" routes to the
+// hidden index CF of t's index on col.
+func (db *DB) resolveCF(ksName, table string) (*columnFamily, error) {
+	ks, ok := db.keyspaces[strings.ToLower(ksName)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchKeyspace, ksName)
+	}
+	base, col, isIdx := strings.Cut(strings.ToLower(table), "@")
+	cf, ok := ks.tables[base]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchTable, ksName, table)
+	}
+	if !isIdx {
+		return cf, nil
+	}
+	idx, ok := cf.indexes[col]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s(%s)", ErrNoSuchIndex, ksName, base, col)
+	}
+	return idx.cf, nil
+}
+
+// CreateKeyspace registers a new keyspace.
+func (db *DB) CreateKeyspace(name string, ifNotExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := checkIdent(name); err != nil {
+		return err
+	}
+	key := strings.ToLower(name)
+	if _, ok := db.keyspaces[key]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrKeyspaceExists, name)
+	}
+	db.keyspaces[key] = &keyspace{name: name, tables: make(map[string]*columnFamily)}
+	return db.saveCatalog()
+}
+
+// CreateTable registers a column family in an existing keyspace.
+func (db *DB) CreateTable(schema *TableSchema, ifNotExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	ks, ok := db.keyspaces[strings.ToLower(schema.Keyspace)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchKeyspace, schema.Keyspace)
+	}
+	key := strings.ToLower(schema.Name)
+	if _, ok := ks.tables[key]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s.%s", ErrTableExists, schema.Keyspace, schema.Name)
+	}
+	cf, err := newColumnFamily(schema, db.tableDir(schema.Keyspace, schema.Name), false)
+	if err != nil {
+		return err
+	}
+	ks.tables[key] = cf
+	return db.saveCatalog()
+}
+
+// CreateIndex adds a secondary index on one column. Existing rows are
+// back-filled, as Cassandra does on index creation.
+func (db *DB) CreateIndex(ksName, table, column string, ifNotExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	cf, err := db.resolveCF(ksName, table)
+	if err != nil {
+		return err
+	}
+	col, err := cf.schema.Column(column)
+	if err != nil {
+		return err
+	}
+	if col.Kind == KindIntSet {
+		return fmt.Errorf("%w: %s", ErrIndexUnsupported, column)
+	}
+	lcol := strings.ToLower(column)
+	if _, ok := cf.indexes[lcol]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s.%s(%s)", ErrIndexExists, ksName, table, column)
+	}
+	if strings.EqualFold(column, cf.schema.Key) {
+		return fmt.Errorf("%w: %s is the primary key", ErrIndexUnsupported, column)
+	}
+	if err := db.attachIndex(ksName, cf, lcol); err != nil {
+		return err
+	}
+	// Back-fill from existing rows.
+	idx := cf.indexes[lcol]
+	var muts []mutation
+	err = cf.scanLive(func(e entry) bool {
+		row, derr := decodeRow(cf.schema, e.value)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		v := row.Get(lcol)
+		if v.IsNull() {
+			return true
+		}
+		db.seq++
+		muts = append(muts, mutation{
+			seq:      db.seq,
+			keyspace: ksName,
+			table:    cf.schema.Name + "@" + lcol,
+			key:      indexEntryKey(v, e.key),
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(muts) > 0 {
+		if err := db.log.append(muts); err != nil {
+			return err
+		}
+		for _, m := range muts {
+			idx.cf.apply(m)
+		}
+		if err := db.maybeFlush(idx.cf); err != nil {
+			return err
+		}
+	}
+	return db.saveCatalog()
+}
+
+// lookupCF resolves a user table.
+func (db *DB) lookupCF(ksName, table string) (*columnFamily, error) {
+	if strings.Contains(table, "@") {
+		return nil, fmt.Errorf("%w: %s", ErrBadIdentifier, table)
+	}
+	return db.resolveCF(ksName, table)
+}
+
+// rowMutations validates a row and produces the base mutation plus any
+// secondary-index maintenance mutations. Index maintenance performs the
+// Cassandra-style read-before-write to retire stale entries — the cost that
+// dominates the paper's NoSQL-Min insert times.
+func (db *DB) rowMutations(ksName string, cf *columnFamily, row Row) ([]mutation, error) {
+	keyIdx := cf.schema.KeyIndex()
+	keyCol := cf.schema.Columns[keyIdx]
+	keyVal := row.Get(keyCol.Name)
+	if keyVal.IsNull() {
+		return nil, fmt.Errorf("%w: %s", ErrPrimaryKeyMissing, keyCol.Name)
+	}
+	clean := make(Row, len(row))
+	for name, v := range row {
+		cv, err := cf.schema.CheckValue(name, v)
+		if err != nil {
+			return nil, err
+		}
+		clean[strings.ToLower(name)] = cv
+	}
+	keyVal, _ = cf.schema.CheckValue(keyCol.Name, keyVal)
+	pk := keyVal.OrderedBytes()
+
+	var oldRow Row
+	if len(cf.indexes) > 0 {
+		if e, ok, err := cf.getLive(pk); err != nil {
+			return nil, err
+		} else if ok {
+			if oldRow, err = decodeRow(cf.schema, e.value); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	db.seq++
+	muts := []mutation{{
+		seq:      db.seq,
+		keyspace: ksName,
+		table:    cf.schema.Name,
+		key:      pk,
+		value:    encodeRow(cf.schema, clean),
+	}}
+	for lcol := range cf.indexes {
+		newVal := clean.Get(lcol)
+		var oldVal Value
+		if oldRow != nil {
+			oldVal = oldRow.Get(lcol)
+		}
+		if oldRow != nil && !oldVal.IsNull() && !oldVal.Equal(newVal) {
+			db.seq++
+			muts = append(muts, mutation{
+				seq:       db.seq,
+				keyspace:  ksName,
+				table:     cf.schema.Name + "@" + lcol,
+				key:       indexEntryKey(oldVal, pk),
+				tombstone: true,
+			})
+		}
+		if !newVal.IsNull() && (oldRow == nil || !oldVal.Equal(newVal)) {
+			db.seq++
+			muts = append(muts, mutation{
+				seq:      db.seq,
+				keyspace: ksName,
+				table:    cf.schema.Name + "@" + lcol,
+				key:      indexEntryKey(newVal, pk),
+			})
+		}
+	}
+	return muts, nil
+}
+
+// deleteMutations produces the tombstone mutations for one key.
+func (db *DB) deleteMutations(ksName string, cf *columnFamily, keyVal Value) ([]mutation, error) {
+	keyVal, err := cf.schema.CheckValue(cf.schema.Key, keyVal)
+	if err != nil {
+		return nil, err
+	}
+	pk := keyVal.OrderedBytes()
+	var oldRow Row
+	if len(cf.indexes) > 0 {
+		if e, ok, err := cf.getLive(pk); err != nil {
+			return nil, err
+		} else if ok {
+			if oldRow, err = decodeRow(cf.schema, e.value); err != nil {
+				return nil, err
+			}
+		}
+	}
+	db.seq++
+	muts := []mutation{{
+		seq:       db.seq,
+		keyspace:  ksName,
+		table:     cf.schema.Name,
+		key:       pk,
+		tombstone: true,
+	}}
+	for lcol := range cf.indexes {
+		if oldRow == nil {
+			continue
+		}
+		if v := oldRow.Get(lcol); !v.IsNull() {
+			db.seq++
+			muts = append(muts, mutation{
+				seq:       db.seq,
+				keyspace:  ksName,
+				table:     cf.schema.Name + "@" + lcol,
+				key:       indexEntryKey(v, pk),
+				tombstone: true,
+			})
+		}
+	}
+	return muts, nil
+}
+
+// commit logs and applies a mutation group, then flushes any column family
+// whose memtable crossed the threshold.
+func (db *DB) commit(muts []mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	if err := db.log.append(muts); err != nil {
+		return err
+	}
+	touched := make(map[*columnFamily]bool)
+	for _, m := range muts {
+		cf, err := db.resolveCF(m.keyspace, m.table)
+		if err != nil {
+			return err
+		}
+		cf.apply(m)
+		touched[cf] = true
+	}
+	for cf := range touched {
+		if err := db.maybeFlush(cf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) maybeFlush(cf *columnFamily) error {
+	if cf.mem.size() < db.opts.FlushThreshold {
+		return nil
+	}
+	if err := cf.flush(); err != nil {
+		return err
+	}
+	return cf.compactTiered(db.opts.MaxTablesBeforeCompact)
+}
+
+// Insert upserts one row.
+func (db *DB) Insert(ksName, table string, row Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return err
+	}
+	muts, err := db.rowMutations(ksName, cf, row)
+	if err != nil {
+		return err
+	}
+	return db.commit(muts)
+}
+
+// Delete removes one row by primary key.
+func (db *DB) Delete(ksName, table string, key Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return err
+	}
+	muts, err := db.deleteMutations(ksName, cf, key)
+	if err != nil {
+		return err
+	}
+	return db.commit(muts)
+}
+
+// Get point-reads one row by primary key.
+func (db *DB) Get(ksName, table string, key Value) (Row, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err = cf.schema.CheckValue(cf.schema.Key, key)
+	if err != nil {
+		return nil, false, err
+	}
+	e, ok, err := cf.getLive(key.OrderedBytes())
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row, err := decodeRow(cf.schema, e.value)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// Scan iterates every live row of a table in primary-key order.
+func (db *DB) Scan(ksName, table string, fn func(Row) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return err
+	}
+	var derr error
+	err = cf.scanLive(func(e entry) bool {
+		row, err := decodeRow(cf.schema, e.value)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(row)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// ScanRange iterates live rows whose primary key k satisfies
+// lo <= k < hi in key order; a NULL bound is unbounded on that side.
+func (db *DB) ScanRange(ksName, table string, lo, hi Value, fn func(Row) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return err
+	}
+	var loB, hiB []byte
+	if !lo.IsNull() {
+		if lo, err = cf.schema.CheckValue(cf.schema.Key, lo); err != nil {
+			return err
+		}
+		loB = lo.OrderedBytes()
+	}
+	if !hi.IsNull() {
+		if hi, err = cf.schema.CheckValue(cf.schema.Key, hi); err != nil {
+			return err
+		}
+		hiB = hi.OrderedBytes()
+	}
+	var derr error
+	err = cf.scanRange(loB, hiB, func(e entry) bool {
+		row, rerr := decodeRow(cf.schema, e.value)
+		if rerr != nil {
+			derr = rerr
+			return false
+		}
+		return fn(row)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// SelectByIndex returns the rows whose indexed column equals val.
+func (db *DB) SelectByIndex(ksName, table, column string, val Value) ([]Row, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return nil, err
+	}
+	lcol := strings.ToLower(column)
+	idx, ok := cf.indexes[lcol]
+	if !ok {
+		return nil, fmt.Errorf("%w: no index on %s.%s(%s)", ErrNeedFiltering, ksName, table, column)
+	}
+	val, err = cf.schema.CheckValue(column, val)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	var scanErr error
+	err = idx.cf.scanPrefix(indexPrefix(val), func(e entry) bool {
+		pk, perr := indexedPK(e.key)
+		if perr != nil {
+			scanErr = perr
+			return false
+		}
+		base, ok, gerr := cf.getLive(pk)
+		if gerr != nil {
+			scanErr = gerr
+			return false
+		}
+		if !ok {
+			return true // index entry outlived the row; skip
+		}
+		row, derr := decodeRow(cf.schema, base.value)
+		if derr != nil {
+			scanErr = derr
+			return false
+		}
+		if !row.Get(lcol).Equal(val) {
+			return true // stale entry from an unretired update
+		}
+		rows = append(rows, row)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// HasIndex reports whether table has a secondary index on column.
+func (db *DB) HasIndex(ksName, table, column string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return false
+	}
+	_, ok := cf.indexes[strings.ToLower(column)]
+	return ok
+}
+
+// Schema returns the schema of a table.
+func (db *DB) Schema(ksName, table string) (*TableSchema, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return nil, err
+	}
+	return cf.schema, nil
+}
+
+// HasTable reports whether the table exists.
+func (db *DB) HasTable(ksName, table string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, err := db.lookupCF(ksName, table)
+	return err == nil
+}
+
+// DropTable removes a table, its secondary indexes and their files.
+func (db *DB) DropTable(ksName, table string, ifExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	ks, ok := db.keyspaces[strings.ToLower(ksName)]
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNoSuchKeyspace, ksName)
+	}
+	key := strings.ToLower(table)
+	cf, ok := ks.tables[key]
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchTable, ksName, table)
+	}
+	cf.close()
+	os.RemoveAll(cf.dir)
+	for _, idx := range cf.indexes {
+		os.RemoveAll(idx.cf.dir)
+	}
+	delete(ks.tables, key)
+	return db.saveCatalog()
+}
+
+// DropKeyspace removes a keyspace and every table in it.
+func (db *DB) DropKeyspace(name string, ifExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	key := strings.ToLower(name)
+	ks, ok := db.keyspaces[key]
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNoSuchKeyspace, name)
+	}
+	for _, cf := range ks.tables {
+		cf.close()
+	}
+	os.RemoveAll(filepath.Join(db.dir, key))
+	delete(db.keyspaces, key)
+	return db.saveCatalog()
+}
+
+// FlushAll persists every memtable to SSTables and truncates the commit
+// log; afterwards the on-disk sstable sizes account for all data.
+func (db *DB) FlushAll() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushAllLocked()
+}
+
+func (db *DB) flushAllLocked() error {
+	for _, ks := range db.keyspaces {
+		for _, cf := range ks.tables {
+			if err := cf.flush(); err != nil {
+				return err
+			}
+			for _, idx := range cf.indexes {
+				if err := idx.cf.flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return db.log.truncate()
+}
+
+// Compact fully compacts one table and its indexes.
+func (db *DB) Compact(ksName, table string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return err
+	}
+	if err := cf.compact(); err != nil {
+		return err
+	}
+	for _, idx := range cf.indexes {
+		if err := idx.cf.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableDiskSize returns the on-disk bytes of a table including its
+// secondary indexes. Call FlushAll first to account for buffered writes.
+func (db *DB) TableDiskSize(ksName, table string) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cf, err := db.lookupCF(ksName, table)
+	if err != nil {
+		return 0, err
+	}
+	total := cf.diskSize()
+	for _, idx := range cf.indexes {
+		total += idx.cf.diskSize()
+	}
+	return total, nil
+}
+
+// KeyspaceDiskSize totals the on-disk bytes of every table in the keyspace.
+func (db *DB) KeyspaceDiskSize(ksName string) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ks, ok := db.keyspaces[strings.ToLower(ksName)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchKeyspace, ksName)
+	}
+	var total int64
+	for _, cf := range ks.tables {
+		total += cf.diskSize()
+		for _, idx := range cf.indexes {
+			total += idx.cf.diskSize()
+		}
+	}
+	return total, nil
+}
+
+// Tables lists the user tables of a keyspace.
+func (db *DB) Tables(ksName string) ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ks, ok := db.keyspaces[strings.ToLower(ksName)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchKeyspace, ksName)
+	}
+	var names []string
+	for _, cf := range ks.tables {
+		names = append(names, cf.schema.Name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Close flushes all state and releases file handles.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.flushAllLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	var first error
+	for _, ks := range db.keyspaces {
+		for _, cf := range ks.tables {
+			if err := cf.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if err := db.log.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// CloseAbrupt simulates a crash: buffered commit-log records reach the OS,
+// but memtables are NOT flushed to SSTables and the log is NOT truncated.
+// A subsequent Open must recover the data by replay. For failure-injection
+// tests.
+func (db *DB) CloseAbrupt() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	if err := db.log.flush(); err != nil {
+		first = err
+	}
+	for _, ks := range db.keyspaces {
+		for _, cf := range ks.tables {
+			if err := cf.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if err := db.log.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

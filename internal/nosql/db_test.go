@@ -1,0 +1,532 @@
+package nosql
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func testDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustCreateCellsTable(t *testing.T, db *DB, ks string) {
+	t.Helper()
+	if err := db.CreateKeyspace(ks, false); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := NewTableSchema(ks, "cells", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "key", Kind: KindText},
+		{Name: "measure", Kind: KindFloat},
+		{Name: "parent", Kind: KindInt},
+		{Name: "leaf", Kind: KindBool},
+		{Name: "kids", Kind: KindIntSet},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(schema, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBInsertGetScanDelete(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreateCellsTable(t, db, "dw")
+
+	for i := 0; i < 100; i++ {
+		err := db.Insert("dw", "cells", Row{
+			"id": Int(int64(i)), "key": Text(fmt.Sprintf("station-%d", i)),
+			"measure": Float(float64(i) * 1.5), "parent": Int(int64(i / 10)),
+			"leaf": Bool(i%2 == 0), "kids": IntSet(int64(i), int64(i+1)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	row, ok, err := db.Get("dw", "cells", Int(42))
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if row.Get("key").Text != "station-42" || row.Get("measure").Float != 63 {
+		t.Errorf("row = %v", row)
+	}
+
+	// Upsert overwrites.
+	if err := db.Insert("dw", "cells", Row{"id": Int(42), "key": Text("renamed")}); err != nil {
+		t.Fatal(err)
+	}
+	row, _, _ = db.Get("dw", "cells", Int(42))
+	if row.Get("key").Text != "renamed" {
+		t.Errorf("upsert: %v", row)
+	}
+	if !row.Get("measure").IsNull() {
+		t.Errorf("upsert replaces whole row (Cassandra INSERT overwrite): %v", row)
+	}
+
+	// Scan in key order.
+	var prev int64 = -1
+	n := 0
+	err = db.Scan("dw", "cells", func(r Row) bool {
+		id := r.Get("id").Int
+		if id <= prev {
+			t.Errorf("scan out of order: %d after %d", id, prev)
+		}
+		prev = id
+		n++
+		return true
+	})
+	if err != nil || n != 100 {
+		t.Fatalf("scan n=%d err=%v", n, err)
+	}
+
+	if err := db.Delete("dw", "cells", Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get("dw", "cells", Int(42)); ok {
+		t.Error("deleted row still visible")
+	}
+	n = 0
+	db.Scan("dw", "cells", func(Row) bool { n++; return true })
+	if n != 99 {
+		t.Errorf("scan after delete n=%d", n)
+	}
+}
+
+func TestDBErrors(t *testing.T) {
+	db := testDB(t, Options{})
+	if err := db.CreateKeyspace("dw", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateKeyspace("dw", false); !errors.Is(err, ErrKeyspaceExists) {
+		t.Errorf("dup keyspace: %v", err)
+	}
+	if err := db.CreateKeyspace("dw", true); err != nil {
+		t.Errorf("IF NOT EXISTS keyspace: %v", err)
+	}
+	if _, _, err := db.Get("nope", "t", Int(1)); !errors.Is(err, ErrNoSuchKeyspace) {
+		t.Errorf("missing ks: %v", err)
+	}
+	if _, _, err := db.Get("dw", "nope", Int(1)); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	mustCreateCellsTable(t, db, "dw2")
+	if err := db.Insert("dw2", "cells", Row{"key": Text("x")}); !errors.Is(err, ErrPrimaryKeyMissing) {
+		t.Errorf("missing pk: %v", err)
+	}
+	if err := db.Insert("dw2", "cells", Row{"id": Int(1), "key": Int(5)}); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("type mismatch: %v", err)
+	}
+	if err := db.Insert("dw2", "cells", Row{"id": Int(1), "nope": Int(5)}); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("unknown column: %v", err)
+	}
+}
+
+func TestSecondaryIndexLifecycle(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreateCellsTable(t, db, "dw")
+
+	// Rows exist before the index: back-fill must cover them.
+	for i := 0; i < 20; i++ {
+		err := db.Insert("dw", "cells", Row{
+			"id": Int(int64(i)), "parent": Int(int64(i % 4)), "key": Text("k"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CreateIndex("dw", "cells", "parent", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("dw", "cells", "parent", false); !errors.Is(err, ErrIndexExists) {
+		t.Errorf("dup index: %v", err)
+	}
+	if err := db.CreateIndex("dw", "cells", "kids", false); !errors.Is(err, ErrIndexUnsupported) {
+		t.Errorf("set index: %v", err)
+	}
+	if err := db.CreateIndex("dw", "cells", "id", false); !errors.Is(err, ErrIndexUnsupported) {
+		t.Errorf("pk index: %v", err)
+	}
+
+	rows, err := db.SelectByIndex("dw", "cells", "parent", Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("index lookup returned %d rows, want 5", len(rows))
+	}
+
+	// New inserts maintain the index.
+	if err := db.Insert("dw", "cells", Row{"id": Int(100), "parent": Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.SelectByIndex("dw", "cells", "parent", Int(2))
+	if len(rows) != 6 {
+		t.Errorf("after insert: %d rows, want 6", len(rows))
+	}
+
+	// Updates retire stale entries (read-before-write).
+	if err := db.Insert("dw", "cells", Row{"id": Int(100), "parent": Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.SelectByIndex("dw", "cells", "parent", Int(2))
+	if len(rows) != 5 {
+		t.Errorf("after update: %d rows under parent=2, want 5", len(rows))
+	}
+	rows, _ = db.SelectByIndex("dw", "cells", "parent", Int(3))
+	if len(rows) != 6 {
+		t.Errorf("after update: %d rows under parent=3, want 6", len(rows))
+	}
+
+	// Deletes retire entries too.
+	if err := db.Delete("dw", "cells", Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.SelectByIndex("dw", "cells", "parent", Int(3))
+	if len(rows) != 5 {
+		t.Errorf("after delete: %d rows, want 5", len(rows))
+	}
+
+	// Missing value → empty result, not error.
+	rows, err = db.SelectByIndex("dw", "cells", "parent", Int(99))
+	if err != nil || len(rows) != 0 {
+		t.Errorf("missing value: %d rows, %v", len(rows), err)
+	}
+	if _, err := db.SelectByIndex("dw", "cells", "key", Text("k")); !errors.Is(err, ErrNeedFiltering) {
+		t.Errorf("unindexed column: %v", err)
+	}
+}
+
+func TestBatchCommit(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreateCellsTable(t, db, "dw")
+	b := NewBatch()
+	for i := 0; i < 50; i++ {
+		b.Insert("dw", "cells", Row{"id": Int(int64(i)), "key": Text("bulk")})
+	}
+	if b.Len() != 50 {
+		t.Errorf("batch len = %d", b.Len())
+	}
+	if err := db.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	db.Scan("dw", "cells", func(Row) bool { n++; return true })
+	if n != 50 {
+		t.Errorf("rows after batch = %d", n)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("reset batch len = %d", b.Len())
+	}
+	b.Delete("dw", "cells", Int(0))
+	if err := db.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get("dw", "cells", Int(0)); ok {
+		t.Error("batched delete ignored")
+	}
+}
+
+func TestFlushCompactAndSizes(t *testing.T) {
+	db := testDB(t, Options{FlushThreshold: 2048, MaxTablesBeforeCompact: 100})
+	mustCreateCellsTable(t, db, "dw")
+	for i := 0; i < 2000; i++ {
+		err := db.Insert("dw", "cells", Row{
+			"id": Int(int64(i)), "key": Text(fmt.Sprintf("padding-padding-%d", i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The tiny threshold must have produced several sstables already.
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	size, err := db.TableDiskSize("dw", "cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Fatalf("disk size = %d", size)
+	}
+	ksSize, err := db.KeyspaceDiskSize("dw")
+	if err != nil || ksSize != size {
+		t.Errorf("keyspace size = %d vs table %d (%v)", ksSize, size, err)
+	}
+
+	// Delete half, compact: size shrinks and rows remain correct.
+	for i := 0; i < 1000; i++ {
+		if err := db.Delete("dw", "cells", Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact("dw", "cells"); err != nil {
+		t.Fatal(err)
+	}
+	size2, _ := db.TableDiskSize("dw", "cells")
+	if size2 >= size {
+		t.Errorf("compaction did not shrink: %d -> %d", size, size2)
+	}
+	n := 0
+	db.Scan("dw", "cells", func(Row) bool { n++; return true })
+	if n != 1000 {
+		t.Errorf("rows after compact = %d", n)
+	}
+}
+
+func TestTieredCompactionBoundsTablesAndPreservesData(t *testing.T) {
+	// A tiny flush threshold forces many flushes; tiered compaction must
+	// bound the sstable count while newest-wins stays correct across
+	// merged and unmerged runs.
+	db := testDB(t, Options{FlushThreshold: 2048, MaxTablesBeforeCompact: 6})
+	mustCreateCellsTable(t, db, "dw")
+	// Three generations of the same keys, so versions land in different
+	// sstables.
+	for gen := 0; gen < 3; gen++ {
+		for i := 0; i < 600; i++ {
+			err := db.Insert("dw", "cells", Row{
+				"id":  Int(int64(i)),
+				"key": Text(fmt.Sprintf("gen-%d-%04d-padpadpadpad", gen, i)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Delete a band of keys in the newest generation.
+	for i := 100; i < 200; i++ {
+		if err := db.Delete("dw", "cells", Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cf, err := db.lookupCF("dw", "cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.tables) > 12 {
+		t.Errorf("tiered compaction did not bound tables: %d", len(cf.tables))
+	}
+	// Every surviving key answers with its newest generation.
+	for _, i := range []int{0, 50, 99, 200, 300, 599} {
+		row, ok, err := db.Get("dw", "cells", Int(int64(i)))
+		if err != nil || !ok {
+			t.Fatalf("get %d: %v %v", i, ok, err)
+		}
+		if want := fmt.Sprintf("gen-2-%04d-padpadpadpad", i); row.Get("key").Text != want {
+			t.Errorf("key %d = %q, want %q", i, row.Get("key").Text, want)
+		}
+	}
+	for i := 100; i < 200; i += 25 {
+		if _, ok, _ := db.Get("dw", "cells", Int(int64(i))); ok {
+			t.Errorf("deleted key %d still visible", i)
+		}
+	}
+	n := 0
+	db.Scan("dw", "cells", func(Row) bool { n++; return true })
+	if n != 500 {
+		t.Errorf("scan count = %d, want 500", n)
+	}
+}
+
+func TestReopenPersistsData(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreateCellsTable(t, db, "dw")
+	if err := db.CreateIndex("dw", "cells", "parent", false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		db.Insert("dw", "cells", Row{"id": Int(int64(i)), "parent": Int(int64(i % 3))})
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	row, ok, err := db2.Get("dw", "cells", Int(7))
+	if err != nil || !ok || row.Get("parent").Int != 1 {
+		t.Fatalf("reopened get: %v %v %v", row, ok, err)
+	}
+	rows, err := db2.SelectByIndex("dw", "cells", "parent", Int(0))
+	if err != nil || len(rows) != 10 {
+		t.Errorf("reopened index: %d rows, %v", len(rows), err)
+	}
+}
+
+func TestCrashRecoveryViaCommitLog(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreateCellsTable(t, db, "dw")
+	for i := 0; i < 25; i++ {
+		db.Insert("dw", "cells", Row{"id": Int(int64(i)), "key": Text("pre-crash")})
+	}
+	// Crash: memtables are lost, only the commit log survives.
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	n := 0
+	db2.Scan("dw", "cells", func(r Row) bool {
+		if r.Get("key").Text != "pre-crash" {
+			t.Errorf("row corrupted: %v", r)
+		}
+		n++
+		return true
+	})
+	if n != 25 {
+		t.Errorf("recovered %d rows, want 25", n)
+	}
+	// Writes continue after recovery with consistent sequence numbers.
+	if err := db2.Insert("dw", "cells", Row{"id": Int(100), "key": Text("post")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db2.Get("dw", "cells", Int(100)); !ok {
+		t.Error("post-recovery insert lost")
+	}
+}
+
+func TestCrashRecoveryAfterFlushDoesNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreateCellsTable(t, db, "dw")
+	db.Insert("dw", "cells", Row{"id": Int(1), "key": Text("v1")})
+	if err := db.FlushAll(); err != nil { // persists v1, truncates the log
+		t.Fatal(err)
+	}
+	db.Insert("dw", "cells", Row{"id": Int(1), "key": Text("v2")})
+	db.Delete("dw", "cells", Int(1)) // tombstone in log only
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok, _ := db2.Get("dw", "cells", Int(1)); ok {
+		t.Error("deleted row resurrected after replay")
+	}
+}
+
+func TestGroupCommitIndexedBatchesEquivalence(t *testing.T) {
+	// The serialization switch changes commit granularity, never results.
+	for _, group := range []bool{false, true} {
+		db := testDB(t, Options{GroupCommitIndexedBatches: group})
+		mustCreateCellsTable(t, db, "dw")
+		if err := db.CreateIndex("dw", "cells", "parent", false); err != nil {
+			t.Fatal(err)
+		}
+		b := NewBatch()
+		for i := 0; i < 60; i++ {
+			b.Insert("dw", "cells", Row{"id": Int(int64(i)), "parent": Int(int64(i % 4))})
+		}
+		if err := db.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := db.SelectByIndex("dw", "cells", "parent", Int(2))
+		if err != nil || len(rows) != 15 {
+			t.Errorf("group=%t: %d rows, %v", group, len(rows), err)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	db := testDB(t, Options{FlushThreshold: 1024})
+	mustCreateCellsTable(t, db, "dw")
+	for i := 0; i < 200; i++ {
+		if err := db.Insert("dw", "cells", Row{"id": Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	err := db.ScanRange("dw", "cells", Int(50), Int(60), func(r Row) bool {
+		got = append(got, r.Get("id").Int)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 50 || got[9] != 59 {
+		t.Errorf("range = %v", got)
+	}
+	// Unbounded below, bounded above.
+	n := 0
+	db.ScanRange("dw", "cells", Null(), Int(5), func(Row) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("lo-unbounded = %d", n)
+	}
+	// Bounded below, unbounded above.
+	n = 0
+	db.ScanRange("dw", "cells", Int(195), Null(), func(Row) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("hi-unbounded = %d", n)
+	}
+	// Early stop.
+	n = 0
+	db.ScanRange("dw", "cells", Null(), Null(), func(Row) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop = %d", n)
+	}
+	// Type mismatch on bound.
+	if err := db.ScanRange("dw", "cells", Text("x"), Null(), func(Row) bool { return true }); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("bad bound: %v", err)
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreateCellsTable(t, db, "dw")
+	names, err := db.Tables("dw")
+	if err != nil || len(names) != 1 || names[0] != "cells" {
+		t.Errorf("Tables = %v, %v", names, err)
+	}
+	if _, err := db.Tables("nope"); !errors.Is(err, ErrNoSuchKeyspace) {
+		t.Errorf("missing ks: %v", err)
+	}
+}
+
+func TestClosedDBRejectsOps(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := db.CreateKeyspace("x", false); !errors.Is(err, ErrClosed) {
+		t.Errorf("create on closed: %v", err)
+	}
+	if err := db.Insert("x", "t", Row{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("insert on closed: %v", err)
+	}
+	if db.Close() != nil {
+		t.Error("double close should be nil")
+	}
+}

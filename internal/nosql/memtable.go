@@ -1,0 +1,63 @@
+package nosql
+
+import "sort"
+
+// entry is one versioned mutation: the newest value of a partition key in
+// the memtable, or one cell of an SSTable. Tombstone entries mark deletes.
+type entry struct {
+	key       []byte // OrderedBytes of the partition key value
+	value     []byte // encoded row; nil when tombstone
+	seq       uint64 // mutation sequence number, newest wins
+	tombstone bool
+}
+
+// memtable is the in-memory write buffer: a hash map of newest versions with
+// on-demand sorted iteration. Cassandra uses a skip list; a map plus sort at
+// flush time gives the same externally observable behaviour (newest-wins
+// point reads, sorted flush) with far less machinery.
+type memtable struct {
+	data  map[string]entry
+	bytes int64
+}
+
+func newMemtable() *memtable {
+	return &memtable{data: make(map[string]entry)}
+}
+
+// put records a mutation (value == nil means delete).
+func (m *memtable) put(key []byte, value []byte, seq uint64, tombstone bool) {
+	k := string(key)
+	if old, ok := m.data[k]; ok {
+		m.bytes -= int64(len(old.key) + len(old.value))
+		if old.seq > seq {
+			// Out-of-order replay: keep the newer version.
+			m.bytes += int64(len(old.key) + len(old.value))
+			return
+		}
+	}
+	e := entry{key: key, value: value, seq: seq, tombstone: tombstone}
+	m.data[k] = e
+	m.bytes += int64(len(key) + len(value))
+}
+
+// get returns the newest version of key, if buffered.
+func (m *memtable) get(key []byte) (entry, bool) {
+	e, ok := m.data[string(key)]
+	return e, ok
+}
+
+// len returns the number of buffered keys.
+func (m *memtable) len() int { return len(m.data) }
+
+// size returns the approximate buffered byte volume (flush trigger).
+func (m *memtable) size() int64 { return m.bytes }
+
+// sorted returns all entries in key order, tombstones included.
+func (m *memtable) sorted() []entry {
+	out := make([]entry, 0, len(m.data))
+	for _, e := range m.data {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i].key) < string(out[j].key) })
+	return out
+}

@@ -1,0 +1,180 @@
+package nosql
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Engine errors surfaced to callers and the CQL session.
+var (
+	ErrKeyspaceExists    = errors.New("nosql: keyspace already exists")
+	ErrNoSuchKeyspace    = errors.New("nosql: no such keyspace")
+	ErrTableExists       = errors.New("nosql: table already exists")
+	ErrNoSuchTable       = errors.New("nosql: no such table")
+	ErrNoSuchColumn      = errors.New("nosql: no such column")
+	ErrBadPrimaryKey     = errors.New("nosql: invalid primary key")
+	ErrTypeMismatch      = errors.New("nosql: value type does not match column type")
+	ErrIndexExists       = errors.New("nosql: index already exists")
+	ErrNoSuchIndex       = errors.New("nosql: no such index")
+	ErrNeedFiltering     = errors.New("nosql: predicate needs ALLOW FILTERING or an index")
+	ErrClosed            = errors.New("nosql: database is closed")
+	ErrBadIdentifier     = errors.New("nosql: invalid identifier")
+	ErrIndexUnsupported  = errors.New("nosql: cannot index this column type")
+	ErrPrimaryKeyMissing = errors.New("nosql: INSERT must provide the primary key column")
+)
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+func checkIdent(name string) error {
+	if !identRe.MatchString(name) {
+		return fmt.Errorf("%w: %q", ErrBadIdentifier, name)
+	}
+	return nil
+}
+
+// Column describes one column of a column family.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// TableSchema describes a column family: its ordered columns and the single
+// partition-key column (the paper's schemas all use a single int id key).
+type TableSchema struct {
+	Keyspace string
+	Name     string
+	Columns  []Column
+	// Key is the primary (partition) key column name.
+	Key string
+}
+
+// NewTableSchema validates and builds a schema.
+func NewTableSchema(keyspace, name string, cols []Column, key string) (*TableSchema, error) {
+	if err := checkIdent(keyspace); err != nil {
+		return nil, err
+	}
+	if err := checkIdent(name); err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: table %s has no columns", ErrBadPrimaryKey, name)
+	}
+	seen := map[string]bool{}
+	keyFound := false
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if err := checkIdent(c.Name); err != nil {
+			return nil, err
+		}
+		if seen[lc] {
+			return nil, fmt.Errorf("nosql: duplicate column %q", c.Name)
+		}
+		seen[lc] = true
+		if lc == strings.ToLower(key) {
+			keyFound = true
+			if c.Kind == KindIntSet {
+				return nil, fmt.Errorf("%w: set column %q cannot be the key", ErrBadPrimaryKey, key)
+			}
+		}
+	}
+	if !keyFound {
+		return nil, fmt.Errorf("%w: key column %q not among columns", ErrBadPrimaryKey, key)
+	}
+	s := &TableSchema{Keyspace: keyspace, Name: name, Columns: cols, Key: key}
+	return s, nil
+}
+
+// ColumnIndex returns the position of a column (case-insensitive), or -1.
+func (s *TableSchema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the column metadata by name.
+func (s *TableSchema) Column(name string) (Column, error) {
+	if i := s.ColumnIndex(name); i >= 0 {
+		return s.Columns[i], nil
+	}
+	return Column{}, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Name, name)
+}
+
+// KeyIndex returns the position of the primary key column.
+func (s *TableSchema) KeyIndex() int { return s.ColumnIndex(s.Key) }
+
+// CheckValue verifies that v is assignable to the named column. Integer
+// values are accepted for float columns (widening), mirroring CQL literals.
+func (s *TableSchema) CheckValue(name string, v Value) (Value, error) {
+	col, err := s.Column(name)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() {
+		return v, nil
+	}
+	if col.Kind == KindFloat && v.Kind == KindInt {
+		return Float(float64(v.Int)), nil
+	}
+	if v.Kind != col.Kind {
+		return Value{}, fmt.Errorf("%w: column %s is %s, got %s",
+			ErrTypeMismatch, name, col.Kind, v.Kind)
+	}
+	return v, nil
+}
+
+// Row is a decoded row: column name (lower-case) to value. Absent columns
+// are NULL.
+type Row map[string]Value
+
+// Get returns the value of a column, NULL when absent.
+func (r Row) Get(name string) Value {
+	if v, ok := r[strings.ToLower(name)]; ok {
+		return v
+	}
+	return Null()
+}
+
+// encodeRow serializes a row following the schema's column order: a presence
+// bitmap then each present value.
+func encodeRow(s *TableSchema, r Row) []byte {
+	nbits := (len(s.Columns) + 7) / 8
+	out := make([]byte, nbits, nbits+len(s.Columns)*8)
+	for i, c := range s.Columns {
+		v := r.Get(c.Name)
+		if v.IsNull() {
+			continue
+		}
+		out[i/8] |= 1 << (i % 8)
+		out = appendValue(out, v)
+	}
+	return out
+}
+
+// decodeRow deserializes a row encoded by encodeRow.
+func decodeRow(s *TableSchema, data []byte) (Row, error) {
+	nbits := (len(s.Columns) + 7) / 8
+	if len(data) < nbits {
+		return nil, ErrValueCorrupt
+	}
+	bitmap := data[:nbits]
+	rest := data[nbits:]
+	row := make(Row, len(s.Columns))
+	for i, c := range s.Columns {
+		if bitmap[i/8]&(1<<(i%8)) == 0 {
+			continue
+		}
+		var v Value
+		var err error
+		v, rest, err = decodeValue(rest)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", c.Name, err)
+		}
+		row[strings.ToLower(c.Name)] = v
+	}
+	return row, nil
+}

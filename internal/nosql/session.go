@@ -1,0 +1,544 @@
+package nosql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/nosql/cql"
+)
+
+// Session executes CQL statements against a DB, holding the USE-selected
+// default keyspace. It is the programmatic equivalent of cqlsh.
+type Session struct {
+	db        *DB
+	defaultKS string
+}
+
+// Session errors.
+var (
+	ErrBindCount       = errors.New("nosql: wrong number of bound arguments")
+	ErrBindType        = errors.New("nosql: cannot bind argument type")
+	ErrNoKeyspace      = errors.New("nosql: no keyspace selected (USE one or qualify the table)")
+	ErrUnsupportedCQL  = errors.New("nosql: unsupported statement shape")
+	ErrWhereUnsupport  = errors.New("nosql: unsupported WHERE shape")
+	ErrAggregateShape  = errors.New("nosql: aggregates cannot mix with plain columns")
+	ErrAggregateColumn = errors.New("nosql: aggregate over non-numeric column")
+)
+
+// NewSession wraps a DB.
+func NewSession(db *DB) *Session { return &Session{db: db} }
+
+// Result is the outcome of a statement: for SELECT, the projected rows in
+// order plus the projected column names.
+type Result struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Execute parses and runs one statement. ? placeholders bind to args in
+// order; supported binding types are int, int64, string, bool, float64,
+// []int64 and Value.
+func (s *Session) Execute(stmt string, args ...any) (*Result, error) {
+	parsed, err := cql.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	binder := &argBinder{args: args}
+	res, err := s.exec(parsed, binder)
+	if err != nil {
+		return nil, err
+	}
+	if binder.pos != len(binder.args) {
+		return nil, fmt.Errorf("%w: %d placeholders, %d arguments", ErrBindCount, binder.pos, len(binder.args))
+	}
+	return res, nil
+}
+
+type argBinder struct {
+	args []any
+	pos  int
+}
+
+func (b *argBinder) next() (Value, error) {
+	if b.pos >= len(b.args) {
+		return Value{}, fmt.Errorf("%w: not enough arguments", ErrBindCount)
+	}
+	a := b.args[b.pos]
+	b.pos++
+	switch v := a.(type) {
+	case nil:
+		return Null(), nil
+	case int:
+		return Int(int64(v)), nil
+	case int32:
+		return Int(int64(v)), nil
+	case int64:
+		return Int(v), nil
+	case string:
+		return Text(v), nil
+	case bool:
+		return Bool(v), nil
+	case float64:
+		return Float(v), nil
+	case []int64:
+		return IntSet(v...), nil
+	case Value:
+		return v, nil
+	default:
+		return Value{}, fmt.Errorf("%w: %T", ErrBindType, a)
+	}
+}
+
+// resolveExpr converts a parsed expression (or placeholder) to a Value.
+func (b *argBinder) resolveExpr(e cql.Expr) (Value, error) {
+	switch {
+	case e.Placeholder:
+		return b.next()
+	case e.Null:
+		return Null(), nil
+	case e.IsInt:
+		return Int(e.Int), nil
+	case e.IsFloat:
+		return Float(e.Float), nil
+	case e.IsText:
+		return Text(e.Text), nil
+	case e.IsBool:
+		return Bool(e.Bool), nil
+	case e.IsSet:
+		return IntSet(e.Set...), nil
+	default:
+		return Null(), nil
+	}
+}
+
+func (s *Session) qualify(tn cql.TableName) (string, string, error) {
+	ks := tn.Keyspace
+	if ks == "" {
+		ks = s.defaultKS
+	}
+	if ks == "" {
+		return "", "", ErrNoKeyspace
+	}
+	return ks, tn.Table, nil
+}
+
+func (s *Session) exec(stmt cql.Statement, b *argBinder) (*Result, error) {
+	switch st := stmt.(type) {
+	case cql.Use:
+		if _, ok := s.db.keyspaces[strings.ToLower(st.Keyspace)]; !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchKeyspace, st.Keyspace)
+		}
+		s.defaultKS = st.Keyspace
+		return &Result{}, nil
+
+	case cql.CreateKeyspace:
+		return &Result{}, s.db.CreateKeyspace(st.Name, st.IfNotExists)
+
+	case cql.CreateTable:
+		ks, table, err := s.qualify(st.Name)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]Column, len(st.Columns))
+		for i, cd := range st.Columns {
+			kind, err := ParseKind(cd.Type)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = Column{Name: cd.Name, Kind: kind}
+		}
+		schema, err := NewTableSchema(ks, table, cols, st.Key)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, s.db.CreateTable(schema, st.IfNotExists)
+
+	case cql.CreateIndex:
+		ks, table, err := s.qualify(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, s.db.CreateIndex(ks, table, st.Column, st.IfNotExists)
+
+	case cql.Insert:
+		ks, table, err := s.qualify(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		row := make(Row, len(st.Columns))
+		for i, col := range st.Columns {
+			v, err := b.resolveExpr(st.Values[i])
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() {
+				row[strings.ToLower(col)] = v
+			}
+		}
+		return &Result{}, s.db.Insert(ks, table, row)
+
+	case cql.Select:
+		return s.execSelect(st, b)
+
+	case cql.Update:
+		return s.execUpdate(st, b)
+
+	case cql.Delete:
+		ks, table, err := s.qualify(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := s.db.Schema(ks, table)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Where) != 1 || st.Where[0].Op != "=" ||
+			!strings.EqualFold(st.Where[0].Column, schema.Key) {
+			return nil, fmt.Errorf("%w: DELETE needs WHERE %s = ?", ErrWhereUnsupport, schema.Key)
+		}
+		key, err := b.resolveExpr(st.Where[0].Value)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, s.db.Delete(ks, table, key)
+
+	case cql.Truncate:
+		ks, table, err := s.qualify(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, s.truncate(ks, table)
+
+	case cql.DropTable:
+		ks, table, err := s.qualify(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, s.db.DropTable(ks, table, st.IfExists)
+
+	case cql.DropKeyspace:
+		if strings.EqualFold(s.defaultKS, st.Keyspace) {
+			s.defaultKS = ""
+		}
+		return &Result{}, s.db.DropKeyspace(st.Keyspace, st.IfExists)
+
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupportedCQL, stmt)
+	}
+}
+
+// truncate deletes every row of a table (scan + tombstones).
+func (s *Session) truncate(ks, table string) error {
+	schema, err := s.db.Schema(ks, table)
+	if err != nil {
+		return err
+	}
+	var keys []Value
+	err = s.db.Scan(ks, table, func(r Row) bool {
+		keys = append(keys, r.Get(schema.Key))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	batch := NewBatch()
+	for _, k := range keys {
+		batch.Delete(ks, table, k)
+	}
+	return s.db.ApplyBatch(batch)
+}
+
+// execSelect plans a SELECT: primary-key point read, secondary-index read,
+// or (with ALLOW FILTERING) a filtered scan — Cassandra's rules.
+func (s *Session) execSelect(st cql.Select, b *argBinder) (*Result, error) {
+	ks, table, err := s.qualify(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := s.db.Schema(ks, table)
+	if err != nil {
+		return nil, err
+	}
+
+	type boundPred struct {
+		col string
+		op  string
+		val Value
+	}
+	preds := make([]boundPred, len(st.Where))
+	for i, p := range st.Where {
+		v, err := b.resolveExpr(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := schema.Column(p.Column); err != nil {
+			return nil, err
+		}
+		preds[i] = boundPred{col: strings.ToLower(p.Column), op: p.Op, val: v}
+	}
+
+	// Choose the access path: an equality on the primary key beats an
+	// equality on an indexed column; otherwise a full scan needs ALLOW
+	// FILTERING (unless there is no predicate at all).
+	var candidates []Row
+	planned := -1
+	for i, p := range preds {
+		if p.op == "=" && strings.EqualFold(p.col, schema.Key) {
+			row, ok, err := s.db.Get(ks, table, p.val)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				candidates = []Row{row}
+			}
+			planned = i
+			break
+		}
+	}
+	if planned < 0 {
+		for i, p := range preds {
+			if p.op == "=" && s.db.HasIndex(ks, table, p.col) {
+				rows, err := s.db.SelectByIndex(ks, table, p.col, p.val)
+				if err != nil {
+					return nil, err
+				}
+				candidates = rows
+				planned = i
+				break
+			}
+		}
+	}
+	if planned < 0 {
+		if len(preds) > 0 && !st.AllowFiltering {
+			return nil, fmt.Errorf("%w: add ALLOW FILTERING or an index on a predicate column",
+				ErrNeedFiltering)
+		}
+		err := s.db.Scan(ks, table, func(r Row) bool {
+			candidates = append(candidates, r)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Apply the remaining predicates as filters.
+	matches := candidates[:0]
+	for _, row := range candidates {
+		ok := true
+		for i, p := range preds {
+			if i == planned {
+				continue
+			}
+			if !predicateHolds(row.Get(p.col), p.op, p.val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matches = append(matches, row)
+		}
+	}
+
+	// Aggregates vs. plain projection.
+	hasAgg := false
+	for _, it := range st.Items {
+		if it.Func != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		for _, it := range st.Items {
+			if it.Func == "" {
+				return nil, ErrAggregateShape
+			}
+		}
+		return aggregateResult(st.Items, matches)
+	}
+
+	if st.Limit > 0 && len(matches) > st.Limit {
+		matches = matches[:st.Limit]
+	}
+	var cols []string
+	star := false
+	for _, it := range st.Items {
+		if it.Star {
+			star = true
+			break
+		}
+		cols = append(cols, strings.ToLower(it.Column))
+	}
+	if star {
+		cols = cols[:0]
+		for _, c := range schema.Columns {
+			cols = append(cols, strings.ToLower(c.Name))
+		}
+	} else {
+		for _, c := range cols {
+			if _, err := schema.Column(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]Row, len(matches))
+	for i, row := range matches {
+		proj := make(Row, len(cols))
+		for _, c := range cols {
+			if v := row.Get(c); !v.IsNull() {
+				proj[c] = v
+			}
+		}
+		out[i] = proj
+	}
+	return &Result{Columns: cols, Rows: out}, nil
+}
+
+func predicateHolds(v Value, op string, want Value) bool {
+	// NULL never satisfies a comparison except != of a non-null value.
+	if v.IsNull() {
+		return op == "!=" && !want.IsNull()
+	}
+	if v.Kind == KindInt && want.Kind == KindFloat {
+		v = Float(float64(v.Int))
+	}
+	if v.Kind == KindFloat && want.Kind == KindInt {
+		want = Float(float64(want.Int))
+	}
+	c := v.Compare(want)
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+func aggregateResult(items []cql.SelectItem, rows []Row) (*Result, error) {
+	outRow := make(Row, len(items))
+	var cols []string
+	for _, it := range items {
+		name := it.Func + "(" + strings.ToLower(it.Column) + ")"
+		if it.Star {
+			name = it.Func + "(*)"
+		}
+		cols = append(cols, name)
+		if it.Func == "count" {
+			n := 0
+			for _, r := range rows {
+				if it.Star || !r.Get(it.Column).IsNull() {
+					n++
+				}
+			}
+			outRow[name] = Int(int64(n))
+			continue
+		}
+		var best Value
+		var sum float64
+		var cnt int64
+		for _, r := range rows {
+			v := r.Get(it.Column)
+			if v.IsNull() {
+				continue
+			}
+			switch v.Kind {
+			case KindInt:
+				sum += float64(v.Int)
+			case KindFloat:
+				sum += v.Float
+			default:
+				if it.Func == "sum" || it.Func == "avg" {
+					return nil, fmt.Errorf("%w: %s", ErrAggregateColumn, it.Column)
+				}
+			}
+			cnt++
+			if best.IsNull() ||
+				(it.Func == "min" && v.Compare(best) < 0) ||
+				(it.Func == "max" && v.Compare(best) > 0) {
+				best = v
+			}
+		}
+		switch it.Func {
+		case "min", "max":
+			outRow[name] = best
+		case "sum":
+			outRow[name] = Float(sum)
+		case "avg":
+			if cnt == 0 {
+				outRow[name] = Null()
+			} else {
+				outRow[name] = Float(sum / float64(cnt))
+			}
+		}
+	}
+	return &Result{Columns: cols, Rows: []Row{outRow}}, nil
+}
+
+// MustExecute is Execute for setup code known to be valid; it panics on
+// error (used in tests and examples).
+func (s *Session) MustExecute(stmt string, args ...any) *Result {
+	res, err := s.Execute(stmt, args...)
+	if err != nil {
+		panic(fmt.Sprintf("cql %q: %v", stmt, err))
+	}
+	return res
+}
+
+// execUpdate merges SET assignments into the existing row (or creates one —
+// CQL UPDATE is an upsert).
+func (s *Session) execUpdate(st cql.Update, b *argBinder) (*Result, error) {
+	ks, table, err := s.qualify(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := s.db.Schema(ks, table)
+	if err != nil {
+		return nil, err
+	}
+	// Bind assignments first: their placeholders precede the WHERE ones.
+	row := make(Row, len(st.Set)+1)
+	for _, asg := range st.Set {
+		v, err := b.resolveExpr(asg.Value)
+		if err != nil {
+			return nil, err
+		}
+		row[strings.ToLower(asg.Column)] = v
+	}
+	if len(st.Where) != 1 || st.Where[0].Op != "=" ||
+		!strings.EqualFold(st.Where[0].Column, schema.Key) {
+		return nil, fmt.Errorf("%w: UPDATE needs WHERE %s = ?", ErrWhereUnsupport, schema.Key)
+	}
+	key, err := b.resolveExpr(st.Where[0].Value)
+	if err != nil {
+		return nil, err
+	}
+	old, ok, err := s.db.Get(ks, table, key)
+	if err != nil {
+		return nil, err
+	}
+	merged := make(Row)
+	if ok {
+		for k, v := range old {
+			merged[k] = v
+		}
+	}
+	for k, v := range row {
+		if v.IsNull() {
+			delete(merged, k)
+		} else {
+			merged[k] = v
+		}
+	}
+	merged[strings.ToLower(schema.Key)] = key
+	return &Result{}, s.db.Insert(ks, table, merged)
+}

@@ -1,0 +1,251 @@
+package nosql
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nosql/cql"
+)
+
+func testSession(t *testing.T) *Session {
+	t.Helper()
+	return NewSession(testDB(t, Options{}))
+}
+
+// TestPaperFigure3Insert executes the paper's Fig. 3 CQL verbatim (modulo
+// the aggregate columns our richer measures add) against a DWARF_CELL table.
+func TestPaperFigure3Insert(t *testing.T) {
+	s := testSession(t)
+	s.MustExecute("CREATE KEYSPACE dwarf")
+	s.MustExecute("USE dwarf")
+	s.MustExecute(`CREATE TABLE DWARF_CELL (
+		id int PRIMARY KEY, key text, measure int, parentNode int,
+		pointerNode int, leaf boolean, schema_id int, dimension_table_name text)`)
+	s.MustExecute(`INSERT INTO DWARF_CELL (id, key, measure, parentNode,
+		pointerNode, leaf, schema_id, dimension_table_name)
+		VALUES (3, 'Fenian St', 3, 3, null, true, 1, 'Station')`)
+
+	res := s.MustExecute("SELECT key, measure, leaf FROM DWARF_CELL WHERE id = 3")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Get("key").Text != "Fenian St" || row.Get("measure").Int != 3 || !row.Get("leaf").Bool {
+		t.Errorf("row = %v", row)
+	}
+	if !row.Get("pointernode").IsNull() {
+		// projected columns only — pointerNode wasn't selected
+		t.Errorf("pointerNode should be absent: %v", row)
+	}
+}
+
+func TestSessionPlaceholders(t *testing.T) {
+	s := testSession(t)
+	s.MustExecute("CREATE KEYSPACE ks")
+	s.MustExecute("USE ks")
+	s.MustExecute("CREATE TABLE t (id int PRIMARY KEY, name text, kids set<int>, f double)")
+	if _, err := s.Execute("INSERT INTO t (id, name, kids, f) VALUES (?, ?, ?, ?)",
+		int64(1), "x", []int64{3, 1}, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	res := s.MustExecute("SELECT * FROM t WHERE id = ?", 1)
+	if len(res.Rows) != 1 || !res.Rows[0].Get("kids").Equal(IntSet(1, 3)) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Wrong arg count.
+	if _, err := s.Execute("SELECT * FROM t WHERE id = ?"); !errors.Is(err, ErrBindCount) {
+		t.Errorf("missing arg: %v", err)
+	}
+	if _, err := s.Execute("SELECT * FROM t WHERE id = ?", 1, 2); !errors.Is(err, ErrBindCount) {
+		t.Errorf("extra arg: %v", err)
+	}
+	if _, err := s.Execute("INSERT INTO t (id) VALUES (?)", struct{}{}); !errors.Is(err, ErrBindType) {
+		t.Errorf("bad type: %v", err)
+	}
+}
+
+func TestSessionSelectPlans(t *testing.T) {
+	s := testSession(t)
+	s.MustExecute("CREATE KEYSPACE ks")
+	s.MustExecute("CREATE TABLE ks.cells (id int PRIMARY KEY, parent int, name text)")
+	for i := 0; i < 30; i++ {
+		s.MustExecute("INSERT INTO ks.cells (id, parent, name) VALUES (?, ?, ?)",
+			i, i%3, "n")
+	}
+	// Non-indexed predicate requires ALLOW FILTERING.
+	if _, err := s.Execute("SELECT * FROM ks.cells WHERE parent = 1"); !errors.Is(err, ErrNeedFiltering) {
+		t.Errorf("want ErrNeedFiltering, got %v", err)
+	}
+	res := s.MustExecute("SELECT id FROM ks.cells WHERE parent = 1 ALLOW FILTERING")
+	if len(res.Rows) != 10 {
+		t.Errorf("filtering rows = %d", len(res.Rows))
+	}
+	// With an index the same query plans through it.
+	s.MustExecute("CREATE INDEX ON ks.cells (parent)")
+	res = s.MustExecute("SELECT id FROM ks.cells WHERE parent = 1")
+	if len(res.Rows) != 10 {
+		t.Errorf("indexed rows = %d", len(res.Rows))
+	}
+	// Compound predicate: index path + residual filter.
+	res = s.MustExecute("SELECT id FROM ks.cells WHERE parent = 1 AND id >= 16")
+	if len(res.Rows) != 5 {
+		t.Errorf("compound rows = %d", len(res.Rows))
+	}
+	// LIMIT.
+	res = s.MustExecute("SELECT id FROM ks.cells LIMIT 7")
+	if len(res.Rows) != 7 {
+		t.Errorf("limit rows = %d", len(res.Rows))
+	}
+	// Range predicates with filtering.
+	res = s.MustExecute("SELECT id FROM ks.cells WHERE id < 5 AND id != 2 ALLOW FILTERING")
+	if len(res.Rows) != 4 {
+		t.Errorf("range rows = %d", len(res.Rows))
+	}
+}
+
+func TestSessionAggregates(t *testing.T) {
+	s := testSession(t)
+	s.MustExecute("CREATE KEYSPACE ks")
+	s.MustExecute("USE ks")
+	s.MustExecute("CREATE TABLE t (id int PRIMARY KEY, v int)")
+	for i := 1; i <= 10; i++ {
+		s.MustExecute("INSERT INTO t (id, v) VALUES (?, ?)", i, i*10)
+	}
+	res := s.MustExecute("SELECT COUNT(*) FROM t")
+	if res.Rows[0].Get("count(*)").Int != 10 {
+		t.Errorf("count = %v", res.Rows[0])
+	}
+	res = s.MustExecute("SELECT MAX(id), MIN(v), SUM(v), AVG(v) FROM t")
+	row := res.Rows[0]
+	if row.Get("max(id)").Int != 10 || row.Get("min(v)").Int != 10 {
+		t.Errorf("max/min = %v", row)
+	}
+	if row.Get("sum(v)").Float != 550 || row.Get("avg(v)").Float != 55 {
+		t.Errorf("sum/avg = %v", row)
+	}
+	// The mapper's next-id query shape.
+	res = s.MustExecute("SELECT MAX(id) FROM t WHERE v >= 0 ALLOW FILTERING")
+	if res.Rows[0].Get("max(id)").Int != 10 {
+		t.Errorf("max with filter = %v", res.Rows[0])
+	}
+	if _, err := s.Execute("SELECT id, COUNT(*) FROM t"); !errors.Is(err, ErrAggregateShape) {
+		t.Errorf("mixed agg: %v", err)
+	}
+}
+
+func TestSessionUpdateDeleteTruncate(t *testing.T) {
+	s := testSession(t)
+	s.MustExecute("CREATE KEYSPACE ks")
+	s.MustExecute("USE ks")
+	s.MustExecute("CREATE TABLE t (id int PRIMARY KEY, a text, b int)")
+	s.MustExecute("INSERT INTO t (id, a, b) VALUES (1, 'x', 5)")
+
+	// UPDATE merges (unlike INSERT, which replaces).
+	s.MustExecute("UPDATE t SET a = 'y' WHERE id = 1")
+	res := s.MustExecute("SELECT * FROM t WHERE id = 1")
+	if res.Rows[0].Get("a").Text != "y" || res.Rows[0].Get("b").Int != 5 {
+		t.Errorf("update lost columns: %v", res.Rows[0])
+	}
+	// UPDATE is an upsert.
+	s.MustExecute("UPDATE t SET a = 'new' WHERE id = 2")
+	res = s.MustExecute("SELECT * FROM t WHERE id = 2")
+	if len(res.Rows) != 1 || res.Rows[0].Get("a").Text != "new" {
+		t.Errorf("upsert: %v", res.Rows)
+	}
+	// Paper §4: UPDATE the schema row's size after bulk load.
+	s.MustExecute("UPDATE t SET b = ? WHERE id = ?", 99, 1)
+	res = s.MustExecute("SELECT b FROM t WHERE id = 1")
+	if res.Rows[0].Get("b").Int != 99 {
+		t.Errorf("update with placeholders: %v", res.Rows[0])
+	}
+
+	s.MustExecute("DELETE FROM t WHERE id = 1")
+	res = s.MustExecute("SELECT * FROM t WHERE id = 1")
+	if len(res.Rows) != 0 {
+		t.Errorf("delete: %v", res.Rows)
+	}
+
+	s.MustExecute("TRUNCATE t")
+	res = s.MustExecute("SELECT COUNT(*) FROM t")
+	if res.Rows[0].Get("count(*)").Int != 0 {
+		t.Errorf("truncate: %v", res.Rows[0])
+	}
+}
+
+func TestSessionUseAndQualification(t *testing.T) {
+	s := testSession(t)
+	if _, err := s.Execute("SELECT * FROM unqualified"); !errors.Is(err, ErrNoKeyspace) {
+		t.Errorf("no keyspace: %v", err)
+	}
+	if _, err := s.Execute("USE missing"); !errors.Is(err, ErrNoSuchKeyspace) {
+		t.Errorf("USE missing: %v", err)
+	}
+	s.MustExecute("CREATE KEYSPACE IF NOT EXISTS ks WITH replication = whatever")
+	s.MustExecute("USE ks")
+	s.MustExecute("CREATE TABLE IF NOT EXISTS t (id int PRIMARY KEY)")
+	s.MustExecute("CREATE TABLE IF NOT EXISTS t (id int PRIMARY KEY)") // idempotent
+	s.MustExecute("INSERT INTO t (id) VALUES (1)")
+	res := s.MustExecute("SELECT * FROM ks.t")
+	if len(res.Rows) != 1 {
+		t.Errorf("qualified select: %v", res.Rows)
+	}
+}
+
+func TestSessionDropStatements(t *testing.T) {
+	s := testSession(t)
+	s.MustExecute("CREATE KEYSPACE ks")
+	s.MustExecute("USE ks")
+	s.MustExecute("CREATE TABLE t (id int PRIMARY KEY)")
+	s.MustExecute("INSERT INTO t (id) VALUES (1)")
+	s.MustExecute("DROP TABLE t")
+	if _, err := s.Execute("SELECT * FROM t"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("dropped table: %v", err)
+	}
+	if _, err := s.Execute("DROP TABLE t"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("double drop: %v", err)
+	}
+	s.MustExecute("DROP TABLE IF EXISTS t")
+	// Recreate after drop works and is empty.
+	s.MustExecute("CREATE TABLE t (id int PRIMARY KEY)")
+	res := s.MustExecute("SELECT COUNT(*) FROM t")
+	if res.Rows[0].Get("count(*)").Int != 0 {
+		t.Errorf("recreated table not empty: %v", res.Rows[0])
+	}
+	s.MustExecute("DROP KEYSPACE ks")
+	if _, err := s.Execute("SELECT * FROM t"); !errors.Is(err, ErrNoKeyspace) {
+		t.Errorf("after keyspace drop the USE selection resets: %v", err)
+	}
+	if _, err := s.Execute("DROP KEYSPACE ks"); !errors.Is(err, ErrNoSuchKeyspace) {
+		t.Errorf("double keyspace drop: %v", err)
+	}
+	s.MustExecute("DROP KEYSPACE IF EXISTS ks")
+}
+
+func TestSessionSyntaxErrors(t *testing.T) {
+	s := testSession(t)
+	for _, bad := range []string{
+		"FROB the table",
+		"SELECT FROM t",
+		"INSERT INTO t (a, b) VALUES (1)",
+		"CREATE TABLE t (id int)", // no primary key
+		"SELECT * FROM t WHERE a ~ 1",
+		"INSERT INTO t (a) VALUES ('unterminated)",
+	} {
+		if _, err := s.Execute(bad); !errors.Is(err, cql.ErrSyntax) {
+			t.Errorf("%q: err = %v, want ErrSyntax", bad, err)
+		}
+	}
+}
+
+func TestSessionSelectProjectionErrors(t *testing.T) {
+	s := testSession(t)
+	s.MustExecute("CREATE KEYSPACE ks")
+	s.MustExecute("USE ks")
+	s.MustExecute("CREATE TABLE t (id int PRIMARY KEY, a int)")
+	if _, err := s.Execute("SELECT nope FROM t"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("unknown projection: %v", err)
+	}
+	if _, err := s.Execute("SELECT * FROM t WHERE nope = 1"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("unknown predicate: %v", err)
+	}
+}

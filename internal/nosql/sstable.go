@@ -1,0 +1,401 @@
+package nosql
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// SSTable file layout:
+//
+//	magic "SSTBL1\n\x00" (8 bytes)
+//	entry region: records of
+//	    flags u8 (bit0 = tombstone)
+//	    klen uvarint | key
+//	    [vlen uvarint | value]   (absent for tombstones)
+//	sparse index region: count uvarint, then per sampled entry
+//	    klen uvarint | key | offset uvarint (absolute file offset)
+//	bloom region: marshaled bloom filter
+//	footer (fixed):
+//	    indexOff u64 | bloomOff u64 | entryCount u64 | maxSeq u64
+//	    crc u32 (over the whole file before this field) | magic u32
+//
+// Every 16th entry is sampled into the sparse index; point reads bloom-check,
+// binary-search the sample, then scan at most one stride.
+const (
+	sstMagic       = "SSTBL1\n\x00"
+	sstFooterMagic = 0x53535442 // "SSTB"
+	sstFooterSize  = 8*4 + 4 + 4
+	sstIndexStride = 16
+)
+
+// ErrCorruptSSTable reports a structurally invalid or checksum-failing file.
+var ErrCorruptSSTable = errors.New("nosql: corrupt sstable")
+
+// indexEntry is one sparse-index sample.
+type indexEntry struct {
+	key    []byte
+	offset uint64
+}
+
+// sstable is an open, immutable on-disk table.
+type sstable struct {
+	path       string
+	file       *os.File
+	size       int64
+	index      []indexEntry
+	bloom      *bloomFilter
+	entryCount uint64
+	maxSeq     uint64
+	indexOff   uint64
+}
+
+// sstableWriter streams sorted entries into a new file.
+type sstableWriter struct {
+	path    string
+	file    *os.File
+	w       *bufio.Writer
+	crc     uint32
+	off     uint64
+	count   uint64
+	maxSeq  uint64
+	index   []indexEntry
+	bloom   *bloomFilter
+	lastKey []byte
+}
+
+// newSSTableWriter creates path and prepares to receive entries in strictly
+// ascending key order. expectEntries sizes the bloom filter.
+func newSSTableWriter(path string, expectEntries int) (*sstableWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sw := &sstableWriter{
+		path:  path,
+		file:  f,
+		w:     bufio.NewWriterSize(f, 1<<16),
+		bloom: newBloomFilter(expectEntries),
+	}
+	if err := sw.writeRaw([]byte(sstMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *sstableWriter) writeRaw(p []byte) error {
+	sw.crc = crc32.Update(sw.crc, crc32.IEEETable, p)
+	n, err := sw.w.Write(p)
+	sw.off += uint64(n)
+	return err
+}
+
+func (sw *sstableWriter) writeUvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return sw.writeRaw(buf[:n])
+}
+
+// add appends one entry. Keys must arrive in strictly ascending order.
+func (sw *sstableWriter) add(e entry) error {
+	if sw.lastKey != nil && string(e.key) <= string(sw.lastKey) {
+		return fmt.Errorf("nosql: sstable entries out of order: %q after %q", e.key, sw.lastKey)
+	}
+	if sw.count%sstIndexStride == 0 {
+		sw.index = append(sw.index, indexEntry{key: append([]byte(nil), e.key...), offset: sw.off})
+	}
+	flags := byte(0)
+	if e.tombstone {
+		flags = 1
+	}
+	if err := sw.writeRaw([]byte{flags}); err != nil {
+		return err
+	}
+	if err := sw.writeUvarint(uint64(len(e.key))); err != nil {
+		return err
+	}
+	if err := sw.writeRaw(e.key); err != nil {
+		return err
+	}
+	if !e.tombstone {
+		if err := sw.writeUvarint(uint64(len(e.value))); err != nil {
+			return err
+		}
+		if err := sw.writeRaw(e.value); err != nil {
+			return err
+		}
+	}
+	sw.bloom.Add(e.key)
+	if e.seq > sw.maxSeq {
+		sw.maxSeq = e.seq
+	}
+	sw.count++
+	sw.lastKey = append(sw.lastKey[:0], e.key...)
+	return nil
+}
+
+// finish writes index, bloom and footer, syncs and closes the file.
+func (sw *sstableWriter) finish() (retErr error) {
+	defer func() {
+		if retErr != nil {
+			sw.file.Close()
+			os.Remove(sw.path)
+		}
+	}()
+	indexOff := sw.off
+	if err := sw.writeUvarint(uint64(len(sw.index))); err != nil {
+		return err
+	}
+	for _, ie := range sw.index {
+		if err := sw.writeUvarint(uint64(len(ie.key))); err != nil {
+			return err
+		}
+		if err := sw.writeRaw(ie.key); err != nil {
+			return err
+		}
+		if err := sw.writeUvarint(ie.offset); err != nil {
+			return err
+		}
+	}
+	bloomOff := sw.off
+	if err := sw.writeRaw(sw.bloom.marshal()); err != nil {
+		return err
+	}
+	var footer [sstFooterSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
+	binary.LittleEndian.PutUint64(footer[16:], sw.count)
+	binary.LittleEndian.PutUint64(footer[24:], sw.maxSeq)
+	// CRC covers everything written so far (magic + entries + index + bloom).
+	binary.LittleEndian.PutUint32(footer[32:], sw.crc)
+	binary.LittleEndian.PutUint32(footer[36:], sstFooterMagic)
+	if _, err := sw.w.Write(footer[:]); err != nil {
+		return err
+	}
+	if err := sw.w.Flush(); err != nil {
+		return err
+	}
+	if err := sw.file.Sync(); err != nil {
+		return err
+	}
+	return sw.file.Close()
+}
+
+// openSSTable opens and verifies an existing table file.
+func openSSTable(path string) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := readSSTable(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func readSSTable(path string, f *os.File) (*sstable, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size < int64(len(sstMagic)+sstFooterSize) {
+		return nil, fmt.Errorf("%w: %s too small", ErrCorruptSSTable, path)
+	}
+	var footer [sstFooterSize]byte
+	if _, err := f.ReadAt(footer[:], size-sstFooterSize); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(footer[36:]) != sstFooterMagic {
+		return nil, fmt.Errorf("%w: %s bad footer magic", ErrCorruptSSTable, path)
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:])
+	bloomOff := binary.LittleEndian.Uint64(footer[8:])
+	entryCount := binary.LittleEndian.Uint64(footer[16:])
+	maxSeq := binary.LittleEndian.Uint64(footer[24:])
+	wantCRC := binary.LittleEndian.Uint32(footer[32:])
+	body := size - sstFooterSize
+	if int64(indexOff) > body || int64(bloomOff) > body || indexOff > bloomOff ||
+		indexOff < uint64(len(sstMagic)) {
+		return nil, fmt.Errorf("%w: %s bad offsets", ErrCorruptSSTable, path)
+	}
+
+	// Verify the checksum over the whole body.
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, io.NewSectionReader(f, 0, body)); err != nil {
+		return nil, err
+	}
+	if h.Sum32() != wantCRC {
+		return nil, fmt.Errorf("%w: %s checksum mismatch", ErrCorruptSSTable, path)
+	}
+	magic := make([]byte, len(sstMagic))
+	if _, err := f.ReadAt(magic, 0); err != nil {
+		return nil, err
+	}
+	if string(magic) != sstMagic {
+		return nil, fmt.Errorf("%w: %s bad magic", ErrCorruptSSTable, path)
+	}
+
+	// Load the sparse index.
+	idxData := make([]byte, bloomOff-indexOff)
+	if _, err := f.ReadAt(idxData, int64(indexOff)); err != nil {
+		return nil, err
+	}
+	idxCount, n := binary.Uvarint(idxData)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %s bad index", ErrCorruptSSTable, path)
+	}
+	idxData = idxData[n:]
+	index := make([]indexEntry, 0, idxCount)
+	for i := uint64(0); i < idxCount; i++ {
+		klen, n := binary.Uvarint(idxData)
+		if n <= 0 || uint64(len(idxData)-n) < klen {
+			return nil, fmt.Errorf("%w: %s bad index entry", ErrCorruptSSTable, path)
+		}
+		key := append([]byte(nil), idxData[n:n+int(klen)]...)
+		idxData = idxData[n+int(klen):]
+		off, n := binary.Uvarint(idxData)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: %s bad index offset", ErrCorruptSSTable, path)
+		}
+		idxData = idxData[n:]
+		index = append(index, indexEntry{key: key, offset: off})
+	}
+
+	bloomData := make([]byte, body-int64(bloomOff))
+	if _, err := f.ReadAt(bloomData, int64(bloomOff)); err != nil {
+		return nil, err
+	}
+	bloom, err := unmarshalBloom(bloomData)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s bloom: %v", ErrCorruptSSTable, path, err)
+	}
+	return &sstable{
+		path:       path,
+		file:       f,
+		size:       size,
+		index:      index,
+		bloom:      bloom,
+		entryCount: entryCount,
+		maxSeq:     maxSeq,
+		indexOff:   indexOff,
+	}, nil
+}
+
+func (st *sstable) close() error { return st.file.Close() }
+
+// get point-reads a key.
+func (st *sstable) get(key []byte) (entry, bool, error) {
+	if !st.bloom.MayContain(key) {
+		return entry{}, false, nil
+	}
+	// Find the greatest sample <= key.
+	i := sort.Search(len(st.index), func(i int) bool { return string(st.index[i].key) > string(key) })
+	if i == 0 {
+		return entry{}, false, nil
+	}
+	start := st.index[i-1].offset
+	var end uint64
+	if i < len(st.index) {
+		end = st.index[i].offset
+	} else {
+		end = st.indexOff
+	}
+	var found entry
+	ok := false
+	err := st.scanRange(start, end, func(e entry) bool {
+		c := string(e.key)
+		if c == string(key) {
+			found, ok = e, true
+			return false
+		}
+		return c < string(key) // stop once past
+	})
+	return found, ok, err
+}
+
+// scan iterates all entries in key order.
+func (st *sstable) scan(fn func(entry) bool) error {
+	return st.scanRange(uint64(len(sstMagic)), st.indexOff, fn)
+}
+
+// scanFrom iterates entries with key >= start in key order, using the
+// sparse index to begin near the first qualifying entry. fn returning
+// false stops the scan.
+func (st *sstable) scanFrom(start []byte, fn func(entry) bool) error {
+	i := sort.Search(len(st.index), func(i int) bool { return string(st.index[i].key) > string(start) })
+	off := uint64(len(sstMagic))
+	if i > 0 {
+		off = st.index[i-1].offset
+	}
+	return st.scanRange(off, st.indexOff, func(e entry) bool {
+		if string(e.key) < string(start) {
+			return true // still before the range
+		}
+		return fn(e)
+	})
+}
+
+// scanRange iterates entries in [startOff, endOff).
+func (st *sstable) scanRange(startOff, endOff uint64, fn func(entry) bool) error {
+	r := bufio.NewReaderSize(io.NewSectionReader(st.file, int64(startOff), int64(endOff-startOff)), 1<<16)
+	for {
+		flags, err := r.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		klen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptSSTable, err)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(r, key); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptSSTable, err)
+		}
+		e := entry{key: key, seq: st.maxSeq, tombstone: flags&1 != 0}
+		if !e.tombstone {
+			vlen, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrCorruptSSTable, err)
+			}
+			e.value = make([]byte, vlen)
+			if _, err := io.ReadFull(r, e.value); err != nil {
+				return fmt.Errorf("%w: %v", ErrCorruptSSTable, err)
+			}
+		}
+		if !fn(e) {
+			return nil
+		}
+	}
+}
+
+// writeSSTable dumps sorted entries to a new file and opens the result.
+func writeSSTable(path string, entries []entry) (*sstable, error) {
+	sw, err := newSSTableWriter(path, len(entries))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := sw.add(e); err != nil {
+			sw.file.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
+	if err := sw.finish(); err != nil {
+		return nil, err
+	}
+	return openSSTable(path)
+}

@@ -1,0 +1,202 @@
+package nosql
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func makeEntries(n int) []entry {
+	out := make([]entry, n)
+	for i := range out {
+		out[i] = entry{
+			key:   []byte(fmt.Sprintf("key-%05d", i)),
+			value: []byte(fmt.Sprintf("value-%d", i*7)),
+			seq:   uint64(i + 1),
+		}
+	}
+	return out
+}
+
+func TestSSTableWriteReadGet(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "000001.sst")
+	entries := makeEntries(500)
+	entries[123].tombstone = true
+	entries[123].value = nil
+
+	st, err := writeSSTable(path, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+
+	if st.entryCount != 500 {
+		t.Errorf("entryCount = %d", st.entryCount)
+	}
+	if st.maxSeq != 500 {
+		t.Errorf("maxSeq = %d", st.maxSeq)
+	}
+
+	for _, i := range []int{0, 1, 15, 16, 17, 123, 250, 499} {
+		e, ok, err := st.get(entries[i].key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("key %s not found", entries[i].key)
+		}
+		if e.tombstone != entries[i].tombstone {
+			t.Errorf("key %s tombstone = %v", entries[i].key, e.tombstone)
+		}
+		if !e.tombstone && string(e.value) != string(entries[i].value) {
+			t.Errorf("key %s value = %q want %q", entries[i].key, e.value, entries[i].value)
+		}
+	}
+	// Misses: before first, between keys, after last.
+	for _, k := range []string{"aaa", "key-00000x", "zzz"} {
+		if _, ok, err := st.get([]byte(k)); err != nil || ok {
+			t.Errorf("get(%q) = found=%v err=%v, want miss", k, ok, err)
+		}
+	}
+
+	// Full scan in order.
+	var prev string
+	n := 0
+	err = st.scan(func(e entry) bool {
+		if prev != "" && string(e.key) <= prev {
+			t.Errorf("scan out of order: %q after %q", e.key, prev)
+		}
+		prev = string(e.key)
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Errorf("scan visited %d entries", n)
+	}
+}
+
+func TestSSTableRejectsOutOfOrder(t *testing.T) {
+	dir := t.TempDir()
+	sw, err := newSSTableWriter(filepath.Join(dir, "x.sst"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.add(entry{key: []byte("b"), value: []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.add(entry{key: []byte("a"), value: []byte("2")}); err == nil {
+		t.Error("out-of-order add accepted")
+	}
+	sw.file.Close()
+}
+
+func TestSSTableCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "000001.sst")
+	st, err := writeSSTable(path, makeEntries(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the body.
+	data[len(data)/3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSSTable(path); err == nil {
+		t.Error("corrupt sstable opened without error")
+	}
+
+	// Truncated file.
+	if err := os.WriteFile(path, data[:20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSSTable(path); err == nil {
+		t.Error("truncated sstable opened without error")
+	}
+}
+
+func TestSSTableEmpty(t *testing.T) {
+	dir := t.TempDir()
+	st, err := writeSSTable(filepath.Join(dir, "e.sst"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	if _, ok, err := st.get([]byte("any")); err != nil || ok {
+		t.Errorf("empty table get = %v, %v", ok, err)
+	}
+	n := 0
+	st.scan(func(entry) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("empty table scanned %d entries", n)
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	bf := newBloomFilter(1000)
+	for i := 0; i < 1000; i++ {
+		bf.Add([]byte(fmt.Sprintf("present-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !bf.MayContain([]byte(fmt.Sprintf("present-%d", i))) {
+			t.Fatalf("false negative for present-%d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 5000; i++ {
+		if bf.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 250 { // 5% ceiling, target is ~1%
+		t.Errorf("false positive rate too high: %d/5000", fp)
+	}
+	// Round trip.
+	bf2, err := unmarshalBloom(bf.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bf2.MayContain([]byte("present-1")) {
+		t.Error("marshaled filter lost a key")
+	}
+	if _, err := unmarshalBloom([]byte{1, 2}); err == nil {
+		t.Error("short bloom unmarshaled")
+	}
+}
+
+func TestMemtableNewestWins(t *testing.T) {
+	m := newMemtable()
+	m.put([]byte("k"), []byte("v1"), 1, false)
+	m.put([]byte("k"), []byte("v2"), 2, false)
+	if e, ok := m.get([]byte("k")); !ok || string(e.value) != "v2" {
+		t.Errorf("got %v", e)
+	}
+	// Out-of-order replay must not regress.
+	m.put([]byte("k"), []byte("v0"), 1, false)
+	if e, _ := m.get([]byte("k")); string(e.value) != "v2" {
+		t.Errorf("stale overwrite won: %q", e.value)
+	}
+	m.put([]byte("k"), nil, 3, true)
+	if e, _ := m.get([]byte("k")); !e.tombstone {
+		t.Error("tombstone lost")
+	}
+	if m.len() != 1 {
+		t.Errorf("len = %d", m.len())
+	}
+	m.put([]byte("a"), []byte("x"), 4, false)
+	s := m.sorted()
+	if len(s) != 2 || string(s[0].key) != "a" || string(s[1].key) != "k" {
+		t.Errorf("sorted = %v", s)
+	}
+}

@@ -1,0 +1,362 @@
+// Package nosql implements the columnar NoSQL storage engine the paper uses
+// as its DWARF persistence layer (the role Cassandra plays in the original
+// evaluation). The engine has keyspaces and column families; writes go to a
+// commit log and a memtable and are flushed to immutable SSTables with bloom
+// filters and sparse indexes; reads consult the memtable and SSTables newest
+// first; column families may carry Cassandra-style secondary indexes, which
+// are maintained with a read-before-write — the cost that makes the paper's
+// NoSQL-Min schema the slowest writer in Table 5.
+package nosql
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the column types supported by the engine, matching the CQL
+// types the paper's schemas need (Table 1: int, text, boolean, set<int>).
+type Kind uint8
+
+// Supported column kinds.
+const (
+	KindNull Kind = iota
+	KindInt       // 64-bit signed integer (CQL int / bigint)
+	KindText      // UTF-8 string
+	KindBool
+	KindFloat  // 64-bit float (CQL double)
+	KindIntSet // CQL set<int>
+)
+
+// String names the kind using CQL spelling.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindText:
+		return "text"
+	case KindBool:
+		return "boolean"
+	case KindFloat:
+		return "double"
+	case KindIntSet:
+		return "set<int>"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a CQL type name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, " ", "")) {
+	case "int", "bigint", "counter":
+		return KindInt, nil
+	case "text", "varchar", "ascii":
+		return KindText, nil
+	case "boolean", "bool":
+		return KindBool, nil
+	case "double", "float":
+		return KindFloat, nil
+	case "set<int>", "set<bigint>":
+		return KindIntSet, nil
+	default:
+		return KindNull, fmt.Errorf("nosql: unknown column type %q", s)
+	}
+}
+
+// Value is one typed cell value. The zero Value is NULL.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Text  string
+	Bool  bool
+	Float float64
+	Set   []int64 // sorted, deduplicated
+}
+
+// Constructors for each kind.
+func Null() Value              { return Value{} }
+func Int(v int64) Value        { return Value{Kind: KindInt, Int: v} }
+func Text(v string) Value      { return Value{Kind: KindText, Text: v} }
+func Bool(v bool) Value        { return Value{Kind: KindBool, Bool: v} }
+func Float(v float64) Value    { return Value{Kind: KindFloat, Float: v} }
+func IntSet(vs ...int64) Value { return Value{Kind: KindIntSet, Set: normalizeSet(vs)} }
+
+func normalizeSet(vs []int64) []int64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := append([]int64(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// String renders the value as a CQL literal.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindText:
+		return "'" + strings.ReplaceAll(v.Text, "'", "''") + "'"
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindIntSet:
+		parts := make([]string, len(v.Set))
+		for i, x := range v.Set {
+			parts[i] = strconv.FormatInt(x, 10)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.Int == o.Int
+	case KindText:
+		return v.Text == o.Text
+	case KindBool:
+		return v.Bool == o.Bool
+	case KindFloat:
+		return v.Float == o.Float
+	case KindIntSet:
+		if len(v.Set) != len(o.Set) {
+			return false
+		}
+		for i := range v.Set {
+			if v.Set[i] != o.Set[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders two values of the same kind: -1, 0 or +1. Values of
+// different kinds order by kind (NULL first), so mixed comparisons are
+// total, which the index encoding relies on.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindInt:
+		return cmpInt64(v.Int, o.Int)
+	case KindText:
+		return strings.Compare(v.Text, o.Text)
+	case KindBool:
+		return cmpBool(v.Bool, o.Bool)
+	case KindFloat:
+		switch {
+		case v.Float < o.Float:
+			return -1
+		case v.Float > o.Float:
+			return 1
+		default:
+			return 0
+		}
+	case KindIntSet:
+		for i := 0; i < len(v.Set) && i < len(o.Set); i++ {
+			if c := cmpInt64(v.Set[i], o.Set[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpInt64(int64(len(v.Set)), int64(len(o.Set)))
+	}
+	return 0
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// OrderedBytes encodes the value so that byte-wise comparison matches
+// Value.Compare: the key encoding for partition keys and index entries.
+func (v Value) OrderedBytes() []byte {
+	out := []byte{byte(v.Kind)}
+	switch v.Kind {
+	case KindNull:
+	case KindInt:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(v.Int)^(1<<63)) // order-preserving
+		out = append(out, buf[:]...)
+	case KindText:
+		out = append(out, v.Text...)
+	case KindBool:
+		if v.Bool {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	case KindFloat:
+		bits := math.Float64bits(v.Float)
+		if v.Float >= 0 || bits == 0 {
+			bits ^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		out = append(out, buf[:]...)
+	case KindIntSet:
+		for _, x := range v.Set {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(x)^(1<<63))
+			out = append(out, buf[:]...)
+		}
+	}
+	return out
+}
+
+// appendValue serializes the value for row storage.
+func appendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.Int)
+	case KindText:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Text)))
+		dst = append(dst, v.Text...)
+	case KindBool:
+		if v.Bool {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float))
+		dst = append(dst, buf[:]...)
+	case KindIntSet:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Set)))
+		prev := int64(0)
+		for i, x := range v.Set {
+			if i == 0 {
+				dst = binary.AppendVarint(dst, x)
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(x-prev)) // delta, set is sorted
+			}
+			prev = x
+		}
+	}
+	return dst
+}
+
+// ErrValueCorrupt reports a malformed serialized value.
+var ErrValueCorrupt = errors.New("nosql: corrupt value encoding")
+
+// decodeValue deserializes one value, returning it and the remaining bytes.
+func decodeValue(src []byte) (Value, []byte, error) {
+	if len(src) == 0 {
+		return Value{}, nil, ErrValueCorrupt
+	}
+	kind := Kind(src[0])
+	src = src[1:]
+	switch kind {
+	case KindNull:
+		return Value{}, src, nil
+	case KindInt:
+		x, n := binary.Varint(src)
+		if n <= 0 {
+			return Value{}, nil, ErrValueCorrupt
+		}
+		return Int(x), src[n:], nil
+	case KindText:
+		l, n := binary.Uvarint(src)
+		if n <= 0 || uint64(len(src)-n) < l {
+			return Value{}, nil, ErrValueCorrupt
+		}
+		return Text(string(src[n : n+int(l)])), src[n+int(l):], nil
+	case KindBool:
+		if len(src) < 1 {
+			return Value{}, nil, ErrValueCorrupt
+		}
+		return Bool(src[0] == 1), src[1:], nil
+	case KindFloat:
+		if len(src) < 8 {
+			return Value{}, nil, ErrValueCorrupt
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		return Float(f), src[8:], nil
+	case KindIntSet:
+		l, n := binary.Uvarint(src)
+		if n <= 0 || l > uint64(len(src))*10+1 {
+			return Value{}, nil, ErrValueCorrupt
+		}
+		src = src[n:]
+		set := make([]int64, l)
+		var prev int64
+		for i := range set {
+			if i == 0 {
+				x, m := binary.Varint(src)
+				if m <= 0 {
+					return Value{}, nil, ErrValueCorrupt
+				}
+				set[i], prev, src = x, x, src[m:]
+			} else {
+				d, m := binary.Uvarint(src)
+				if m <= 0 {
+					return Value{}, nil, ErrValueCorrupt
+				}
+				prev += int64(d)
+				set[i], src = prev, src[m:]
+			}
+		}
+		return Value{Kind: KindIntSet, Set: set}, src, nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: kind %d", ErrValueCorrupt, kind)
+	}
+}

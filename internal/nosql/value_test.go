@@ -1,0 +1,225 @@
+package nosql
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Int(rng.Int63() - (1 << 62))
+	case 1:
+		buf := make([]byte, rng.Intn(12))
+		rng.Read(buf)
+		return Text(string(buf))
+	case 2:
+		return Bool(rng.Intn(2) == 0)
+	case 3:
+		return Float(rng.NormFloat64() * 1e6)
+	default:
+		n := rng.Intn(6)
+		set := make([]int64, n)
+		for i := range set {
+			set[i] = rng.Int63n(1000) - 500
+		}
+		return IntSet(set...)
+	}
+}
+
+func TestValueEncodeRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			v := randomValue(rng)
+			enc := appendValue(nil, v)
+			dec, rest, err := decodeValue(enc)
+			if err != nil {
+				t.Logf("decode(%v): %v", v, err)
+				return false
+			}
+			if len(rest) != 0 {
+				t.Logf("decode(%v): %d trailing bytes", v, len(rest))
+				return false
+			}
+			if !dec.Equal(v) {
+				t.Logf("round trip %v -> %v", v, dec)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueOrderedBytesMatchesCompare(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 80; i++ {
+			a, b := randomValue(rng), randomValue(rng)
+			// Only same-kind comparisons must agree byte-wise; the kind tag
+			// prefix orders mixed kinds consistently with Compare as well.
+			cmpVal := a.Compare(b)
+			cmpBytes := bytes.Compare(a.OrderedBytes(), b.OrderedBytes())
+			if a.Kind == KindText && b.Kind == KindText {
+				// Text is not length-prefixed in OrderedBytes, so prefix
+				// strings compare consistently too.
+				if sign(cmpVal) != sign(cmpBytes) {
+					t.Logf("text order mismatch %v vs %v: %d vs %d", a, b, cmpVal, cmpBytes)
+					return false
+				}
+				continue
+			}
+			if a.Kind != b.Kind {
+				continue
+			}
+			if a.Kind == KindIntSet {
+				continue // sets are not used as keys
+			}
+			if sign(cmpVal) != sign(cmpBytes) {
+				t.Logf("order mismatch %v vs %v: %d vs %d", a, b, cmpVal, cmpBytes)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestValueDecodeCorrupt(t *testing.T) {
+	if _, _, err := decodeValue(nil); err == nil {
+		t.Error("empty input decoded")
+	}
+	if _, _, err := decodeValue([]byte{byte(KindText), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("oversized text length decoded")
+	}
+	if _, _, err := decodeValue([]byte{200}); err == nil {
+		t.Error("unknown kind decoded")
+	}
+	if _, _, err := decodeValue([]byte{byte(KindFloat), 1, 2}); err == nil {
+		t.Error("short float decoded")
+	}
+}
+
+func TestIntSetNormalization(t *testing.T) {
+	v := IntSet(5, 1, 5, 3, 1)
+	want := []int64{1, 3, 5}
+	if len(v.Set) != len(want) {
+		t.Fatalf("set = %v", v.Set)
+	}
+	for i := range want {
+		if v.Set[i] != want[i] {
+			t.Fatalf("set = %v, want %v", v.Set, want)
+		}
+	}
+	if v.String() != "{1, 3, 5}" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"int": KindInt, "bigint": KindInt, "text": KindText, "varchar": KindText,
+		"boolean": KindBool, "double": KindFloat, "set<int>": KindIntSet,
+		"set < int >": KindIntSet,
+	}
+	for in, want := range cases {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("map<int,text>"); err == nil {
+		t.Error("unsupported type parsed")
+	}
+}
+
+func TestValueStringLiterals(t *testing.T) {
+	if got := Text("O'Brien").String(); got != "'O''Brien'" {
+		t.Errorf("escaped text = %q", got)
+	}
+	if got := Null().String(); got != "null" {
+		t.Errorf("null = %q", got)
+	}
+	if got := Bool(true).String(); got != "true" {
+		t.Errorf("bool = %q", got)
+	}
+}
+
+func TestRowCodecNullBitmap(t *testing.T) {
+	schema, err := NewTableSchema("ks", "t", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "name", Kind: KindText},
+		{Name: "leaf", Kind: KindBool},
+		{Name: "kids", Kind: KindIntSet},
+		{Name: "score", Kind: KindFloat},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := Row{"id": Int(7), "leaf": Bool(true), "kids": IntSet(3, 1)}
+	enc := encodeRow(schema, row)
+	dec, err := decodeRow(schema, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Get("id").Equal(Int(7)) || !dec.Get("leaf").Equal(Bool(true)) {
+		t.Errorf("decoded = %v", dec)
+	}
+	if !dec.Get("name").IsNull() || !dec.Get("score").IsNull() {
+		t.Errorf("absent columns should be NULL: %v", dec)
+	}
+	if !dec.Get("kids").Equal(IntSet(1, 3)) {
+		t.Errorf("set = %v", dec.Get("kids"))
+	}
+	if _, err := decodeRow(schema, enc[:1]); err == nil {
+		t.Error("truncated row decoded")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewTableSchema("ks", "t", []Column{{Name: "a", Kind: KindInt}}, "missing"); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := NewTableSchema("ks", "t", []Column{{Name: "a", Kind: KindInt}, {Name: "A", Kind: KindText}}, "a"); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewTableSchema("ks", "t", []Column{{Name: "s", Kind: KindIntSet}}, "s"); err == nil {
+		t.Error("set primary key accepted")
+	}
+	if _, err := NewTableSchema("bad name", "t", []Column{{Name: "a", Kind: KindInt}}, "a"); err == nil {
+		t.Error("bad keyspace ident accepted")
+	}
+	s, err := NewTableSchema("ks", "t", []Column{{Name: "a", Kind: KindInt}, {Name: "f", Kind: KindFloat}}, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Int widens to float.
+	v, err := s.CheckValue("f", Int(3))
+	if err != nil || v.Kind != KindFloat || v.Float != 3 {
+		t.Errorf("widening = %v, %v", v, err)
+	}
+	if _, err := s.CheckValue("a", Text("x")); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := s.CheckValue("zzz", Int(1)); err == nil {
+		t.Error("unknown column accepted")
+	}
+}

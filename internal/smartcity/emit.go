@@ -1,0 +1,172 @@
+package smartcity
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"io"
+	"time"
+)
+
+// Wire formats: the generators can serialize their records as the XML and
+// JSON documents a real feed would publish, so the ingestion pipeline
+// (internal/xmlstream, internal/jsonstream) is exercised end to end on the
+// same bytes a crawler would fetch.
+
+type xmlBikeFeed struct {
+	XMLName   xml.Name         `xml:"feed"`
+	Generated string           `xml:"generated,attr"`
+	Stations  []xmlBikeStation `xml:"station"`
+}
+
+type xmlBikeStation struct {
+	ID        string `xml:"id,attr"`
+	Area      string `xml:"area,attr"`
+	Name      string `xml:"name"`
+	Status    string `xml:"status"`
+	Timestamp string `xml:"timestamp"`
+	Bikes     int    `xml:"bikes"`
+	Docks     int    `xml:"docks"`
+	Capacity  int    `xml:"capacity"`
+}
+
+// WriteBikesXML emits the records as one XML feed document.
+func WriteBikesXML(w io.Writer, recs []BikeRecord) error {
+	doc := xmlBikeFeed{Generated: recs[len(recs)-1].Timestamp.Format(time.RFC3339)}
+	if len(recs) == 0 {
+		doc.Generated = ""
+	}
+	doc.Stations = make([]xmlBikeStation, len(recs))
+	for i, r := range recs {
+		doc.Stations[i] = xmlBikeStation{
+			ID:        r.StationID,
+			Area:      r.Area,
+			Name:      r.Name,
+			Status:    r.Status,
+			Timestamp: r.Timestamp.Format(time.RFC3339),
+			Bikes:     r.BikesAvailable,
+			Docks:     r.DocksAvailable,
+			Capacity:  r.Capacity,
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+type jsonBikeDoc struct {
+	Generated string            `json:"generated"`
+	Stations  []jsonBikeStation `json:"stations"`
+}
+
+type jsonBikeStation struct {
+	ID        string           `json:"id"`
+	Name      string           `json:"name"`
+	Status    string           `json:"status"`
+	Timestamp string           `json:"timestamp"`
+	Location  jsonBikeLocation `json:"location"`
+	Bikes     int              `json:"bikes"`
+	Docks     int              `json:"docks"`
+	Capacity  int              `json:"capacity"`
+}
+
+type jsonBikeLocation struct {
+	Area string `json:"area"`
+}
+
+// WriteBikesJSON emits the records as one JSON feed document with the area
+// nested under location (to exercise dotted-path extraction).
+func WriteBikesJSON(w io.Writer, recs []BikeRecord) error {
+	doc := jsonBikeDoc{}
+	if len(recs) > 0 {
+		doc.Generated = recs[len(recs)-1].Timestamp.Format(time.RFC3339)
+	}
+	doc.Stations = make([]jsonBikeStation, len(recs))
+	for i, r := range recs {
+		doc.Stations[i] = jsonBikeStation{
+			ID:        r.StationID,
+			Name:      r.Name,
+			Status:    r.Status,
+			Timestamp: r.Timestamp.Format(time.RFC3339),
+			Location:  jsonBikeLocation{Area: r.Area},
+			Bikes:     r.BikesAvailable,
+			Docks:     r.DocksAvailable,
+			Capacity:  r.Capacity,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+type jsonAirDoc struct {
+	Readings []jsonAirReading `json:"readings"`
+}
+
+type jsonAirReading struct {
+	Sensor    string  `json:"sensor"`
+	Zone      string  `json:"zone"`
+	Pollutant string  `json:"pollutant"`
+	Timestamp string  `json:"timestamp"`
+	Value     float64 `json:"value"`
+}
+
+// WriteAirQualityJSON emits sensor readings as one JSON document.
+func WriteAirQualityJSON(w io.Writer, recs []AirQualityRecord) error {
+	doc := jsonAirDoc{Readings: make([]jsonAirReading, len(recs))}
+	for i, r := range recs {
+		doc.Readings[i] = jsonAirReading{
+			Sensor:    r.Sensor,
+			Zone:      r.Zone,
+			Pollutant: r.Pollutant,
+			Timestamp: r.Timestamp.Format(time.RFC3339),
+			Value:     r.Value,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+type xmlCarParkDoc struct {
+	XMLName  xml.Name         `xml:"carparks"`
+	CarParks []xmlCarParkRead `xml:"carpark"`
+}
+
+type xmlCarParkRead struct {
+	Name      string `xml:"name,attr"`
+	Zone      string `xml:"zone,attr"`
+	Timestamp string `xml:"timestamp"`
+	Spaces    int    `xml:"spaces"`
+	Capacity  int    `xml:"capacity"`
+}
+
+// WriteCarParksXML emits occupancy reports as one XML document.
+func WriteCarParksXML(w io.Writer, recs []CarParkRecord) error {
+	doc := xmlCarParkDoc{CarParks: make([]xmlCarParkRead, len(recs))}
+	for i, r := range recs {
+		doc.CarParks[i] = xmlCarParkRead{
+			Name:      r.CarPark,
+			Zone:      r.Zone,
+			Timestamp: r.Timestamp.Format(time.RFC3339),
+			Spaces:    r.Spaces,
+			Capacity:  r.Capacity,
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,267 @@
+package smartcity
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// The remaining feeds from the paper's introduction. Each produces records
+// with its own dimensional layout so the examples can show cubes fused from
+// heterogeneous sources.
+
+// CarParkRecord is one occupancy report from a car-park feed.
+type CarParkRecord struct {
+	Timestamp time.Time
+	CarPark   string
+	Zone      string
+	Spaces    int // free spaces
+	Capacity  int
+}
+
+// CarParkDims is the car-park cube layout.
+var CarParkDims = []string{"Year", "Month", "Day", "Hour", "Zone", "CarPark"}
+
+// Tuple maps the record with free spaces as the measure.
+func (r CarParkRecord) Tuple() dwarf.Tuple {
+	return dwarf.Tuple{
+		Dims: []string{
+			fmt.Sprintf("%04d", r.Timestamp.Year()),
+			fmt.Sprintf("%02d", int(r.Timestamp.Month())),
+			fmt.Sprintf("%02d", r.Timestamp.Day()),
+			fmt.Sprintf("%02d", r.Timestamp.Hour()),
+			r.Zone,
+			r.CarPark,
+		},
+		Measure: float64(r.Spaces),
+	}
+}
+
+// CarParkFeed streams deterministic car-park occupancy.
+type CarParkFeed struct {
+	rng    *rand.Rand
+	now    time.Time
+	spaces []int
+	caps   []int
+	next   int
+}
+
+// NewCarParkFeed builds a feed of n car parks.
+func NewCarParkFeed(seed int64, n int) *CarParkFeed {
+	if n <= 0 {
+		n = 12
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &CarParkFeed{
+		rng:    rng,
+		now:    time.Date(2015, time.June, 1, 0, 0, 0, 0, time.UTC),
+		spaces: make([]int, n),
+		caps:   make([]int, n),
+	}
+	for i := range f.caps {
+		f.caps[i] = 100 + rng.Intn(400)
+		f.spaces[i] = rng.Intn(f.caps[i] + 1)
+	}
+	return f
+}
+
+// Next returns the next report.
+func (f *CarParkFeed) Next() CarParkRecord {
+	if f.next >= len(f.caps) {
+		f.next = 0
+		f.now = f.now.Add(10 * time.Minute)
+	}
+	i := f.next
+	f.next++
+	drift := 0
+	if h := f.now.Hour(); h >= 8 && h <= 18 {
+		drift = -4
+	} else {
+		drift = 4
+	}
+	f.spaces[i] += f.rng.Intn(21) - 10 + drift
+	if f.spaces[i] < 0 {
+		f.spaces[i] = 0
+	}
+	if f.spaces[i] > f.caps[i] {
+		f.spaces[i] = f.caps[i]
+	}
+	return CarParkRecord{
+		Timestamp: f.now,
+		CarPark:   fmt.Sprintf("carpark-%02d", i),
+		Zone:      fmt.Sprintf("zone-%d", i%4),
+		Spaces:    f.spaces[i],
+		Capacity:  f.caps[i],
+	}
+}
+
+// Take returns the next n reports.
+func (f *CarParkFeed) Take(n int) []CarParkRecord {
+	out := make([]CarParkRecord, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}
+
+// AirQualityRecord is one sensor reading.
+type AirQualityRecord struct {
+	Timestamp time.Time
+	Sensor    string
+	Zone      string
+	Pollutant string // no2, pm10, pm25, o3
+	Value     float64
+}
+
+// AirQualityDims is the air-quality cube layout.
+var AirQualityDims = []string{"Year", "Month", "Day", "Hour", "Zone", "Sensor", "Pollutant"}
+
+// Tuple maps the reading with the concentration as the measure.
+func (r AirQualityRecord) Tuple() dwarf.Tuple {
+	return dwarf.Tuple{
+		Dims: []string{
+			fmt.Sprintf("%04d", r.Timestamp.Year()),
+			fmt.Sprintf("%02d", int(r.Timestamp.Month())),
+			fmt.Sprintf("%02d", r.Timestamp.Day()),
+			fmt.Sprintf("%02d", r.Timestamp.Hour()),
+			r.Zone,
+			r.Sensor,
+			r.Pollutant,
+		},
+		Measure: r.Value,
+	}
+}
+
+// AirQualityFeed streams deterministic sensor readings.
+type AirQualityFeed struct {
+	rng        *rand.Rand
+	now        time.Time
+	sensors    int
+	pollutants []string
+	base       []float64
+	next       int
+}
+
+// NewAirQualityFeed builds a feed of n sensors cycling four pollutants.
+func NewAirQualityFeed(seed int64, n int) *AirQualityFeed {
+	if n <= 0 {
+		n = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &AirQualityFeed{
+		rng:        rng,
+		now:        time.Date(2015, time.June, 1, 0, 0, 0, 0, time.UTC),
+		sensors:    n,
+		pollutants: []string{"no2", "pm10", "pm25", "o3"},
+		base:       make([]float64, n),
+	}
+	for i := range f.base {
+		f.base[i] = 10 + rng.Float64()*30
+	}
+	return f
+}
+
+// Next returns the next reading.
+func (f *AirQualityFeed) Next() AirQualityRecord {
+	total := f.sensors * len(f.pollutants)
+	if f.next >= total {
+		f.next = 0
+		f.now = f.now.Add(30 * time.Minute)
+	}
+	i := f.next
+	f.next++
+	sensor := i / len(f.pollutants)
+	pollutant := f.pollutants[i%len(f.pollutants)]
+	rush := 0.0
+	if h := f.now.Hour(); h >= 7 && h <= 10 || h >= 16 && h <= 19 {
+		rush = 12
+	}
+	v := f.base[sensor] + rush + f.rng.NormFloat64()*4
+	if v < 0 {
+		v = 0
+	}
+	return AirQualityRecord{
+		Timestamp: f.now,
+		Sensor:    fmt.Sprintf("sensor-%02d", sensor),
+		Zone:      fmt.Sprintf("zone-%d", sensor%3),
+		Pollutant: pollutant,
+		Value:     float64(int(v*10)) / 10,
+	}
+}
+
+// Take returns the next n readings.
+func (f *AirQualityFeed) Take(n int) []AirQualityRecord {
+	out := make([]AirQualityRecord, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}
+
+// AuctionRecord is one sale from the online-auction/sales feed.
+type AuctionRecord struct {
+	Timestamp time.Time
+	Category  string
+	Seller    string
+	County    string
+	Price     float64
+}
+
+// AuctionDims is the sales cube layout.
+var AuctionDims = []string{"Year", "Month", "Day", "Category", "County", "Seller"}
+
+// Tuple maps the sale with the price as the measure.
+func (r AuctionRecord) Tuple() dwarf.Tuple {
+	return dwarf.Tuple{
+		Dims: []string{
+			fmt.Sprintf("%04d", r.Timestamp.Year()),
+			fmt.Sprintf("%02d", int(r.Timestamp.Month())),
+			fmt.Sprintf("%02d", r.Timestamp.Day()),
+			r.Category,
+			r.County,
+			r.Seller,
+		},
+		Measure: r.Price,
+	}
+}
+
+// AuctionFeed streams deterministic sales.
+type AuctionFeed struct {
+	rng        *rand.Rand
+	now        time.Time
+	categories []string
+	counties   []string
+}
+
+// NewAuctionFeed builds the sales stream.
+func NewAuctionFeed(seed int64) *AuctionFeed {
+	return &AuctionFeed{
+		rng:        rand.New(rand.NewSource(seed)),
+		now:        time.Date(2015, time.June, 1, 8, 0, 0, 0, time.UTC),
+		categories: []string{"electronics", "furniture", "books", "clothing", "sports"},
+		counties:   []string{"Dublin", "Cork", "Galway", "Limerick"},
+	}
+}
+
+// Next returns the next sale.
+func (f *AuctionFeed) Next() AuctionRecord {
+	f.now = f.now.Add(time.Duration(1+f.rng.Intn(20)) * time.Minute)
+	return AuctionRecord{
+		Timestamp: f.now,
+		Category:  f.categories[f.rng.Intn(len(f.categories))],
+		Seller:    fmt.Sprintf("seller-%03d", f.rng.Intn(200)),
+		County:    f.counties[f.rng.Intn(len(f.counties))],
+		Price:     float64(5+f.rng.Intn(500)) + 0.99,
+	}
+}
+
+// Take returns the next n sales.
+func (f *AuctionFeed) Take(n int) []AuctionRecord {
+	out := make([]AuctionRecord, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package smartcity
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dwarf"
+)
+
+func TestBikeFeedDeterministic(t *testing.T) {
+	a := NewBikeFeed(BikeConfig{Seed: 7}).Take(500)
+	b := NewBikeFeed(BikeConfig{Seed: 7}).Take(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewBikeFeed(BikeConfig{Seed: 8}).Take(500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestBikeFeedPhysicalBounds(t *testing.T) {
+	recs := NewBikeFeed(BikeConfig{Seed: 1}).Take(5000)
+	for _, r := range recs {
+		if r.BikesAvailable < 0 || r.BikesAvailable > r.Capacity {
+			t.Fatalf("bikes out of bounds: %+v", r)
+		}
+		if r.BikesAvailable+r.DocksAvailable != r.Capacity {
+			t.Fatalf("bikes+docks != capacity: %+v", r)
+		}
+		if r.BikesAvailable == r.Capacity && r.Status != "full" {
+			t.Fatalf("full station not marked full: %+v", r)
+		}
+	}
+	// Time advances monotonically.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Timestamp.Before(recs[i-1].Timestamp) {
+			t.Fatalf("time went backwards at %d", i)
+		}
+	}
+}
+
+func TestTupleLayoutEightDimensions(t *testing.T) {
+	r := NewBikeFeed(BikeConfig{Seed: 3}).Next()
+	tup := r.Tuple()
+	if len(tup.Dims) != 8 || len(BikeDims) != 8 {
+		t.Fatalf("the paper's cubes have 8 dimensions, got %d", len(tup.Dims))
+	}
+	if tup.Dims[0] != "2015" {
+		t.Errorf("year dim = %q", tup.Dims[0])
+	}
+	if !strings.HasPrefix(tup.Dims[6], "station-") {
+		t.Errorf("station dim = %q", tup.Dims[6])
+	}
+	if tup.Measure != float64(r.BikesAvailable) {
+		t.Errorf("measure = %g", tup.Measure)
+	}
+}
+
+func TestPresetsMatchTable2(t *testing.T) {
+	wants := map[string]int{
+		"Day": 7358, "Week": 60102, "Month": 118934, "TMonth": 396756, "SMonth": 1181344,
+	}
+	if len(Presets) != 5 {
+		t.Fatalf("presets = %d", len(Presets))
+	}
+	for name, want := range wants {
+		p, err := PresetByName(name)
+		if err != nil || p.Tuples != want {
+			t.Errorf("%s: %d tuples, %v; want %d", name, p.Tuples, err, want)
+		}
+	}
+	if _, err := PresetByName("Year"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	// The generator delivers the exact count.
+	tuples, err := Dataset("Day")
+	if err != nil || len(tuples) != 7358 {
+		t.Fatalf("Day dataset = %d tuples, %v", len(tuples), err)
+	}
+	// All tuples valid for cube construction.
+	if _, err := dwarf.New(BikeDims, tuples); err != nil {
+		t.Fatalf("Day dataset does not build: %v", err)
+	}
+}
+
+func TestXMLEmissionParsesBack(t *testing.T) {
+	recs := NewBikeFeed(BikeConfig{Seed: 5}).Take(50)
+	var buf bytes.Buffer
+	if err := WriteBikesXML(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "<station id=\"station-") || !strings.Contains(s, "<bikes>") {
+		t.Errorf("xml = %.200s", s)
+	}
+	if strings.Count(s, "<station ") != 50 {
+		t.Errorf("station count = %d", strings.Count(s, "<station "))
+	}
+}
+
+func TestJSONEmission(t *testing.T) {
+	recs := NewBikeFeed(BikeConfig{Seed: 5}).Take(10)
+	var buf bytes.Buffer
+	if err := WriteBikesJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"stations"`) || !strings.Contains(s, `"location"`) {
+		t.Errorf("json = %.200s", s)
+	}
+}
+
+func TestCarParkFeed(t *testing.T) {
+	recs := NewCarParkFeed(1, 6).Take(600)
+	for _, r := range recs {
+		if r.Spaces < 0 || r.Spaces > r.Capacity {
+			t.Fatalf("spaces out of bounds: %+v", r)
+		}
+	}
+	tup := recs[0].Tuple()
+	if len(tup.Dims) != len(CarParkDims) {
+		t.Errorf("carpark dims = %d", len(tup.Dims))
+	}
+	var buf bytes.Buffer
+	if err := WriteCarParksXML(&buf, recs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<carpark name=") {
+		t.Errorf("xml = %.120s", buf.String())
+	}
+}
+
+func TestAirQualityFeed(t *testing.T) {
+	recs := NewAirQualityFeed(1, 4).Take(400)
+	pollutants := map[string]bool{}
+	for _, r := range recs {
+		if r.Value < 0 {
+			t.Fatalf("negative reading: %+v", r)
+		}
+		pollutants[r.Pollutant] = true
+	}
+	if len(pollutants) != 4 {
+		t.Errorf("pollutants = %v", pollutants)
+	}
+	var buf bytes.Buffer
+	if err := WriteAirQualityJSON(&buf, recs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"readings"`) {
+		t.Errorf("json = %.120s", buf.String())
+	}
+	tup := recs[0].Tuple()
+	if len(tup.Dims) != len(AirQualityDims) {
+		t.Errorf("air dims = %d", len(tup.Dims))
+	}
+}
+
+func TestAuctionFeed(t *testing.T) {
+	recs := NewAuctionFeed(1).Take(300)
+	for _, r := range recs {
+		if r.Price <= 0 {
+			t.Fatalf("bad price: %+v", r)
+		}
+	}
+	tup := recs[0].Tuple()
+	if len(tup.Dims) != len(AuctionDims) {
+		t.Errorf("auction dims = %d", len(tup.Dims))
+	}
+	// Feeds a valid cube.
+	tuples := make([]dwarf.Tuple, len(recs))
+	for i, r := range recs {
+		tuples[i] = r.Tuple()
+	}
+	if _, err := dwarf.New(AuctionDims, tuples); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package sqlengine
+
+// SQL AST. The dialect is the slice of MySQL the paper's experiments need:
+// CREATE TABLE / INDEX, multi-row INSERT (bulk load), SELECT with equi-joins
+// and simple predicates, UPDATE, DELETE, BEGIN/COMMIT, DROP TABLE.
+
+type sqlStatement interface{ isSQLStatement() }
+
+type sqlCreateTable struct {
+	Name        string
+	Columns     []ColumnDef
+	PK          string
+	IfNotExists bool
+}
+
+type sqlCreateIndex struct {
+	IndexName   string
+	Table       string
+	Column      string
+	IfNotExists bool
+}
+
+type sqlDropTable struct {
+	Name     string
+	IfExists bool
+}
+
+type sqlInsert struct {
+	Table   string
+	Columns []string
+	// Rows is one expression list per VALUES tuple.
+	Rows [][]sqlExpr
+}
+
+// sqlColumnRef is a possibly qualified column reference.
+type sqlColumnRef struct {
+	Qualifier string // table name or alias; empty = unqualified
+	Column    string
+}
+
+type sqlSelectItem struct {
+	Star bool
+	Col  sqlColumnRef
+	// Func is an optional aggregate (count/min/max/sum/avg); count(*) has
+	// Star set.
+	Func string
+}
+
+// sqlJoin is one JOIN clause: JOIN table [alias] ON left = right.
+type sqlJoin struct {
+	Table string
+	Alias string
+	Left  sqlColumnRef
+	Right sqlColumnRef
+}
+
+type sqlSelect struct {
+	Items []sqlSelectItem
+	Table string
+	Alias string
+	Joins []sqlJoin
+	Where []sqlPredicate
+	Limit int // 0 = none
+}
+
+type sqlPredicate struct {
+	Col sqlColumnRef
+	Op  string // = != < <= > >=
+	Val sqlExpr
+}
+
+type sqlAssignment struct {
+	Column string
+	Val    sqlExpr
+}
+
+type sqlUpdate struct {
+	Table string
+	Set   []sqlAssignment
+	Where []sqlPredicate
+}
+
+type sqlDelete struct {
+	Table string
+	Where []sqlPredicate
+}
+
+type sqlBegin struct{}
+type sqlCommit struct{}
+type sqlRollback struct{}
+
+// sqlExpr is a literal or placeholder.
+type sqlExpr struct {
+	Placeholder bool
+	Datum       Datum
+}
+
+func (sqlCreateTable) isSQLStatement() {}
+func (sqlCreateIndex) isSQLStatement() {}
+func (sqlDropTable) isSQLStatement()   {}
+func (sqlInsert) isSQLStatement()      {}
+func (sqlSelect) isSQLStatement()      {}
+func (sqlUpdate) isSQLStatement()      {}
+func (sqlDelete) isSQLStatement()      {}
+func (sqlBegin) isSQLStatement()       {}
+func (sqlCommit) isSQLStatement()      {}
+func (sqlRollback) isSQLStatement()    {}

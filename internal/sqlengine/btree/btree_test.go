@@ -1,0 +1,304 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testTree(t *testing.T) (*Tree, *Pager) {
+	t.Helper()
+	p, err := OpenPager(filepath.Join(t.TempDir(), "t.db"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return Open(p), p
+}
+
+func TestInsertGetBasic(t *testing.T) {
+	tree, _ := testTree(t)
+	if _, ok, err := tree.Get([]byte("missing")); err != nil || ok {
+		t.Fatalf("empty tree get: %v %v", ok, err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v := []byte(fmt.Sprintf("val-%d", i*3))
+		if err := tree.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, ok, err := tree.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("get %s: %v %v", k, ok, err)
+		}
+		if string(v) != fmt.Sprintf("val-%d", i*3) {
+			t.Fatalf("get %s = %q", k, v)
+		}
+	}
+	// Replace.
+	if err := tree.Insert([]byte("key-000005"), []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := tree.Get([]byte("key-000005"))
+	if string(v) != "replaced" {
+		t.Errorf("replace = %q", v)
+	}
+	n, err := tree.Len()
+	if err != nil || n != 1000 {
+		t.Errorf("len = %d, %v", n, err)
+	}
+}
+
+func TestEntryTooLarge(t *testing.T) {
+	tree, _ := testTree(t)
+	big := make([]byte, MaxEntrySize)
+	if err := tree.Insert([]byte("k"), big); err == nil {
+		t.Error("oversized entry accepted")
+	}
+}
+
+func TestScanRanges(t *testing.T) {
+	tree, _ := testTree(t)
+	for i := 0; i < 500; i++ {
+		tree.Insert([]byte(fmt.Sprintf("%04d", i)), []byte("x"))
+	}
+	var got []string
+	tree.Scan([]byte("0100"), []byte("0110"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != "0100" || got[9] != "0109" {
+		t.Errorf("range scan = %v", got)
+	}
+	// Unbounded scan is ordered and complete.
+	n, prev := 0, ""
+	tree.Scan(nil, nil, func(k, v []byte) bool {
+		if string(k) <= prev {
+			t.Errorf("out of order: %q after %q", k, prev)
+		}
+		prev = string(k)
+		n++
+		return true
+	})
+	if n != 500 {
+		t.Errorf("full scan = %d", n)
+	}
+	// Early stop.
+	n = 0
+	tree.Scan(nil, nil, func(k, v []byte) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("stopped scan = %d", n)
+	}
+	// Prefix scan.
+	var pre []string
+	tree.ScanPrefix([]byte("012"), func(k, v []byte) bool {
+		pre = append(pre, string(k))
+		return true
+	})
+	if len(pre) != 10 || pre[0] != "0120" {
+		t.Errorf("prefix scan = %v", pre)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tree, _ := testTree(t)
+	for i := 0; i < 300; i++ {
+		tree.Insert([]byte(fmt.Sprintf("%04d", i)), []byte("v"))
+	}
+	for i := 0; i < 300; i += 2 {
+		ok, err := tree.Delete([]byte(fmt.Sprintf("%04d", i)))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if ok, _ := tree.Delete([]byte("0000")); ok {
+		t.Error("double delete reported success")
+	}
+	n, _ := tree.Len()
+	if n != 150 {
+		t.Errorf("len after deletes = %d", n)
+	}
+	if _, ok, _ := tree.Get([]byte("0002")); ok {
+		t.Error("deleted key found")
+	}
+	if _, ok, _ := tree.Get([]byte("0001")); !ok {
+		t.Error("kept key lost")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.db")
+	p, err := OpenPager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := Open(p)
+	for i := 0; i < 2000; i++ {
+		tree.Insert([]byte(fmt.Sprintf("%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	tree2 := Open(p2)
+	for _, i := range []int{0, 999, 1999} {
+		v, ok, err := tree2.Get([]byte(fmt.Sprintf("%05d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("reopened get %d: %q %v %v", i, v, ok, err)
+		}
+	}
+	n, _ := tree2.Len()
+	if n != 2000 {
+		t.Errorf("reopened len = %d", n)
+	}
+}
+
+func TestCrashLosesUncheckpointedOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.db")
+	p, err := OpenPager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := Open(p)
+	for i := 0; i < 100; i++ {
+		tree.Insert([]byte(fmt.Sprintf("%03d", i)), []byte("checkpointed"))
+	}
+	if err := p.Flush(); err != nil { // checkpoint
+		t.Fatal(err)
+	}
+	for i := 100; i < 200; i++ {
+		tree.Insert([]byte(fmt.Sprintf("%03d", i)), []byte("volatile"))
+	}
+	p.CloseAbrupt()
+
+	p2, err := OpenPager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	tree2 := Open(p2)
+	n, _ := tree2.Len()
+	if n != 100 {
+		t.Errorf("after crash len = %d, want the 100 checkpointed", n)
+	}
+}
+
+// TestPropertyMatchesSortedMap drives the tree against a reference map with
+// random inserts, replaces and deletes, then compares full scans.
+func TestPropertyMatchesSortedMap(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := OpenPager(filepath.Join(t.TempDir(), "q.db"), 32)
+		if err != nil {
+			return false
+		}
+		defer p.Close()
+		tree := Open(p)
+		ref := map[string]string{}
+		for op := 0; op < 400; op++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(120))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", rng.Int63())
+				if err := tree.Insert([]byte(k), []byte(v)); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				ref[k] = v
+			case 2:
+				okTree, err := tree.Delete([]byte(k))
+				if err != nil {
+					return false
+				}
+				_, okRef := ref[k]
+				if okTree != okRef {
+					t.Logf("delete presence mismatch for %s: tree=%v ref=%v", k, okTree, okRef)
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		// Compare scans.
+		keys := make([]string, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		ok := true
+		tree.Scan(nil, nil, func(k, v []byte) bool {
+			if i >= len(keys) || string(k) != keys[i] || string(v) != ref[keys[i]] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLargeValuesSplitCorrectly stresses variable-size entries across page
+// splits.
+func TestLargeValuesSplitCorrectly(t *testing.T) {
+	tree, _ := testTree(t)
+	rng := rand.New(rand.NewSource(7))
+	vals := map[string][]byte{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v := make([]byte, 100+rng.Intn(1500))
+		rng.Read(v)
+		if err := tree.Insert([]byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+		vals[k] = v
+	}
+	for k, want := range vals {
+		got, ok, err := tree.Get([]byte(k))
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("get %s: ok=%v err=%v match=%v", k, ok, err, bytes.Equal(got, want))
+		}
+	}
+}
+
+func TestPagerBadFile(t *testing.T) {
+	dir := t.TempDir()
+	// Non-aligned file.
+	path := filepath.Join(dir, "bad.db")
+	if err := writeFile(path, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPager(path, 16); err == nil {
+		t.Error("unaligned file opened")
+	}
+	// Wrong magic.
+	path2 := filepath.Join(dir, "bad2.db")
+	if err := writeFile(path2, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPager(path2, 16); err == nil {
+		t.Error("bad magic opened")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

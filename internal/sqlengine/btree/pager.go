@@ -1,0 +1,256 @@
+// Package btree implements the page-based B+tree underlying the relational
+// engine's clustered tables and secondary indexes (the role InnoDB's trees
+// play for the paper's MySQL schemas). Each tree lives in its own file —
+// page 0 is the metadata page — so a table's on-disk footprint is simply its
+// file sizes, which is what the paper's Table 4 measures.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// PageSize is the fixed page size. 8 KiB mirrors common RDBMS defaults.
+const PageSize = 8192
+
+// Pager errors.
+var (
+	ErrBadPage     = errors.New("btree: page out of range")
+	ErrCorruptMeta = errors.New("btree: corrupt meta page")
+	ErrPagerClosed = errors.New("btree: pager is closed")
+)
+
+const pagerMagic = "BTPG0001"
+
+// page is one cached page frame.
+type page struct {
+	id    uint32
+	data  []byte
+	dirty bool
+	// used marks recent access for the clock eviction hand.
+	used bool
+}
+
+// Pager provides page-granular access to a single file with a buffer pool.
+// Dirty pages are never evicted — they persist only at Flush (checkpoint)
+// time, which keeps the on-disk tree at the last checkpoint state between
+// checkpoints (the property the engine's WAL recovery relies on). Clean
+// pages are evicted with a clock sweep once the pool exceeds its target.
+type Pager struct {
+	file     *os.File
+	path     string
+	numPages uint32
+	cache    map[uint32]*page
+	target   int // soft cap on cached pages
+	preFlush []func() error
+	closed   bool
+}
+
+// OpenPager opens or creates the file. A new file is initialized with a
+// meta page (page 0).
+func OpenPager(path string, cachePages int) (*Pager, error) {
+	if cachePages < 16 {
+		cachePages = 16
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p := &Pager{
+		file:   f,
+		path:   path,
+		cache:  make(map[uint32]*page),
+		target: cachePages,
+	}
+	if info.Size() == 0 {
+		meta := make([]byte, PageSize)
+		copy(meta, pagerMagic)
+		if _, err := f.WriteAt(meta, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.numPages = 1
+		return p, nil
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s size %d not page aligned", ErrCorruptMeta, path, info.Size())
+	}
+	p.numPages = uint32(info.Size() / PageSize)
+	head := make([]byte, len(pagerMagic))
+	if _, err := f.ReadAt(head, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(head) != pagerMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s bad magic", ErrCorruptMeta, path)
+	}
+	return p, nil
+}
+
+// NumPages returns the current page count (including the meta page).
+func (p *Pager) NumPages() uint32 { return p.numPages }
+
+// FileSize returns the file's byte size.
+func (p *Pager) FileSize() int64 { return int64(p.numPages) * PageSize }
+
+// Allocate appends a zeroed page and returns its id.
+func (p *Pager) Allocate() (uint32, error) {
+	if p.closed {
+		return 0, ErrPagerClosed
+	}
+	id := p.numPages
+	p.numPages++
+	pg := &page{id: id, data: make([]byte, PageSize), dirty: true, used: true}
+	p.cache[id] = pg
+	p.evictIfNeeded()
+	return id, nil
+}
+
+// Get returns the page frame, reading it from disk if needed. The returned
+// slice is the live frame: callers that mutate it must call MarkDirty.
+func (p *Pager) Get(id uint32) ([]byte, error) {
+	if p.closed {
+		return nil, ErrPagerClosed
+	}
+	if id >= p.numPages {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrBadPage, id, p.numPages)
+	}
+	if pg, ok := p.cache[id]; ok {
+		pg.used = true
+		return pg.data, nil
+	}
+	data := make([]byte, PageSize)
+	if _, err := p.file.ReadAt(data, int64(id)*PageSize); err != nil {
+		return nil, err
+	}
+	pg := &page{id: id, data: data, used: true}
+	p.cache[id] = pg
+	p.evictIfNeeded()
+	return data, nil
+}
+
+// MarkDirty pins the page until the next Flush.
+func (p *Pager) MarkDirty(id uint32) {
+	if pg, ok := p.cache[id]; ok {
+		pg.dirty = true
+	}
+}
+
+// evictIfNeeded drops clean pages once the pool exceeds its target. Dirty
+// pages are exempt by design.
+func (p *Pager) evictIfNeeded() {
+	if len(p.cache) <= p.target {
+		return
+	}
+	for id, pg := range p.cache {
+		if len(p.cache) <= p.target {
+			return
+		}
+		if pg.dirty {
+			continue
+		}
+		if pg.used {
+			pg.used = false // second chance
+			continue
+		}
+		delete(p.cache, id)
+	}
+}
+
+// OnFlush registers a hook that runs at the start of every Flush, before
+// pages are written. The B+tree registers its decoded-node sync here so a
+// checkpoint always serializes the logical state first.
+func (p *Pager) OnFlush(fn func() error) { p.preFlush = append(p.preFlush, fn) }
+
+// Flush writes all dirty pages and syncs the file (a checkpoint).
+func (p *Pager) Flush() error {
+	if p.closed {
+		return ErrPagerClosed
+	}
+	for _, fn := range p.preFlush {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	wrote := false
+	for _, pg := range p.cache {
+		if !pg.dirty {
+			continue
+		}
+		if _, err := p.file.WriteAt(pg.data, int64(pg.id)*PageSize); err != nil {
+			return err
+		}
+		pg.dirty = false
+		wrote = true
+	}
+	if wrote {
+		return p.file.Sync()
+	}
+	return nil
+}
+
+// DropCache empties the buffer pool without writing dirty pages — the
+// crash-simulation hook: whatever was not checkpointed is lost.
+func (p *Pager) DropCache() {
+	p.cache = make(map[uint32]*page)
+	// The file may have grown for pages that were never flushed; trim the
+	// logical page count back to the physical file.
+	if info, err := p.file.Stat(); err == nil {
+		p.numPages = uint32(info.Size() / PageSize)
+	}
+}
+
+// Close flushes and closes the file.
+func (p *Pager) Close() error {
+	if p.closed {
+		return nil
+	}
+	if err := p.Flush(); err != nil {
+		p.file.Close()
+		return err
+	}
+	p.closed = true
+	return p.file.Close()
+}
+
+// CloseAbrupt closes without flushing (crash simulation).
+func (p *Pager) CloseAbrupt() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	return p.file.Close()
+}
+
+// Meta accessors: the meta page stores the tree's root page id at a fixed
+// offset after the magic.
+const metaRootOff = 16
+
+// Root reads the root page id from the meta page (0 = empty tree).
+func (p *Pager) Root() (uint32, error) {
+	data, err := p.Get(0)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(data[metaRootOff:]), nil
+}
+
+// SetRoot stores the root page id in the meta page.
+func (p *Pager) SetRoot(root uint32) error {
+	data, err := p.Get(0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(data[metaRootOff:], root)
+	p.MarkDirty(0)
+	return nil
+}

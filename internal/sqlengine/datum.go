@@ -1,0 +1,283 @@
+// Package sqlengine implements the MySQL-role relational engine of the
+// paper's evaluation: page-based clustered B+trees per table, secondary
+// index trees, a redo log with checkpoint recovery, and a SQL subset with
+// multi-row INSERT (the paper's bulk load), equi-joins (needed to rebuild a
+// DWARF from the MySQL-DWARF schema of Fig. 4), and simple planning (primary
+// key point reads, secondary index lookups, else scans).
+package sqlengine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// DType enumerates column types (MySQL spelling: INT, TEXT, BOOLEAN,
+// DOUBLE). There is deliberately no set type — the lack of one is why the
+// paper's MySQL-DWARF schema needs NODE_CHILDREN / CELL_CHILDREN join
+// tables.
+type DType uint8
+
+// Supported column types.
+const (
+	TNull DType = iota
+	TInt
+	TText
+	TBool
+	TFloat
+)
+
+// String names the type in SQL spelling.
+func (t DType) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return "INT"
+	case TText:
+		return "TEXT"
+	case TBool:
+		return "BOOLEAN"
+	case TFloat:
+		return "DOUBLE"
+	default:
+		return fmt.Sprintf("DTYPE(%d)", uint8(t))
+	}
+}
+
+// ParseDType maps a SQL type name to a DType.
+func ParseDType(s string) (DType, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TInt, nil
+	case "TEXT", "VARCHAR", "CHAR":
+		return TText, nil
+	case "BOOLEAN", "BOOL":
+		return TBool, nil
+	case "DOUBLE", "FLOAT", "REAL":
+		return TFloat, nil
+	default:
+		return TNull, fmt.Errorf("sqlengine: unknown type %q", s)
+	}
+}
+
+// Datum is one SQL value; the zero Datum is NULL.
+type Datum struct {
+	Type  DType
+	Int   int64
+	Text  string
+	Bool  bool
+	Float float64
+}
+
+// Constructors.
+func DNull() Datum           { return Datum{} }
+func DInt(v int64) Datum     { return Datum{Type: TInt, Int: v} }
+func DText(v string) Datum   { return Datum{Type: TText, Text: v} }
+func DBool(v bool) Datum     { return Datum{Type: TBool, Bool: v} }
+func DFloat(v float64) Datum { return Datum{Type: TFloat, Float: v} }
+
+// IsNull reports whether the datum is NULL.
+func (d Datum) IsNull() bool { return d.Type == TNull }
+
+// String renders as a SQL literal.
+func (d Datum) String() string {
+	switch d.Type {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return strconv.FormatInt(d.Int, 10)
+	case TText:
+		return "'" + strings.ReplaceAll(d.Text, "'", "''") + "'"
+	case TBool:
+		if d.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case TFloat:
+		return strconv.FormatFloat(d.Float, 'g', -1, 64)
+	default:
+		return "?"
+	}
+}
+
+// Equal is deep equality (NULL equals NULL for storage purposes; SQL
+// comparison semantics live in the executor).
+func (d Datum) Equal(o Datum) bool {
+	if d.Type != o.Type {
+		return false
+	}
+	switch d.Type {
+	case TNull:
+		return true
+	case TInt:
+		return d.Int == o.Int
+	case TText:
+		return d.Text == o.Text
+	case TBool:
+		return d.Bool == o.Bool
+	case TFloat:
+		return d.Float == o.Float
+	}
+	return false
+}
+
+// Compare orders two datums; mixed int/float compare numerically, other
+// mixed types by type tag.
+func (d Datum) Compare(o Datum) int {
+	if d.Type == TInt && o.Type == TFloat {
+		return cmpFloat(float64(d.Int), o.Float)
+	}
+	if d.Type == TFloat && o.Type == TInt {
+		return cmpFloat(d.Float, float64(o.Int))
+	}
+	if d.Type != o.Type {
+		if d.Type < o.Type {
+			return -1
+		}
+		return 1
+	}
+	switch d.Type {
+	case TNull:
+		return 0
+	case TInt:
+		switch {
+		case d.Int < o.Int:
+			return -1
+		case d.Int > o.Int:
+			return 1
+		}
+		return 0
+	case TText:
+		return strings.Compare(d.Text, o.Text)
+	case TBool:
+		switch {
+		case d.Bool == o.Bool:
+			return 0
+		case !d.Bool:
+			return -1
+		}
+		return 1
+	case TFloat:
+		return cmpFloat(d.Float, o.Float)
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// KeyBytes encodes the datum so byte order matches Compare order within a
+// type (used for clustered and index keys).
+func (d Datum) KeyBytes() []byte {
+	out := []byte{byte(d.Type)}
+	switch d.Type {
+	case TInt:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(d.Int)^(1<<63))
+		out = append(out, buf[:]...)
+	case TText:
+		out = append(out, d.Text...)
+	case TBool:
+		if d.Bool {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	case TFloat:
+		bits := math.Float64bits(d.Float)
+		if d.Float >= 0 || bits == 0 {
+			bits ^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// ErrCorruptRow reports malformed stored rows.
+var ErrCorruptRow = errors.New("sqlengine: corrupt row encoding")
+
+// appendDatum serializes for row storage.
+func appendDatum(dst []byte, d Datum) []byte {
+	dst = append(dst, byte(d.Type))
+	switch d.Type {
+	case TInt:
+		dst = binary.AppendVarint(dst, d.Int)
+	case TText:
+		dst = binary.AppendUvarint(dst, uint64(len(d.Text)))
+		dst = append(dst, d.Text...)
+	case TBool:
+		if d.Bool {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case TFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(d.Float))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+func decodeDatum(src []byte) (Datum, []byte, error) {
+	if len(src) == 0 {
+		return Datum{}, nil, ErrCorruptRow
+	}
+	t := DType(src[0])
+	src = src[1:]
+	switch t {
+	case TNull:
+		return Datum{}, src, nil
+	case TInt:
+		v, n := binary.Varint(src)
+		if n <= 0 {
+			return Datum{}, nil, ErrCorruptRow
+		}
+		return DInt(v), src[n:], nil
+	case TText:
+		l, n := binary.Uvarint(src)
+		if n <= 0 || uint64(len(src)-n) < l {
+			return Datum{}, nil, ErrCorruptRow
+		}
+		return DText(string(src[n : n+int(l)])), src[n+int(l):], nil
+	case TBool:
+		if len(src) < 1 {
+			return Datum{}, nil, ErrCorruptRow
+		}
+		return DBool(src[0] == 1), src[1:], nil
+	case TFloat:
+		if len(src) < 8 {
+			return Datum{}, nil, ErrCorruptRow
+		}
+		return DFloat(math.Float64frombits(binary.LittleEndian.Uint64(src))), src[8:], nil
+	default:
+		return Datum{}, nil, fmt.Errorf("%w: type %d", ErrCorruptRow, t)
+	}
+}
+
+// SQLRow is a decoded row keyed by lower-cased column name.
+type SQLRow map[string]Datum
+
+// Get returns a column value (NULL when absent).
+func (r SQLRow) Get(col string) Datum {
+	if v, ok := r[strings.ToLower(col)]; ok {
+		return v
+	}
+	return DNull()
+}

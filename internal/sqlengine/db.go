@@ -1,0 +1,553 @@
+package sqlengine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sqlengine/btree"
+)
+
+// Options tune the engine.
+type Options struct {
+	// CachePages is the soft buffer-pool cap per tree file. <= 0 → 512.
+	CachePages int
+	// SyncOnCommit fsyncs the redo log at COMMIT / autocommit boundaries.
+	SyncOnCommit bool
+	// CheckpointEvery bounds redo-log growth: when the log exceeds this
+	// many bytes outside a transaction the engine checkpoints. <= 0 → 64 MiB.
+	CheckpointEvery int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CachePages <= 0 {
+		o.CachePages = 512
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64 << 20
+	}
+	return o
+}
+
+// DB is a relational database rooted at a directory: one B+tree file per
+// table (clustered on the primary key) plus one per secondary index, a
+// JSON catalog, and a redo log.
+type DB struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	tables map[string]*table // lower-cased name
+	wal    *redoLog
+	inTxn  bool
+	closed bool
+}
+
+// table is the runtime state for one table.
+type table struct {
+	def     *TableDef
+	pager   *btree.Pager
+	tree    *btree.Tree
+	indexes map[string]*indexTree // lower-cased column
+}
+
+type indexTree struct {
+	column string
+	pager  *btree.Pager
+	tree   *btree.Tree
+}
+
+type sqlCatalog struct {
+	Tables []sqlCatalogTable `json:"tables"`
+}
+type sqlCatalogTable struct {
+	Name    string          `json:"name"`
+	PK      string          `json:"pk"`
+	Columns []sqlCatalogCol `json:"columns"`
+	Indexes []string        `json:"indexes,omitempty"`
+}
+type sqlCatalogCol struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Open opens or creates a database under dir and replays the redo log.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opts: opts, tables: make(map[string]*table)}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	// Replay: trees on disk are at the last checkpoint; the log holds
+	// everything since.
+	err := replayRedoLog(db.walPath(), func(op walOp) error {
+		t, ok := db.tables[strings.ToLower(op.table)]
+		if !ok {
+			return nil // dropped table
+		}
+		switch op.op {
+		case walOpUpsert:
+			row, err := decodeSQLRow(t.def, op.data)
+			if err != nil {
+				return err
+			}
+			return db.applyUpsert(t, row, true)
+		case walOpDelete:
+			return db.applyDeleteKey(t, op.data)
+		default:
+			return ErrCorruptWAL
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	wal, err := openRedoLog(db.walPath())
+	if err != nil {
+		return nil, err
+	}
+	db.wal = wal
+	return db, nil
+}
+
+func (db *DB) walPath() string     { return filepath.Join(db.dir, "redo.log") }
+func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+func (db *DB) tablePath(name string) string {
+	return filepath.Join(db.dir, "tbl_"+strings.ToLower(name)+".dat")
+}
+
+func (db *DB) indexPath(tbl, col string) string {
+	return filepath.Join(db.dir, "idx_"+strings.ToLower(tbl)+"_"+strings.ToLower(col)+".dat")
+}
+
+func (db *DB) loadCatalog() error {
+	data, err := os.ReadFile(db.catalogPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var cat sqlCatalog
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return fmt.Errorf("sqlengine: corrupt catalog: %w", err)
+	}
+	for _, ct := range cat.Tables {
+		cols := make([]ColumnDef, len(ct.Columns))
+		for i, c := range ct.Columns {
+			typ, err := ParseDType(c.Type)
+			if err != nil {
+				return err
+			}
+			cols[i] = ColumnDef{Name: c.Name, Type: typ}
+		}
+		def, err := NewTableDef(ct.Name, cols, ct.PK)
+		if err != nil {
+			return err
+		}
+		def.Indexes = ct.Indexes
+		if err := db.openTable(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) saveCatalog() error {
+	var cat sqlCatalog
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
+		ct := sqlCatalogTable{Name: t.def.Name, PK: t.def.PK, Indexes: t.def.Indexes}
+		for _, c := range t.def.Columns {
+			ct.Columns = append(ct.Columns, sqlCatalogCol{Name: c.Name, Type: c.Type.String()})
+		}
+		cat.Tables = append(cat.Tables, ct)
+	}
+	data, err := json.MarshalIndent(&cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := db.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.catalogPath())
+}
+
+func (db *DB) openTable(def *TableDef) error {
+	p, err := btree.OpenPager(db.tablePath(def.Name), db.opts.CachePages)
+	if err != nil {
+		return err
+	}
+	t := &table{def: def, pager: p, tree: btree.Open(p), indexes: make(map[string]*indexTree)}
+	for _, col := range def.Indexes {
+		ip, err := btree.OpenPager(db.indexPath(def.Name, col), db.opts.CachePages)
+		if err != nil {
+			return err
+		}
+		t.indexes[strings.ToLower(col)] = &indexTree{column: col, pager: ip, tree: btree.Open(ip)}
+	}
+	db.tables[strings.ToLower(def.Name)] = t
+	return nil
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(def *TableDef, ifNotExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, ok := db.tables[strings.ToLower(def.Name)]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrTableExists, def.Name)
+	}
+	if err := db.openTable(def); err != nil {
+		return err
+	}
+	return db.saveCatalog()
+}
+
+// CreateIndex adds and back-fills a secondary index.
+func (db *DB) CreateIndex(tblName, col string, ifNotExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	t, err := db.table(tblName)
+	if err != nil {
+		return err
+	}
+	if _, err := t.def.Column(col); err != nil {
+		return err
+	}
+	if t.def.HasIndex(col) {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s(%s)", ErrIndexExists, tblName, col)
+	}
+	ip, err := btree.OpenPager(db.indexPath(t.def.Name, col), db.opts.CachePages)
+	if err != nil {
+		return err
+	}
+	idx := &indexTree{column: col, pager: ip, tree: btree.Open(ip)}
+	lcol := strings.ToLower(col)
+	// Back-fill.
+	err = t.tree.Scan(nil, nil, func(k, v []byte) bool {
+		row, derr := decodeSQLRow(t.def, v)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		if val := row.Get(lcol); !val.IsNull() {
+			if ierr := idx.tree.Insert(indexKeyBytes(val, k), nil); ierr != nil {
+				err = ierr
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		ip.Close()
+		return err
+	}
+	t.indexes[lcol] = idx
+	t.def.Indexes = append(t.def.Indexes, col)
+	return db.saveCatalog()
+}
+
+func (db *DB) table(name string) (*table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// indexKeyBytes is the composite (value, pk) index entry key; the value is
+// length-prefixed so prefix scans never bleed across values.
+func indexKeyBytes(val Datum, pk []byte) []byte {
+	vb := val.KeyBytes()
+	out := make([]byte, 0, len(vb)+len(pk)+4)
+	out = appendUvarintLen(out, len(vb))
+	out = append(out, vb...)
+	return append(out, pk...)
+}
+
+func indexPrefixBytes(val Datum) []byte {
+	vb := val.KeyBytes()
+	out := appendUvarintLen(nil, len(vb))
+	return append(out, vb...)
+}
+
+func appendUvarintLen(dst []byte, n int) []byte {
+	for n >= 0x80 {
+		dst = append(dst, byte(n)|0x80)
+		n >>= 7
+	}
+	return append(dst, byte(n))
+}
+
+func indexEntryPK(key []byte) ([]byte, error) {
+	var l int
+	i := 0
+	shift := 0
+	for {
+		if i >= len(key) {
+			return nil, ErrCorruptRow
+		}
+		b := key[i]
+		l |= int(b&0x7f) << shift
+		i++
+		if b < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	if len(key) < i+l {
+		return nil, ErrCorruptRow
+	}
+	return key[i+l:], nil
+}
+
+// applyUpsert writes a row into the clustered tree and maintains indexes.
+// replay mode tolerates pre-existing keys (idempotent redo).
+func (db *DB) applyUpsert(t *table, row SQLRow, replay bool) error {
+	pk := row.Get(t.def.PK)
+	if pk.IsNull() {
+		return fmt.Errorf("%w: %s", ErrMissingKey, t.def.PK)
+	}
+	key := pk.KeyBytes()
+	var oldRow SQLRow
+	oldVal, existed, err := t.tree.Get(key)
+	if err != nil {
+		return err
+	}
+	if existed {
+		if !replay {
+			return fmt.Errorf("%w: %s=%s", ErrDuplicateKey, t.def.PK, pk)
+		}
+		if len(t.indexes) > 0 {
+			if oldRow, err = decodeSQLRow(t.def, oldVal); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.tree.Insert(key, encodeSQLRow(t.def, row)); err != nil {
+		return err
+	}
+	for lcol, idx := range t.indexes {
+		newV := row.Get(lcol)
+		var oldV Datum
+		if oldRow != nil {
+			oldV = oldRow.Get(lcol)
+		}
+		if oldRow != nil && !oldV.IsNull() && !oldV.Equal(newV) {
+			if _, err := idx.tree.Delete(indexKeyBytes(oldV, key)); err != nil {
+				return err
+			}
+		}
+		if !newV.IsNull() && (oldRow == nil || !oldV.Equal(newV)) {
+			if err := idx.tree.Insert(indexKeyBytes(newV, key), nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyReplace is applyUpsert with replace semantics (UPDATE path).
+func (db *DB) applyReplace(t *table, row SQLRow) error {
+	return db.applyUpsert(t, row, true)
+}
+
+// applyDeleteKey removes a row by clustered key, maintaining indexes.
+func (db *DB) applyDeleteKey(t *table, key []byte) error {
+	oldVal, existed, err := t.tree.Get(key)
+	if err != nil || !existed {
+		return err
+	}
+	if len(t.indexes) > 0 {
+		oldRow, err := decodeSQLRow(t.def, oldVal)
+		if err != nil {
+			return err
+		}
+		for lcol, idx := range t.indexes {
+			if v := oldRow.Get(lcol); !v.IsNull() {
+				if _, err := idx.tree.Delete(indexKeyBytes(v, key)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err = t.tree.Delete(key)
+	return err
+}
+
+// logAndMaybeCheckpoint appends ops to the redo log and autocheckpoints
+// outside transactions when the log grows past the configured bound.
+func (db *DB) logAndMaybeCheckpoint(ops []walOp) error {
+	if err := db.wal.append(ops); err != nil {
+		return err
+	}
+	if !db.inTxn {
+		if db.opts.SyncOnCommit {
+			if err := db.wal.sync(); err != nil {
+				return err
+			}
+		}
+		if db.wal.size() > db.opts.CheckpointEvery {
+			return db.checkpointLocked()
+		}
+	}
+	return nil
+}
+
+// Checkpoint flushes every pager and truncates the redo log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	for _, t := range db.tables {
+		if err := t.pager.Flush(); err != nil {
+			return err
+		}
+		for _, idx := range t.indexes {
+			if err := idx.pager.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return db.wal.truncate()
+}
+
+// TableDiskSize returns the table's footprint: clustered tree file plus its
+// index files (checkpoint first for exact on-disk figures).
+func (db *DB) TableDiskSize(name string) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(name)
+	if err != nil {
+		return 0, err
+	}
+	total := t.pager.FileSize()
+	for _, idx := range t.indexes {
+		total += idx.pager.FileSize()
+	}
+	return total, nil
+}
+
+// TotalDiskSize sums all tables.
+func (db *DB) TotalDiskSize() (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var total int64
+	for _, t := range db.tables {
+		total += t.pager.FileSize()
+		for _, idx := range t.indexes {
+			total += idx.pager.FileSize()
+		}
+	}
+	return total, nil
+}
+
+// Tables lists table names.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var names []string
+	for _, t := range db.tables {
+		names = append(names, t.def.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableDef returns a table's definition.
+func (db *DB) TableDef(name string) (*TableDef, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.def, nil
+}
+
+// Close checkpoints and releases all files.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	var first error
+	for _, t := range db.tables {
+		if err := t.pager.Close(); err != nil && first == nil {
+			first = err
+		}
+		for _, idx := range t.indexes {
+			if err := idx.pager.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if err := db.wal.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// CloseAbrupt simulates a crash: the redo log reaches the OS, dirty pages
+// are dropped, nothing is checkpointed.
+func (db *DB) CloseAbrupt() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	if err := db.wal.flush(); err != nil {
+		first = err
+	}
+	for _, t := range db.tables {
+		if err := t.pager.CloseAbrupt(); err != nil && first == nil {
+			first = err
+		}
+		for _, idx := range t.indexes {
+			if err := idx.pager.CloseAbrupt(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if err := db.wal.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

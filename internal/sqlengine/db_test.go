@@ -1,0 +1,392 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func testSQLDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec(`CREATE TABLE dwarf_cell (
+		id INT PRIMARY KEY, name TEXT, leaf BOOLEAN, measure DOUBLE)`)
+	n := db.MustExec(`INSERT INTO dwarf_cell (id, name, leaf, measure) VALUES
+		(1, 'Fenian St', TRUE, 3),
+		(2, 'Pearse St', TRUE, 5.5),
+		(3, 'Dublin', FALSE, NULL)`)
+	if n != 3 {
+		t.Fatalf("inserted %d", n)
+	}
+	rows, err := db.Query("SELECT name, measure FROM dwarf_cell WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Text != "Pearse St" || rows.Data[0][1].Float != 5.5 {
+		t.Errorf("rows = %+v", rows)
+	}
+	// Full scan in PK order.
+	rows, err = db.Query("SELECT id FROM dwarf_cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 || rows.Data[0][0].Int != 1 || rows.Data[2][0].Int != 3 {
+		t.Errorf("scan = %+v", rows.Data)
+	}
+	// NULL round trip.
+	rows, _ = db.Query("SELECT measure FROM dwarf_cell WHERE id = 3")
+	if !rows.Data[0][0].IsNull() {
+		t.Errorf("NULL = %v", rows.Data[0][0])
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	db.MustExec("INSERT INTO t (id, v) VALUES (1, 'a')")
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (1, 'b')"); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("dup: %v", err)
+	}
+	// The failed statement must not have half-applied.
+	rows, _ := db.Query("SELECT v FROM t WHERE id = 1")
+	if rows.Data[0][0].Text != "a" {
+		t.Errorf("original row damaged: %v", rows.Data)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT, n INT)")
+	for i := 0; i < 20; i++ {
+		db.MustExec("INSERT INTO t (id, v, n) VALUES (?, ?, ?)", i, "x", i%4)
+	}
+	n := db.MustExec("UPDATE t SET v = 'updated' WHERE n = 2")
+	if n != 5 {
+		t.Errorf("updated %d rows", n)
+	}
+	rows, _ := db.Query("SELECT count(*) FROM t WHERE v = 'updated'")
+	if rows.Data[0][0].Int != 5 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+	// UPDATE merges, does not clear unmentioned columns.
+	rows, _ = db.Query("SELECT n FROM t WHERE id = 2")
+	if rows.Data[0][0].Int != 2 {
+		t.Errorf("merge lost n: %v", rows.Data[0][0])
+	}
+	// PK change moves the row.
+	db.MustExec("UPDATE t SET id = 100 WHERE id = 0")
+	rows, _ = db.Query("SELECT id FROM t WHERE id = 100")
+	if len(rows.Data) != 1 {
+		t.Errorf("moved row missing")
+	}
+	rows, _ = db.Query("SELECT id FROM t WHERE id = 0")
+	if len(rows.Data) != 0 {
+		t.Errorf("old key still present")
+	}
+
+	n = db.MustExec("DELETE FROM t WHERE n = 3")
+	if n != 5 {
+		t.Errorf("deleted %d", n)
+	}
+	rows, _ = db.Query("SELECT count(*) FROM t")
+	if rows.Data[0][0].Int != 15 {
+		t.Errorf("count after delete = %v", rows.Data[0][0])
+	}
+}
+
+func TestSecondaryIndexMaintenance(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE cells (id INT PRIMARY KEY, node_id INT, v TEXT)")
+	for i := 0; i < 40; i++ {
+		db.MustExec("INSERT INTO cells (id, node_id, v) VALUES (?, ?, 'x')", i, i%5)
+	}
+	// Index created after data: back-fill.
+	db.MustExec("CREATE INDEX by_node ON cells (node_id)")
+	if _, err := db.Exec("CREATE INDEX by_node2 ON cells (node_id)"); !errors.Is(err, ErrIndexExists) {
+		t.Errorf("dup index: %v", err)
+	}
+	rows, _ := db.Query("SELECT id FROM cells WHERE node_id = 3")
+	if len(rows.Data) != 8 {
+		t.Errorf("index lookup = %d rows", len(rows.Data))
+	}
+	// Update moves index entries.
+	db.MustExec("UPDATE cells SET node_id = 99 WHERE id = 3")
+	rows, _ = db.Query("SELECT id FROM cells WHERE node_id = 3")
+	if len(rows.Data) != 7 {
+		t.Errorf("after update: %d rows", len(rows.Data))
+	}
+	rows, _ = db.Query("SELECT id FROM cells WHERE node_id = 99")
+	if len(rows.Data) != 1 {
+		t.Errorf("new value: %d rows", len(rows.Data))
+	}
+	// Delete removes index entries.
+	db.MustExec("DELETE FROM cells WHERE id = 3")
+	rows, _ = db.Query("SELECT id FROM cells WHERE node_id = 99")
+	if len(rows.Data) != 0 {
+		t.Errorf("after delete: %d rows", len(rows.Data))
+	}
+}
+
+func TestJoins(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	// The Fig. 4 shape: nodes, cells, and the join table between them.
+	db.MustExec("CREATE TABLE nodes (id INT PRIMARY KEY, root BOOLEAN)")
+	db.MustExec("CREATE TABLE cells (id INT PRIMARY KEY, name TEXT)")
+	db.MustExec("CREATE TABLE node_children (id INT PRIMARY KEY, node_id INT, cell_id INT)")
+	db.MustExec("INSERT INTO nodes (id, root) VALUES (1, TRUE), (2, FALSE)")
+	db.MustExec("INSERT INTO cells (id, name) VALUES (10, 'Ireland'), (11, 'France'), (12, 'Dublin')")
+	db.MustExec(`INSERT INTO node_children (id, node_id, cell_id) VALUES
+		(1, 1, 10), (2, 1, 11), (3, 2, 12)`)
+
+	// Two-table join through the join table, inner side by PK.
+	rows, err := db.Query(`SELECT c.name FROM node_children nc
+		JOIN cells c ON nc.cell_id = c.id WHERE nc.node_id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("join rows = %+v", rows.Data)
+	}
+	got := map[string]bool{}
+	for _, r := range rows.Data {
+		got[r[0].Text] = true
+	}
+	if !got["Ireland"] || !got["France"] {
+		t.Errorf("join names = %v", got)
+	}
+
+	// Three-table join.
+	rows, err = db.Query(`SELECT n.id, c.name FROM nodes n
+		JOIN node_children nc ON nc.node_id = n.id
+		JOIN cells c ON c.id = nc.cell_id
+		WHERE n.root = TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("3-way join = %+v", rows.Data)
+	}
+	if rows.Columns[0] != "n.id" || rows.Columns[1] != "c.name" {
+		t.Errorf("columns = %v", rows.Columns)
+	}
+
+	// Join with index on the inner side.
+	db.MustExec("CREATE INDEX by_node ON node_children (node_id)")
+	rows, err = db.Query(`SELECT nc.cell_id FROM nodes n
+		JOIN node_children nc ON nc.node_id = n.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 {
+		t.Errorf("indexed join = %+v", rows.Data)
+	}
+
+	// Ambiguous unqualified column.
+	if _, err := db.Query("SELECT id FROM nodes n JOIN cells c ON n.id = c.id"); !errors.Is(err, ErrAmbiguousCol) {
+		t.Errorf("ambiguity: %v", err)
+	}
+}
+
+func TestTransactionsGroupCommit(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY)")
+	db.MustExec("BEGIN")
+	for i := 0; i < 10; i++ {
+		db.MustExec("INSERT INTO t (id) VALUES (?)", i)
+	}
+	db.MustExec("COMMIT")
+	rows, _ := db.Query("SELECT count(*) FROM t")
+	if rows.Data[0][0].Int != 10 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+	if _, err := db.Exec("COMMIT"); !errors.Is(err, ErrTxnState) {
+		t.Errorf("commit outside txn: %v", err)
+	}
+	db.MustExec("BEGIN")
+	if _, err := db.Exec("BEGIN"); !errors.Is(err, ErrTxnState) {
+		t.Errorf("nested begin: %v", err)
+	}
+	db.MustExec("COMMIT")
+	if _, err := db.Exec("ROLLBACK"); !errors.Is(err, ErrNotImplemented) {
+		t.Errorf("rollback: %v", err)
+	}
+}
+
+func TestPersistenceAndCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	db.MustExec("INSERT INTO t (id, v) VALUES (1, 'checkpointed')")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("INSERT INTO t (id, v) VALUES (2, 'wal-only')")
+	db.MustExec("UPDATE t SET v = 'patched' WHERE id = 1")
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, err := db2.Query("SELECT v FROM t WHERE id = 2")
+	if err != nil || len(rows.Data) != 1 || rows.Data[0][0].Text != "wal-only" {
+		t.Errorf("wal insert lost: %+v %v", rows, err)
+	}
+	rows, _ = db2.Query("SELECT v FROM t WHERE id = 1")
+	if rows.Data[0][0].Text != "patched" {
+		t.Errorf("wal update lost: %+v", rows.Data)
+	}
+}
+
+func TestCleanReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	db.MustExec("CREATE INDEX iv ON t (v)")
+	for i := 0; i < 500; i++ {
+		db.MustExec("INSERT INTO t (id, v) VALUES (?, ?)", i, fmt.Sprintf("g%d", i%7))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, err := db2.Query("SELECT count(*) FROM t WHERE v = 'g3'")
+	if err != nil || rows.Data[0][0].Int != 71 {
+		t.Errorf("reopened indexed count = %+v, %v", rows, err)
+	}
+}
+
+func TestDiskSizeAccounting(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE small (id INT PRIMARY KEY)")
+	db.MustExec("CREATE TABLE big (id INT PRIMARY KEY, pad TEXT)")
+	pad := make([]byte, 500)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	db.MustExec("BEGIN")
+	for i := 0; i < 2000; i++ {
+		db.MustExec("INSERT INTO big (id, pad) VALUES (?, ?)", i, string(pad))
+	}
+	db.MustExec("COMMIT")
+	db.MustExec("INSERT INTO small (id) VALUES (1)")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := db.TableDiskSize("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := db.TableDiskSize("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb <= ss || sb < 2000*500 {
+		t.Errorf("sizes: big=%d small=%d", sb, ss)
+	}
+	total, err := db.TotalDiskSize()
+	if err != nil || total != sb+ss {
+		t.Errorf("total=%d, want %d (%v)", total, sb+ss, err)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY)")
+	db.MustExec("CREATE INDEX i ON t (id)")
+	db.MustExec("DROP TABLE t")
+	if _, err := db.Query("SELECT * FROM t"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("dropped table query: %v", err)
+	}
+	if _, err := db.Exec("DROP TABLE t"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("double drop: %v", err)
+	}
+	db.MustExec("DROP TABLE IF EXISTS t")
+	// Recreate with the same name works.
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY)")
+	db.MustExec("INSERT INTO t (id) VALUES (1)")
+}
+
+func TestSQLErrors(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	for _, bad := range []string{
+		"SELEKT * FROM t",
+		"CREATE TABLE x (id INT)", // no pk
+		"INSERT INTO t (id, v) VALUES (1)",
+		"SELECT * FROM t WHERE id ~ 1",
+	} {
+		if _, err := db.Exec(bad); !errors.Is(err, ErrSQLSyntax) && !errors.Is(err, ErrNoPrimaryKey) {
+			t.Errorf("%q: %v", bad, err)
+		}
+	}
+	if _, err := db.Exec("INSERT INTO missing (id) VALUES (1)"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id, nope) VALUES (1, 2)"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("missing column: %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (1, 2)"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("type mismatch: %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO t (v) VALUES ('x')"); !errors.Is(err, ErrMissingKey) {
+		t.Errorf("missing key: %v", err)
+	}
+	if _, err := db.Query("SELECT nope FROM t"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("bad projection: %v", err)
+	}
+}
+
+func TestMultiRowInsertAtomicFormats(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, a DOUBLE, b BOOLEAN)")
+	// Int literal into DOUBLE column widens; quoted identifiers accepted.
+	db.MustExec("INSERT INTO `t` (id, a, b) VALUES (1, 2, TRUE), (2, 2.5, FALSE)")
+	rows, _ := db.Query("SELECT a FROM t WHERE id = 1")
+	if rows.Data[0][0].Type != TFloat || rows.Data[0][0].Float != 2 {
+		t.Errorf("widened = %v", rows.Data[0][0])
+	}
+	// Comments are skipped.
+	db.MustExec("INSERT INTO t (id, a, b) VALUES (3, 1, TRUE) -- trailing comment")
+	rows, _ = db.Query("SELECT count(*) FROM t")
+	if rows.Data[0][0].Int != 3 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+}
+
+func TestSelectLimitAndAliases(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	for i := 0; i < 50; i++ {
+		db.MustExec("INSERT INTO t (id, v) VALUES (?, ?)", i, i)
+	}
+	rows, err := db.Query("SELECT x.id FROM t x WHERE x.v >= 10 LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 5 || rows.Data[0][0].Int != 10 {
+		t.Errorf("alias+limit = %+v", rows.Data)
+	}
+}

@@ -1,0 +1,490 @@
+package sqlengine
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Rows is a query result: projected column names and data rows in order.
+type Rows struct {
+	Columns []string
+	Data    [][]Datum
+}
+
+// Exec runs a statement that returns no rows; it reports rows affected.
+func (db *DB) Exec(sql string, args ...any) (int, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return 0, err
+	}
+	b := &sqlBinder{args: args}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	n, _, err := db.execStmt(stmt, b)
+	if err != nil {
+		return 0, err
+	}
+	if b.pos != len(b.args) {
+		return 0, fmt.Errorf("%w: %d placeholders, %d arguments", ErrSQLSyntax, b.pos, len(b.args))
+	}
+	return n, nil
+}
+
+// Query runs a SELECT.
+func (db *DB) Query(sql string, args ...any) (*Rows, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := stmt.(sqlSelect); !ok {
+		return nil, fmt.Errorf("%w: Query needs a SELECT statement", ErrNotImplemented)
+	}
+	b := &sqlBinder{args: args}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	_, rows, err := db.execStmt(stmt, b)
+	if err != nil {
+		return nil, err
+	}
+	if b.pos != len(b.args) {
+		return nil, fmt.Errorf("%w: %d placeholders, %d arguments", ErrSQLSyntax, b.pos, len(b.args))
+	}
+	return rows, nil
+}
+
+// MustExec panics on error (setup helpers in tests/examples).
+func (db *DB) MustExec(sql string, args ...any) int {
+	n, err := db.Exec(sql, args...)
+	if err != nil {
+		panic(fmt.Sprintf("sql %q: %v", sql, err))
+	}
+	return n
+}
+
+type sqlBinder struct {
+	args []any
+	pos  int
+}
+
+func (b *sqlBinder) resolve(e sqlExpr) (Datum, error) {
+	if !e.Placeholder {
+		return e.Datum, nil
+	}
+	if b.pos >= len(b.args) {
+		return Datum{}, fmt.Errorf("%w: not enough arguments", ErrSQLSyntax)
+	}
+	a := b.args[b.pos]
+	b.pos++
+	switch v := a.(type) {
+	case nil:
+		return DNull(), nil
+	case int:
+		return DInt(int64(v)), nil
+	case int32:
+		return DInt(int64(v)), nil
+	case int64:
+		return DInt(v), nil
+	case string:
+		return DText(v), nil
+	case bool:
+		return DBool(v), nil
+	case float64:
+		return DFloat(v), nil
+	case Datum:
+		return v, nil
+	default:
+		return Datum{}, fmt.Errorf("%w: cannot bind %T", ErrSQLSyntax, a)
+	}
+}
+
+func (db *DB) execStmt(stmt sqlStatement, b *sqlBinder) (int, *Rows, error) {
+	switch st := stmt.(type) {
+	case sqlCreateTable:
+		def, err := NewTableDef(st.Name, st.Columns, st.PK)
+		if err != nil {
+			return 0, nil, err
+		}
+		if _, ok := db.tables[strings.ToLower(def.Name)]; ok {
+			if st.IfNotExists {
+				return 0, nil, nil
+			}
+			return 0, nil, fmt.Errorf("%w: %s", ErrTableExists, def.Name)
+		}
+		if err := db.openTable(def); err != nil {
+			return 0, nil, err
+		}
+		return 0, nil, db.saveCatalog()
+
+	case sqlCreateIndex:
+		// CreateIndex takes the lock itself; call the unlocked core.
+		db.mu.Unlock()
+		err := db.CreateIndex(st.Table, st.Column, st.IfNotExists)
+		db.mu.Lock()
+		return 0, nil, err
+
+	case sqlDropTable:
+		t, ok := db.tables[strings.ToLower(st.Name)]
+		if !ok {
+			if st.IfExists {
+				return 0, nil, nil
+			}
+			return 0, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, st.Name)
+		}
+		t.pager.Close()
+		os.Remove(db.tablePath(t.def.Name))
+		for _, idx := range t.indexes {
+			idx.pager.Close()
+			os.Remove(db.indexPath(t.def.Name, idx.column))
+		}
+		delete(db.tables, strings.ToLower(st.Name))
+		return 0, nil, db.saveCatalog()
+
+	case sqlBegin:
+		if db.inTxn {
+			return 0, nil, fmt.Errorf("%w: already in a transaction", ErrTxnState)
+		}
+		db.inTxn = true
+		return 0, nil, nil
+
+	case sqlCommit:
+		if !db.inTxn {
+			return 0, nil, fmt.Errorf("%w: no transaction", ErrTxnState)
+		}
+		db.inTxn = false
+		if db.opts.SyncOnCommit {
+			if err := db.wal.sync(); err != nil {
+				return 0, nil, err
+			}
+		}
+		if db.wal.size() > db.opts.CheckpointEvery {
+			return 0, nil, db.checkpointLocked()
+		}
+		return 0, nil, nil
+
+	case sqlRollback:
+		return 0, nil, fmt.Errorf("%w: ROLLBACK is not supported (redo-only log)", ErrNotImplemented)
+
+	case sqlInsert:
+		return db.execInsert(st, b)
+
+	case sqlUpdate:
+		return db.execUpdate(st, b)
+
+	case sqlDelete:
+		return db.execDelete(st, b)
+
+	case sqlSelect:
+		rows, err := db.execSelect(st, b)
+		return 0, rows, err
+
+	default:
+		return 0, nil, fmt.Errorf("%w: %T", ErrNotImplemented, stmt)
+	}
+}
+
+func (db *DB) execInsert(st sqlInsert, b *sqlBinder) (int, *Rows, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	var ops []walOp
+	var rows []SQLRow
+	for _, exprRow := range st.Rows {
+		row := make(SQLRow, len(st.Columns))
+		for i, col := range st.Columns {
+			v, err := b.resolve(exprRow[i])
+			if err != nil {
+				return 0, nil, err
+			}
+			cv, err := t.def.Coerce(col, v)
+			if err != nil {
+				return 0, nil, err
+			}
+			if !cv.IsNull() {
+				row[strings.ToLower(col)] = cv
+			}
+		}
+		pk := row.Get(t.def.PK)
+		if pk.IsNull() {
+			return 0, nil, fmt.Errorf("%w: %s", ErrMissingKey, t.def.PK)
+		}
+		// Unique constraint check — the read half of a MySQL insert.
+		if _, exists, err := t.tree.Get(pk.KeyBytes()); err != nil {
+			return 0, nil, err
+		} else if exists {
+			return 0, nil, fmt.Errorf("%w: %s=%s", ErrDuplicateKey, t.def.PK, pk)
+		}
+		ops = append(ops, walOp{op: walOpUpsert, table: t.def.Name, data: encodeSQLRow(t.def, row)})
+		rows = append(rows, row)
+	}
+	if err := db.logAndMaybeCheckpoint(ops); err != nil {
+		return 0, nil, err
+	}
+	for _, row := range rows {
+		if err := db.applyUpsert(t, row, true); err != nil {
+			return 0, nil, err
+		}
+	}
+	return len(rows), nil, nil
+}
+
+func (db *DB) execUpdate(st sqlUpdate, b *sqlBinder) (int, *Rows, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	set := make([]struct {
+		col string
+		val Datum
+	}, len(st.Set))
+	for i, a := range st.Set {
+		v, err := b.resolve(a.Val)
+		if err != nil {
+			return 0, nil, err
+		}
+		cv, err := t.def.Coerce(a.Column, v)
+		if err != nil {
+			return 0, nil, err
+		}
+		set[i].col = strings.ToLower(a.Column)
+		set[i].val = cv
+	}
+	matched, err := db.singleTableMatch(t, st.Where, b)
+	if err != nil {
+		return 0, nil, err
+	}
+	var ops []walOp
+	var newRows []SQLRow
+	var oldKeys [][]byte
+	for _, row := range matched {
+		oldPK := row.Get(t.def.PK)
+		merged := make(SQLRow, len(row)+len(set))
+		for k, v := range row {
+			merged[k] = v
+		}
+		for _, a := range set {
+			if a.val.IsNull() {
+				delete(merged, a.col)
+			} else {
+				merged[a.col] = a.val
+			}
+		}
+		newPK := merged.Get(t.def.PK)
+		if newPK.IsNull() {
+			return 0, nil, fmt.Errorf("%w: cannot NULL the primary key", ErrMissingKey)
+		}
+		if !newPK.Equal(oldPK) {
+			ops = append(ops, walOp{op: walOpDelete, table: t.def.Name, data: oldPK.KeyBytes()})
+			oldKeys = append(oldKeys, oldPK.KeyBytes())
+		}
+		ops = append(ops, walOp{op: walOpUpsert, table: t.def.Name, data: encodeSQLRow(t.def, merged)})
+		newRows = append(newRows, merged)
+	}
+	if err := db.logAndMaybeCheckpoint(ops); err != nil {
+		return 0, nil, err
+	}
+	for _, k := range oldKeys {
+		if err := db.applyDeleteKey(t, k); err != nil {
+			return 0, nil, err
+		}
+	}
+	for _, row := range newRows {
+		if err := db.applyReplace(t, row); err != nil {
+			return 0, nil, err
+		}
+	}
+	return len(newRows), nil, nil
+}
+
+func (db *DB) execDelete(st sqlDelete, b *sqlBinder) (int, *Rows, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	matched, err := db.singleTableMatch(t, st.Where, b)
+	if err != nil {
+		return 0, nil, err
+	}
+	var ops []walOp
+	var keys [][]byte
+	for _, row := range matched {
+		k := row.Get(t.def.PK).KeyBytes()
+		ops = append(ops, walOp{op: walOpDelete, table: t.def.Name, data: k})
+		keys = append(keys, k)
+	}
+	if len(ops) == 0 {
+		return 0, nil, nil
+	}
+	if err := db.logAndMaybeCheckpoint(ops); err != nil {
+		return 0, nil, err
+	}
+	for _, k := range keys {
+		if err := db.applyDeleteKey(t, k); err != nil {
+			return 0, nil, err
+		}
+	}
+	return len(keys), nil, nil
+}
+
+// boundPred is a WHERE conjunct with its value resolved.
+type boundPred struct {
+	qual string
+	col  string
+	op   string
+	val  Datum
+}
+
+func datumPredHolds(v Datum, op string, want Datum) bool {
+	if v.IsNull() {
+		return op == "!=" && !want.IsNull()
+	}
+	c := v.Compare(want)
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// singleTableMatch plans and runs a single-table predicate match, used by
+// UPDATE/DELETE and as the SELECT base-table access path: point read on a
+// primary-key equality, index lookup on an indexed equality, else a scan.
+func (db *DB) singleTableMatch(t *table, where []sqlPredicate, b *sqlBinder) ([]SQLRow, error) {
+	preds := make([]boundPred, len(where))
+	for i, p := range where {
+		if p.Col.Qualifier != "" && !strings.EqualFold(p.Col.Qualifier, t.def.Name) {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, p.Col.Qualifier, p.Col.Column)
+		}
+		if _, err := t.def.Column(p.Col.Column); err != nil {
+			return nil, err
+		}
+		v, err := b.resolve(p.Val)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = boundPred{col: strings.ToLower(p.Col.Column), op: p.Op, val: v}
+	}
+	candidates, planned, err := db.accessPath(t, preds)
+	if err != nil {
+		return nil, err
+	}
+	out := candidates[:0]
+	for _, row := range candidates {
+		ok := true
+		for i, p := range preds {
+			if i == planned {
+				continue
+			}
+			if !datumPredHolds(row.Get(p.col), p.op, p.val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// accessPath picks the cheapest access for the predicate set and returns
+// candidate rows plus the index of the predicate it consumed (-1 = scan).
+func (db *DB) accessPath(t *table, preds []boundPred) ([]SQLRow, int, error) {
+	for i, p := range preds {
+		if p.op == "=" && strings.EqualFold(p.col, t.def.PK) {
+			cv, err := t.def.Coerce(p.col, p.val)
+			if err != nil {
+				return nil, 0, err
+			}
+			v, ok, err := t.tree.Get(cv.KeyBytes())
+			if err != nil {
+				return nil, 0, err
+			}
+			if !ok {
+				return nil, i, nil
+			}
+			row, err := decodeSQLRow(t.def, v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return []SQLRow{row}, i, nil
+		}
+	}
+	for i, p := range preds {
+		if p.op != "=" {
+			continue
+		}
+		idx, ok := t.indexes[p.col]
+		if !ok {
+			continue
+		}
+		cv, err := t.def.Coerce(p.col, p.val)
+		if err != nil {
+			return nil, 0, err
+		}
+		var rows []SQLRow
+		var scanErr error
+		err = idx.tree.ScanPrefix(indexPrefixBytes(cv), func(k, _ []byte) bool {
+			pk, perr := indexEntryPK(k)
+			if perr != nil {
+				scanErr = perr
+				return false
+			}
+			v, ok, gerr := t.tree.Get(pk)
+			if gerr != nil {
+				scanErr = gerr
+				return false
+			}
+			if !ok {
+				return true
+			}
+			row, derr := decodeSQLRow(t.def, v)
+			if derr != nil {
+				scanErr = derr
+				return false
+			}
+			rows = append(rows, row)
+			return true
+		})
+		if scanErr != nil {
+			return nil, 0, scanErr
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return rows, i, nil
+	}
+	// Full scan.
+	var rows []SQLRow
+	var derr error
+	err := t.tree.Scan(nil, nil, func(_, v []byte) bool {
+		row, err := decodeSQLRow(t.def, v)
+		if err != nil {
+			derr = err
+			return false
+		}
+		rows = append(rows, row)
+		return true
+	})
+	if derr != nil {
+		return nil, 0, derr
+	}
+	return rows, -1, err
+}

@@ -1,0 +1,357 @@
+package sqlengine
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestDeleteAndUpdateWithoutWhere(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	for i := 0; i < 10; i++ {
+		db.MustExec("INSERT INTO t (id, v) VALUES (?, ?)", i, 0)
+	}
+	// UPDATE with no WHERE touches every row.
+	if n := db.MustExec("UPDATE t SET v = 7"); n != 10 {
+		t.Errorf("updated %d", n)
+	}
+	rows, _ := db.Query("SELECT sum(v) FROM t")
+	if rows.Data[0][0].Float != 70 {
+		t.Errorf("sum = %v", rows.Data[0][0])
+	}
+	// DELETE with no WHERE empties the table.
+	if n := db.MustExec("DELETE FROM t"); n != 10 {
+		t.Errorf("deleted %d", n)
+	}
+	rows, _ = db.Query("SELECT count(*) FROM t")
+	if rows.Data[0][0].Int != 0 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+}
+
+func TestBufferPoolEvictionCorrectness(t *testing.T) {
+	// A cache far smaller than the data forces clean-page eviction and
+	// re-reads; contents must survive.
+	db := testSQLDB(t, Options{CachePages: 16})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, pad TEXT)")
+	pad := make([]byte, 300)
+	for i := range pad {
+		pad[i] = 'p'
+	}
+	db.MustExec("BEGIN")
+	for i := 0; i < 3000; i++ {
+		db.MustExec("INSERT INTO t (id, pad) VALUES (?, ?)", i, string(pad))
+	}
+	db.MustExec("COMMIT")
+	if err := db.Checkpoint(); err != nil { // pages become clean → evictable
+		t.Fatal(err)
+	}
+	// Random point reads across the whole range.
+	for _, id := range []int{0, 512, 1023, 1999, 2999} {
+		rows, err := db.Query("SELECT pad FROM t WHERE id = ?", id)
+		if err != nil || len(rows.Data) != 1 || len(rows.Data[0][0].Text) != 300 {
+			t.Fatalf("id %d: %+v, %v", id, rows, err)
+		}
+	}
+	rows, _ := db.Query("SELECT count(*) FROM t")
+	if rows.Data[0][0].Int != 3000 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+}
+
+func TestAutoCheckpointBoundsWAL(t *testing.T) {
+	db := testSQLDB(t, Options{CheckpointEvery: 32 << 10})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, pad TEXT)")
+	pad := make([]byte, 500)
+	for i := 0; i < 500; i++ {
+		db.MustExec("INSERT INTO t (id, pad) VALUES (?, ?)", i, string(pad))
+	}
+	// The WAL must have been truncated by auto-checkpoints.
+	if db.wal.size() > 64<<10 {
+		t.Errorf("wal size = %d, auto checkpoint did not bound it", db.wal.size())
+	}
+	rows, _ := db.Query("SELECT count(*) FROM t")
+	if rows.Data[0][0].Int != 500 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+}
+
+func TestJoinShapes(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE a (id INT PRIMARY KEY, bref INT)")
+	db.MustExec("CREATE TABLE b (id INT PRIMARY KEY, v TEXT)")
+	db.MustExec("INSERT INTO a (id, bref) VALUES (1, 10), (2, 20), (3, 99)")
+	db.MustExec("INSERT INTO b (id, v) VALUES (10, 'x'), (20, 'y')")
+
+	// Inner join drops unmatched rows.
+	rows, err := db.Query("SELECT a.id, b.v FROM a JOIN b ON a.bref = b.id")
+	if err != nil || len(rows.Data) != 2 {
+		t.Fatalf("join = %+v, %v", rows, err)
+	}
+	// INNER JOIN keyword form.
+	rows, err = db.Query("SELECT count(*) FROM a INNER JOIN b ON a.bref = b.id")
+	if err != nil || rows.Data[0][0].Int != 2 {
+		t.Fatalf("inner join = %+v, %v", rows, err)
+	}
+	// Join with no lookup path on the inner side (non-key join column):
+	// prefetch + nested loop.
+	db.MustExec("CREATE TABLE c (id INT PRIMARY KEY, tag INT)")
+	db.MustExec("INSERT INTO c (id, tag) VALUES (1, 20), (2, 20), (3, 10)")
+	rows, err = db.Query("SELECT count(*) FROM b JOIN c ON c.tag = b.id")
+	if err != nil || rows.Data[0][0].Int != 3 {
+		t.Fatalf("nested loop join = %+v, %v", rows, err)
+	}
+	// tbl.* projection.
+	rows, err = db.Query("SELECT b.* FROM a JOIN b ON a.bref = b.id WHERE a.id = 1")
+	if err != nil || len(rows.Columns) != 2 || rows.Data[0][1].Text != "x" {
+		t.Fatalf("b.* = %+v, %v", rows, err)
+	}
+	// ON must reference the joined table.
+	if _, err := db.Query("SELECT * FROM a JOIN b ON a.id = a.bref"); !errors.Is(err, ErrNotImplemented) {
+		t.Errorf("bad ON: %v", err)
+	}
+	// Unknown alias in projection.
+	if _, err := db.Query("SELECT z.id FROM a JOIN b ON a.bref = b.id"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("unknown alias: %v", err)
+	}
+	if _, err := db.Query("SELECT z.* FROM a JOIN b ON a.bref = b.id"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("unknown star alias: %v", err)
+	}
+}
+
+func TestQueryOnExecAndViceVersa(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY)")
+	if _, err := db.Query("INSERT INTO t (id) VALUES (1)"); err == nil {
+		t.Error("Query of INSERT should fail")
+	}
+	// Exec of SELECT is allowed (row count unused) — ensure it does not
+	// crash and binds args.
+	if _, err := db.Exec("SELECT * FROM t WHERE id = ?", 1); err != nil {
+		t.Errorf("Exec(SELECT): %v", err)
+	}
+	// Bind arity errors both ways.
+	if _, err := db.Query("SELECT * FROM t WHERE id = ?"); !errors.Is(err, ErrSQLSyntax) {
+		t.Errorf("missing bind: %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id) VALUES (?)", 1, 2); !errors.Is(err, ErrSQLSyntax) {
+		t.Errorf("extra bind: %v", err)
+	}
+}
+
+func TestAggregatesOverJoins(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE n (id INT PRIMARY KEY)")
+	db.MustExec("CREATE TABLE e (id INT PRIMARY KEY, nid INT, w DOUBLE)")
+	db.MustExec("INSERT INTO n (id) VALUES (1), (2)")
+	db.MustExec("INSERT INTO e (id, nid, w) VALUES (1, 1, 2.5), (2, 1, 1.5), (3, 2, 4)")
+	rows, err := db.Query("SELECT count(*), sum(e.w), min(e.w), max(e.w), avg(e.w) FROM n JOIN e ON e.nid = n.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows.Data[0]
+	if r[0].Int != 3 || r[1].Float != 8 || r[2].Float != 1.5 || r[3].Float != 4 {
+		t.Errorf("aggs = %+v", r)
+	}
+	if r[4].Float < 2.66 || r[4].Float > 2.67 {
+		t.Errorf("avg = %v", r[4])
+	}
+	// Aggregate over empty set.
+	rows, _ = db.Query("SELECT min(w), avg(w) FROM e WHERE w > 100")
+	if !rows.Data[0][0].IsNull() || !rows.Data[0][1].IsNull() {
+		t.Errorf("empty aggs = %+v", rows.Data[0])
+	}
+	// sum over TEXT errors.
+	db.MustExec("CREATE TABLE s (id INT PRIMARY KEY, txt TEXT)")
+	db.MustExec("INSERT INTO s (id, txt) VALUES (1, 'a')")
+	if _, err := db.Query("SELECT sum(txt) FROM s"); !errors.Is(err, ErrNotImplemented) {
+		t.Errorf("sum text: %v", err)
+	}
+	// Mixing aggregates and plain columns errors.
+	if _, err := db.Query("SELECT id, count(*) FROM s"); !errors.Is(err, ErrNotImplemented) {
+		t.Errorf("mixed: %v", err)
+	}
+}
+
+func TestLargeTextRejected(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	huge := make([]byte, 4096)
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (1, ?)", string(huge)); err == nil {
+		t.Error("oversized row accepted (exceeds btree entry cap)")
+	}
+}
+
+func TestManySmallTransactions(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, g INT)")
+	id := 0
+	for txn := 0; txn < 20; txn++ {
+		db.MustExec("BEGIN")
+		for i := 0; i < 25; i++ {
+			db.MustExec("INSERT INTO t (id, g) VALUES (?, ?)", id, txn)
+			id++
+		}
+		db.MustExec("COMMIT")
+	}
+	rows, _ := db.Query("SELECT count(*) FROM t WHERE g = 7 ALLOW FILTERING")
+	_ = rows
+	rows2, err := db.Query("SELECT count(*) FROM t WHERE g = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows2.Data[0][0].Int != 25 {
+		t.Errorf("count = %v", rows2.Data[0][0])
+	}
+}
+
+func TestCreateIndexViaSQLOnMissing(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	if _, err := db.Exec("CREATE INDEX i ON missing (c)"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("index on missing table: %v", err)
+	}
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY)")
+	if _, err := db.Exec("CREATE INDEX i ON t (nope)"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("index on missing column: %v", err)
+	}
+	db.MustExec("CREATE UNIQUE INDEX u ON t (id)")
+	if _, err := db.Exec("CREATE INDEX IF NOT EXISTS u2 ON t (id)"); err != nil {
+		t.Errorf("if-not-exists index: %v", err)
+	}
+}
+
+func TestDatumHelpers(t *testing.T) {
+	if DInt(5).Compare(DFloat(5.5)) >= 0 {
+		t.Error("int/float comparison broken")
+	}
+	if DFloat(2).Compare(DInt(1)) <= 0 {
+		t.Error("float/int comparison broken")
+	}
+	if got := DText("O'Neil").String(); got != "'O''Neil'" {
+		t.Errorf("text literal = %q", got)
+	}
+	if DNull().String() != "NULL" || !DNull().IsNull() {
+		t.Error("null datum broken")
+	}
+	if DBool(true).String() != "TRUE" {
+		t.Error("bool literal broken")
+	}
+	for _, typ := range []string{"INT", "TEXT", "BOOLEAN", "DOUBLE", "VARCHAR", "bigint"} {
+		if _, err := ParseDType(typ); err != nil {
+			t.Errorf("ParseDType(%s): %v", typ, err)
+		}
+	}
+	if _, err := ParseDType("BLOB"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Row codec round trip with every type and NULLs.
+	def, err := NewTableDef("t", []ColumnDef{
+		{Name: "i", Type: TInt}, {Name: "s", Type: TText},
+		{Name: "b", Type: TBool}, {Name: "f", Type: TFloat},
+	}, "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := SQLRow{"i": DInt(-9), "b": DBool(true)}
+	dec, err := decodeSQLRow(def, encodeSQLRow(def, row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Get("i").Equal(DInt(-9)) || !dec.Get("b").Equal(DBool(true)) {
+		t.Errorf("dec = %v", dec)
+	}
+	if !dec.Get("s").IsNull() || !dec.Get("f").IsNull() {
+		t.Errorf("nulls lost: %v", dec)
+	}
+	if _, err := decodeSQLRow(def, nil); err == nil {
+		t.Error("nil row decoded")
+	}
+}
+
+func TestKeyBytesOrdering(t *testing.T) {
+	pairs := [][2]Datum{
+		{DInt(-5), DInt(3)},
+		{DInt(3), DInt(300)},
+		{DFloat(-2.5), DFloat(-1.5)},
+		{DFloat(-1.5), DFloat(0)},
+		{DFloat(0), DFloat(7.25)},
+		{DText("abc"), DText("abd")},
+		{DBool(false), DBool(true)},
+	}
+	for _, p := range pairs {
+		a, b := p[0].KeyBytes(), p[1].KeyBytes()
+		if string(a) >= string(b) {
+			t.Errorf("KeyBytes order broken: %v !< %v", p[0], p[1])
+		}
+	}
+}
+
+func TestSQLLexerQuirks(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT NOT NULL)")
+	// VARCHAR(255) length suffix accepted.
+	db.MustExec("CREATE TABLE u (id INT PRIMARY KEY, name VARCHAR(255))")
+	// <> as inequality.
+	db.MustExec("INSERT INTO t (id, v) VALUES (1, 'a'), (2, 'b')")
+	rows, err := db.Query("SELECT id FROM t WHERE v <> 'a'")
+	if err != nil || len(rows.Data) != 1 || rows.Data[0][0].Int != 2 {
+		t.Fatalf("<> = %+v, %v", rows, err)
+	}
+	for _, bad := range []string{
+		"SELECT * FROM t WHERE v ! 'a'",
+		"INSERT INTO t (id, v) VALUES (1, 'unclosed)",
+		"SELECT `broken FROM t",
+		"INSERT INTO t (id) VALUES (- )",
+	} {
+		if _, err := db.Exec(bad); !errors.Is(err, ErrSQLSyntax) {
+			t.Errorf("%q: %v", bad, err)
+		}
+	}
+}
+
+func TestScanOrderAfterMixedWorkload(t *testing.T) {
+	db := testSQLDB(t, Options{})
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY)")
+	// Insert out of order, delete some, reinsert.
+	order := []int{5, 1, 9, 3, 7, 2, 8, 0, 6, 4}
+	for _, id := range order {
+		db.MustExec("INSERT INTO t (id) VALUES (?)", id)
+	}
+	db.MustExec("DELETE FROM t WHERE id = 3")
+	db.MustExec("DELETE FROM t WHERE id = 7")
+	db.MustExec("INSERT INTO t (id) VALUES (3)")
+	rows, err := db.Query("SELECT id FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 3, 4, 5, 6, 8, 9}
+	if len(rows.Data) != len(want) {
+		t.Fatalf("rows = %+v", rows.Data)
+	}
+	for i, r := range rows.Data {
+		if r[0].Int != want[i] {
+			t.Fatalf("scan order: got %v", rows.Data)
+		}
+	}
+}
+
+func TestOpenRejectsCorruptCatalog(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY)")
+	db.Close()
+	if err := osWriteFile(dir+"/catalog.json", []byte("{broken")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Error("corrupt catalog opened")
+	}
+}
+
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,371 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// binding is one table bound in a FROM/JOIN clause under an alias.
+type binding struct {
+	alias string // lower-cased
+	t     *table
+}
+
+// resolveColumn finds which binding a reference addresses. Unqualified
+// names must be unique across bindings.
+func resolveColumn(bindings []binding, ref sqlColumnRef) (int, string, error) {
+	if ref.Qualifier != "" {
+		q := strings.ToLower(ref.Qualifier)
+		for i, b := range bindings {
+			if b.alias == q {
+				if _, err := b.t.def.Column(ref.Column); err != nil {
+					return 0, "", err
+				}
+				return i, strings.ToLower(ref.Column), nil
+			}
+		}
+		return 0, "", fmt.Errorf("%w: unknown table or alias %q", ErrNoSuchTable, ref.Qualifier)
+	}
+	found := -1
+	for i, b := range bindings {
+		if b.t.def.ColumnIndex(ref.Column) >= 0 {
+			if found >= 0 {
+				return 0, "", fmt.Errorf("%w: %s", ErrAmbiguousCol, ref.Column)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, "", fmt.Errorf("%w: %s", ErrNoSuchColumn, ref.Column)
+	}
+	return found, strings.ToLower(ref.Column), nil
+}
+
+// execSelect runs a SELECT: base access path, left-deep nested-loop joins
+// (with point/index lookups on the inner side when the join key allows),
+// residual filters, then projection/aggregation.
+func (db *DB) execSelect(st sqlSelect, b *sqlBinder) (*Rows, error) {
+	baseT, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	alias := st.Alias
+	if alias == "" {
+		alias = st.Table
+	}
+	bindings := []binding{{alias: strings.ToLower(alias), t: baseT}}
+	for _, j := range st.Joins {
+		jt, err := db.table(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		a := j.Alias
+		if a == "" {
+			a = j.Table
+		}
+		bindings = append(bindings, binding{alias: strings.ToLower(a), t: jt})
+	}
+
+	// Bind WHERE values in order.
+	type envPred struct {
+		bindIdx int
+		col     string
+		op      string
+		val     Datum
+	}
+	var preds []envPred
+	for _, p := range st.Where {
+		v, err := b.resolve(p.Val)
+		if err != nil {
+			return nil, err
+		}
+		bi, col, err := resolveColumn(bindings, p.Col)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, envPred{bindIdx: bi, col: col, op: p.Op, val: v})
+	}
+
+	// Base table access using its own predicates.
+	var basePreds []boundPred
+	baseConsumed := map[int]bool{}
+	for i, p := range preds {
+		if p.bindIdx == 0 {
+			basePreds = append(basePreds, boundPred{col: p.col, op: p.op, val: p.val})
+			baseConsumed[i] = true
+		}
+	}
+	baseRows, _, err := db.accessPath(baseT, basePreds)
+	if err != nil {
+		return nil, err
+	}
+	// Apply all base preds now (accessPath consumed at most one).
+	var envs [][]SQLRow
+	for _, row := range baseRows {
+		ok := true
+		for _, p := range basePreds {
+			if !datumPredHolds(row.Get(p.col), p.op, p.val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			envs = append(envs, []SQLRow{row})
+		}
+	}
+
+	// Joins, left-deep.
+	for ji, j := range st.Joins {
+		newIdx := ji + 1
+		li, lcol, err := resolveColumn(bindings[:newIdx+1], j.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, rcol, err := resolveColumn(bindings[:newIdx+1], j.Right)
+		if err != nil {
+			return nil, err
+		}
+		var outerIdx int
+		var outerCol, innerCol string
+		switch {
+		case li == newIdx && ri < newIdx:
+			outerIdx, outerCol, innerCol = ri, rcol, lcol
+		case ri == newIdx && li < newIdx:
+			outerIdx, outerCol, innerCol = li, lcol, rcol
+		default:
+			return nil, fmt.Errorf("%w: JOIN ON must link the joined table to a prior table",
+				ErrNotImplemented)
+		}
+		inner := bindings[newIdx].t
+
+		// Prefetch the inner table once if there is no useful lookup path.
+		usePK := strings.EqualFold(innerCol, inner.def.PK)
+		_, useIdx := inner.indexes[innerCol]
+		var prefetched []SQLRow
+		if !usePK && !useIdx {
+			all, _, err := db.accessPath(inner, nil)
+			if err != nil {
+				return nil, err
+			}
+			prefetched = all
+		}
+
+		var next [][]SQLRow
+		for _, env := range envs {
+			outerVal := env[outerIdx].Get(outerCol)
+			if outerVal.IsNull() {
+				continue
+			}
+			var matches []SQLRow
+			switch {
+			case usePK:
+				cv, err := inner.def.Coerce(innerCol, outerVal)
+				if err != nil {
+					return nil, err
+				}
+				v, ok, err := inner.tree.Get(cv.KeyBytes())
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					row, err := decodeSQLRow(inner.def, v)
+					if err != nil {
+						return nil, err
+					}
+					matches = []SQLRow{row}
+				}
+			case useIdx:
+				rows, _, err := db.accessPath(inner, []boundPred{{col: innerCol, op: "=", val: outerVal}})
+				if err != nil {
+					return nil, err
+				}
+				matches = rows
+			default:
+				for _, row := range prefetched {
+					if row.Get(innerCol).Equal(outerVal) ||
+						(row.Get(innerCol).Compare(outerVal) == 0 && !row.Get(innerCol).IsNull()) {
+						matches = append(matches, row)
+					}
+				}
+			}
+			for _, m := range matches {
+				joined := make([]SQLRow, len(env)+1)
+				copy(joined, env)
+				joined[len(env)] = m
+				next = append(next, joined)
+			}
+		}
+		envs = next
+	}
+
+	// Residual predicates (non-base or unconsumed).
+	var final [][]SQLRow
+	for _, env := range envs {
+		ok := true
+		for i, p := range preds {
+			if baseConsumed[i] {
+				continue
+			}
+			if !datumPredHolds(env[p.bindIdx].Get(p.col), p.op, p.val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			final = append(final, env)
+		}
+	}
+
+	// Aggregates or plain projection.
+	hasAgg := false
+	for _, it := range st.Items {
+		if it.Func != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		for _, it := range st.Items {
+			if it.Func == "" {
+				return nil, fmt.Errorf("%w: aggregates cannot mix with plain columns", ErrNotImplemented)
+			}
+		}
+		return db.aggregateRows(st.Items, bindings, final)
+	}
+
+	if st.Limit > 0 && len(final) > st.Limit {
+		final = final[:st.Limit]
+	}
+
+	// Projection columns.
+	type proj struct {
+		bindIdx int
+		col     string
+	}
+	var cols []string
+	var projs []proj
+	multi := len(bindings) > 1
+	addAll := func(bi int) {
+		for _, c := range bindings[bi].t.def.Columns {
+			name := strings.ToLower(c.Name)
+			if multi {
+				name = bindings[bi].alias + "." + name
+			}
+			cols = append(cols, name)
+			projs = append(projs, proj{bindIdx: bi, col: strings.ToLower(c.Name)})
+		}
+	}
+	for _, it := range st.Items {
+		switch {
+		case it.Star && it.Col.Qualifier == "":
+			for bi := range bindings {
+				addAll(bi)
+			}
+		case it.Star:
+			q := strings.ToLower(it.Col.Qualifier)
+			found := false
+			for bi, bd := range bindings {
+				if bd.alias == q {
+					addAll(bi)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, it.Col.Qualifier)
+			}
+		default:
+			bi, col, err := resolveColumn(bindings, it.Col)
+			if err != nil {
+				return nil, err
+			}
+			name := col
+			if multi {
+				name = bindings[bi].alias + "." + col
+			}
+			cols = append(cols, name)
+			projs = append(projs, proj{bindIdx: bi, col: col})
+		}
+	}
+	out := &Rows{Columns: cols}
+	for _, env := range final {
+		row := make([]Datum, len(projs))
+		for i, pr := range projs {
+			row[i] = env[pr.bindIdx].Get(pr.col)
+		}
+		out.Data = append(out.Data, row)
+	}
+	return out, nil
+}
+
+func (db *DB) aggregateRows(items []sqlSelectItem, bindings []binding, envs [][]SQLRow) (*Rows, error) {
+	out := &Rows{}
+	var row []Datum
+	for _, it := range items {
+		name := it.Func + "(*)"
+		var bi int
+		var col string
+		if !it.Star {
+			var err error
+			bi, col, err = resolveColumn(bindings, it.Col)
+			if err != nil {
+				return nil, err
+			}
+			name = it.Func + "(" + col + ")"
+		}
+		switch it.Func {
+		case "count":
+			n := 0
+			for _, env := range envs {
+				if it.Star || !env[bi].Get(col).IsNull() {
+					n++
+				}
+			}
+			row = append(row, DInt(int64(n)))
+		case "min", "max":
+			var best Datum
+			for _, env := range envs {
+				v := env[bi].Get(col)
+				if v.IsNull() {
+					continue
+				}
+				if best.IsNull() ||
+					(it.Func == "min" && v.Compare(best) < 0) ||
+					(it.Func == "max" && v.Compare(best) > 0) {
+					best = v
+				}
+			}
+			row = append(row, best)
+		case "sum", "avg":
+			var sum float64
+			var n int64
+			for _, env := range envs {
+				v := env[bi].Get(col)
+				switch v.Type {
+				case TInt:
+					sum += float64(v.Int)
+					n++
+				case TFloat:
+					sum += v.Float
+					n++
+				case TNull:
+				default:
+					return nil, fmt.Errorf("%w: %s over non-numeric column", ErrNotImplemented, it.Func)
+				}
+			}
+			if it.Func == "avg" {
+				if n == 0 {
+					row = append(row, DNull())
+				} else {
+					row = append(row, DFloat(sum/float64(n)))
+				}
+			} else {
+				row = append(row, DFloat(sum))
+			}
+		default:
+			return nil, fmt.Errorf("%w: aggregate %q", ErrNotImplemented, it.Func)
+		}
+		out.Columns = append(out.Columns, name)
+	}
+	out.Data = append(out.Data, row)
+	return out, nil
+}

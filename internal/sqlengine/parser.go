@@ -1,0 +1,747 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ErrSQLSyntax wraps lexical and grammatical errors.
+var ErrSQLSyntax = errors.New("sqlengine: syntax error")
+
+func sqlErrf(pos int, format string, args ...any) error {
+	return fmt.Errorf("%w at offset %d: %s", ErrSQLSyntax, pos, fmt.Sprintf(format, args...))
+}
+
+type sqlTokKind int
+
+const (
+	sEOF sqlTokKind = iota
+	sIdent
+	sInt
+	sFloat
+	sString
+	sComma
+	sDot
+	sLParen
+	sRParen
+	sStar
+	sEq
+	sNe
+	sLt
+	sLe
+	sGt
+	sGe
+	sQuestion
+	sSemi
+)
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string
+	pos  int
+}
+
+func sqlLex(src string) ([]sqlToken, error) {
+	var toks []sqlToken
+	i := 0
+	emit := func(k sqlTokKind, text string, pos int) { toks = append(toks, sqlToken{k, text, pos}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			emit(sComma, ",", i)
+			i++
+		case c == '.':
+			emit(sDot, ".", i)
+			i++
+		case c == ';':
+			emit(sSemi, ";", i)
+			i++
+		case c == '(':
+			emit(sLParen, "(", i)
+			i++
+		case c == ')':
+			emit(sRParen, ")", i)
+			i++
+		case c == '*':
+			emit(sStar, "*", i)
+			i++
+		case c == '?':
+			emit(sQuestion, "?", i)
+			i++
+		case c == '=':
+			emit(sEq, "=", i)
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(sNe, "!=", i)
+				i += 2
+			} else {
+				return nil, sqlErrf(i, "unexpected '!'")
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(src) && src[i+1] == '=':
+				emit(sLe, "<=", i)
+				i += 2
+			case i+1 < len(src) && src[i+1] == '>':
+				emit(sNe, "<>", i)
+				i += 2
+			default:
+				emit(sLt, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(sGe, ">=", i)
+				i += 2
+			} else {
+				emit(sGt, ">", i)
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, sqlErrf(start, "unterminated string")
+			}
+			emit(sString, sb.String(), start)
+		case c == '`': // MySQL quoted identifier
+			start := i
+			i++
+			j := strings.IndexByte(src[i:], '`')
+			if j < 0 {
+				return nil, sqlErrf(start, "unterminated quoted identifier")
+			}
+			emit(sIdent, src[i:i+j], start)
+			i += j + 1
+		case c == '-' || c >= '0' && c <= '9':
+			start := i
+			if c == '-' {
+				// Could be a comment "--" or a negative number.
+				if i+1 < len(src) && src[i+1] == '-' {
+					for i < len(src) && src[i] != '\n' {
+						i++
+					}
+					continue
+				}
+				i++
+				if i >= len(src) || src[i] < '0' || src[i] > '9' {
+					return nil, sqlErrf(start, "unexpected '-'")
+				}
+			}
+			isFloat := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				(isFloat && (src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				if src[i] == '.' || src[i] == 'e' || src[i] == 'E' {
+					isFloat = true
+				}
+				i++
+			}
+			if isFloat {
+				emit(sFloat, src[start:i], start)
+			} else {
+				emit(sInt, src[start:i], start)
+			}
+		case c == '_' || unicode.IsLetter(rune(c)):
+			start := i
+			for i < len(src) && (src[i] == '_' || unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i]))) {
+				i++
+			}
+			emit(sIdent, src[start:i], start)
+		default:
+			return nil, sqlErrf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, sqlToken{sEOF, "", len(src)})
+	return toks, nil
+}
+
+// parseSQL parses one statement.
+func parseSQL(src string) (sqlStatement, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(sSemi)
+	if p.cur().kind != sEOF {
+		return nil, sqlErrf(p.cur().pos, "unexpected %q after statement", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+func (p *sqlParser) cur() sqlToken  { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlToken { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) accept(k sqlTokKind) bool {
+	if p.cur().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) kw(word string) bool {
+	if p.cur().kind == sIdent && strings.EqualFold(p.cur().text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) peekKw(word string) bool {
+	return p.cur().kind == sIdent && strings.EqualFold(p.cur().text, word)
+}
+
+func (p *sqlParser) expect(k sqlTokKind) (sqlToken, error) {
+	if p.cur().kind != k {
+		return sqlToken{}, sqlErrf(p.cur().pos, "expected token kind %d, got %q", k, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *sqlParser) expectKw(word string) error {
+	if !p.kw(word) {
+		return sqlErrf(p.cur().pos, "expected %q, got %q", word, p.cur().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) statement() (sqlStatement, error) {
+	switch {
+	case p.kw("CREATE"):
+		switch {
+		case p.kw("TABLE"):
+			return p.createTable()
+		case p.kw("INDEX"):
+			return p.createIndex()
+		case p.kw("UNIQUE"): // CREATE UNIQUE INDEX — treated as a plain index
+			if err := p.expectKw("INDEX"); err != nil {
+				return nil, err
+			}
+			return p.createIndex()
+		default:
+			return nil, sqlErrf(p.cur().pos, "expected TABLE or INDEX after CREATE")
+		}
+	case p.kw("DROP"):
+		if err := p.expectKw("TABLE"); err != nil {
+			return nil, err
+		}
+		ifExists := false
+		if p.kw("IF") {
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			ifExists = true
+		}
+		name, err := p.expect(sIdent)
+		if err != nil {
+			return nil, err
+		}
+		return sqlDropTable{Name: name.text, IfExists: ifExists}, nil
+	case p.kw("INSERT"):
+		return p.insert()
+	case p.kw("SELECT"):
+		return p.selectStmt()
+	case p.kw("UPDATE"):
+		return p.update()
+	case p.kw("DELETE"):
+		return p.delete()
+	case p.kw("BEGIN"), p.kw("START"):
+		p.kw("TRANSACTION") // optional
+		return sqlBegin{}, nil
+	case p.kw("COMMIT"):
+		return sqlCommit{}, nil
+	case p.kw("ROLLBACK"):
+		return sqlRollback{}, nil
+	default:
+		return nil, sqlErrf(p.cur().pos, "unknown statement start %q", p.cur().text)
+	}
+}
+
+func (p *sqlParser) ifNotExists() (bool, error) {
+	if p.kw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return false, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (p *sqlParser) createTable() (sqlStatement, error) {
+	ine, err := p.ifNotExists()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(sIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(sLParen); err != nil {
+		return nil, err
+	}
+	ct := sqlCreateTable{Name: name.text, IfNotExists: ine}
+	for {
+		if p.kw("PRIMARY") {
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sLParen); err != nil {
+				return nil, err
+			}
+			col, err := p.expect(sIdent)
+			if err != nil {
+				return nil, err
+			}
+			if ct.PK != "" && !strings.EqualFold(ct.PK, col.text) {
+				return nil, sqlErrf(col.pos, "conflicting PRIMARY KEY declarations")
+			}
+			ct.PK = col.text
+			if _, err := p.expect(sRParen); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.expect(sIdent)
+			if err != nil {
+				return nil, err
+			}
+			typTok, err := p.expect(sIdent)
+			if err != nil {
+				return nil, err
+			}
+			typ, err := ParseDType(typTok.text)
+			if err != nil {
+				return nil, sqlErrf(typTok.pos, "%v", err)
+			}
+			// Optional length suffix: VARCHAR(255).
+			if p.accept(sLParen) {
+				if _, err := p.expect(sInt); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(sRParen); err != nil {
+					return nil, err
+				}
+			}
+			// Optional NOT NULL (accepted, not enforced separately).
+			if p.kw("NOT") {
+				if err := p.expectKw("NULL"); err != nil {
+					return nil, err
+				}
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: col.text, Type: typ})
+			if p.kw("PRIMARY") {
+				if err := p.expectKw("KEY"); err != nil {
+					return nil, err
+				}
+				if ct.PK != "" && !strings.EqualFold(ct.PK, col.text) {
+					return nil, sqlErrf(col.pos, "conflicting PRIMARY KEY declarations")
+				}
+				ct.PK = col.text
+			}
+		}
+		if p.accept(sComma) {
+			continue
+		}
+		if _, err := p.expect(sRParen); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if ct.PK == "" {
+		return nil, sqlErrf(p.cur().pos, "CREATE TABLE needs a PRIMARY KEY")
+	}
+	return ct, nil
+}
+
+func (p *sqlParser) createIndex() (sqlStatement, error) {
+	ine, err := p.ifNotExists()
+	if err != nil {
+		return nil, err
+	}
+	ci := sqlCreateIndex{IfNotExists: ine}
+	if p.cur().kind == sIdent && !strings.EqualFold(p.cur().text, "ON") {
+		ci.IndexName = p.next().text
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(sIdent)
+	if err != nil {
+		return nil, err
+	}
+	ci.Table = tbl.text
+	if _, err := p.expect(sLParen); err != nil {
+		return nil, err
+	}
+	col, err := p.expect(sIdent)
+	if err != nil {
+		return nil, err
+	}
+	ci.Column = col.text
+	if _, err := p.expect(sRParen); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *sqlParser) insert() (sqlStatement, error) {
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(sIdent)
+	if err != nil {
+		return nil, err
+	}
+	ins := sqlInsert{Table: tbl.text}
+	if _, err := p.expect(sLParen); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(sIdent)
+		if err != nil {
+			return nil, err
+		}
+		ins.Columns = append(ins.Columns, col.text)
+		if p.accept(sComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(sRParen); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(sLParen); err != nil {
+			return nil, err
+		}
+		var row []sqlExpr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(sComma) {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(sRParen); err != nil {
+			return nil, err
+		}
+		if len(row) != len(ins.Columns) {
+			return nil, sqlErrf(p.cur().pos, "INSERT row has %d values for %d columns",
+				len(row), len(ins.Columns))
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(sComma) {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+var sqlAggFuncs = map[string]bool{"count": true, "min": true, "max": true, "sum": true, "avg": true}
+
+func (p *sqlParser) columnRef() (sqlColumnRef, error) {
+	first, err := p.expect(sIdent)
+	if err != nil {
+		return sqlColumnRef{}, err
+	}
+	if p.accept(sDot) {
+		second, err := p.expect(sIdent)
+		if err != nil {
+			return sqlColumnRef{}, err
+		}
+		return sqlColumnRef{Qualifier: first.text, Column: second.text}, nil
+	}
+	return sqlColumnRef{Column: first.text}, nil
+}
+
+func (p *sqlParser) selectStmt() (sqlStatement, error) {
+	sel := sqlSelect{}
+	for {
+		switch {
+		case p.accept(sStar):
+			sel.Items = append(sel.Items, sqlSelectItem{Star: true})
+		case p.cur().kind == sIdent && p.toks[p.pos+1].kind == sDot &&
+			p.toks[p.pos+2].kind == sStar:
+			// tbl.* projection.
+			q := p.next().text
+			p.next() // .
+			p.next() // *
+			sel.Items = append(sel.Items, sqlSelectItem{Star: true, Col: sqlColumnRef{Qualifier: q}})
+		case p.cur().kind == sIdent && sqlAggFuncs[strings.ToLower(p.cur().text)] &&
+			p.toks[p.pos+1].kind == sLParen:
+			fn := strings.ToLower(p.next().text)
+			p.next() // (
+			item := sqlSelectItem{Func: fn}
+			if p.accept(sStar) {
+				item.Star = true
+			} else {
+				ref, err := p.columnRef()
+				if err != nil {
+					return nil, err
+				}
+				item.Col = ref
+			}
+			if _, err := p.expect(sRParen); err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, item)
+		default:
+			ref, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, sqlSelectItem{Col: ref})
+		}
+		if p.accept(sComma) {
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(sIdent)
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = tbl.text
+	if p.cur().kind == sIdent && !p.peekAnyKw("JOIN", "INNER", "WHERE", "LIMIT") {
+		sel.Alias = p.next().text
+	}
+	for {
+		if p.kw("INNER") {
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.kw("JOIN") {
+			break
+		}
+		j := sqlJoin{}
+		jt, err := p.expect(sIdent)
+		if err != nil {
+			return nil, err
+		}
+		j.Table = jt.text
+		if p.cur().kind == sIdent && !p.peekAnyKw("ON") {
+			j.Alias = p.next().text
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(sEq); err != nil {
+			return nil, err
+		}
+		right, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		j.Left, j.Right = left, right
+		sel.Joins = append(sel.Joins, j)
+	}
+	if p.kw("WHERE") {
+		preds, err := p.predicates()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = preds
+	}
+	if p.kw("LIMIT") {
+		t, err := p.expect(sInt)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, sqlErrf(t.pos, "bad LIMIT")
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) peekAnyKw(words ...string) bool {
+	for _, w := range words {
+		if p.peekKw(w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *sqlParser) update() (sqlStatement, error) {
+	tbl, err := p.expect(sIdent)
+	if err != nil {
+		return nil, err
+	}
+	up := sqlUpdate{Table: tbl.text}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(sIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(sEq); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, sqlAssignment{Column: col.text, Val: e})
+		if p.accept(sComma) {
+			continue
+		}
+		break
+	}
+	if p.kw("WHERE") {
+		preds, err := p.predicates()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = preds
+	}
+	return up, nil
+}
+
+func (p *sqlParser) delete() (sqlStatement, error) {
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(sIdent)
+	if err != nil {
+		return nil, err
+	}
+	del := sqlDelete{Table: tbl.text}
+	if p.kw("WHERE") {
+		preds, err := p.predicates()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = preds
+	}
+	return del, nil
+}
+
+func (p *sqlParser) predicates() ([]sqlPredicate, error) {
+	var preds []sqlPredicate
+	for {
+		ref, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		var op string
+		switch {
+		case p.accept(sEq):
+			op = "="
+		case p.accept(sNe):
+			op = "!="
+		case p.accept(sLe):
+			op = "<="
+		case p.accept(sLt):
+			op = "<"
+		case p.accept(sGe):
+			op = ">="
+		case p.accept(sGt):
+			op = ">"
+		default:
+			return nil, sqlErrf(p.cur().pos, "expected comparison operator, got %q", p.cur().text)
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, sqlPredicate{Col: ref, Op: op, Val: e})
+		if p.kw("AND") {
+			continue
+		}
+		return preds, nil
+	}
+}
+
+func (p *sqlParser) expr() (sqlExpr, error) {
+	t := p.cur()
+	switch t.kind {
+	case sQuestion:
+		p.next()
+		return sqlExpr{Placeholder: true}, nil
+	case sInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return sqlExpr{}, sqlErrf(t.pos, "bad integer %q", t.text)
+		}
+		return sqlExpr{Datum: DInt(v)}, nil
+	case sFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return sqlExpr{}, sqlErrf(t.pos, "bad float %q", t.text)
+		}
+		return sqlExpr{Datum: DFloat(v)}, nil
+	case sString:
+		p.next()
+		return sqlExpr{Datum: DText(t.text)}, nil
+	case sIdent:
+		switch {
+		case strings.EqualFold(t.text, "TRUE"):
+			p.next()
+			return sqlExpr{Datum: DBool(true)}, nil
+		case strings.EqualFold(t.text, "FALSE"):
+			p.next()
+			return sqlExpr{Datum: DBool(false)}, nil
+		case strings.EqualFold(t.text, "NULL"):
+			p.next()
+			return sqlExpr{Datum: DNull()}, nil
+		}
+	}
+	return sqlExpr{}, sqlErrf(t.pos, "expected literal or '?', got %q", t.text)
+}

@@ -1,0 +1,163 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Engine errors.
+var (
+	ErrTableExists    = errors.New("sqlengine: table already exists")
+	ErrNoSuchTable    = errors.New("sqlengine: no such table")
+	ErrNoSuchColumn   = errors.New("sqlengine: no such column")
+	ErrNoPrimaryKey   = errors.New("sqlengine: table needs a single-column primary key")
+	ErrTypeMismatch   = errors.New("sqlengine: value type does not match column")
+	ErrDuplicateKey   = errors.New("sqlengine: duplicate primary key")
+	ErrMissingKey     = errors.New("sqlengine: INSERT must provide the primary key")
+	ErrIndexExists    = errors.New("sqlengine: index already exists")
+	ErrClosed         = errors.New("sqlengine: database is closed")
+	ErrBadIdent       = errors.New("sqlengine: invalid identifier")
+	ErrAmbiguousCol   = errors.New("sqlengine: ambiguous column reference")
+	ErrNotImplemented = errors.New("sqlengine: unsupported SQL shape")
+	ErrTxnState       = errors.New("sqlengine: invalid transaction state")
+)
+
+var sqlIdentRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+func checkSQLIdent(s string) error {
+	if !sqlIdentRe.MatchString(s) {
+		return fmt.Errorf("%w: %q", ErrBadIdent, s)
+	}
+	return nil
+}
+
+// ColumnDef is one column of a table definition.
+type ColumnDef struct {
+	Name string
+	Type DType
+}
+
+// TableDef is the catalog entry for a table: columns, the single-column
+// primary key, and the secondary indexes (by column name).
+type TableDef struct {
+	Name    string
+	Columns []ColumnDef
+	PK      string
+	Indexes []string
+}
+
+// NewTableDef validates a definition.
+func NewTableDef(name string, cols []ColumnDef, pk string) (*TableDef, error) {
+	if err := checkSQLIdent(name); err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 || pk == "" {
+		return nil, ErrNoPrimaryKey
+	}
+	seen := map[string]bool{}
+	pkFound := false
+	for _, c := range cols {
+		if err := checkSQLIdent(c.Name); err != nil {
+			return nil, err
+		}
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("sqlengine: duplicate column %q", c.Name)
+		}
+		seen[lc] = true
+		if strings.EqualFold(c.Name, pk) {
+			pkFound = true
+		}
+	}
+	if !pkFound {
+		return nil, fmt.Errorf("%w: %q not among columns", ErrNoPrimaryKey, pk)
+	}
+	return &TableDef{Name: name, Columns: cols, PK: pk}, nil
+}
+
+// ColumnIndex finds a column position (case-insensitive), or -1.
+func (d *TableDef) ColumnIndex(name string) int {
+	for i, c := range d.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns column metadata by name.
+func (d *TableDef) Column(name string) (ColumnDef, error) {
+	if i := d.ColumnIndex(name); i >= 0 {
+		return d.Columns[i], nil
+	}
+	return ColumnDef{}, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, d.Name, name)
+}
+
+// HasIndex reports a secondary index on the column.
+func (d *TableDef) HasIndex(col string) bool {
+	for _, c := range d.Indexes {
+		if strings.EqualFold(c, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// Coerce checks/coerces a datum for a column (ints widen to DOUBLE).
+func (d *TableDef) Coerce(col string, v Datum) (Datum, error) {
+	c, err := d.Column(col)
+	if err != nil {
+		return Datum{}, err
+	}
+	if v.IsNull() {
+		return v, nil
+	}
+	if c.Type == TFloat && v.Type == TInt {
+		return DFloat(float64(v.Int)), nil
+	}
+	if v.Type != c.Type {
+		return Datum{}, fmt.Errorf("%w: %s.%s is %s, got %s",
+			ErrTypeMismatch, d.Name, col, c.Type, v.Type)
+	}
+	return v, nil
+}
+
+// encodeSQLRow serializes per column order: presence bitmap + values.
+func encodeSQLRow(def *TableDef, row SQLRow) []byte {
+	nbits := (len(def.Columns) + 7) / 8
+	out := make([]byte, nbits, nbits+16*len(def.Columns))
+	for i, c := range def.Columns {
+		v := row.Get(c.Name)
+		if v.IsNull() {
+			continue
+		}
+		out[i/8] |= 1 << (i % 8)
+		out = appendDatum(out, v)
+	}
+	return out
+}
+
+func decodeSQLRow(def *TableDef, data []byte) (SQLRow, error) {
+	nbits := (len(def.Columns) + 7) / 8
+	if len(data) < nbits {
+		return nil, ErrCorruptRow
+	}
+	bitmap := data[:nbits]
+	rest := data[nbits:]
+	row := make(SQLRow, len(def.Columns))
+	for i, c := range def.Columns {
+		if bitmap[i/8]&(1<<(i%8)) == 0 {
+			continue
+		}
+		var v Datum
+		var err error
+		v, rest, err = decodeDatum(rest)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", c.Name, err)
+		}
+		row[strings.ToLower(c.Name)] = v
+	}
+	return row, nil
+}

@@ -1,0 +1,167 @@
+package sqlengine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The redo log records logical row operations (upsert / delete) between
+// checkpoints. Because the pager never evicts dirty pages, the on-disk
+// trees always reflect exactly the last checkpoint, so replaying the whole
+// log on open reconstructs the pre-crash state. A checkpoint = flush all
+// pagers + truncate the log.
+//
+// Record: crc u32 | len u32 | payload; payload = count uvarint, then per op:
+// op u8 (1 upsert, 2 delete) | table str | data bytes (row or key).
+
+// ErrCorruptWAL reports a damaged record body.
+var ErrCorruptWAL = errors.New("sqlengine: corrupt redo log")
+
+const (
+	walOpUpsert = 1
+	walOpDelete = 2
+)
+
+type walOp struct {
+	op    byte
+	table string
+	data  []byte // encoded row (upsert) or key bytes (delete)
+}
+
+type redoLog struct {
+	path  string
+	file  *os.File
+	w     *bufio.Writer
+	bytes int64
+}
+
+func openRedoLog(path string) (*redoLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &redoLog{path: path, file: f, w: bufio.NewWriterSize(f, 1<<16), bytes: info.Size()}, nil
+}
+
+func (l *redoLog) append(ops []walOp) error {
+	payload := binary.AppendUvarint(nil, uint64(len(ops)))
+	for _, op := range ops {
+		payload = append(payload, op.op)
+		payload = binary.AppendUvarint(payload, uint64(len(op.table)))
+		payload = append(payload, op.table...)
+		payload = binary.AppendUvarint(payload, uint64(len(op.data)))
+		payload = append(payload, op.data...)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	l.bytes += int64(len(hdr) + len(payload))
+	return nil
+}
+
+func (l *redoLog) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.file.Sync()
+}
+
+func (l *redoLog) flush() error { return l.w.Flush() }
+
+func (l *redoLog) truncate() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.file.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.bytes = 0
+	return nil
+}
+
+func (l *redoLog) size() int64 { return l.bytes }
+
+func (l *redoLog) close() error {
+	if err := l.w.Flush(); err != nil {
+		l.file.Close()
+		return err
+	}
+	return l.file.Close()
+}
+
+// replayRedoLog streams intact records' ops to fn; a torn tail stops replay
+// without error (WAL contract).
+func replayRedoLog(path string, fn func(walOp) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:])
+		plen := binary.LittleEndian.Uint32(hdr[4:])
+		if plen > 1<<30 {
+			return nil
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil
+		}
+		count, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return ErrCorruptWAL
+		}
+		payload = payload[n:]
+		for i := uint64(0); i < count; i++ {
+			if len(payload) < 1 {
+				return ErrCorruptWAL
+			}
+			op := walOp{op: payload[0]}
+			payload = payload[1:]
+			tl, n := binary.Uvarint(payload)
+			if n <= 0 || uint64(len(payload)-n) < tl {
+				return ErrCorruptWAL
+			}
+			op.table = string(payload[n : n+int(tl)])
+			payload = payload[n+int(tl):]
+			dl, n := binary.Uvarint(payload)
+			if n <= 0 || uint64(len(payload)-n) < dl {
+				return ErrCorruptWAL
+			}
+			op.data = append([]byte(nil), payload[n:n+int(dl)]...)
+			payload = payload[n+int(dl):]
+			if err := fn(op); err != nil {
+				return err
+			}
+		}
+	}
+}

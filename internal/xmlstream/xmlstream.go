@@ -1,0 +1,244 @@
+// Package xmlstream turns XML feed documents into DWARF fact tuples — the
+// paper's entry point ("transforming web data (XML or JSON) into
+// multi-dimensional cubes"). A Spec names the record element and maps its
+// attributes and child elements onto cube dimensions, optionally through
+// transforms (e.g. an RFC 3339 timestamp split into year/month/day/hour).
+// Parsing is streaming: one record in memory at a time.
+package xmlstream
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// Spec maps a record-oriented XML document onto fact tuples.
+type Spec struct {
+	// RecordElement is the local name of one record (e.g. "station").
+	RecordElement string
+	// Dimensions map fields to cube dimensions, in dimension order.
+	Dimensions []DimSpec
+	// MeasureField names the numeric measure field.
+	MeasureField string
+}
+
+// DimSpec maps one field to one dimension. Field is a child element's local
+// name, or "@name" for an attribute of the record element. Transform, when
+// set, rewrites the raw string (see TimePart).
+type DimSpec struct {
+	Name      string
+	Field     string
+	Transform Transform
+}
+
+// Transform rewrites a raw field value into a dimension key.
+type Transform func(string) (string, error)
+
+// Ingestion errors.
+var (
+	ErrBadSpec      = errors.New("xmlstream: invalid spec")
+	ErrMissingField = errors.New("xmlstream: record is missing a mapped field")
+	ErrBadMeasure   = errors.New("xmlstream: measure is not numeric")
+)
+
+// DimNames returns the dimension names in order (the cube's dimension
+// list).
+func (s Spec) DimNames() []string {
+	out := make([]string, len(s.Dimensions))
+	for i, d := range s.Dimensions {
+		out[i] = d.Name
+	}
+	return out
+}
+
+func (s Spec) validate() error {
+	if s.RecordElement == "" {
+		return fmt.Errorf("%w: no record element", ErrBadSpec)
+	}
+	if len(s.Dimensions) == 0 {
+		return fmt.Errorf("%w: no dimensions", ErrBadSpec)
+	}
+	if s.MeasureField == "" {
+		return fmt.Errorf("%w: no measure field", ErrBadSpec)
+	}
+	return nil
+}
+
+// ParseFunc streams tuples out of the document, calling fn for each.
+func ParseFunc(r io.Reader, spec Spec, fn func(dwarf.Tuple) error) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("xmlstream: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok || start.Name.Local != spec.RecordElement {
+			continue
+		}
+		fields, err := collectRecord(dec, start)
+		if err != nil {
+			return err
+		}
+		tuple, err := spec.tupleFrom(fields)
+		if err != nil {
+			return err
+		}
+		if err := fn(tuple); err != nil {
+			return err
+		}
+	}
+}
+
+// Parse collects every tuple of the document.
+func Parse(r io.Reader, spec Spec) ([]dwarf.Tuple, error) {
+	var out []dwarf.Tuple
+	err := ParseFunc(r, spec, func(t dwarf.Tuple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectRecord reads one record element into a flat field map: attributes
+// under "@name", direct child elements under their local name (text
+// content, trimmed).
+func collectRecord(dec *xml.Decoder, start xml.StartElement) (map[string]string, error) {
+	fields := make(map[string]string, 8)
+	for _, a := range start.Attr {
+		fields["@"+a.Name.Local] = a.Value
+	}
+	depth := 0
+	var childName string
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlstream: truncated record %q: %w", start.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth == 1 {
+				childName = t.Name.Local
+				text.Reset()
+			}
+		case xml.CharData:
+			if depth == 1 {
+				text.Write(t)
+			}
+		case xml.EndElement:
+			if depth == 0 {
+				return fields, nil // end of the record element
+			}
+			if depth == 1 && childName != "" {
+				fields[childName] = strings.TrimSpace(text.String())
+			}
+			depth--
+		}
+	}
+}
+
+func (s Spec) tupleFrom(fields map[string]string) (dwarf.Tuple, error) {
+	dims := make([]string, len(s.Dimensions))
+	for i, d := range s.Dimensions {
+		raw, ok := fields[d.Field]
+		if !ok {
+			return dwarf.Tuple{}, fmt.Errorf("%w: %q (dimension %s)", ErrMissingField, d.Field, d.Name)
+		}
+		if d.Transform != nil {
+			v, err := d.Transform(raw)
+			if err != nil {
+				return dwarf.Tuple{}, fmt.Errorf("xmlstream: dimension %s: %w", d.Name, err)
+			}
+			dims[i] = v
+		} else {
+			dims[i] = raw
+		}
+	}
+	raw, ok := fields[s.MeasureField]
+	if !ok {
+		return dwarf.Tuple{}, fmt.Errorf("%w: measure %q", ErrMissingField, s.MeasureField)
+	}
+	m, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return dwarf.Tuple{}, fmt.Errorf("%w: %q", ErrBadMeasure, raw)
+	}
+	return dwarf.Tuple{Dims: dims, Measure: m}, nil
+}
+
+// TimePart returns a transform extracting one part of a timestamp in the
+// given layout. Parts: "year", "month", "day", "hour", "quarter" (15-minute
+// slot, q0..q3).
+func TimePart(layout, part string) Transform {
+	return func(raw string) (string, error) {
+		ts, err := time.Parse(layout, raw)
+		if err != nil {
+			return "", fmt.Errorf("bad timestamp %q: %w", raw, err)
+		}
+		switch part {
+		case "year":
+			return fmt.Sprintf("%04d", ts.Year()), nil
+		case "month":
+			return fmt.Sprintf("%02d", int(ts.Month())), nil
+		case "day":
+			return fmt.Sprintf("%02d", ts.Day()), nil
+		case "hour":
+			return fmt.Sprintf("%02d", ts.Hour()), nil
+		case "quarter":
+			return fmt.Sprintf("q%d", ts.Minute()/15), nil
+		default:
+			return "", fmt.Errorf("unknown time part %q", part)
+		}
+	}
+}
+
+// BikeFeedSpec is the ready-made spec for the bike XML feed emitted by
+// internal/smartcity, producing the 8-dimension layout of the evaluation.
+func BikeFeedSpec() Spec {
+	return Spec{
+		RecordElement: "station",
+		Dimensions: []DimSpec{
+			{Name: "Year", Field: "timestamp", Transform: TimePart(time.RFC3339, "year")},
+			{Name: "Month", Field: "timestamp", Transform: TimePart(time.RFC3339, "month")},
+			{Name: "Day", Field: "timestamp", Transform: TimePart(time.RFC3339, "day")},
+			{Name: "Hour", Field: "timestamp", Transform: TimePart(time.RFC3339, "hour")},
+			{Name: "Quarter", Field: "timestamp", Transform: TimePart(time.RFC3339, "quarter")},
+			{Name: "Area", Field: "@area"},
+			{Name: "Station", Field: "@id"},
+			{Name: "Status", Field: "status"},
+		},
+		MeasureField: "bikes",
+	}
+}
+
+// CarParkFeedSpec is the ready-made spec for the car-park XML feed.
+func CarParkFeedSpec() Spec {
+	return Spec{
+		RecordElement: "carpark",
+		Dimensions: []DimSpec{
+			{Name: "Year", Field: "timestamp", Transform: TimePart(time.RFC3339, "year")},
+			{Name: "Month", Field: "timestamp", Transform: TimePart(time.RFC3339, "month")},
+			{Name: "Day", Field: "timestamp", Transform: TimePart(time.RFC3339, "day")},
+			{Name: "Hour", Field: "timestamp", Transform: TimePart(time.RFC3339, "hour")},
+			{Name: "Zone", Field: "@zone"},
+			{Name: "CarPark", Field: "@name"},
+		},
+		MeasureField: "spaces",
+	}
+}

@@ -1,0 +1,150 @@
+package xmlstream
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+func TestBikeFeedRoundTrip(t *testing.T) {
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 11}).Take(200)
+	var buf bytes.Buffer
+	if err := smartcity.WriteBikesXML(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	spec := BikeFeedSpec()
+	tuples, err := Parse(&buf, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 200 {
+		t.Fatalf("parsed %d tuples", len(tuples))
+	}
+	// Parsed tuples must equal the direct record mapping.
+	for i, r := range recs {
+		want := r.Tuple()
+		got := tuples[i]
+		if got.Measure != want.Measure {
+			t.Fatalf("tuple %d measure %g != %g", i, got.Measure, want.Measure)
+		}
+		for d := range want.Dims {
+			if got.Dims[d] != want.Dims[d] {
+				t.Fatalf("tuple %d dim %d: %q != %q", i, d, got.Dims[d], want.Dims[d])
+			}
+		}
+	}
+	// And they build the same cube.
+	a, err := dwarf.New(spec.DimNames(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := make([]dwarf.Tuple, len(recs))
+	for i, r := range recs {
+		direct[i] = r.Tuple()
+	}
+	b, err := dwarf.New(smartcity.BikeDims, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.Nodes != bs.Nodes || as.Cells != bs.Cells {
+		t.Errorf("cube stats differ: %+v vs %+v", as, bs)
+	}
+}
+
+func TestCarParkSpec(t *testing.T) {
+	recs := smartcity.NewCarParkFeed(2, 4).Take(40)
+	var buf bytes.Buffer
+	if err := smartcity.WriteCarParksXML(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := Parse(&buf, CarParkFeedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 40 {
+		t.Fatalf("parsed %d", len(tuples))
+	}
+}
+
+func TestStreamingCallback(t *testing.T) {
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 1}).Take(30)
+	var buf bytes.Buffer
+	smartcity.WriteBikesXML(&buf, recs)
+	n := 0
+	err := ParseFunc(&buf, BikeFeedSpec(), func(tu dwarf.Tuple) error {
+		n++
+		if n == 10 {
+			return errors.New("stop early")
+		}
+		return nil
+	})
+	if err == nil || n != 10 {
+		t.Errorf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	spec := BikeFeedSpec()
+	// Truncated document.
+	if _, err := Parse(strings.NewReader(`<feed><station id="x" area="a"><status>o`), spec); err == nil {
+		t.Error("truncated xml parsed")
+	}
+	// Record missing a mapped field.
+	doc := `<feed><station id="s1" area="a1"><status>open</status><bikes>3</bikes></station></feed>`
+	if _, err := Parse(strings.NewReader(doc), spec); !errors.Is(err, ErrMissingField) {
+		t.Errorf("missing field: %v", err)
+	}
+	// Non-numeric measure.
+	doc = `<feed><station id="s1" area="a1"><status>open</status>
+		<timestamp>2015-06-01T00:00:00Z</timestamp><bikes>lots</bikes></station></feed>`
+	if _, err := Parse(strings.NewReader(doc), spec); !errors.Is(err, ErrBadMeasure) {
+		t.Errorf("bad measure: %v", err)
+	}
+	// Bad timestamp surfaces the transform error.
+	doc = `<feed><station id="s1" area="a1"><status>open</status>
+		<timestamp>yesterday</timestamp><bikes>3</bikes></station></feed>`
+	if _, err := Parse(strings.NewReader(doc), spec); err == nil {
+		t.Error("bad timestamp parsed")
+	}
+	// Invalid specs.
+	if _, err := Parse(strings.NewReader("<a/>"), Spec{}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("empty spec: %v", err)
+	}
+}
+
+func TestTimePartTransforms(t *testing.T) {
+	ts := "2015-09-17T14:47:03Z"
+	cases := map[string]string{
+		"year": "2015", "month": "09", "day": "17", "hour": "14", "quarter": "q3",
+	}
+	for part, want := range cases {
+		got, err := TimePart("2006-01-02T15:04:05Z07:00", part)(ts)
+		if err != nil || got != want {
+			t.Errorf("TimePart(%s) = %q, %v; want %q", part, got, err, want)
+		}
+	}
+	if _, err := TimePart("2006-01-02T15:04:05Z07:00", "minute")(ts); err == nil {
+		t.Error("unknown part accepted")
+	}
+}
+
+func TestNestedElementsIgnored(t *testing.T) {
+	// Deeper nesting inside a record must not shadow the direct children.
+	doc := `<feed><station id="s1" area="a1">
+		<meta><status>closed</status></meta>
+		<status>open</status>
+		<timestamp>2015-06-01T00:00:00Z</timestamp>
+		<bikes>7</bikes></station></feed>`
+	tuples, err := Parse(strings.NewReader(doc), BikeFeedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuples[0].Dims[7] != "open" {
+		t.Errorf("status = %q, want the direct child", tuples[0].Dims[7])
+	}
+}

@@ -1,0 +1,135 @@
+// Package repro is the public facade of the reproduction of Scriney &
+// Roantree, "Efficient Cube Construction for Smart City Data" (EDBT/ICDT
+// 2016 Workshops): DWARF cube construction from XML/JSON smart-city feeds
+// and bi-directional persistence into four storage schema models over
+// from-scratch columnar-NoSQL and relational engines.
+//
+// The facade re-exports the library's main entry points so downstream users
+// program against one package:
+//
+//	tuples, _ := repro.ParseXML(feed, repro.BikeXMLSpec())
+//	cube, _ := repro.BuildCube(repro.BikeDims(), tuples)
+//	store, _ := repro.OpenStore(repro.NoSQLDwarf, dir, nil)
+//	id, _ := store.Save(cube)
+//	back, _ := store.Load(id)
+//
+// The implementation packages live under internal/: internal/dwarf (the
+// cube), internal/nosql and internal/sqlengine (the storage engines),
+// internal/mapper (the four schema models), internal/smartcity (synthetic
+// feeds), internal/xmlstream and internal/jsonstream (ingestion),
+// internal/flatfile (the Bao-et-al. baselines), internal/hierarchy
+// (rollup/drill-down) and internal/bench (the experiment harness).
+package repro
+
+import (
+	"io"
+
+	"repro/internal/dwarf"
+	"repro/internal/jsonstream"
+	"repro/internal/mapper"
+	"repro/internal/smartcity"
+	"repro/internal/xmlstream"
+)
+
+// Core cube types.
+type (
+	// Cube is a constructed DWARF cube.
+	Cube = dwarf.Cube
+	// Tuple is one fact: dimension keys plus a measure.
+	Tuple = dwarf.Tuple
+	// Aggregate is the aggregation state of a cell (sum/count/min/max).
+	Aggregate = dwarf.Aggregate
+	// Selector restricts one dimension of a range query.
+	Selector = dwarf.Selector
+	// CubeOption tunes construction (ablation switches).
+	CubeOption = dwarf.Option
+)
+
+// All is the query wildcard aggregating over a dimension.
+const All = dwarf.All
+
+// BuildCube constructs a DWARF cube from fact tuples.
+func BuildCube(dims []string, tuples []Tuple, opts ...CubeOption) (*Cube, error) {
+	return dwarf.New(dims, tuples, opts...)
+}
+
+// MergeCubes combines two cubes over the same dimensions (incremental
+// maintenance).
+func MergeCubes(a, b *Cube) (*Cube, error) { return dwarf.Merge(a, b) }
+
+// Query selector constructors.
+var (
+	SelectAll   = dwarf.SelectAll
+	SelectKeys  = dwarf.SelectKeys
+	SelectRange = dwarf.SelectRange
+)
+
+// Construction ablation switches.
+var (
+	WithoutSuffixCoalescing = dwarf.WithoutSuffixCoalescing
+	WithoutHashConsing      = dwarf.WithoutHashConsing
+)
+
+// Storage schema models (the paper's four).
+type (
+	// Store persists DWARF cubes under one schema model.
+	Store = mapper.Store
+	// StoreKind names a schema model.
+	StoreKind = mapper.Kind
+	// SchemaID identifies a stored cube.
+	SchemaID = mapper.SchemaID
+	// SchemaInfo is a stored cube's metadata row.
+	SchemaInfo = mapper.SchemaInfo
+	// StoreOptions tunes batching.
+	StoreOptions = mapper.Options
+)
+
+// The four schema models of the evaluation.
+const (
+	MySQLDwarf = mapper.KindMySQLDwarf
+	MySQLMin   = mapper.KindMySQLMin
+	NoSQLDwarf = mapper.KindNoSQLDwarf
+	NoSQLMin   = mapper.KindNoSQLMin
+)
+
+// AllStoreKinds returns the four schema models in the paper's order.
+func AllStoreKinds() []StoreKind { return mapper.AllKinds() }
+
+// OpenStore opens a store of the given kind rooted at dir. opts may be nil
+// for defaults.
+func OpenStore(kind StoreKind, dir string, opts *StoreOptions) (Store, error) {
+	var o StoreOptions
+	if opts != nil {
+		o = *opts
+	}
+	return mapper.OpenStore(kind, dir, o, mapper.EngineOptions{})
+}
+
+// Feed ingestion.
+type (
+	// XMLSpec maps an XML feed onto fact tuples.
+	XMLSpec = xmlstream.Spec
+	// JSONSpec maps a JSON feed onto fact tuples.
+	JSONSpec = jsonstream.Spec
+)
+
+// ParseXML extracts fact tuples from an XML feed document.
+func ParseXML(r io.Reader, spec XMLSpec) ([]Tuple, error) { return xmlstream.Parse(r, spec) }
+
+// ParseJSON extracts fact tuples from a JSON feed document.
+func ParseJSON(r io.Reader, spec JSONSpec) ([]Tuple, error) { return jsonstream.Parse(r, spec) }
+
+// Ready-made specs for the synthetic smart-city feeds.
+var (
+	BikeXMLSpec        = xmlstream.BikeFeedSpec
+	CarParkXMLSpec     = xmlstream.CarParkFeedSpec
+	BikeJSONSpec       = jsonstream.BikeFeedSpec
+	AirQualityJSONSpec = jsonstream.AirQualityFeedSpec
+)
+
+// BikeDims returns the evaluation's 8-dimension bike cube layout.
+func BikeDims() []string { return append([]string(nil), smartcity.BikeDims...) }
+
+// BikeDataset generates one of the paper's Table 2 datasets
+// (Day/Week/Month/TMonth/SMonth) as fact tuples.
+func BikeDataset(preset string) ([]Tuple, error) { return smartcity.Dataset(preset) }

@@ -1,0 +1,120 @@
+package repro
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/smartcity"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: generate a feed,
+// emit XML, parse, build, query, store in every schema model, reload.
+func TestFacadeEndToEnd(t *testing.T) {
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 99}).Take(400)
+	var doc bytes.Buffer
+	if err := smartcity.WriteBikesXML(&doc, recs); err != nil {
+		t.Fatal(err)
+	}
+	spec := BikeXMLSpec()
+	tuples, err := ParseXML(&doc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := BuildCube(spec.DimNames(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allQ := []string{All, All, All, All, All, All, All, All}
+	want, err := cube.Point(allQ...)
+	if err != nil || want.Count != 400 {
+		t.Fatalf("ALL = %v, %v", want, err)
+	}
+
+	for _, kind := range AllStoreKinds() {
+		dir := filepath.Join(t.TempDir(), string(kind))
+		store, err := OpenStore(kind, dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := store.Save(cube)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := store.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := loaded.Point(allQ...)
+		if !got.Equal(want) {
+			t.Errorf("%s: %v != %v", kind, got, want)
+		}
+		store.Close()
+	}
+}
+
+func TestFacadeJSONAndMerge(t *testing.T) {
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 5}).Take(100)
+	var doc bytes.Buffer
+	if err := smartcity.WriteBikesJSON(&doc, recs); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := ParseJSON(&doc, BikeJSONSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildCube(BikeDims(), tuples[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCube(BikeDims(), tuples[50:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeCubes(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSourceTuples() != 100 {
+		t.Errorf("merged tuples = %d", m.NumSourceTuples())
+	}
+}
+
+func TestFacadeDatasetAndSelectors(t *testing.T) {
+	tuples, err := BikeDataset("Day")
+	if err != nil || len(tuples) != 7358 {
+		t.Fatalf("dataset: %d, %v", len(tuples), err)
+	}
+	cube, err := BuildCube(BikeDims(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := cube.Range([]Selector{
+		SelectAll(), SelectAll(), SelectAll(), SelectRange("07", "09"),
+		SelectAll(), SelectAll(), SelectAll(), SelectKeys("open", "full"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count == 0 {
+		t.Error("rush-hour range query found nothing")
+	}
+	if _, err := BikeDataset("Century"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestFacadeAblationOptions(t *testing.T) {
+	tuples, _ := BikeDataset("Day")
+	full, err := BuildCube(BikeDims(), tuples[:1000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := BuildCube(BikeDims(), tuples[:1000], WithoutSuffixCoalescing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats().Nodes >= plain.Stats().Nodes {
+		t.Errorf("coalescing should shrink: %d vs %d", full.Stats().Nodes, plain.Stats().Nodes)
+	}
+}
