@@ -4,7 +4,14 @@
 //	dwarfbench -exp table4            # storage sizes (Table 4)
 //	dwarfbench -exp table5            # insertion times (Table 5)
 //	dwarfbench -exp bao               # §5.1 flat-file baseline comparison
+//	dwarfbench -exp parallel          # sharded-build ablation (1/2/4/8 workers)
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
+//
+// -workers N builds the Table 2 cubes with N shard workers (the parallel
+// pipeline in internal/dwarf/parallel.go); the storage experiments reuse
+// one cached cube per preset, where the worker count cannot change the
+// result. The "parallel" experiment sweeps the comma-separated
+// -worker-counts list against a serial baseline.
 //
 // Tables 4 and 5 come from the same run (one bulk save per schema model and
 // dataset), exactly as in the paper. The default presets keep runtime small;
@@ -16,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
@@ -23,11 +31,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
 	verify := flag.Bool("verify", false, "also Load each saved cube and check the round trip")
+	workers := flag.Int("workers", 1, "shard workers for -exp table2 cube construction (1 = serial)")
+	workerCounts := flag.String("worker-counts", "1,2,4,8", "worker counts swept by -exp parallel")
+	repeats := flag.Int("repeats", 3, "runs per measurement in -exp parallel (best kept)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -77,18 +88,22 @@ func main() {
 	var err error
 	switch *exp {
 	case "table2":
-		err = runTable2(presets)
+		err = runTable2(presets, *workers)
 	case "table4", "table5":
 		err = runTables45()
 	case "bao":
 		err = runBao(presets, *dir)
 	case "query":
 		err = runQuery(presets, *dir)
+	case "parallel":
+		err = runParallel(presets, *workerCounts, *repeats)
 	case "all":
-		if err = runTable2(presets); err == nil {
+		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
 				if err = runBao(presets, *dir); err == nil {
-					err = runQuery(presets[:1], *dir)
+					if err = runQuery(presets[:1], *dir); err == nil {
+						err = runParallel(presets[:1], *workerCounts, *repeats)
+					}
 				}
 			}
 		}
@@ -101,12 +116,30 @@ func main() {
 	}
 }
 
-func runTable2(presets []string) error {
-	rows, err := bench.RunTable2(presets)
+func runTable2(presets []string, workers int) error {
+	rows, err := bench.RunTable2(presets, workers)
 	if err != nil {
 		return err
 	}
 	bench.FormatTable2(rows).Fprint(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func runParallel(presets []string, countsFlag string, repeats int) error {
+	var counts []int
+	for _, f := range strings.Split(countsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -worker-counts entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	results, err := bench.RunParallelBuild(presets, counts, repeats)
+	if err != nil {
+		return err
+	}
+	bench.FormatParallelBuild(results).Fprint(os.Stdout)
 	fmt.Println()
 	return nil
 }

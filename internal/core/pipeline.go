@@ -21,6 +21,20 @@ type Pipeline struct {
 	Store mapper.Store
 	// Options tune cube construction (suffix-coalescing ablations).
 	Options []dwarf.Option
+	// Workers selects the sharded parallel cube build when > 1: the fact
+	// stream is partitioned by first-dimension key ranges and one builder
+	// goroutine runs per shard. 0 and 1 build serially. The resulting cube
+	// is structurally identical either way.
+	Workers int
+}
+
+// buildOptions is the pipeline's construction option list: the configured
+// Options plus the worker count.
+func (p *Pipeline) buildOptions() []dwarf.Option {
+	if p.Workers <= 1 {
+		return p.Options
+	}
+	return append(append([]dwarf.Option(nil), p.Options...), dwarf.WithWorkers(p.Workers))
 }
 
 // Result is the outcome of one pipeline run.
@@ -58,7 +72,7 @@ func (p *Pipeline) RunTuples(dims []string, tuples []dwarf.Tuple) (*Result, erro
 	if len(tuples) == 0 {
 		return nil, ErrNoTuples
 	}
-	cube, err := dwarf.New(dims, tuples, p.Options...)
+	cube, err := dwarf.New(dims, tuples, p.buildOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +94,14 @@ func (p *Pipeline) Update(base *dwarf.Cube, tuples []dwarf.Tuple) (*Result, erro
 	if len(tuples) == 0 {
 		return nil, ErrNoTuples
 	}
-	merged, err := base.Append(tuples)
+	// Always override the worker count: the delta must follow this
+	// pipeline's setting, not whatever the base cube was built with
+	// (Workers <= 1 means a serial delta even under a parallel-built base).
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	merged, err := base.Append(tuples, dwarf.WithWorkers(workers))
 	if err != nil {
 		return nil, err
 	}

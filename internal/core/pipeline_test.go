@@ -90,3 +90,45 @@ func TestPipelineUpdate(t *testing.T) {
 		t.Errorf("empty update: %v", err)
 	}
 }
+
+func TestPipelineParallelWorkers(t *testing.T) {
+	recs := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 3}).Take(500)
+	tuples := make([]dwarf.Tuple, len(recs))
+	for i, r := range recs {
+		tuples[i] = r.Tuple()
+	}
+	serial := &Pipeline{}
+	parallel := &Pipeline{Workers: 4}
+	sres, err := serial.RunTuples(smartcity.BikeDims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := parallel.RunTuples(smartcity.BikeDims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ps := sres.Cube.Stats(), pres.Cube.Stats()
+	if ss != ps {
+		t.Fatalf("parallel pipeline cube diverged: %+v vs %+v", ss, ps)
+	}
+
+	// Update threads the worker count into the delta build.
+	extra := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 4}).Take(200)
+	more := make([]dwarf.Tuple, len(extra))
+	for i, r := range extra {
+		more[i] = r.Tuple()
+	}
+	sup, err := serial.Update(sres.Cube, more)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pup, err := parallel.Update(pres.Cube, more)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := sup.Cube.Point(dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All)
+	pa, _ := pup.Cube.Point(dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All)
+	if !sa.Equal(pa) {
+		t.Errorf("updated ALL: serial=%v parallel=%v", sa, pa)
+	}
+}

@@ -1,12 +1,12 @@
 package dwarf
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"math"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // Tuple is one fact: a key per dimension plus the measure, the shape the
@@ -29,6 +29,11 @@ type Options struct {
 	// input merges) still shares pointers unless DisableSuffixCoalescing
 	// is also set.
 	DisableHashConsing bool
+	// Workers selects the sharded parallel build when > 1: the sorted fact
+	// stream is split into first-dimension key ranges, one builder goroutine
+	// per shard, and the shard roots are stitched into a cube structurally
+	// identical to a serial build (see parallel.go). 0 and 1 build serially.
+	Workers int
 }
 
 // Option mutates Options.
@@ -42,6 +47,13 @@ func WithoutSuffixCoalescing() Option {
 // WithoutHashConsing disables cross-branch identical sub-dwarf detection.
 func WithoutHashConsing() Option {
 	return func(o *Options) { o.DisableHashConsing = true }
+}
+
+// WithWorkers builds the cube with n shard workers. Values <= 1 select the
+// serial builder; values above the number of distinct first-dimension keys
+// are clamped by the shard planner.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
 }
 
 // Cube is a built DWARF cube. Cubes are immutable after construction; Merge
@@ -121,17 +133,22 @@ func NewFromAggregates(dims []string, tuples []AggTuple, opts ...Option) (*Cube,
 		numTuples += int(tuples[i].Agg.Count)
 	}
 
-	b := newBuilder(len(dims), o)
-	root, err := b.build(tuples)
-	if err != nil {
-		return nil, err
+	var root *Node
+	if o.Workers > 1 {
+		root = buildParallel(len(dims), o, sortTuplesParallel(tuples, o.Workers))
+	} else {
+		root = newBuilder(len(dims), o).buildSorted(sortTuples(tuples))
 	}
+	// Renumber nodes in a structure-determined order so that any two builds
+	// of the same facts — serial or parallel, any worker count — carry
+	// identical sequence ids and render identical Dumps.
+	nextSeq := renumber(root)
 	return &Cube{
 		dims:      append([]string(nil), dims...),
 		root:      root,
 		opts:      o,
 		numTuples: numTuples,
-		nextSeq:   b.seq,
+		nextSeq:   nextSeq,
 	}, nil
 }
 
@@ -149,42 +166,27 @@ func (c *Cube) NumSourceTuples() int { return c.numTuples }
 func (c *Cube) Root() *Node { return c.root }
 
 // builder holds the construction state: the open path of nodes being filled
-// and the hash-consing table of closed nodes.
+// and the hash-consing table of closed nodes. The table buckets candidates
+// by a seeded structural hash and verifies matches with an exact compare
+// (children are canonical already, so pointer equality decides), which
+// keeps hash-consing sound for any key bytes and any hash collision.
 type builder struct {
 	ndims int
 	opts  Options
 	seq   int64
-	canon map[string]*Node
-	// ident assigns builder-local identifiers to node pointers for
-	// hash-consing keys. Pointer-local ids (rather than the nodes' own seq)
-	// keep Merge safe: the two input cubes' seq numbers may collide, but
-	// distinct pointers always get distinct local ids.
-	ident    map[*Node]int64
-	identSeq int64
-	open     []*Node
+	canon map[uint64][]*Node
+	seed  maphash.Seed
+	open  []*Node
 }
 
 func newBuilder(ndims int, opts Options) *builder {
 	return &builder{
 		ndims: ndims,
 		opts:  opts,
-		canon: make(map[string]*Node),
-		ident: make(map[*Node]int64),
+		canon: make(map[uint64][]*Node),
+		seed:  maphash.MakeSeed(),
 		open:  make([]*Node, ndims),
 	}
-}
-
-// id returns the builder-local identity of a closed node.
-func (b *builder) id(n *Node) int64 {
-	if n == nil {
-		return 0
-	}
-	if v, ok := b.ident[n]; ok {
-		return v
-	}
-	b.identSeq++
-	b.ident[n] = b.identSeq
-	return b.identSeq
 }
 
 func (b *builder) newNode(level int) *Node {
@@ -192,23 +194,45 @@ func (b *builder) newNode(level int) *Node {
 	return &Node{Level: level, Leaf: level == b.ndims-1, seq: b.seq}
 }
 
-// build runs the classic top-down DWARF construction: sort the facts, scan
-// them keeping the path of open nodes, close sub-dwarfs as soon as the scan
-// leaves them (computing their ALL cells via suffix coalescing), and share
-// identical closed sub-dwarfs.
-func (b *builder) build(tuples []AggTuple) (*Node, error) {
+// sortTuples returns a sorted copy of the facts, the order the paper's
+// single-scan construction (and the shard planner) require.
+func sortTuples(tuples []AggTuple) []AggTuple {
 	sorted := make([]AggTuple, len(tuples))
 	copy(sorted, tuples)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return lessDims(sorted[i].Dims, sorted[j].Dims)
 	})
+	return sorted
+}
 
+// buildSorted runs the classic top-down DWARF construction on pre-sorted
+// facts: scan them keeping the path of open nodes, close sub-dwarfs as soon
+// as the scan leaves them (computing their ALL cells via suffix coalescing),
+// share identical closed sub-dwarfs, and finally close the root. It is one
+// full-depth run of the shard-reusable scanRuns core.
+func (b *builder) buildSorted(sorted []AggTuple) *Node {
 	if len(sorted) == 0 {
 		// Empty cube: a bare root with no cells and zero aggregates.
-		root := b.newNode(0)
-		return b.close(root), nil
+		return b.close(b.newNode(0))
 	}
+	return b.scanRuns(sorted, 0)[0].sub
+}
 
+// prefixSub is one output unit of scanRuns: a closed level-lo sub-dwarf
+// together with the lo-prefix of dimension keys it lives under.
+type prefixSub struct {
+	prefix []string
+	sub    *Node
+}
+
+// scanRuns is the scan core of construction, reusable by shard workers: it
+// consumes sorted facts and emits one closed (ALL computed, canonicalized)
+// level-lo sub-dwarf per maximal run of facts sharing the same lo-prefix,
+// in run order. Levels above lo are never materialized — the parallel
+// stitch replays them over the emitted units. lo = 0 is the serial build:
+// a single unit holding the closed root.
+func (b *builder) scanRuns(sorted []AggTuple, lo int) []prefixSub {
+	var out []prefixSub
 	var prev []string
 	for ti := range sorted {
 		t := &sorted[ti]
@@ -220,10 +244,20 @@ func (b *builder) build(tuples []AggTuple) (*Node, error) {
 			lc.Agg = MergeAggregates(lc.Agg, t.Agg)
 			continue
 		}
-		if prev == nil {
-			b.open[0] = b.newNode(0)
-			p = 0
-		} else {
+		switch {
+		case prev == nil:
+			b.open[lo] = b.newNode(lo)
+			p = lo
+		case p < lo:
+			// The lo-prefix changed: the current run's sub-dwarf is
+			// complete. Close it, emit it, and start the next run.
+			for l := b.ndims - 1; l > lo; l-- {
+				b.attachClosed(l)
+			}
+			out = append(out, prefixSub{prefix: prev[:lo], sub: b.close(b.open[lo])})
+			b.open[lo] = b.newNode(lo)
+			p = lo
+		default:
 			// Close everything below the divergence level, deepest first,
 			// attaching each closed node to its parent cell.
 			for l := b.ndims - 1; l > p; l-- {
@@ -242,11 +276,13 @@ func (b *builder) build(tuples []AggTuple) (*Node, error) {
 		}
 		prev = t.Dims
 	}
-	// Final close of the whole open path, root last.
-	for l := b.ndims - 1; l > 0; l-- {
+	// Final close of the last open run.
+	for l := b.ndims - 1; l > lo; l-- {
 		b.attachClosed(l)
 	}
-	return b.close(b.open[0]), nil
+	out = append(out, prefixSub{prefix: prev[:lo], sub: b.close(b.open[lo])})
+	b.open[lo] = nil
+	return out
 }
 
 // attachClosed closes the open node at level l and stores it as the child
@@ -350,52 +386,153 @@ func (b *builder) suffixCoalesce(nodes []*Node) *Node {
 // canonicalize returns an existing structurally identical node if one was
 // already closed, sharing the sub-dwarf across branches; otherwise it
 // registers and returns n. Children are canonical already, so structural
-// identity reduces to comparing cell keys, child sequence ids and aggregate
-// bits.
+// identity reduces to comparing cell keys, child pointers and aggregate
+// bits; the hash only selects the bucket to compare against.
 func (b *builder) canonicalize(n *Node) *Node {
 	if b.opts.DisableHashConsing || b.opts.DisableSuffixCoalescing {
 		return n
 	}
-	var sb strings.Builder
-	sb.Grow(len(n.Cells)*16 + 32)
-	sb.WriteByte(byte(n.Level))
-	if n.Leaf {
-		sb.WriteByte(1)
-	} else {
-		sb.WriteByte(0)
-	}
-	for i := range n.Cells {
-		c := &n.Cells[i]
-		sb.WriteString(c.Key)
-		sb.WriteByte(0)
-		if n.Leaf {
-			writeAggKey(&sb, c.Agg)
-		} else {
-			sb.WriteString(strconv.FormatInt(b.id(c.Child), 36))
+	h := b.nodeHash(n)
+	for _, cand := range b.canon[h] {
+		if structEqual(cand, n) {
+			return cand
 		}
-		sb.WriteByte(1)
 	}
-	if n.Leaf {
-		writeAggKey(&sb, n.AllAgg)
-	} else if n.AllChild != nil {
-		sb.WriteString(strconv.FormatInt(b.id(n.AllChild), 36))
-	}
-	key := sb.String()
-	if existing, ok := b.canon[key]; ok {
-		return existing
-	}
-	b.canon[key] = n
+	b.canon[h] = append(b.canon[h], n)
 	return n
 }
 
-func writeAggKey(sb *strings.Builder, a Aggregate) {
-	sb.WriteString(strconv.FormatUint(math.Float64bits(a.Sum), 36))
-	sb.WriteByte(',')
-	sb.WriteString(strconv.FormatInt(a.Count, 36))
-	sb.WriteByte(',')
-	sb.WriteString(strconv.FormatUint(math.Float64bits(a.Min), 36))
-	sb.WriteByte(',')
-	sb.WriteString(strconv.FormatUint(math.Float64bits(a.Max), 36))
+// nodeHash computes the bucket hash of a closed node. Child identity is
+// hashed through the child's seq: canonical children of equal structure are
+// the same pointer and so carry the same seq, which is all correctness
+// needs — seq collisions between nodes of different shard builders (or of
+// Merge's two input cubes) merely cost an extra exact compare.
+func (b *builder) nodeHash(n *Node) uint64 {
+	var h maphash.Hash
+	h.SetSeed(b.seed)
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(uint64(n.Level))
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		h.WriteString(c.Key)
+		h.WriteByte(0)
+		if n.Leaf {
+			hashAgg(&h, buf[:], c.Agg)
+		} else {
+			u64(uint64(c.Child.seq))
+		}
+	}
+	h.WriteByte(1)
+	if n.Leaf {
+		hashAgg(&h, buf[:], n.AllAgg)
+	} else if n.AllChild != nil {
+		u64(uint64(n.AllChild.seq))
+	}
+	return h.Sum64()
+}
+
+func hashAgg(h *maphash.Hash, buf []byte, a Aggregate) {
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(a.Sum))
+	h.Write(buf)
+	binary.LittleEndian.PutUint64(buf, uint64(a.Count))
+	h.Write(buf)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(a.Min))
+	h.Write(buf)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(a.Max))
+	h.Write(buf)
+}
+
+// structEqual reports whether two closed nodes are structurally identical:
+// same level and cells, bit-identical aggregates, and pointer-identical
+// (i.e. canonical) children.
+func structEqual(a, b *Node) bool {
+	if a.Level != b.Level || a.Leaf != b.Leaf || len(a.Cells) != len(b.Cells) {
+		return false
+	}
+	if a.Leaf {
+		if !aggBitsEqual(a.AllAgg, b.AllAgg) {
+			return false
+		}
+	} else if a.AllChild != b.AllChild {
+		return false
+	}
+	for i := range a.Cells {
+		ca, cb := &a.Cells[i], &b.Cells[i]
+		if ca.Key != cb.Key {
+			return false
+		}
+		if a.Leaf {
+			if !aggBitsEqual(ca.Agg, cb.Agg) {
+				return false
+			}
+		} else if ca.Child != cb.Child {
+			return false
+		}
+	}
+	return true
+}
+
+// aggBitsEqual is bit-exact aggregate equality, the sharing criterion
+// hash-consing uses (floats compared by bits, not ==).
+func aggBitsEqual(a, b Aggregate) bool {
+	return math.Float64bits(a.Sum) == math.Float64bits(b.Sum) &&
+		a.Count == b.Count &&
+		math.Float64bits(a.Min) == math.Float64bits(b.Min) &&
+		math.Float64bits(a.Max) == math.Float64bits(b.Max)
+}
+
+// recanon re-registers an already-closed sub-dwarf into this builder's
+// hash-consing table, bottom-up, rewriting child pointers to their canonical
+// representatives. The parallel stitch uses it to restore the cross-shard
+// sharing a serial build gets from its single global table: two shards that
+// independently built structurally identical sub-dwarfs end up pointing at
+// one node. memo short-circuits nodes already shared within a shard. The
+// nodes are private to the build, so in-place rewriting is safe.
+func (b *builder) recanon(n *Node, memo map[*Node]*Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if r, ok := memo[n]; ok {
+		return r
+	}
+	if !n.Leaf {
+		for i := range n.Cells {
+			n.Cells[i].Child = b.recanon(n.Cells[i].Child, memo)
+		}
+		n.AllChild = b.recanon(n.AllChild, memo)
+	}
+	r := b.canonicalize(n)
+	memo[n] = r
+	return r
+}
+
+// renumber assigns sequence ids by a deterministic depth-first walk (cells
+// in key order, ALL last — Dump's traversal), numbering each distinct node
+// on first visit. Construction order — and therefore worker count — stops
+// mattering: structurally identical cubes get identical ids. Returns the
+// highest id assigned.
+func renumber(root *Node) int64 {
+	var seq int64
+	seen := make(map[*Node]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		seq++
+		n.seq = seq
+		for i := range n.Cells {
+			walk(n.Cells[i].Child)
+		}
+		walk(n.AllChild)
+	}
+	walk(root)
+	return seq
 }
 
 // deepCopy clones an entire sub-dwarf with no sharing (ablation support).

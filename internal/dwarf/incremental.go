@@ -5,8 +5,10 @@ import "fmt"
 // Incremental accumulates fact tuples in bounded chunks and maintains a
 // standing cube by merging each completed chunk — the streaming
 // construction mode for feeds too large to buffer entirely, and the
-// building block of the paper's §7 maintenance loop. The zero value is not
-// usable; call NewIncremental.
+// building block of the paper's §7 maintenance loop. Construction options
+// (ablations, WithWorkers) apply to every chunk build, so a workers setting
+// shards each flush across goroutines. The zero value is not usable; call
+// NewIncremental.
 type Incremental struct {
 	dims      []string
 	opts      []Option
@@ -57,6 +59,8 @@ func (inc *Incremental) AddBatch(tuples []Tuple) error {
 	return nil
 }
 
+// flush builds the pending chunk (sharded when the options carry a worker
+// count) and merges it into the standing cube.
 func (inc *Incremental) flush() error {
 	if len(inc.pending) == 0 {
 		return nil

@@ -7,7 +7,9 @@ import "fmt"
 // The result may share unchanged sub-dwarfs with the inputs (cubes are
 // immutable, so sharing is safe). This is the primitive behind the paper's
 // §7 future-work item, incremental cube updates: build a small DWARF from
-// the new batch and merge it into the standing cube.
+// the new batch and merge it into the standing cube. The merged cube carries
+// a's options forward — including the Workers setting, so later Appends keep
+// building sharded.
 func Merge(a, b *Cube) (*Cube, error) {
 	if len(a.dims) != len(b.dims) {
 		return nil, fmt.Errorf("%w: %d vs %d dimensions", ErrDimsMismatch, len(a.dims), len(b.dims))
@@ -33,9 +35,12 @@ func Merge(a, b *Cube) (*Cube, error) {
 }
 
 // Append folds a batch of new fact tuples into the cube, returning the
-// updated cube. The receiver is unchanged.
-func (c *Cube) Append(tuples []Tuple) (*Cube, error) {
-	delta, err := New(c.dims, tuples, optionsAsList(c.opts)...)
+// updated cube. The receiver is unchanged. The delta cube inherits the
+// receiver's options (including its Workers setting, so delta construction
+// shards in parallel when the cube was built that way); extra opts apply on
+// top, letting callers override just the delta build.
+func (c *Cube) Append(tuples []Tuple, opts ...Option) (*Cube, error) {
+	delta, err := New(c.dims, tuples, append(optionsAsList(c.opts), opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +54,9 @@ func optionsAsList(o Options) []Option {
 	}
 	if o.DisableHashConsing {
 		out = append(out, WithoutHashConsing())
+	}
+	if o.Workers > 0 {
+		out = append(out, WithWorkers(o.Workers))
 	}
 	return out
 }

@@ -1,0 +1,248 @@
+package dwarf
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Parallel sharded construction.
+//
+// The paper's construction (§4, Fig. 1) is a single sorted scan. That scan
+// has a natural partition: prefix key ranges. In sorted order every run of
+// tuples sharing the same first lo dimension keys is contiguous, so a shard
+// boundary placed between two runs guarantees no run crosses shards — each
+// shard's level-lo sub-dwarfs are complete and can be built with zero
+// coordination. The planner picks lo as shallow as possible (less serial
+// spine work) while still yielding enough runs to feed every worker; for a
+// feed whose leading dimension is near-constant (a Year dimension, say) it
+// automatically deepens until the data fans out.
+//
+// The pipeline: sort once, plan shards at prefix-run boundaries, run an
+// independent builder per shard on its own goroutine (own open path, own
+// hash-consing table) emitting closed level-lo sub-dwarfs, then stitch
+// serially: re-canonicalize shard output into one global table (restoring
+// the cross-shard sharing a serial build's single table provides) and
+// replay the spine above lo — opening cells for each unit's prefix and
+// closing spine nodes with the same suffixCoalesce calls, over the same
+// children in the same order, as a serial close would issue. Aggregates
+// therefore merge in the serial order and the cube is bit-for-bit
+// structurally identical to a serial build, under every ablation option.
+
+// NewParallel constructs a DWARF cube from fact tuples using a sharded
+// parallel build with the given worker count. workers <= 0 selects
+// runtime.NumCPU(); workers == 1 is the serial builder. The cube is
+// structurally identical to New over the same facts.
+func NewParallel(dims []string, tuples []Tuple, workers int, opts ...Option) (*Cube, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return New(dims, tuples, append(append([]Option(nil), opts...), WithWorkers(workers))...)
+}
+
+// NewFromAggregatesParallel is NewParallel over pre-aggregated facts.
+func NewFromAggregatesParallel(dims []string, tuples []AggTuple, workers int, opts ...Option) (*Cube, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return NewFromAggregates(dims, tuples, append(append([]Option(nil), opts...), WithWorkers(workers))...)
+}
+
+// sortTuplesParallel is the parallel front of the pipeline: a stable merge
+// sort over a copy of the facts, worker chunks sorted concurrently and then
+// pairwise-merged (also concurrently, one goroutine per pair and rounds
+// halving). A stable sort's output is uniquely determined by comparator and
+// input order, so the result is element-for-element identical to
+// sortTuples — the serial scan equivalence the shard builds rely on.
+func sortTuplesParallel(tuples []AggTuple, workers int) []AggTuple {
+	n := len(tuples)
+	// Below ~1k elements per chunk the goroutine overhead beats the win.
+	if workers > n/1024 {
+		workers = n / 1024
+	}
+	if workers <= 1 {
+		return sortTuples(tuples)
+	}
+	src := make([]AggTuple, n)
+	copy(src, tuples)
+	runs := make([]int, workers+1)
+	for i := range runs {
+		runs[i] = i * n / workers
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := src[lo:hi]
+			sort.SliceStable(s, func(a, b int) bool { return lessDims(s[a].Dims, s[b].Dims) })
+		}(runs[i], runs[i+1])
+	}
+	wg.Wait()
+	buf := make([]AggTuple, n)
+	for len(runs) > 2 {
+		next := []int{0}
+		var mwg sync.WaitGroup
+		for i := 0; i+2 < len(runs); i += 2 {
+			mwg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mwg.Done()
+				mergeRuns(buf[lo:hi], src[lo:mid], src[mid:hi])
+			}(runs[i], runs[i+1], runs[i+2])
+			next = append(next, runs[i+2])
+		}
+		if len(runs)%2 == 0 {
+			// Odd run count: the last run carries over to the next round.
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			copy(buf[lo:hi], src[lo:hi])
+			next = append(next, hi)
+		}
+		mwg.Wait()
+		src, buf = buf, src
+		runs = next
+	}
+	return src
+}
+
+// mergeRuns stable-merges two adjacent sorted runs into dst (equal elements
+// prefer the left run, preserving input order).
+func mergeRuns(dst, a, b []AggTuple) {
+	k := 0
+	for len(a) > 0 && len(b) > 0 {
+		if lessDims(b[0].Dims, a[0].Dims) {
+			dst[k] = b[0]
+			b = b[1:]
+		} else {
+			dst[k] = a[0]
+			a = a[1:]
+		}
+		k++
+	}
+	copy(dst[k:], a)
+	copy(dst[k+len(a):], b)
+}
+
+// buildParallel runs the sharded pipeline over sorted facts. Callers
+// guarantee o.Workers > 1; the planner may still collapse to one shard
+// (tiny input, no key diversity at any depth), in which case the serial
+// path runs.
+func buildParallel(ndims int, o Options, sorted []AggTuple) *Node {
+	shards, lo := planShards(sorted, o.Workers, ndims)
+	if lo == 0 || len(shards) <= 1 {
+		return newBuilder(ndims, o).buildSorted(sorted)
+	}
+	units := make([][]prefixSub, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			units[i] = newBuilder(ndims, o).scanRuns(shards[i], lo)
+		}(i)
+	}
+	wg.Wait()
+	return stitch(ndims, o, units, lo)
+}
+
+// planShards splits the sorted facts into at most `workers` contiguous
+// subslices cut at lo-prefix run boundaries, each targeting an equal share
+// of the tuples, and reports the chosen prefix depth lo. lo is the
+// shallowest depth whose run count reaches the worker count — shallower
+// means less serial spine work in the stitch — falling back to the deepest
+// interior depth when no depth fans out that far. A run longer than the
+// per-shard target inflates its shard rather than being split. lo = 0
+// (with a single shard) signals "build serially": the input is too small
+// or has no key diversity to shard.
+func planShards(sorted []AggTuple, workers, ndims int) ([][]AggTuple, int) {
+	n := len(sorted)
+	if workers <= 1 || n == 0 || ndims < 2 {
+		return [][]AggTuple{sorted}, 0
+	}
+	lo := 0
+	for d := 1; d < ndims; d++ {
+		runs := 1
+		for i := 1; i < n && runs < workers; i++ {
+			if commonPrefix(sorted[i-1].Dims, sorted[i].Dims) < d {
+				runs++
+			}
+		}
+		if runs >= workers {
+			lo = d
+			break
+		}
+		if d == ndims-1 && runs >= 2 {
+			lo = d // deepest interior depth: as many shards as runs allow
+		}
+	}
+	if lo == 0 {
+		return [][]AggTuple{sorted}, 0
+	}
+	target := (n + workers - 1) / workers
+	shards := make([][]AggTuple, 0, workers)
+	start := 0
+	for start < n && len(shards) < workers-1 {
+		end := start + target
+		if end >= n {
+			break
+		}
+		// Slide the cut forward to the next lo-prefix run boundary.
+		for end < n && commonPrefix(sorted[end-1].Dims, sorted[end].Dims) >= lo {
+			end++
+		}
+		if end >= n {
+			break
+		}
+		shards = append(shards, sorted[start:end])
+		start = end
+	}
+	shards = append(shards, sorted[start:])
+	if len(shards) < 2 {
+		return shards, 0
+	}
+	return shards, lo
+}
+
+// stitch assembles the shards' (prefix, sub-dwarf) units into the final
+// root by replaying the spine above lo: a serial scan over units instead of
+// tuples. Shard ranges are disjoint and ordered, so unit order is global
+// prefix order and every spine node's cells arrive sorted. Closing a spine
+// node issues the identical suffixCoalesce call — same children, same
+// order — as a serial build's close of that node, and recanon gives the
+// coalesces one global hash-consing table to share against.
+func stitch(ndims int, o Options, shardUnits [][]prefixSub, lo int) *Node {
+	sb := newBuilder(ndims, o)
+	memo := make(map[*Node]*Node)
+	var prev []string
+	for _, units := range shardUnits {
+		for _, u := range units {
+			sub := sb.recanon(u.sub, memo)
+			p := 0
+			if prev == nil {
+				sb.open[0] = sb.newNode(0)
+			} else {
+				// Adjacent runs always diverge inside the prefix (runs are
+				// maximal and shard cuts fall on run boundaries), so p < lo.
+				p = commonPrefix(prev, u.prefix)
+				for l := lo - 1; l > p; l-- {
+					sb.attachClosed(l)
+				}
+			}
+			// Open the new spine suffix and hang the unit's sub-dwarf off
+			// the level lo-1 cell.
+			for l := p; l < lo; l++ {
+				n := sb.open[l]
+				if l == lo-1 {
+					n.Cells = append(n.Cells, Cell{Key: u.prefix[l], Child: sub})
+				} else {
+					n.Cells = append(n.Cells, Cell{Key: u.prefix[l]})
+					sb.open[l+1] = sb.newNode(l + 1)
+				}
+			}
+			prev = u.prefix
+		}
+	}
+	for l := lo - 1; l > 0; l-- {
+		sb.attachClosed(l)
+	}
+	return sb.close(sb.open[0])
+}

@@ -53,6 +53,14 @@ func BuildCube(dims []string, tuples []Tuple, opts ...CubeOption) (*Cube, error)
 	return dwarf.New(dims, tuples, opts...)
 }
 
+// BuildCubeParallel constructs a DWARF cube with a sharded parallel build:
+// the sorted fact stream is split by first-dimension key ranges and one
+// builder goroutine runs per shard. workers <= 0 uses all CPUs. The result
+// is structurally identical to BuildCube over the same facts.
+func BuildCubeParallel(dims []string, tuples []Tuple, workers int, opts ...CubeOption) (*Cube, error) {
+	return dwarf.NewParallel(dims, tuples, workers, opts...)
+}
+
 // MergeCubes combines two cubes over the same dimensions (incremental
 // maintenance).
 func MergeCubes(a, b *Cube) (*Cube, error) { return dwarf.Merge(a, b) }
@@ -64,10 +72,11 @@ var (
 	SelectRange = dwarf.SelectRange
 )
 
-// Construction ablation switches.
+// Construction ablation switches and the parallel-build worker option.
 var (
 	WithoutSuffixCoalescing = dwarf.WithoutSuffixCoalescing
 	WithoutHashConsing      = dwarf.WithoutHashConsing
+	WithWorkers             = dwarf.WithWorkers
 )
 
 // Storage schema models (the paper's four).

@@ -118,3 +118,32 @@ func TestFacadeAblationOptions(t *testing.T) {
 		t.Errorf("coalescing should shrink: %d vs %d", full.Stats().Nodes, plain.Stats().Nodes)
 	}
 }
+
+func TestFacadeParallelBuild(t *testing.T) {
+	tuples, _ := BikeDataset("Day")
+	serial, err := BuildCube(BikeDims(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildCubeParallel(BikeDims(), tuples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats() != par.Stats() {
+		t.Fatalf("parallel cube diverged: %+v vs %+v", serial.Stats(), par.Stats())
+	}
+	// The option form goes through BuildCube too.
+	opt, err := BuildCube(BikeDims(), tuples, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats() != serial.Stats() {
+		t.Fatalf("WithWorkers cube diverged: %+v vs %+v", opt.Stats(), serial.Stats())
+	}
+	q := []string{All, All, All, All, All, All, All, All}
+	sa, _ := serial.Point(q...)
+	pa, _ := par.Point(q...)
+	if !sa.Equal(pa) {
+		t.Errorf("ALL query: serial=%v parallel=%v", sa, pa)
+	}
+}
