@@ -6,6 +6,7 @@ package repro
 // cmd/dwarfbench runs the full Table 4/5 sweep including TMonth/SMonth.
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -489,4 +490,76 @@ func BenchmarkFlatFilePointQuery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeOpen measures making a cube servable: full Decode vs the
+// zero-copy OpenView paths (the dwarfd cold-start cost).
+func BenchmarkServeOpen(b *testing.B) {
+	cube, err := bench.DatasetCube("Week")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cube.EncodeIndexed(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dwarf.DecodeBytes(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("view", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dwarf.OpenView(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("view-trusted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dwarf.OpenViewTrusted(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServePointQuery mirrors BenchmarkPointQuery against the
+// zero-copy view instead of the decoded cube.
+func BenchmarkServePointQuery(b *testing.B) {
+	cube, err := bench.DatasetCube("Week")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cube.EncodeIndexed(&buf); err != nil {
+		b.Fatal(err)
+	}
+	view, err := dwarf.OpenView(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var probes [][]string
+	cube.Tuples(func(keys []string, _ dwarf.Aggregate) bool {
+		probes = append(probes, append([]string(nil), keys...))
+		return len(probes) < 512
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := view.Point(probes[i%len(probes)]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("all-dims", func(b *testing.B) {
+		q := []string{dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All}
+		for i := 0; i < b.N; i++ {
+			if _, err := view.Point(q...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -5,6 +5,7 @@
 //	dwarfbench -exp table5            # insertion times (Table 5)
 //	dwarfbench -exp bao               # §5.1 flat-file baseline comparison
 //	dwarfbench -exp parallel          # sharded-build ablation (1/2/4/8 workers)
+//	dwarfbench -exp serve             # serving path: Decode vs CubeView open + q/s
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
 //
 // -workers N builds the Table 2 cubes with N shard workers (the parallel
@@ -31,14 +32,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, serve, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
 	verify := flag.Bool("verify", false, "also Load each saved cube and check the round trip")
 	workers := flag.Int("workers", 1, "shard workers for -exp table2 cube construction (1 = serial)")
 	workerCounts := flag.String("worker-counts", "1,2,4,8", "worker counts swept by -exp parallel")
-	repeats := flag.Int("repeats", 3, "runs per measurement in -exp parallel (best kept)")
+	repeats := flag.Int("repeats", 3, "runs per measurement in -exp parallel/serve (best kept)")
+	queries := flag.Int("queries", 2000, "point queries per battery in -exp serve")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -97,12 +99,16 @@ func main() {
 		err = runQuery(presets, *dir)
 	case "parallel":
 		err = runParallel(presets, *workerCounts, *repeats)
+	case "serve":
+		err = runServe(presets, *queries, *repeats)
 	case "all":
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
 				if err = runBao(presets, *dir); err == nil {
 					if err = runQuery(presets[:1], *dir); err == nil {
-						err = runParallel(presets[:1], *workerCounts, *repeats)
+						if err = runParallel(presets[:1], *workerCounts, *repeats); err == nil {
+							err = runServe(presets[:1], *queries, *repeats)
+						}
 					}
 				}
 			}
@@ -140,6 +146,16 @@ func runParallel(presets []string, countsFlag string, repeats int) error {
 		return err
 	}
 	bench.FormatParallelBuild(results).Fprint(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func runServe(presets []string, queries, repeats int) error {
+	results, err := bench.RunServe(presets, queries, repeats)
+	if err != nil {
+		return err
+	}
+	bench.FormatServe(results).Fprint(os.Stdout)
 	fmt.Println()
 	return nil
 }

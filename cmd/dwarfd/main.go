@@ -1,0 +1,37 @@
+// Command dwarfd serves DWARF cube files over HTTP, zero-copy: queries are
+// answered straight off the encoded bytes through dwarf.CubeView, with a
+// small LRU keeping hot views shared across requests. Point a directory of
+// .dwarf files at it (dwarfcli / repro.WriteCubeFile produce them; files
+// written with the v2 offset trailer open in O(1)):
+//
+//	dwarfd -dir /var/cubes -addr :8080 -cache 16
+//
+// Endpoints:
+//
+//	GET  /cubes                                        registry + hot cache
+//	GET  /query/point?cube=week.dwarf&key=2015&key=*…  one key per dimension
+//	POST /query/range    {"cube":…,"selectors":[{"lo":…,"hi":…},…]}
+//	POST /query/groupby  {"cube":…,"dim":"Area","selectors":[…]}
+//	GET  /stats?cube=week.dwarf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", ".", "directory of .dwarf cube files")
+	cache := flag.Int("cache", serve.DefaultCacheSize, "hot cube views kept in the LRU")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "dwarfd: serving cubes from %s on %s (cache %d)\n", *dir, *addr, *cache)
+	if err := serve.ListenAndServe(*addr, serve.Options{Dir: *dir, CacheSize: *cache}); err != nil {
+		fmt.Fprintln(os.Stderr, "dwarfd:", err)
+		os.Exit(1)
+	}
+}

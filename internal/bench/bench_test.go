@@ -192,3 +192,30 @@ func TestPaperReferenceDataComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestRunServe(t *testing.T) {
+	results, err := RunServe([]string{"Day"}, 200, 1)
+	if err != nil {
+		t.Fatalf("RunServe: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Queries == 0 || r.EncodedBytes == 0 {
+		t.Fatalf("empty measurement: %+v", r)
+	}
+	if r.DecodeOpen <= 0 || r.ViewOpen <= 0 || r.TrustedOpen <= 0 || r.ScanOpen <= 0 {
+		t.Fatalf("missing open timings: %+v", r)
+	}
+	if r.CubeQPS <= 0 || r.ViewQPS <= 0 {
+		t.Fatalf("missing throughput: %+v", r)
+	}
+	if r.OpenSpeedup() <= 1 {
+		t.Fatalf("view open (%v) not faster than full decode (%v)", r.ViewOpen, r.DecodeOpen)
+	}
+	out := FormatServe(results).String()
+	if !strings.Contains(out, "Day") {
+		t.Fatalf("FormatServe missing dataset row:\n%s", out)
+	}
+}

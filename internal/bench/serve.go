@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// The serve experiment measures the two costs that dominate a query
+// service: how long it takes to make a cube servable (open latency — full
+// Decode vs a zero-copy OpenView), and how fast it answers once hot
+// (queries/sec for the decoded Cube vs the CubeView over the same battery).
+
+// ServeResult is one preset's serving-path measurement.
+type ServeResult struct {
+	Preset       string
+	EncodedBytes int64
+	Queries      int
+
+	// Open latency, best of repeats.
+	DecodeOpen  time.Duration // dwarf.DecodeBytes: materialize the node graph
+	ViewOpen    time.Duration // dwarf.OpenView: checksum + trailer index
+	TrustedOpen time.Duration // dwarf.OpenViewTrusted: trailer index only
+	ScanOpen    time.Duration // OpenView without trailer: checksum + lazy scan
+
+	// Hot query throughput over the same point battery.
+	CubeQPS float64
+	ViewQPS float64
+}
+
+// OpenSpeedup is Decode open latency over (checksummed) view open latency.
+func (r ServeResult) OpenSpeedup() float64 {
+	if r.ViewOpen <= 0 {
+		return 0
+	}
+	return float64(r.DecodeOpen) / float64(r.ViewOpen)
+}
+
+// RunServe measures the serving path for each preset: encode once (with
+// the offset trailer), then time every open path and the hot query
+// batteries, verifying along the way that the view answers the battery
+// identically to the decoded cube.
+func RunServe(presets []string, queries, repeats int) ([]ServeResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	if queries < 1 {
+		queries = 400
+	}
+	best := func(fn func() error) (time.Duration, error) {
+		var b time.Duration
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); r == 0 || d < b {
+				b = d
+			}
+		}
+		return b, nil
+	}
+	var out []ServeResult
+	for _, preset := range presets {
+		cube, err := DatasetCube(preset)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := cube.EncodeIndexed(&buf); err != nil {
+			return nil, err
+		}
+		indexed := buf.Bytes()
+		plain, _, err := dwarf.SplitEncoded(indexed)
+		if err != nil {
+			return nil, err
+		}
+
+		// A deterministic point battery with rotating wildcard masks, the
+		// same shape the on-store query experiment uses.
+		var battery [][]string
+		cube.Tuples(func(keys []string, _ dwarf.Aggregate) bool {
+			q := append([]string(nil), keys...)
+			switch len(battery) % 4 {
+			case 1:
+				q[len(q)-1] = dwarf.All
+			case 2:
+				q[len(q)-1], q[len(q)-2] = dwarf.All, dwarf.All
+			case 3:
+				q[0] = dwarf.All
+			}
+			battery = append(battery, q)
+			return len(battery) < queries
+		})
+
+		res := ServeResult{Preset: preset, EncodedBytes: int64(len(indexed)), Queries: len(battery)}
+		if res.DecodeOpen, err = best(func() error {
+			_, err := dwarf.DecodeBytes(indexed)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if res.ViewOpen, err = best(func() error {
+			_, err := dwarf.OpenView(indexed)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if res.TrustedOpen, err = best(func() error {
+			_, err := dwarf.OpenViewTrusted(indexed)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		wild := make([]string, cube.NumDims())
+		for i := range wild {
+			wild[i] = dwarf.All
+		}
+		if res.ScanOpen, err = best(func() error {
+			v, err := dwarf.OpenView(plain)
+			if err != nil {
+				return err
+			}
+			// One wildcard point forces the lazy index scan and nothing
+			// more, so this times exactly the no-trailer open cost.
+			_, err = v.Point(wild...)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+
+		view, err := dwarf.OpenView(indexed)
+		if err != nil {
+			return nil, err
+		}
+		// Correctness gate: the battery must answer identically both ways.
+		for _, q := range battery {
+			want, err := cube.Point(q...)
+			if err != nil {
+				return nil, err
+			}
+			got, err := view.Point(q...)
+			if err != nil {
+				return nil, err
+			}
+			if !got.Equal(want) {
+				return nil, fmt.Errorf("bench: serve answer mismatch on %s for %v: view %v, cube %v",
+					preset, q, got, want)
+			}
+		}
+		cubeTime, err := best(func() error {
+			for _, q := range battery {
+				if _, err := cube.Point(q...); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		viewTime, err := best(func() error {
+			for _, q := range battery {
+				if _, err := view.Point(q...); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cubeTime > 0 {
+			res.CubeQPS = float64(len(battery)) / cubeTime.Seconds()
+		}
+		if viewTime > 0 {
+			res.ViewQPS = float64(len(battery)) / viewTime.Seconds()
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatServe renders the serving-path comparison.
+func FormatServe(results []ServeResult) *Table {
+	t := NewTable("Serving path — open latency and hot query throughput, Cube vs CubeView",
+		"Dataset", "Encoded MB", "Decode open", "View open", "View open (trusted)", "View open (no trailer)",
+		"Open speedup", "Cube q/s", "View q/s")
+	for _, r := range results {
+		t.AddRow(r.Preset,
+			fmt.Sprintf("%.1f", float64(r.EncodedBytes)/(1<<20)),
+			r.DecodeOpen.Round(10*time.Microsecond).String(),
+			r.ViewOpen.Round(time.Microsecond).String(),
+			r.TrustedOpen.Round(time.Microsecond).String(),
+			r.ScanOpen.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.0fx", r.OpenSpeedup()),
+			fmt.Sprintf("%.0f", r.CubeQPS),
+			fmt.Sprintf("%.0f", r.ViewQPS))
+	}
+	return t
+}

@@ -26,9 +26,33 @@ import (
 //
 // Node ids are 1-based positions in the emission order, so every child id
 // refers to an already-decoded node.
+//
+// An optional v2 node-offset trailer may follow the CRC word (see
+// EncodeIndexed). It is self-describing — detected by the 8-byte magic at
+// the very end of the stream — and carries its own CRC, so readers that
+// know about it get an O(1) node index while the v1 portion of the stream
+// is byte-for-byte unchanged:
+//
+//	trailer body:
+//	  node count u32 | root id u32 | nodes-section offset u32
+//	  per node: record offset u32 | ALL-record offset u32
+//	trailer footer:
+//	  crc32 (IEEE) of body u32 | body length u32 | magic "DWRFNDX2"
+//
+// All offsets are absolute byte positions in the v1 stream. Streams larger
+// than 4 GiB cannot carry a trailer (offsets are u32) and fall back to the
+// scan-built index.
 const (
 	codecMagic   = "DWRFCUBE"
 	codecVersion = 1
+
+	trailerMagic    = "DWRFNDX2"
+	trailerFixedLen = 12                        // node count + root id + nodes start
+	trailerFootLen  = 4 + 4 + len(trailerMagic) // body CRC + body length + magic
+
+	// maxStreamBytes bounds streams that can carry or build a u32 offset
+	// index.
+	maxStreamBytes = math.MaxUint32
 )
 
 // Codec errors.
@@ -170,6 +194,140 @@ func (c *Cube) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
+// EncodeIndexed writes the cube in the v1 format followed by the v2
+// node-offset trailer, so OpenView on the resulting bytes (or a file or
+// mmap'd region holding them) gets its node index in O(1) instead of a
+// scan. v1 readers decode the stream unchanged: the trailer sits after the
+// CRC word and is stripped before parsing.
+func (c *Cube) EncodeIndexed(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		return err
+	}
+	out, err := AppendOffsetTrailer(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(out)
+	return err
+}
+
+// AppendOffsetTrailer returns data extended with a v2 node-offset trailer.
+// The input must be a valid encoded cube; a stream that already carries a
+// trailer is returned unchanged. The v1 portion of the stream is not
+// modified. Streams of 4 GiB or more cannot be indexed (u32 offsets) and
+// are returned unchanged as well.
+func AppendOffsetTrailer(data []byte) ([]byte, error) {
+	v1, trailer, err := splitIndexed(data)
+	if err != nil {
+		return nil, err
+	}
+	if trailer != nil {
+		return data, nil
+	}
+	if err := verifyPayload(v1); err != nil {
+		return nil, err
+	}
+	if len(v1) > maxStreamBytes {
+		return data, nil
+	}
+	h, err := parseViewHeader(v1)
+	if err != nil {
+		return nil, err
+	}
+	starts, allOffs, rootID, err := scanEncoded(v1, h)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, trailerFixedLen+8*len(starts))
+	binary.LittleEndian.PutUint32(body, uint32(len(starts)))
+	binary.LittleEndian.PutUint32(body[4:], uint32(rootID))
+	binary.LittleEndian.PutUint32(body[8:], uint32(h.nodesStart))
+	for i := range starts {
+		binary.LittleEndian.PutUint32(body[trailerFixedLen+8*i:], starts[i])
+		binary.LittleEndian.PutUint32(body[trailerFixedLen+8*i+4:], allOffs[i])
+	}
+	out := make([]byte, 0, len(v1)+len(body)+trailerFootLen)
+	out = append(out, v1...)
+	out = append(out, body...)
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], crc32.ChecksumIEEE(body))
+	out = append(out, word[:]...)
+	binary.LittleEndian.PutUint32(word[:], uint32(len(body)))
+	out = append(out, word[:]...)
+	out = append(out, trailerMagic...)
+	return out, nil
+}
+
+// SplitEncoded separates an encoded stream into its v1 portion and, when a
+// valid v2 node-offset trailer is attached, the trailer body (nil
+// otherwise). The slices alias data.
+func SplitEncoded(data []byte) (v1, trailerBody []byte, err error) {
+	return splitIndexed(data)
+}
+
+// HasOffsetTrailer reports whether data carries a valid v2 node-offset
+// trailer.
+func HasOffsetTrailer(data []byte) bool {
+	_, trailer, err := splitIndexed(data)
+	return err == nil && trailer != nil
+}
+
+// splitIndexed separates an encoded stream into its v1 portion and, when a
+// valid v2 node-offset trailer is attached, the trailer body. A trailing
+// byte pattern that merely resembles a trailer (magic present, CRC or
+// bounds wrong) is treated as part of the v1 stream, whose own CRC then
+// decides its fate.
+func splitIndexed(data []byte) (v1, trailerBody []byte, err error) {
+	if len(data) < len(codecMagic)+4 {
+		return nil, nil, errCorrupt("stream of %d bytes is shorter than magic plus checksum", len(data))
+	}
+	if string(data[:len(codecMagic)]) != codecMagic {
+		return nil, nil, ErrBadMagic
+	}
+	if len(data) >= len(codecMagic)+4+trailerFootLen &&
+		string(data[len(data)-len(trailerMagic):]) == trailerMagic {
+		bodyLen := int(binary.LittleEndian.Uint32(data[len(data)-len(trailerMagic)-4:]))
+		total := bodyLen + trailerFootLen
+		if total >= trailerFootLen && total <= len(data)-(len(codecMagic)+4) {
+			start := len(data) - total
+			body := data[start : start+bodyLen]
+			want := binary.LittleEndian.Uint32(data[start+bodyLen:])
+			if crc32.ChecksumIEEE(body) == want {
+				return data[:start], body, nil
+			}
+		}
+	}
+	return data, nil, nil
+}
+
+// verifyPayload checks the CRC word of a v1 stream (no trailer).
+func verifyPayload(v1 []byte) error {
+	if len(v1) < len(codecMagic)+4 {
+		return errCorrupt("stream of %d bytes is shorter than magic plus checksum", len(v1))
+	}
+	if string(v1[:len(codecMagic)]) != codecMagic {
+		return ErrBadMagic
+	}
+	payload := v1[len(codecMagic) : len(v1)-4]
+	want := binary.LittleEndian.Uint32(v1[len(v1)-4:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorruptCube)
+	}
+	return nil
+}
+
+// VerifyEncoded checks the magic and CRC trailer of an encoded cube held in
+// memory, stripping a valid v2 offset trailer first. It returns nil when
+// the checksum matches the payload.
+func VerifyEncoded(data []byte) error {
+	v1, _, err := splitIndexed(data)
+	if err != nil {
+		return err
+	}
+	return verifyPayload(v1)
+}
+
 // Decode reads a cube previously written by Encode, verifying the CRC
 // trailer before parsing. The whole stream is buffered in memory; cube
 // files are bounded by the cube's compressed size.
@@ -181,180 +339,133 @@ func Decode(r io.Reader) (*Cube, error) {
 	return DecodeBytes(data)
 }
 
-// DecodeBytes parses an encoded cube held in memory.
+// DecodeBytes parses an encoded cube held in memory, materializing the full
+// node graph. It never panics on arbitrary bytes: every failure is
+// ErrBadMagic, ErrBadVersion or ErrCorruptCube. For a read-only query path
+// that skips materialization entirely, see OpenView.
 func DecodeBytes(data []byte) (*Cube, error) {
-	if err := VerifyEncoded(data); err != nil {
+	v1, _, err := splitIndexed(data)
+	if err != nil {
 		return nil, err
 	}
-	rb := bytes.NewReader(data[len(codecMagic) : len(data)-4])
+	if err := verifyPayload(v1); err != nil {
+		return nil, err
+	}
+	h, err := parseViewHeader(v1)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody(v1, h)
+}
 
-	readUvarint := func() (uint64, error) { return binary.ReadUvarint(rb) }
-	readString := func() (string, error) {
-		n, err := readUvarint()
-		if err != nil {
-			return "", err
-		}
-		if n > uint64(rb.Len()) {
-			return "", ErrCorruptCube
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(rb, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	readAgg := func() (Aggregate, error) {
-		var a Aggregate
-		var buf [8]byte
-		for _, dst := range []*float64{&a.Sum, &a.Min, &a.Max} {
-			if _, err := io.ReadFull(rb, buf[:]); err != nil {
-				return a, err
-			}
-			*dst = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
-		}
-		cnt, err := readUvarint()
-		if err != nil {
-			return a, err
-		}
-		a.Count = int64(cnt)
-		return a, nil
-	}
-
-	version, err := rb.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	if version != codecVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
-	}
-	flags, err := rb.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	numTuples, err := readUvarint()
-	if err != nil {
-		return nil, err
-	}
-	ndims, err := readUvarint()
-	if err != nil {
-		return nil, err
-	}
-	if ndims == 0 || ndims > 1<<16 {
-		return nil, ErrCorruptCube
-	}
-	dims := make([]string, ndims)
-	for i := range dims {
-		if dims[i], err = readString(); err != nil {
-			return nil, err
-		}
-	}
-
-	nodeCount, err := readUvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nodeCount > uint64(len(data)) {
-		return nil, ErrCorruptCube
-	}
-	nodes := make([]*Node, nodeCount+1) // 1-based; nodes[0] stays nil
-	resolve := func(id uint64) (*Node, error) {
-		if id == 0 {
-			return nil, nil
-		}
-		if id >= uint64(len(nodes)) || nodes[id] == nil {
-			return nil, ErrCorruptCube
-		}
-		return nodes[id], nil
-	}
-	for id := uint64(1); id <= nodeCount; id++ {
-		level, err := readUvarint()
+// decodeBody materializes the node graph of a checksum-verified stream,
+// enforcing the same structural invariants the view's index scan does:
+// levels in range and agreeing with the leaf flag, strictly sorted cell
+// keys, child ids referencing earlier nodes one level deeper, and the
+// stream fully consumed.
+func decodeBody(v1 []byte, h viewHeader) (*Cube, error) {
+	ndims := len(h.dims)
+	cur := cursor{data: v1, pos: h.nodesStart, end: h.payloadEnd}
+	nodes := make([]*Node, h.nodeCount+1) // 1-based; nodes[0] stays nil
+	for id := uint64(1); id <= h.nodeCount; id++ {
+		level, err := cur.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		leafByte, err := rb.ReadByte()
+		if level >= uint64(ndims) {
+			return nil, errCorrupt("node %d: level %d out of range for %d dimensions", id, level, ndims)
+		}
+		leafB, err := cur.u8()
 		if err != nil {
 			return nil, err
 		}
-		ncells, err := readUvarint()
+		if leafB > 1 {
+			return nil, errCorrupt("node %d: bad leaf flag %d", id, leafB)
+		}
+		leaf := leafB == 1
+		if leaf != (int(level) == ndims-1) {
+			return nil, errCorrupt("node %d: leaf flag %v disagrees with level %d of %d", id, leaf, level, ndims)
+		}
+		ncells, err := cur.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		if ncells > uint64(len(data)) {
-			return nil, ErrCorruptCube
+		if ncells > uint64(cur.end-cur.pos) {
+			return nil, errCorrupt("node %d: cell count %d overruns stream", id, ncells)
 		}
-		n := &Node{Level: int(level), Leaf: leafByte == 1, seq: int64(id)}
+		n := &Node{Level: int(level), Leaf: leaf, seq: int64(id)}
 		n.Cells = make([]Cell, ncells)
 		for i := range n.Cells {
-			key, err := readString()
+			key, err := cur.str()
 			if err != nil {
 				return nil, err
 			}
-			n.Cells[i].Key = key
-			if n.Leaf {
-				if n.Cells[i].Agg, err = readAgg(); err != nil {
+			if i > 0 && n.Cells[i-1].Key >= string(key) {
+				return nil, errCorrupt("node %d: cell keys not strictly sorted", id)
+			}
+			n.Cells[i].Key = string(key)
+			if leaf {
+				if n.Cells[i].Agg, err = cur.agg(); err != nil {
 					return nil, err
 				}
 			} else {
-				childID, err := readUvarint()
+				childID, err := cur.uvarint()
 				if err != nil {
 					return nil, err
 				}
-				if n.Cells[i].Child, err = resolve(childID); err != nil {
-					return nil, err
+				if childID == 0 || childID >= id {
+					return nil, errCorrupt("node %d: cell child id %d is not an earlier node", id, childID)
 				}
-				if n.Cells[i].Child == nil {
-					return nil, ErrCorruptCube
+				child := nodes[childID]
+				if child.Level != int(level)+1 {
+					return nil, errCorrupt("node %d: child %d at level %d, want %d", id, childID, child.Level, level+1)
 				}
+				n.Cells[i].Child = child
 			}
 		}
-		if n.Leaf {
-			if n.AllAgg, err = readAgg(); err != nil {
+		if leaf {
+			if n.AllAgg, err = cur.agg(); err != nil {
 				return nil, err
 			}
 		} else {
-			allID, err := readUvarint()
+			allID, err := cur.uvarint()
 			if err != nil {
 				return nil, err
 			}
-			if n.AllChild, err = resolve(allID); err != nil {
-				return nil, err
+			if allID >= id {
+				return nil, errCorrupt("node %d: ALL child id %d is not an earlier node", id, allID)
+			}
+			if allID != 0 {
+				if nodes[allID].Level != int(level)+1 {
+					return nil, errCorrupt("node %d: ALL child %d at level %d, want %d", id, allID, nodes[allID].Level, level+1)
+				}
+				n.AllChild = nodes[allID]
 			}
 		}
 		nodes[id] = n
 	}
-	rootID, err := readUvarint()
+	rootID, err := cur.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	root, err := resolve(rootID)
-	if err != nil {
-		return nil, err
+	if rootID > h.nodeCount {
+		return nil, errCorrupt("root id %d exceeds node count %d", rootID, h.nodeCount)
 	}
-	if root == nil && nodeCount > 0 {
-		return nil, ErrCorruptCube
+	if h.nodeCount > 0 && (rootID == 0 || nodes[rootID].Level != 0) {
+		return nil, errCorrupt("root id %d does not name a level-0 node", rootID)
+	}
+	if cur.pos != h.payloadEnd {
+		return nil, errCorrupt("%d trailing bytes after root id", h.payloadEnd-cur.pos)
+	}
+	var root *Node
+	if rootID != 0 {
+		root = nodes[rootID]
 	}
 	return &Cube{
-		dims:      dims,
+		dims:      append([]string(nil), h.dims...),
 		root:      root,
-		numTuples: int(numTuples),
-		FromQuery: flags&1 != 0,
-		nextSeq:   int64(nodeCount),
+		numTuples: int(h.numTuples),
+		FromQuery: h.fromQuery,
+		nextSeq:   int64(h.nodeCount),
 	}, nil
-}
-
-// VerifyEncoded checks the magic and CRC trailer of an encoded cube held in
-// memory. It returns nil when the checksum matches the payload.
-func VerifyEncoded(data []byte) error {
-	if len(data) < len(codecMagic)+4 {
-		return ErrCorruptCube
-	}
-	if string(data[:len(codecMagic)]) != codecMagic {
-		return ErrBadMagic
-	}
-	payload := data[len(codecMagic) : len(data)-4]
-	want := binary.LittleEndian.Uint32(data[len(data)-4:])
-	if crc32.ChecksumIEEE(payload) != want {
-		return fmt.Errorf("%w: checksum mismatch", ErrCorruptCube)
-	}
-	return nil
 }

@@ -1,0 +1,48 @@
+package dwarf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/ from fuzzSeedStreams. It is a no-op unless the
+// WRITE_FUZZ_CORPUS environment variable is set:
+//
+//	WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/dwarf/
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz/")
+	}
+	seeds := fuzzSeedStreams(t)
+	write := func(dir, name, content string) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, seed := range seeds {
+		quoted := strconv.Quote(string(seed))
+		write("testdata/fuzz/FuzzDecode", fmt.Sprintf("seed-%02d", i),
+			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", quoted))
+		write("testdata/fuzz/FuzzViewQuery", fmt.Sprintf("seed-%02d", i),
+			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nstring(\"d1\")\nstring(\"north\")\nbyte(%d)\n", quoted, i%4))
+	}
+	// A resealed-corrupt stream: structurally broken but checksum-valid, so
+	// the corpus starts past the CRC gate.
+	broken := fuzzSeedStreams(t)[0]
+	if len(broken) > 12 {
+		broken = append([]byte(nil), broken...)
+		broken[len(codecMagic)+3] ^= 0x40
+	}
+	quoted := strconv.Quote(string(resealV1(broken)))
+	write("testdata/fuzz/FuzzDecode", "seed-resealed",
+		fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", quoted))
+	write("testdata/fuzz/FuzzViewQuery", "seed-resealed",
+		fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nstring(\"*\")\nstring(\"\")\nbyte(2)\n", quoted))
+}

@@ -1,0 +1,9 @@
+package dwarf
+
+import "os"
+
+// writeFileForTest writes test fixtures; split out so view_test.go keeps no
+// os dependency of its own.
+func writeFileForTest(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,202 @@
+package dwarf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// fuzzSeedStreams returns a spread of valid encoded cubes (plain and
+// indexed, empty through multi-dimensional) used to seed both fuzz targets
+// and the committed corpus under testdata/fuzz/.
+func fuzzSeedStreams(tb testing.TB) [][]byte {
+	var out [][]byte
+	add := func(dims []string, tuples []Tuple) {
+		c, err := New(dims, tuples)
+		if err != nil {
+			tb.Fatalf("seed cube: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := c.Encode(&buf); err != nil {
+			tb.Fatalf("seed encode: %v", err)
+		}
+		out = append(out, append([]byte(nil), buf.Bytes()...))
+		buf.Reset()
+		if err := c.EncodeIndexed(&buf); err != nil {
+			tb.Fatalf("seed encode indexed: %v", err)
+		}
+		out = append(out, append([]byte(nil), buf.Bytes()...))
+	}
+	add([]string{"A"}, []Tuple{{Dims: []string{"x"}, Measure: 1}})
+	add([]string{"A", "B"}, nil)
+	add([]string{"Day", "Region", "Kind"}, []Tuple{
+		{Dims: []string{"d1", "north", "bike"}, Measure: 2},
+		{Dims: []string{"d1", "south", "bike"}, Measure: 3},
+		{Dims: []string{"d2", "north", "car"}, Measure: 5},
+		{Dims: []string{"d2", "north", "bike"}, Measure: 7},
+	})
+	out = append(out, []byte("not a cube at all"), []byte(codecMagic), nil)
+	return out
+}
+
+// resealV1 rewrites data into a stream that passes the v1 checksum: magic
+// forced, CRC recomputed over the payload. This lets the fuzzer reach the
+// structural parser instead of bouncing off the checksum.
+func resealV1(data []byte) []byte {
+	body := data
+	if len(body) < len(codecMagic) {
+		body = append(append([]byte(nil), body...), make([]byte, len(codecMagic)-len(body))...)
+	}
+	out := make([]byte, 0, len(body)+4)
+	out = append(out, codecMagic...)
+	out = append(out, body[len(codecMagic):]...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out[len(codecMagic):]))
+	return append(out, crc[:]...)
+}
+
+// resealTrailer attaches a CRC-valid trailer footer to arbitrary body
+// bytes, so trailer validation sees internally "authentic" garbage.
+func resealTrailer(v1Sealed, body []byte) []byte {
+	out := append(append([]byte(nil), v1Sealed...), body...)
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], crc32.ChecksumIEEE(body))
+	out = append(out, word[:]...)
+	binary.LittleEndian.PutUint32(word[:], uint32(len(body)))
+	out = append(out, word[:]...)
+	return append(out, trailerMagic...)
+}
+
+// wantCleanError fails the fuzz run unless err is one of the codec's three
+// sentinels — the no-panic, no-mystery-error contract.
+func wantCleanError(t *testing.T, op string, err error) {
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, ErrCorruptCube) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("%s returned a non-sentinel error: %v", op, err)
+	}
+}
+
+// exerciseStream runs Decode and OpenView over one byte string and, when
+// both succeed, holds their answers equal — the fuzz-shaped version of the
+// differential suite.
+func exerciseStream(t *testing.T, data []byte) {
+	c, errDecode := DecodeBytes(data)
+	wantCleanError(t, "DecodeBytes", errDecode)
+	v, errView := OpenView(data)
+	wantCleanError(t, "OpenView", errView)
+	if errView != nil {
+		return
+	}
+	// View queries on arbitrary accepted bytes must stay clean too.
+	ndims := v.NumDims()
+	wild := make([]string, ndims)
+	for i := range wild {
+		wild[i] = All
+	}
+	aggV, err := v.Point(wild...)
+	wantCleanError(t, "view Point", err)
+	stV, errStats := v.Stats()
+	wantCleanError(t, "view Stats", errStats)
+	var facts int
+	err = v.Tuples(func(dims []string, agg Aggregate) bool {
+		facts++
+		return facts < 1<<12
+	})
+	wantCleanError(t, "view Tuples", err)
+	_, err = v.Range(make([]Selector, ndims))
+	wantCleanError(t, "view Range", err)
+	_, err = v.GroupBy(0, make([]Selector, ndims))
+	wantCleanError(t, "view GroupBy", err)
+
+	if errDecode != nil {
+		return
+	}
+	// Both readers accepted the stream: they must agree.
+	aggC, err := c.Point(wild...)
+	if err != nil {
+		t.Fatalf("cube Point on accepted stream: %v", err)
+	}
+	if err == nil && errStats == nil {
+		if !aggV.Equal(aggC) {
+			t.Fatalf("Point(ALL...) diverged: view %v, cube %v", aggV, aggC)
+		}
+		if cst := c.Stats(); stV != cst {
+			t.Fatalf("Stats diverged: view %+v, cube %+v", stV, cst)
+		}
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to DecodeBytes and OpenView, raw and
+// resealed (checksums fixed up), asserting the no-panic / sentinel-error
+// contract and decode-vs-view agreement on accepted streams.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeedStreams(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exerciseStream(t, data)
+		sealed := resealV1(data)
+		exerciseStream(t, sealed)
+		if len(data) > 16 {
+			cut := len(data) / 2
+			exerciseStream(t, resealTrailer(resealV1(data[:cut]), data[cut:]))
+		}
+	})
+}
+
+// FuzzViewQuery drives every CubeView query shape with fuzzed keys over
+// fuzzed (resealed) streams: no input may panic, and failures must be the
+// ErrCorruptCube / ErrBadQuery sentinels.
+func FuzzViewQuery(f *testing.F) {
+	for i, seed := range fuzzSeedStreams(f) {
+		f.Add(seed, "d1", "north", byte(i))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, k1, k2 string, dim byte) {
+		v, err := OpenView(resealV1(data))
+		wantCleanError(t, "OpenView", err)
+		if err != nil {
+			return
+		}
+		cleanQuery := func(op string, err error) {
+			if err == nil || errors.Is(err, ErrBadQuery) {
+				return
+			}
+			wantCleanError(t, op, err)
+		}
+		ndims := v.NumDims()
+		keys := make([]string, ndims)
+		sels := make([]Selector, ndims)
+		for i := range keys {
+			switch i % 3 {
+			case 0:
+				keys[i] = k1
+				sels[i] = SelectKeys(k1, k2)
+			case 1:
+				keys[i] = All
+			default:
+				keys[i] = k2
+				sels[i] = SelectRange(k1, k2)
+			}
+		}
+		_, err = v.Point(keys...)
+		cleanQuery("Point", err)
+		_, err = v.Point(k1, k2) // often wrong arity: ErrBadQuery path
+		cleanQuery("Point/arity", err)
+		_, err = v.Range(sels)
+		cleanQuery("Range", err)
+		_, err = v.GroupBy(int(dim)%(ndims+1), sels)
+		cleanQuery("GroupBy", err)
+		var n int
+		err = v.Tuples(func([]string, Aggregate) bool {
+			n++
+			return n < 1<<12
+		})
+		cleanQuery("Tuples", err)
+		_, err = v.Stats()
+		cleanQuery("Stats", err)
+	})
+}

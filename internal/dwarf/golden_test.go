@@ -1,0 +1,158 @@
+package dwarf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenCube builds the fixed cube committed as testdata/golden_v1.dwarf
+// (plain v1) and testdata/golden_v2.dwarf (with the offset trailer). Any
+// change to its bytes is a format break and must be a deliberate,
+// version-bumped decision.
+func goldenCube(tb testing.TB) *Cube {
+	c, err := New([]string{"Year", "Month", "Region", "Kind"}, goldenTuples())
+	if err != nil {
+		tb.Fatalf("golden cube: %v", err)
+	}
+	return c
+}
+
+func goldenTuples() []Tuple {
+	return []Tuple{
+		{Dims: []string{"2015", "Jan", "north", "bike"}, Measure: 4},
+		{Dims: []string{"2015", "Jan", "north", "car"}, Measure: 2},
+		{Dims: []string{"2015", "Jan", "south", "bike"}, Measure: 7},
+		{Dims: []string{"2015", "Feb", "north", "bike"}, Measure: 1},
+		{Dims: []string{"2015", "Feb", "south", "car"}, Measure: 3},
+		{Dims: []string{"2016", "Jan", "north", "bike"}, Measure: 4},
+		{Dims: []string{"2016", "Jan", "south", "scooter"}, Measure: 9},
+		{Dims: []string{"2016", "Feb", "east", "bike"}, Measure: 5},
+		{Dims: []string{"2015", "Jan", "north", "bike"}, Measure: 6}, // duplicate combination
+	}
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", name) }
+
+// TestWriteGolden regenerates the golden fixtures. Guarded: a byte change
+// to the encoding must be committed knowingly, never by accident.
+//
+//	WRITE_GOLDEN=1 go test -run TestWriteGolden ./internal/dwarf/
+func TestWriteGolden(t *testing.T) {
+	if os.Getenv("WRITE_GOLDEN") == "" {
+		t.Skip("set WRITE_GOLDEN=1 to regenerate testdata/golden_*.dwarf")
+	}
+	c := goldenCube(t)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath("golden_v1.dwarf"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := c.EncodeIndexed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath("golden_v2.dwarf"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenByteStable asserts Encode and EncodeIndexed reproduce the
+// committed fixtures byte for byte: the on-disk format is stable across
+// refactors, serial and parallel builds included.
+func TestGoldenByteStable(t *testing.T) {
+	wantV1, err := os.ReadFile(goldenPath("golden_v1.dwarf"))
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with WRITE_GOLDEN=1): %v", err)
+	}
+	wantV2, err := os.ReadFile(goldenPath("golden_v2.dwarf"))
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with WRITE_GOLDEN=1): %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		c, err := New([]string{"Year", "Month", "Region", "Kind"}, goldenTuples(), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := c.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), wantV1) {
+			t.Fatalf("workers=%d: Encode is not byte-stable against golden_v1.dwarf (%d vs %d bytes)",
+				workers, buf.Len(), len(wantV1))
+		}
+		buf.Reset()
+		if err := c.EncodeIndexed(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), wantV2) {
+			t.Fatalf("workers=%d: EncodeIndexed is not byte-stable against golden_v2.dwarf", workers)
+		}
+	}
+}
+
+// TestGoldenV1StaysReadable asserts v1 streams (no offset trailer) keep
+// decoding and viewing: the trailer is an optional accelerator, not a
+// format fork.
+func TestGoldenV1StaysReadable(t *testing.T) {
+	data, err := os.ReadFile(goldenPath("golden_v1.dwarf"))
+	if err != nil {
+		t.Fatalf("missing fixture: %v", err)
+	}
+	if HasOffsetTrailer(data) {
+		t.Fatal("golden_v1.dwarf unexpectedly carries a trailer")
+	}
+	if err := VerifyEncoded(data); err != nil {
+		t.Fatalf("VerifyEncoded(v1): %v", err)
+	}
+	c, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes(v1): %v", err)
+	}
+	v, err := OpenView(data)
+	if err != nil {
+		t.Fatalf("OpenView(v1): %v", err)
+	}
+	if v.Indexed() {
+		t.Fatal("v1 view claims a trailer index")
+	}
+	assertViewMatchesCube(t, c, v, "golden v1")
+
+	// And the v2 fixture answers identically through every reader.
+	dataV2, err := os.ReadFile(goldenPath("golden_v2.dwarf"))
+	if err != nil {
+		t.Fatalf("missing fixture: %v", err)
+	}
+	if !HasOffsetTrailer(dataV2) {
+		t.Fatal("golden_v2.dwarf carries no trailer")
+	}
+	c2, err := DecodeBytes(dataV2)
+	if err != nil {
+		t.Fatalf("DecodeBytes(v2): %v", err)
+	}
+	v2, err := OpenView(dataV2)
+	if err != nil {
+		t.Fatalf("OpenView(v2): %v", err)
+	}
+	if !v2.Indexed() {
+		t.Fatal("v2 view built no trailer index")
+	}
+	assertViewMatchesCube(t, c2, v2, "golden v2")
+	if got, want := c2.Stats(), c.Stats(); got != want {
+		t.Fatalf("v2 decode Stats %+v differ from v1 %+v", got, want)
+	}
+
+	// A known point answer, pinned so fixture regeneration that changes
+	// semantics (not just bytes) is caught.
+	agg, err := v.Point("2015", "Jan", "north", "bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Sum != 10 || agg.Count != 2 || agg.Min != 4 || agg.Max != 6 {
+		t.Fatalf("golden Point = %v, want sum=10 count=2 min=4 max=6", agg)
+	}
+}

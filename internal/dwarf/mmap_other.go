@@ -1,0 +1,21 @@
+//go:build !unix
+
+package dwarf
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile reads path into memory on platforms without mmap support.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	if st, err := os.Stat(path); err != nil {
+		return nil, false, err
+	} else if st.Size() > maxStreamBytes {
+		return nil, false, fmt.Errorf("dwarf: %s: %d-byte cube exceeds the 4 GiB view limit; use Decode", path, st.Size())
+	}
+	b, err := os.ReadFile(path)
+	return b, false, err
+}
+
+func unmapFile([]byte) error { return nil }

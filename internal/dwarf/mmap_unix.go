@@ -1,0 +1,42 @@
+//go:build unix
+
+package dwarf
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. Empty files and mmap failures fall back to a
+// heap read so ViewFile behaves identically everywhere.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size > maxStreamBytes {
+		// No offset index can cover it (u32 offsets), so a view would only
+		// fail later with a misleading corruption error — refuse up front
+		// instead of buffering gigabytes first.
+		return nil, false, fmt.Errorf("dwarf: %s: %d-byte cube exceeds the 4 GiB view limit; use Decode", path, size)
+	}
+	if size <= 0 {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	return b, true, nil
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

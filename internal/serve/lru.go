@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// viewCache is a small LRU of hot CubeViews keyed by cube file name. Views
+// are immutable and safe for concurrent readers, so cache hits share one
+// view across every in-flight request; eviction just drops the reference
+// and lets outstanding readers finish on the garbage-collected copy.
+type viewCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	name     string
+	view     *dwarf.CubeView
+	size     int64
+	modTime  time.Time
+	loadedAt time.Time
+	hits     int64
+}
+
+func newViewCache(capacity int) *viewCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &viewCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached view for name, promoting it to most recently
+// used. size and modTime are the file's current stat: an entry loaded from
+// an older generation of the file (e.g. after an atomic WriteCubeFile
+// replace) is dropped so the caller reloads fresh bytes.
+func (c *viewCache) get(name string, size int64, modTime time.Time) (*dwarf.CubeView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[name]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.size != size || !ent.modTime.Equal(modTime) {
+		c.ll.Remove(el)
+		delete(c.byKey, name)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	ent.hits++
+	return ent.view, true
+}
+
+// add inserts a freshly loaded view, evicting from the cold end past
+// capacity. When two requests race to load the same cube, the first insert
+// wins and the loser's view is returned for its own request only.
+func (c *viewCache) add(name string, v *dwarf.CubeView, size int64, modTime time.Time) *dwarf.CubeView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[name]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).view
+	}
+	el := c.ll.PushFront(&cacheEntry{name: name, view: v, size: size, modTime: modTime, loadedAt: time.Now()})
+	c.byKey[name] = el
+	for c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.byKey, cold.Value.(*cacheEntry).name)
+	}
+	return v
+}
+
+// CacheInfo is one cached view's metadata, hot end first in snapshots.
+type CacheInfo struct {
+	Name      string    `json:"name"`
+	SizeBytes int64     `json:"size_bytes"`
+	LoadedAt  time.Time `json:"loaded_at"`
+	Hits      int64     `json:"hits"`
+	Indexed   bool      `json:"indexed"`
+}
+
+// snapshot lists the cache contents, most recently used first.
+func (c *viewCache) snapshot() []CacheInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheInfo, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		out = append(out, CacheInfo{
+			Name: ent.name, SizeBytes: ent.size, LoadedAt: ent.loadedAt,
+			Hits: ent.hits, Indexed: ent.view.Indexed(),
+		})
+	}
+	return out
+}
+
+// lookup reports whether name is cached without promoting it.
+func (c *viewCache) lookup(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[name]
+	return ok
+}

@@ -1,0 +1,447 @@
+// Package serve implements dwarfd's HTTP query service: a registry of
+// encoded cube files served zero-copy through dwarf.CubeView, with a small
+// LRU of hot views shared by all request handlers. Queries never decode the
+// node graph — the paper's cubes are built once and queried many times, so
+// the serving path reads the encoded bytes directly (§5.1's anticipated
+// query-time argument, pushed to its logical end).
+//
+// Endpoints:
+//
+//	GET  /cubes                     registry of cube files + the hot cache
+//	GET  /query/point?cube=N&key=K… point/ALL query, one key per dimension
+//	POST /query/range               {"cube","selectors":[{…} per dimension]}
+//	POST /query/groupby             {"cube","dim","selectors":[…]}
+//	GET  /stats?cube=N              node/cell counts off the encoded bytes
+//
+// A selector is {"keys":[…]} for an explicit set, {"lo":…,"hi":…} for an
+// inclusive range, or {} (or omitted trailing entries) for ALL.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dwarf"
+)
+
+// DefaultCacheSize is the LRU capacity when Options.CacheSize is zero.
+const DefaultCacheSize = 8
+
+// Options configures a Server.
+type Options struct {
+	// Dir is the directory of .dwarf cube files served by base name.
+	Dir string
+	// CacheSize caps the hot-view LRU (DefaultCacheSize when zero).
+	CacheSize int
+}
+
+// Server answers cube queries over HTTP straight off encoded cube files.
+type Server struct {
+	dir   string
+	cache *viewCache
+}
+
+// New builds a Server over opts.Dir, which must exist.
+func New(opts Options) (*Server, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("serve: cube directory not set")
+	}
+	st, err := os.Stat(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("serve: %s is not a directory", opts.Dir)
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return &Server{dir: opts.Dir, cache: newViewCache(size)}, nil
+}
+
+// ListenAndServe runs a Server at addr until the listener fails.
+func ListenAndServe(addr string, opts Options) error {
+	s, err := New(opts)
+	if err != nil {
+		return err
+	}
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cubes", s.handleCubes)
+	mux.HandleFunc("/query/point", s.handlePoint)
+	mux.HandleFunc("/query/range", s.handleRange)
+	mux.HandleFunc("/query/groupby", s.handleGroupBy)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// httpError carries a status code out of the load/parse helpers.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, os.ErrNotExist):
+		status = http.StatusNotFound
+	case errors.Is(err, dwarf.ErrBadQuery):
+		status = http.StatusBadRequest
+	case errors.Is(err, dwarf.ErrCorruptCube), errors.Is(err, dwarf.ErrBadMagic), errors.Is(err, dwarf.ErrBadVersion):
+		// The file on disk is not a servable cube: the client didn't err,
+		// the registry did.
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// view resolves a cube name to a (possibly cached) CubeView. Names are
+// confined to base names inside the serving directory; a bare name without
+// extension falls back to name.dwarf. Cached entries are revalidated
+// against the file's size and mtime, so an atomically replaced cube file
+// (WriteCubeFile) is picked up on the next request.
+//
+// Views are deliberately backed by a heap copy (ReadFile) rather than the
+// mmap path: an evicted heap view stays valid for in-flight readers until
+// the GC collects it, whereas unmapping under a concurrent reader would
+// fault. Trailer-carrying files skip the payload checksum the same way
+// OpenViewFile does — the trailer is validated and every query stays
+// bounds-checked.
+func (s *Server) view(name string) (*dwarf.CubeView, error) {
+	if name == "" {
+		return nil, badRequest("missing cube parameter")
+	}
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return nil, badRequest("cube name %q must be a plain file name", name)
+	}
+	path := filepath.Join(s.dir, name)
+	st, err := os.Stat(path)
+	if errors.Is(err, os.ErrNotExist) && filepath.Ext(name) == "" {
+		return s.view(name + ".dwarf")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := s.cache.get(name, st.Size(), st.ModTime()); ok {
+		return v, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v *dwarf.CubeView
+	if dwarf.HasOffsetTrailer(data) {
+		v, err = dwarf.OpenViewTrusted(data)
+	} else {
+		v, err = dwarf.OpenView(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return s.cache.add(name, v, st.Size(), st.ModTime()), nil
+}
+
+// aggJSON is the wire form of an aggregate.
+type aggJSON struct {
+	Sum   float64 `json:"sum"`
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Avg   float64 `json:"avg"`
+}
+
+func toAggJSON(a dwarf.Aggregate) aggJSON {
+	return aggJSON{Sum: a.Sum, Count: a.Count, Min: a.Min, Max: a.Max, Avg: a.Avg()}
+}
+
+// selectorSpec is the wire form of a dwarf.Selector.
+type selectorSpec struct {
+	Keys []string `json:"keys,omitempty"`
+	Lo   *string  `json:"lo,omitempty"`
+	Hi   *string  `json:"hi,omitempty"`
+}
+
+func (sp selectorSpec) selector(i int) (dwarf.Selector, error) {
+	switch {
+	case sp.Lo != nil || sp.Hi != nil:
+		if sp.Lo == nil || sp.Hi == nil || len(sp.Keys) > 0 {
+			return dwarf.Selector{}, badRequest("selector %d: a range needs lo and hi and no keys", i)
+		}
+		return dwarf.SelectRange(*sp.Lo, *sp.Hi), nil
+	case len(sp.Keys) > 0:
+		return dwarf.SelectKeys(sp.Keys...), nil
+	default:
+		return dwarf.SelectAll(), nil
+	}
+}
+
+// selectors pads missing trailing specs with ALL so clients can send only
+// the dimensions they restrict.
+func selectors(specs []selectorSpec, ndims int) ([]dwarf.Selector, error) {
+	if len(specs) > ndims {
+		return nil, badRequest("got %d selectors, cube has %d dimensions", len(specs), ndims)
+	}
+	out := make([]dwarf.Selector, ndims)
+	for i, sp := range specs {
+		sel, err := sp.selector(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sel
+	}
+	return out, nil
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// handleCubes lists the registry: every cube file in the serving directory
+// plus the current hot cache, MRU first.
+func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type cubeInfo struct {
+		Name      string `json:"name"`
+		SizeBytes int64  `json:"size_bytes"`
+		Indexed   bool   `json:"indexed"`
+		Loaded    bool   `json:"loaded"`
+	}
+	cubes := []cubeInfo{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".dwarf") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		cubes = append(cubes, cubeInfo{
+			Name:      e.Name(),
+			SizeBytes: info.Size(),
+			Indexed:   fileHasTrailer(filepath.Join(s.dir, e.Name())),
+			Loaded:    s.cache.lookup(e.Name()),
+		})
+	}
+	sort.Slice(cubes, func(i, j int) bool { return cubes[i].Name < cubes[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":   s.dir,
+		"cubes": cubes,
+		"cache": s.cache.snapshot(),
+	})
+}
+
+// fileHasTrailer peeks at the file's last bytes for the v2 trailer magic —
+// a display hint, not a validation (OpenView does that).
+func fileHasTrailer(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() < 16 {
+		return false
+	}
+	var tail [8]byte
+	if _, err := f.ReadAt(tail[:], st.Size()-8); err != nil {
+		return false
+	}
+	return string(tail[:]) == "DWRFNDX2"
+}
+
+// pointRequest is the POST form of /query/point.
+type pointRequest struct {
+	Cube string   `json:"cube"`
+	Keys []string `json:"keys"`
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var cube string
+	var keys []string
+	if r.Method == http.MethodPost {
+		var req pointRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		cube, keys = req.Cube, req.Keys
+	} else {
+		q := r.URL.Query()
+		cube = q.Get("cube")
+		keys = q["key"]
+		if len(keys) == 0 && q.Get("keys") != "" {
+			keys = strings.Split(q.Get("keys"), ",")
+		}
+	}
+	v, err := s.view(cube)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	agg, err := v.Point(keys...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": cube, "keys": keys, "aggregate": toAggJSON(agg),
+	})
+}
+
+// rangeRequest is the body of /query/range.
+type rangeRequest struct {
+	Cube      string         `json:"cube"`
+	Selectors []selectorSpec `json:"selectors"`
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, badRequest("POST a JSON body to /query/range"))
+		return
+	}
+	var req rangeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := s.view(req.Cube)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sels, err := selectors(req.Selectors, v.NumDims())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	agg, err := v.Range(sels)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": req.Cube, "aggregate": toAggJSON(agg),
+	})
+}
+
+// groupByRequest is the body of /query/groupby. Dim is a dimension name or
+// a 0-based index rendered as a string.
+type groupByRequest struct {
+	Cube      string         `json:"cube"`
+	Dim       string         `json:"dim"`
+	Selectors []selectorSpec `json:"selectors"`
+}
+
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, badRequest("POST a JSON body to /query/groupby"))
+		return
+	}
+	var req groupByRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := s.view(req.Cube)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	dims := v.Dims()
+	dim := -1
+	if n, err := strconv.Atoi(req.Dim); err == nil {
+		dim = n
+	} else {
+		for i, d := range dims {
+			if d == req.Dim {
+				dim = i
+				break
+			}
+		}
+		if dim < 0 {
+			writeErr(w, badRequest("unknown dimension %q (have %v)", req.Dim, dims))
+			return
+		}
+	}
+	sels, err := selectors(req.Selectors, len(dims))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	groups, err := v.GroupBy(dim, sels)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make(map[string]aggJSON, len(groups))
+	for k, a := range groups {
+		out[k] = toAggJSON(a)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": req.Cube, "dim": dims[dim], "groups": out,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cube := r.URL.Query().Get("cube")
+	v, err := s.view(cube)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := v.Stats()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube":          cube,
+		"dims":          v.Dims(),
+		"source_tuples": v.NumSourceTuples(),
+		"indexed":       v.Indexed(),
+		"encoded_bytes": v.EncodedBytes(),
+		"nodes":         st.Nodes,
+		"cells":         st.Cells,
+		"all_cells":     st.AllCells,
+		"total_cells":   st.TotalCells(),
+	})
+}

@@ -23,10 +23,13 @@ package repro
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/dwarf"
 	"repro/internal/jsonstream"
 	"repro/internal/mapper"
+	"repro/internal/serve"
 	"repro/internal/smartcity"
 	"repro/internal/xmlstream"
 )
@@ -64,6 +67,56 @@ func BuildCubeParallel(dims []string, tuples []Tuple, workers int, opts ...CubeO
 // MergeCubes combines two cubes over the same dimensions (incremental
 // maintenance).
 func MergeCubes(a, b *Cube) (*Cube, error) { return dwarf.Merge(a, b) }
+
+// Zero-copy serving types.
+type (
+	// CubeView answers queries directly against encoded cube bytes — no
+	// node graph on the heap, safe for concurrent readers.
+	CubeView = dwarf.CubeView
+	// CubeFile is a CubeView backed by a (possibly mmap'd) cube file;
+	// Close releases the mapping.
+	CubeFile = dwarf.ViewFile
+)
+
+// WriteCubeFile encodes the cube to path with the v2 node-offset trailer,
+// so OpenCubeFile (and dwarfd) can open it in O(1). The write goes through
+// a temp file and rename, so readers never observe a partial cube.
+func WriteCubeFile(c *Cube, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".dwarfcube-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := c.EncodeIndexed(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// OpenCubeFile opens an encoded cube file as a zero-copy view, mmap'd where
+// the platform allows. Files carrying the offset trailer open in O(1);
+// plain v1 files are checksummed at open and indexed on first query.
+func OpenCubeFile(path string) (*CubeFile, error) { return dwarf.OpenViewFile(path) }
+
+// OpenCubeView opens a view over encoded cube bytes held in memory.
+func OpenCubeView(data []byte) (*CubeView, error) { return dwarf.OpenView(data) }
+
+// ServeOptions configures the dwarfd query service.
+type ServeOptions = serve.Options
+
+// NewCubeServer builds the dwarfd HTTP query service over a directory of
+// .dwarf files; mount its Handler on any mux or listener.
+func NewCubeServer(opts ServeOptions) (*serve.Server, error) { return serve.New(opts) }
+
+// Serve runs the dwarfd query service at addr over a directory of .dwarf
+// cube files, blocking until the listener fails.
+func Serve(addr, dir string) error {
+	return serve.ListenAndServe(addr, serve.Options{Dir: dir})
+}
 
 // Query selector constructors.
 var (

@@ -2,6 +2,9 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -145,5 +148,76 @@ func TestFacadeParallelBuild(t *testing.T) {
 	pa, _ := par.Point(q...)
 	if !sa.Equal(pa) {
 		t.Errorf("ALL query: serial=%v parallel=%v", sa, pa)
+	}
+}
+
+// TestFacadeServing drives the zero-copy serving surface: write an indexed
+// cube file, open it as a view, compare answers, and run the dwarfd
+// service over the same directory.
+func TestFacadeServing(t *testing.T) {
+	tuples, err := BikeDataset("Day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := BuildCube(BikeDims(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "day.dwarf")
+	if err := WriteCubeFile(cube, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenCubeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.Indexed() {
+		t.Fatal("WriteCubeFile produced a file without an offset trailer")
+	}
+	wild := make([]string, len(BikeDims()))
+	for i := range wild {
+		wild[i] = All
+	}
+	want, err := cube.Point(wild...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Point(wild...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("view Point(ALL...) = %v, cube says %v", got, want)
+	}
+	st, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst := cube.Stats(); st != cst {
+		t.Fatalf("view Stats = %+v, cube Stats = %+v", st, cst)
+	}
+
+	srv, err := NewCubeServer(ServeOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats?cube=day.dwarf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["nodes"] != float64(cube.Stats().Nodes) {
+		t.Fatalf("/stats nodes = %v, want %d", out["nodes"], cube.Stats().Nodes)
 	}
 }
