@@ -6,6 +6,7 @@
 //	dwarfbench -exp bao               # §5.1 flat-file baseline comparison
 //	dwarfbench -exp parallel          # sharded-build ablation (1/2/4/8 workers)
 //	dwarfbench -exp serve             # serving path: Decode vs CubeView open + q/s
+//	dwarfbench -exp ingest            # live store: WAL+memtable ingest + freshness
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
 //
 // -workers N builds the Table 2 cubes with N shard workers (the parallel
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, serve, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, serve, ingest, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
@@ -41,6 +42,9 @@ func main() {
 	workerCounts := flag.String("worker-counts", "1,2,4,8", "worker counts swept by -exp parallel")
 	repeats := flag.Int("repeats", 3, "runs per measurement in -exp parallel/serve (best kept)")
 	queries := flag.Int("queries", 2000, "point queries per battery in -exp serve")
+	batch := flag.Int("batch", 512, "tuples per Append in -exp ingest")
+	sealTuples := flag.Int("seal", 0, "live-store seal threshold in -exp ingest (0 = default)")
+	sync := flag.Bool("sync", true, "fsync every Append in -exp ingest (the durable configuration)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -87,6 +91,14 @@ func main() {
 		return nil
 	}
 
+	ingestOpts := bench.IngestOptions{
+		BatchSize:  *batch,
+		SealTuples: *sealTuples,
+		Workers:    *workers,
+		Sync:       *sync,
+		Verify:     *verify,
+	}
+
 	var err error
 	switch *exp {
 	case "table2":
@@ -101,13 +113,17 @@ func main() {
 		err = runParallel(presets, *workerCounts, *repeats)
 	case "serve":
 		err = runServe(presets, *queries, *repeats)
+	case "ingest":
+		err = runIngest(presets, ingestOpts, progress)
 	case "all":
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
 				if err = runBao(presets, *dir); err == nil {
 					if err = runQuery(presets[:1], *dir); err == nil {
 						if err = runParallel(presets[:1], *workerCounts, *repeats); err == nil {
-							err = runServe(presets[:1], *queries, *repeats)
+							if err = runServe(presets[:1], *queries, *repeats); err == nil {
+								err = runIngest(presets[:1], ingestOpts, progress)
+							}
 						}
 					}
 				}
@@ -146,6 +162,16 @@ func runParallel(presets []string, countsFlag string, repeats int) error {
 		return err
 	}
 	bench.FormatParallelBuild(results).Fprint(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func runIngest(presets []string, opts bench.IngestOptions, progress func(string)) error {
+	results, err := bench.RunIngest(presets, opts, progress)
+	if err != nil {
+		return err
+	}
+	bench.FormatIngest(results).Fprint(os.Stdout)
 	fmt.Println()
 	return nil
 }

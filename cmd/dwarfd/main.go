@@ -6,6 +6,13 @@
 //
 //	dwarfd -dir /var/cubes -addr :8080 -cache 16
 //
+// With -live it additionally runs a WAL-backed live cube store in that
+// directory: POST /ingest appends tuple batches durably, the reserved cube
+// name "live" answers every query shape over sealed segments plus the
+// memtable, and sealing/compaction run in the background:
+//
+//	dwarfd -live /var/livecube -dims Year,Month,Day,Hour,Quarter,Area,Station,Status
+//
 // Endpoints:
 //
 //	GET  /cubes                                        registry + hot cache
@@ -13,25 +20,81 @@
 //	POST /query/range    {"cube":…,"selectors":[{"lo":…,"hi":…},…]}
 //	POST /query/groupby  {"cube":…,"dim":"Area","selectors":[…]}
 //	GET  /stats?cube=week.dwarf
+//	POST /ingest         {"tuples":[{"dims":[…],"measure":…},…]}   (-live)
+//	GET  /store/stats                                              (-live)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
+	"repro/internal/cubestore"
 	"repro/internal/serve"
+	"repro/internal/smartcity"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dir := flag.String("dir", ".", "directory of .dwarf cube files")
+	dir := flag.String("dir", "", "directory of .dwarf cube files (default: the -live dir, else .)")
 	cache := flag.Int("cache", serve.DefaultCacheSize, "hot cube views kept in the LRU")
+	live := flag.String("live", "", "directory of a live cube store to open (enables /ingest)")
+	dims := flag.String("dims", strings.Join(smartcity.BikeDims, ","),
+		"comma-separated dimension list for a newly created -live store")
+	sealTuples := flag.Int("seal", cubestore.DefaultSealTuples, "live store: memtable tuples per sealed segment")
+	sealAge := flag.Duration("seal-age", time.Minute, "live store: seal a non-empty memtable after this age (0 disables)")
+	workers := flag.Int("workers", 1, "live store: shard workers for memtable builds and seals")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "dwarfd: serving cubes from %s on %s (cache %d)\n", *dir, *addr, *cache)
-	if err := serve.ListenAndServe(*addr, serve.Options{Dir: *dir, CacheSize: *cache}); err != nil {
-		fmt.Fprintln(os.Stderr, "dwarfd:", err)
-		os.Exit(1)
+	dimsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dims" {
+			dimsSet = true
+		}
+	})
+
+	opts := serve.Options{Dir: *dir, CacheSize: *cache}
+	if *live != "" {
+		// The -dims default only applies to a store being created; an
+		// existing store's manifest is the truth unless -dims was given
+		// explicitly (then Open validates it against the manifest).
+		var dimList []string
+		if dimsSet || !cubestore.Exists(*live) {
+			for _, d := range strings.Split(*dims, ",") {
+				if d = strings.TrimSpace(d); d != "" {
+					dimList = append(dimList, d)
+				}
+			}
+		}
+		store, err := cubestore.Open(*live, cubestore.Options{
+			Dims:       dimList,
+			SealTuples: *sealTuples,
+			SealAge:    *sealAge,
+			Workers:    *workers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwarfd:", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+		if opts.Dir == "" {
+			opts.Dir = *live // sealed segments are ordinary cube files
+		}
+		fmt.Fprintf(os.Stderr, "dwarfd: live store at %s (dims %v, %d tuples recovered)\n",
+			*live, store.Dims(), store.TotalTuples())
+	} else if opts.Dir == "" {
+		opts.Dir = "."
 	}
+
+	fmt.Fprintf(os.Stderr, "dwarfd: serving cubes from %s on %s (cache %d)\n", opts.Dir, *addr, *cache)
+	// ListenAndServe only returns on failure; stop the store's background
+	// maintenance before exiting (os.Exit would skip a defer).
+	err := serve.ListenAndServe(*addr, opts)
+	if opts.Store != nil {
+		opts.Store.Close()
+	}
+	fmt.Fprintln(os.Stderr, "dwarfd:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/cubestore"
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+// The ingest experiment replays a smartcity bike feed into a live cube
+// store and measures the two numbers a streaming deployment cares about:
+// sustained ingest throughput (tuples/sec through WAL + memtable + seals +
+// compactions) and query freshness (how quickly a just-acknowledged tuple
+// is reflected by a query, which by the store's contract is immediately —
+// the latency measured is the cost of that first fresh query).
+
+// IngestResult is one preset's live-ingest measurement.
+type IngestResult struct {
+	Preset    string
+	Tuples    int
+	BatchSize int
+	Elapsed   time.Duration
+
+	TuplesPerSec float64
+
+	// Freshness: latency of a point query for a tuple of the batch whose
+	// Append just acknowledged, sampled throughout the run. Every probe
+	// must observe the tuple (the store guarantees read-your-writes).
+	FreshProbes int
+	FreshP50    time.Duration
+	FreshP99    time.Duration
+	FreshMax    time.Duration
+
+	Seals       int64
+	Compactions int64
+	Segments    int
+	SealedBytes int64
+	WALSynced   bool
+}
+
+// IngestOptions tunes RunIngest.
+type IngestOptions struct {
+	BatchSize  int  // tuples per Append (default 512)
+	SealTuples int  // store seal threshold (default cubestore's)
+	Workers    int  // shard workers for memtable builds and seals
+	Sync       bool // fsync every Append (the durable configuration)
+	Verify     bool // cross-check final answers against a batch cube
+}
+
+// RunIngest replays each preset's bike feed through a live store in a
+// fresh temp directory and reports throughput and freshness.
+func RunIngest(presets []string, opts IngestOptions, progress func(string)) ([]IngestResult, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 512
+	}
+	var out []IngestResult
+	for _, preset := range presets {
+		tuples, err := DatasetTuples(preset)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "ingest-"+preset+"-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		store, err := cubestore.Open(dir, cubestore.Options{
+			Dims:       smartcity.BikeDims,
+			SealTuples: opts.SealTuples,
+			NoSync:     !opts.Sync,
+			Workers:    opts.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := IngestResult{Preset: preset, Tuples: len(tuples), BatchSize: opts.BatchSize, WALSynced: opts.Sync}
+		var fresh []time.Duration
+		start := time.Now()
+		for off := 0; off < len(tuples); off += opts.BatchSize {
+			end := off + opts.BatchSize
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			batch := tuples[off:end]
+			if err := store.Append(batch); err != nil {
+				store.Close()
+				return nil, err
+			}
+			// Probe freshness right after every 8th ack: the tuple must be
+			// visible, and the elapsed time is the fresh-query latency.
+			if (off/opts.BatchSize)%8 == 0 {
+				probe := batch[len(batch)/2]
+				t0 := time.Now()
+				agg, err := store.Point(probe.Dims...)
+				lat := time.Since(t0)
+				if err != nil {
+					store.Close()
+					return nil, err
+				}
+				if agg.Count == 0 {
+					store.Close()
+					return nil, fmt.Errorf("bench: acked tuple %v not visible to the next query", probe.Dims)
+				}
+				fresh = append(fresh, lat)
+			}
+		}
+		res.Elapsed = time.Since(start)
+		res.TuplesPerSec = float64(len(tuples)) / res.Elapsed.Seconds()
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+		res.FreshProbes = len(fresh)
+		if len(fresh) > 0 {
+			res.FreshP50 = fresh[len(fresh)/2]
+			res.FreshP99 = fresh[len(fresh)*99/100]
+			res.FreshMax = fresh[len(fresh)-1]
+		}
+		st := store.Stats()
+		res.Seals, res.Compactions = st.Seals, st.Compactions
+		res.Segments, res.SealedBytes = len(st.Segments), st.SealedBytes
+
+		if opts.Verify {
+			if progress != nil {
+				progress(fmt.Sprintf("  %s: verifying against batch cube", preset))
+			}
+			if err := verifyIngest(store, tuples); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+		if err := store.Close(); err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("  %s: %d tuples in %s (%.0f tuples/sec, %d seals, %d compactions)",
+				preset, len(tuples), res.Elapsed.Round(time.Millisecond), res.TuplesPerSec, res.Seals, res.Compactions))
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// verifyIngest holds a sample of store answers equal to a batch build.
+func verifyIngest(store *cubestore.Store, tuples []dwarf.Tuple) error {
+	ref, err := dwarf.New(smartcity.BikeDims, tuples)
+	if err != nil {
+		return err
+	}
+	ndims := len(smartcity.BikeDims)
+	allKeys := make([]string, ndims)
+	for i := range allKeys {
+		allKeys[i] = dwarf.All
+	}
+	got, err := store.Point(allKeys...)
+	if err != nil {
+		return err
+	}
+	want, _ := ref.Point(allKeys...)
+	if !got.Equal(want) {
+		return fmt.Errorf("bench: ALL aggregate differs: store=%+v batch=%+v", got, want)
+	}
+	for i := 0; i < len(tuples); i += 997 {
+		got, err := store.Point(tuples[i].Dims...)
+		if err != nil {
+			return err
+		}
+		want, _ := ref.Point(tuples[i].Dims...)
+		if !got.Equal(want) {
+			return fmt.Errorf("bench: point %v differs: store=%+v batch=%+v", tuples[i].Dims, got, want)
+		}
+	}
+	return nil
+}
+
+// FormatIngest renders the live-ingest table.
+func FormatIngest(results []IngestResult) *Table {
+	t := NewTable("Live ingest — WAL + memtable + seal + compaction throughput and query freshness",
+		"Dataset", "Tuples", "Batch", "Elapsed", "Tuples/sec", "Fresh p50", "Fresh p99", "Fresh max",
+		"Seals", "Compactions", "Segments", "Sealed MB", "fsync")
+	for _, r := range results {
+		t.AddRow(r.Preset,
+			fmt.Sprintf("%d", r.Tuples),
+			fmt.Sprintf("%d", r.BatchSize),
+			r.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", r.TuplesPerSec),
+			r.FreshP50.Round(10*time.Microsecond).String(),
+			r.FreshP99.Round(10*time.Microsecond).String(),
+			r.FreshMax.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%d", r.Seals),
+			fmt.Sprintf("%d", r.Compactions),
+			fmt.Sprintf("%d", r.Segments),
+			fmt.Sprintf("%.1f", float64(r.SealedBytes)/(1<<20)),
+			fmt.Sprintf("%v", r.WALSynced))
+	}
+	return t
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package cubestore
+
+// Platforms without flock get no single-writer guard; the LOCK file
+// convention still reserves the name so the unix build's lock is honored
+// when the directory moves between systems.
+
+const lockName = "LOCK"
+
+type dirLock struct{}
+
+func acquireDirLock(dir string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) release() {}

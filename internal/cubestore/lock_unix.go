@@ -1,0 +1,39 @@
+//go:build unix
+
+package cubestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// A store directory admits exactly one writer process: two stores sealing
+// and compacting the same directory would delete each other's live WAL
+// generations and clobber the manifest. The LOCK file is flock'd exclusive
+// for the store's lifetime; the kernel drops the lock when the process
+// dies, so a crash never leaves the directory stuck.
+
+const lockName = "LOCK"
+
+type dirLock struct{ f *os.File }
+
+func acquireDirLock(dir string) (*dirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cubestore: %s is already open in another process (flock: %w)", dir, err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock (closing the descriptor releases the flock).
+func (l *dirLock) release() {
+	if l != nil && l.f != nil {
+		l.f.Close()
+	}
+}

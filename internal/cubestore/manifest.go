@@ -1,0 +1,172 @@
+package cubestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The manifest is the store's root of truth: a JSON file naming every live
+// segment and the lowest WAL generation still covering unsealed tuples.
+// Every state transition (seal, compaction) is committed by atomically
+// replacing it — temp file, fsync, rename, directory fsync — so a crash
+// leaves either the old state or the new one, never a mix. Files the
+// manifest does not name are garbage by definition: segments not listed are
+// orphans of an interrupted seal or compaction, WAL generations below
+// WALGen were already sealed into a listed segment. Open deletes both.
+
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+	segPrefix       = "seg-"
+	segSuffix       = ".dwarf"
+	tmpSuffix       = ".tmp"
+)
+
+// segmentMeta is one sealed segment's manifest entry.
+type segmentMeta struct {
+	// File is the segment's base name inside the store directory.
+	File string `json:"file"`
+	// Tuples is the number of source tuples sealed into the segment; it
+	// determines the segment's compaction level.
+	Tuples int `json:"tuples"`
+}
+
+// manifest is the persistent store state.
+type manifest struct {
+	Version int `json:"version"`
+	// Dims is the cube dimension list, fixed at store creation.
+	Dims []string `json:"dims"`
+	// NextSegID names the next sealed or compacted segment file.
+	NextSegID uint64 `json:"next_seg_id"`
+	// WALGen is the lowest live WAL generation: generations below it are
+	// sealed into segments and deleted on sight, generations at or above it
+	// replay into the memtable on open.
+	WALGen uint64 `json:"wal_gen"`
+	// Segments lists the live segments, oldest first.
+	Segments []segmentMeta `json:"segments"`
+}
+
+func (m *manifest) clone() manifest {
+	out := *m
+	out.Dims = append([]string(nil), m.Dims...)
+	out.Segments = append([]segmentMeta(nil), m.Segments...)
+	return out
+}
+
+func segFileName(id uint64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, id, segSuffix)
+}
+
+// isSegFile matches only the store's own seg-<16 digits>.dwarf names: the
+// directory may be shared with foreign cube files (dwarfd -live serves
+// static cubes from it), and orphan cleanup must never take those.
+func isSegFile(name string) bool {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(mid) != 16 {
+		return false
+	}
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// isStoreTempFile matches only the store's own CreateTemp patterns —
+// recovery must not delete a foreign .tmp file that happens to share the
+// directory (dwarfd -live serves static cubes from it too).
+func isStoreTempFile(name string) bool {
+	if !strings.HasSuffix(name, tmpSuffix) {
+		return false
+	}
+	return strings.HasPrefix(name, manifestName+"-") || strings.HasPrefix(name, segPrefix)
+}
+
+// Exists reports whether dir already holds a store (a manifest is
+// present). Callers use it to decide whether Open needs Options.Dims.
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// loadManifest reads dir's manifest; ok is false when none exists yet.
+func loadManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("cubestore: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("cubestore: manifest version %d not supported", m.Version)
+	}
+	if len(m.Dims) == 0 {
+		return manifest{}, false, fmt.Errorf("cubestore: manifest has no dimensions")
+	}
+	return m, true, nil
+}
+
+// writeManifest atomically replaces dir's manifest with m.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, manifestName+"-*"+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// writeSegmentFile atomically writes encoded cube bytes as a new segment
+// file, durable before return.
+func writeSegmentFile(dir, name string, encoded []byte) error {
+	tmp, err := os.CreateTemp(dir, segPrefix+"*"+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(encoded); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return fsyncDir(dir)
+}

@@ -1,0 +1,999 @@
+// Package cubestore is the live layer over the DWARF cube pipeline: an
+// LSM-of-cubes that makes ingestion durable and continuously queryable.
+// Appends land in a write-ahead log plus an in-memory dwarf.Incremental
+// memtable; when the memtable reaches a size or age threshold it is sealed
+// into an immutable v2 cube segment file and the covered WAL generations
+// are dropped; a background compactor merges small sealed segments into
+// larger ones with dwarf.Merge, leveled by tuple count, committing each
+// transition by atomically swapping the segment manifest. Queries fan out
+// across every sealed segment's zero-copy CubeView plus the live memtable
+// cube and merge the partial aggregates, so answers always reflect every
+// acknowledged tuple.
+//
+// Recovery invariants (docs/STORE.md spells out the full state machine):
+// an acknowledged tuple lives in exactly one of {a manifest-listed segment,
+// a live WAL generation}; segment files the manifest does not list and WAL
+// generations below the manifest's WALGen are garbage and are deleted on
+// open; a torn WAL tail is discarded because its batch was never
+// acknowledged.
+package cubestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// Defaults for Options' zero values.
+const (
+	DefaultSealTuples    = 16384
+	DefaultChunkTuples   = 4096
+	DefaultCompactFanout = 4
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("cubestore: store is closed")
+
+// Options configures Open.
+type Options struct {
+	// Dims is the cube dimension list. Required when the directory has no
+	// manifest yet; on reopen it may be nil (the manifest's list is used)
+	// or must match the manifest.
+	Dims []string
+	// SealTuples seals the memtable into a segment once it holds this many
+	// tuples (DefaultSealTuples when 0).
+	SealTuples int
+	// ChunkTuples is the memtable's Incremental chunk size — how many
+	// buffered tuples trigger a merge into the standing live cube
+	// (min(DefaultChunkTuples, SealTuples) when 0).
+	ChunkTuples int
+	// SealAge seals a non-empty memtable this long after its first append,
+	// so a slow feed still becomes a durable segment. 0 disables age seals.
+	SealAge time.Duration
+	// CompactFanout is both the merge width and the leveling base: level n
+	// holds segments of [SealTuples·F^n, SealTuples·F^(n+1)) tuples, and a
+	// level reaching F segments is compacted into one at level n+1
+	// (DefaultCompactFanout when 0).
+	CompactFanout int
+	// DisableAutoCompact turns the background compactor off; Compact still
+	// works when called explicitly. Differential tests use this to drive
+	// arbitrary interleavings.
+	DisableAutoCompact bool
+	// NoSync skips the per-Append fsync. Throughput tests only: a crash may
+	// lose acknowledged tuples.
+	NoSync bool
+	// Workers shards memtable chunk builds and seals (dwarf.WithWorkers).
+	Workers int
+	// CubeOptions are extra construction options (ablation switches)
+	// applied to every memtable build and seal.
+	CubeOptions []dwarf.Option
+}
+
+func (o Options) withDefaults() Options {
+	if o.SealTuples <= 0 {
+		o.SealTuples = DefaultSealTuples
+	}
+	if o.ChunkTuples <= 0 {
+		o.ChunkTuples = DefaultChunkTuples
+		if o.ChunkTuples > o.SealTuples {
+			o.ChunkTuples = o.SealTuples
+		}
+	}
+	if o.CompactFanout < 2 {
+		o.CompactFanout = DefaultCompactFanout
+	}
+	return o
+}
+
+// cubeOptions is the option list for every cube the store builds.
+func (o Options) cubeOptions() []dwarf.Option {
+	opts := append([]dwarf.Option(nil), o.CubeOptions...)
+	if o.Workers > 1 {
+		opts = append(opts, dwarf.WithWorkers(o.Workers))
+	}
+	return opts
+}
+
+// segment is one sealed, immutable cube segment: its manifest entry, its
+// encoded bytes (heap-backed, so readers holding a snapshot stay valid
+// after compaction deletes the file) and the zero-copy view over them.
+type segment struct {
+	meta segmentMeta
+	data []byte
+	view *dwarf.CubeView
+}
+
+// storeState is the immutable read snapshot queries fan out over. The
+// memtable pointer is shared with the writer — Incremental is internally
+// locked and its standing cube immutable, so readers of an old snapshot
+// keep a complete view while a seal installs the next one.
+type storeState struct {
+	segs []*segment
+	mem  *dwarf.Incremental
+}
+
+// Store is a WAL-backed live cube store. All methods are safe for
+// concurrent use. Queries never take the store's writer lock — they read
+// an atomic snapshot — but a query that finds pending memtable tuples
+// flushes them under the memtable's own mutex, so a concurrent Append can
+// wait for one chunk build (bounded by ChunkTuples); seals and compactions
+// are never blocked by readers.
+type Store struct {
+	dir  string
+	opts Options
+	// dims is the immutable dimension list (a copy of the manifest's),
+	// readable without holding mu.
+	dims []string
+
+	// lock is the exclusive directory lock held for the store's lifetime.
+	lock *dirLock
+
+	// mu serializes writers: Append, seal, and every manifest swap.
+	mu     sync.Mutex
+	closed bool
+	// fatalErr, once set, disables Append: the WAL and memtable may have
+	// diverged (a record reached the file but its write errored, so the
+	// batch was never acknowledged yet would replay). A successful seal
+	// clears it — sealing rotates away from and deletes the suspect
+	// generation, re-grounding disk state on the memtable's contents.
+	fatalErr error
+	wal      *wal
+	mem      *dwarf.Incremental
+	memCount int
+	memSince time.Time
+	man      manifest
+	segs     []*segment
+
+	state atomic.Pointer[storeState]
+
+	// compactMu serializes compactions (background loop and explicit
+	// Compact calls); it is never held together with mu.
+	compactMu sync.Mutex
+
+	kick    chan struct{}
+	closing chan struct{}
+	bg      sync.WaitGroup
+
+	seals       atomic.Int64
+	compactions atomic.Int64
+	appended    atomic.Int64
+
+	// orphansRemoved counts files deleted by recovery at Open; recovery
+	// tests assert interrupted seals and compactions leave nothing behind.
+	orphansRemoved int
+
+	// lastSealErr / lastCompactErr record the most recent background seal
+	// or compaction failure (mu held) so a store whose maintenance has
+	// stopped working is visible in Stats instead of failing silently.
+	lastSealErr    string
+	lastCompactErr string
+
+	// failpoint, when set by tests, is called at named commit points; an
+	// error aborts the operation there, leaving the on-disk state exactly
+	// as a crash at that point would. The in-memory store is then poisoned
+	// and must be dropped via crashClose.
+	failpoint func(name string) error
+}
+
+// Failpoint names, in commit order.
+const (
+	fpSealBuilt              = "seal:built"
+	fpSealSegmentWritten     = "seal:segment-written"
+	fpSealManifestSwapped    = "seal:manifest-swapped"
+	fpCompactSegmentWritten  = "compact:segment-written"
+	fpCompactManifestSwapped = "compact:manifest-swapped"
+)
+
+func (s *Store) fail(name string) error {
+	if s.failpoint == nil {
+		return nil
+	}
+	return s.failpoint(name)
+}
+
+// Open opens (creating if needed) the store rooted at dir: it loads the
+// manifest, deletes orphaned segment and dead WAL files, opens a view over
+// every live segment, replays live WAL generations into a fresh memtable,
+// rotates to a new WAL generation and starts the background compactor.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lock.release()
+		}
+	}()
+	man, found, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		if len(opts.Dims) == 0 {
+			return nil, errors.New("cubestore: new store needs Options.Dims")
+		}
+		// A directory holding segment or WAL files without a manifest is a
+		// damaged store, not a fresh one — initializing would make
+		// removeOrphans wipe it. Refuse, like openSegments refuses a
+		// missing listed segment.
+		if err := refuseStoreFilesWithoutManifest(dir); err != nil {
+			return nil, err
+		}
+		man = manifest{
+			Version: manifestVersion,
+			Dims:    append([]string(nil), opts.Dims...),
+		}
+		// Commit the initial manifest immediately: everything after this
+		// point (WAL creation included) assumes the manifest is the root
+		// of truth on disk.
+		if err := writeManifest(dir, man); err != nil {
+			return nil, err
+		}
+	} else if len(opts.Dims) > 0 && !sameDims(opts.Dims, man.Dims) {
+		return nil, fmt.Errorf("cubestore: store has dims %v, Options.Dims is %v", man.Dims, opts.Dims)
+	}
+
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		dims:    append([]string(nil), man.Dims...),
+		lock:    lock,
+		man:     man,
+		kick:    make(chan struct{}, 1),
+		closing: make(chan struct{}),
+	}
+	if err := s.removeOrphans(); err != nil {
+		return nil, err
+	}
+	if err := s.openSegments(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverWAL(); err != nil {
+		return nil, err
+	}
+	s.publish()
+	s.bg.Add(1)
+	go s.background()
+	ok = true
+	return s, nil
+}
+
+// refuseStoreFilesWithoutManifest fails when dir already holds segment or
+// WAL files but no manifest (lost or partially restored store).
+func refuseStoreFilesWithoutManifest(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, isWAL := walGenOf(e.Name()); isSegFile(e.Name()) || isWAL {
+			return fmt.Errorf("cubestore: %s contains store file %s but no %s — refusing to initialize over a damaged store",
+				dir, e.Name(), manifestName)
+		}
+	}
+	return nil
+}
+
+func sameDims(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// removeOrphans deletes every file the manifest does not account for:
+// segments from interrupted seals/compactions, WAL generations already
+// sealed, and temp files.
+func (s *Store) removeOrphans() error {
+	live := make(map[string]bool, len(s.man.Segments))
+	for _, m := range s.man.Segments {
+		live[m.File] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		drop := false
+		switch {
+		case isStoreTempFile(name):
+			drop = true
+		case isSegFile(name):
+			drop = !live[name]
+		default:
+			if gen, ok := walGenOf(name); ok {
+				drop = gen < s.man.WALGen
+			}
+		}
+		if drop {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return err
+			}
+			s.orphansRemoved++
+			removed = true
+		}
+	}
+	if removed {
+		return fsyncDir(s.dir)
+	}
+	return nil
+}
+
+// openSegments loads and fully validates every manifest-listed segment. A
+// listed segment that is missing or corrupt is real data loss, so Open
+// fails loudly rather than serving partial answers.
+func (s *Store) openSegments() error {
+	for _, m := range s.man.Segments {
+		data, err := os.ReadFile(filepath.Join(s.dir, m.File))
+		if err != nil {
+			return fmt.Errorf("cubestore: manifest lists %s: %w", m.File, err)
+		}
+		view, err := dwarf.OpenView(data)
+		if err != nil {
+			return fmt.Errorf("cubestore: segment %s: %w", m.File, err)
+		}
+		s.segs = append(s.segs, &segment{meta: m, data: data, view: view})
+	}
+	return nil
+}
+
+// recoverWAL replays every live WAL generation, oldest first, into a fresh
+// memtable, then rotates to a new generation so appends never extend a file
+// that may end in a torn record.
+func (s *Store) recoverWAL() error {
+	mem, err := dwarf.NewIncremental(s.dims, s.opts.ChunkTuples, s.opts.cubeOptions()...)
+	if err != nil {
+		return err
+	}
+	s.mem = mem
+	gens, err := listWALGens(s.dir)
+	if err != nil {
+		return err
+	}
+	active := s.man.WALGen
+	for _, gen := range gens {
+		if gen < s.man.WALGen {
+			continue // removed as orphan already; defensive
+		}
+		err := replayWAL(walPath(s.dir, gen), func(tuples []dwarf.Tuple) error {
+			s.memCount += len(tuples)
+			return mem.AddBatch(tuples)
+		})
+		if err != nil {
+			return fmt.Errorf("cubestore: replaying %s: %w", walPath(s.dir, gen), err)
+		}
+		if gen >= active {
+			active = gen + 1
+		}
+	}
+	if s.memCount > 0 {
+		s.memSince = time.Now()
+	}
+	s.wal, err = openWAL(s.dir, active)
+	if err != nil {
+		return err
+	}
+	return fsyncDir(s.dir)
+}
+
+// publish installs the current segments + memtable as the read snapshot.
+// Callers hold mu (or are still single-goroutine in Open).
+func (s *Store) publish() {
+	segs := make([]*segment, len(s.segs))
+	copy(segs, s.segs)
+	s.state.Store(&storeState{segs: segs, mem: s.mem})
+}
+
+// Dims returns the store's dimension names in order.
+func (s *Store) Dims() []string { return append([]string(nil), s.dims...) }
+
+// NumDims returns the number of dimensions.
+func (s *Store) NumDims() int { return len(s.dims) }
+
+// Append validates and durably logs one batch, then folds it into the live
+// memtable — when Append returns, every tuple is crash-safe (unless NoSync)
+// and visible to queries. Reaching the seal threshold seals inline.
+func (s *Store) Append(tuples []dwarf.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	// Validate before the WAL write with dwarf.New's own rules (the same
+	// ValidateTuple the builder applies), so a logged batch can never fail
+	// to replay.
+	for i, t := range tuples {
+		if err := dwarf.ValidateTuple(t, len(s.dims)); err != nil {
+			return fmt.Errorf("cubestore: tuple %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.fatalErr != nil {
+		return fmt.Errorf("cubestore: appends disabled until the next successful seal or reopen: %w", s.fatalErr)
+	}
+	if err := s.wal.append(tuples, !s.opts.NoSync); err != nil {
+		if errors.Is(err, ErrBatchTooLarge) {
+			// Size check fires before any byte is written: plain rejection.
+			return err
+		}
+		// The record may be partly or fully on disk without having been
+		// acknowledged; accepting more appends (a client retry, say) into
+		// the same generation could double-count it after a crash.
+		s.fatalErr = err
+		return err
+	}
+	if err := s.mem.AddBatch(tuples); err != nil {
+		// Logged but not in the memtable: the generation must not be
+		// replayed against this memtable's seals.
+		s.fatalErr = err
+		return err
+	}
+	if s.memCount == 0 {
+		s.memSince = time.Now()
+	}
+	s.memCount += len(tuples)
+	s.appended.Add(int64(len(tuples)))
+	if s.memCount >= s.opts.SealTuples {
+		// The batch is already durable and visible, so the ack must not
+		// depend on the seal: a failed seal (e.g. disk full writing the
+		// segment) is recorded and retried on the next threshold crossing
+		// or age tick, while the tuples stay covered by the live WAL.
+		if err := s.seal(); err != nil {
+			s.lastSealErr = err.Error()
+		}
+	}
+	return nil
+}
+
+// Seal forces the memtable into a sealed segment now (no-op when empty).
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.seal()
+}
+
+// seal turns the memtable into a durable segment. Callers hold mu. Commit
+// order — segment file, then manifest, then WAL deletion — is what recovery
+// leans on: before the manifest swap the tuples are still covered by live
+// WAL generations and the segment file is an orphan; after it, the WAL
+// generations are dead. The in-memory swap happens only once the on-disk
+// state is fully committed, so any earlier error leaves a consistent store.
+func (s *Store) seal() error {
+	if s.memCount == 0 {
+		return nil
+	}
+	cube, err := s.mem.Cube()
+	if err != nil {
+		return err
+	}
+	encoded, err := encodeCube(cube)
+	if err != nil {
+		return err
+	}
+	if err := s.fail(fpSealBuilt); err != nil {
+		return err
+	}
+	view, err := dwarf.OpenViewTrusted(encoded)
+	if err != nil {
+		return err
+	}
+	newGen := s.wal.gen + 1
+	nw, err := openWAL(s.dir, newGen)
+	if err != nil {
+		return err
+	}
+	id := s.man.NextSegID
+	meta := segmentMeta{File: segFileName(id), Tuples: s.memCount}
+	if err := writeSegmentFile(s.dir, meta.File, encoded); err != nil {
+		nw.close()
+		return err
+	}
+	if err := s.fail(fpSealSegmentWritten); err != nil {
+		nw.close()
+		return err
+	}
+	newMan := s.man.clone()
+	newMan.NextSegID = id + 1
+	newMan.WALGen = newGen
+	newMan.Segments = append(newMan.Segments, meta)
+	if err := writeManifest(s.dir, newMan); err != nil {
+		nw.close()
+		return err
+	}
+	if err := s.fail(fpSealManifestSwapped); err != nil {
+		return err
+	}
+
+	// On-disk state is committed; swap in-memory state and drop dead WALs.
+	s.wal.close()
+	s.wal = nw
+	s.man = newMan
+	s.segs = append(s.segs, &segment{meta: meta, data: encoded, view: view})
+	mem, err := dwarf.NewIncremental(s.dims, s.opts.ChunkTuples, s.opts.cubeOptions()...)
+	if err != nil {
+		return err
+	}
+	s.mem = mem
+	s.memCount = 0
+	s.memSince = time.Time{}
+	if gens, err := listWALGens(s.dir); err == nil {
+		for _, gen := range gens {
+			if gen < newGen {
+				os.Remove(walPath(s.dir, gen))
+			}
+		}
+		fsyncDir(s.dir)
+	}
+	s.publish()
+	s.seals.Add(1)
+	s.lastSealErr = ""
+	s.fatalErr = nil
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func encodeCube(c *dwarf.Cube) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.EncodeIndexed(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// background runs age-based seals and auto-compaction until Close.
+func (s *Store) background() {
+	defer s.bg.Done()
+	var tick <-chan time.Time
+	if s.opts.SealAge > 0 {
+		t := time.NewTicker(s.opts.SealAge / 2)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-s.kick:
+			s.compactBackground()
+		case <-tick:
+			s.sealIfAged()
+			s.compactBackground()
+		}
+	}
+}
+
+// compactBackground runs auto-compaction, recording rather than returning
+// failures — a store whose maintenance is stuck must stay queryable and
+// appendable, but visibly so (Stats.LastCompactError).
+func (s *Store) compactBackground() {
+	if s.opts.DisableAutoCompact {
+		return
+	}
+	if _, err := s.Compact(); err != nil && !errors.Is(err, ErrClosed) {
+		s.mu.Lock()
+		s.lastCompactErr = err.Error()
+		s.mu.Unlock()
+	}
+}
+
+func (s *Store) sealIfAged() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.memCount == 0 || time.Since(s.memSince) < s.opts.SealAge {
+		return
+	}
+	if err := s.seal(); err != nil {
+		s.lastSealErr = err.Error()
+	}
+}
+
+// levelOf maps a segment's tuple count to its compaction level.
+func (s *Store) levelOf(tuples int) int {
+	f := s.opts.CompactFanout
+	lvl := 0
+	for t := tuples / s.opts.SealTuples; t >= f; t /= f {
+		lvl++
+	}
+	return lvl
+}
+
+// Compact merges sealed segments level by level until no level holds
+// CompactFanout segments, returning the number of compactions run. It is
+// safe alongside concurrent appends, seals and queries; the background
+// compactor calls it after every seal.
+func (s *Store) Compact() (int, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	n := 0
+	for {
+		did, err := s.compactOnce()
+		if err != nil {
+			return n, err
+		}
+		if !did {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// compactOnce merges the oldest CompactFanout segments of the fullest
+// eligible level into one. The expensive part — decode, merge, encode,
+// write — runs without mu, so appends and queries proceed; only the
+// manifest swap takes the writer lock. compactMu guarantees a single
+// compactor, so the picked inputs cannot disappear meanwhile (seals only
+// add segments).
+func (s *Store) compactOnce() (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	group := s.pickCompaction()
+	// Reserve the output id in memory so a seal racing with this compaction
+	// cannot allocate the same segment file name; the reservation is
+	// persisted by whichever manifest swap commits first.
+	id := s.man.NextSegID
+	if group != nil {
+		s.man.NextSegID++
+	}
+	s.mu.Unlock()
+	if group == nil {
+		return false, nil
+	}
+
+	merged, err := dwarf.DecodeBytes(group[0].data)
+	if err != nil {
+		return false, fmt.Errorf("cubestore: decoding %s: %w", group[0].meta.File, err)
+	}
+	tuples := group[0].meta.Tuples
+	for _, seg := range group[1:] {
+		c, err := dwarf.DecodeBytes(seg.data)
+		if err != nil {
+			return false, fmt.Errorf("cubestore: decoding %s: %w", seg.meta.File, err)
+		}
+		if merged, err = dwarf.Merge(merged, c); err != nil {
+			return false, err
+		}
+		tuples += seg.meta.Tuples
+	}
+	encoded, err := encodeCube(merged)
+	if err != nil {
+		return false, err
+	}
+	view, err := dwarf.OpenViewTrusted(encoded)
+	if err != nil {
+		return false, err
+	}
+	meta := segmentMeta{File: segFileName(id), Tuples: tuples}
+	if err := writeSegmentFile(s.dir, meta.File, encoded); err != nil {
+		return false, err
+	}
+	if err := s.fail(fpCompactSegmentWritten); err != nil {
+		return false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	inputs := make(map[string]bool, len(group))
+	for _, seg := range group {
+		inputs[seg.meta.File] = true
+	}
+	newMan := s.man.clone()
+	if newMan.NextSegID <= id {
+		newMan.NextSegID = id + 1
+	}
+	out := newMan.Segments[:0]
+	inserted := false
+	for _, m := range newMan.Segments {
+		if inputs[m.File] {
+			if !inserted {
+				// The merged segment takes the position of the oldest
+				// input, keeping Segments ordered oldest-first.
+				out = append(out, meta)
+				inserted = true
+			}
+			continue
+		}
+		out = append(out, m)
+	}
+	newMan.Segments = out
+	if err := writeManifest(s.dir, newMan); err != nil {
+		return false, err
+	}
+	if err := s.fail(fpCompactManifestSwapped); err != nil {
+		return false, err
+	}
+	s.man = newMan
+	newSegs := make([]*segment, 0, len(s.segs))
+	insertedSeg := false
+	for _, seg := range s.segs {
+		if inputs[seg.meta.File] {
+			if !insertedSeg {
+				newSegs = append(newSegs, &segment{meta: meta, data: encoded, view: view})
+				insertedSeg = true
+			}
+			os.Remove(filepath.Join(s.dir, seg.meta.File))
+			continue
+		}
+		newSegs = append(newSegs, seg)
+	}
+	s.segs = newSegs
+	fsyncDir(s.dir)
+	s.publish()
+	s.compactions.Add(1)
+	s.lastCompactErr = ""
+	return true, nil
+}
+
+// pickCompaction returns the oldest CompactFanout segments of the lowest
+// level holding at least CompactFanout of them. Callers hold mu.
+func (s *Store) pickCompaction() []*segment {
+	byLevel := make(map[int][]*segment)
+	minLevel := -1
+	for _, seg := range s.segs {
+		l := s.levelOf(seg.meta.Tuples)
+		byLevel[l] = append(byLevel[l], seg)
+		if len(byLevel[l]) >= s.opts.CompactFanout && (minLevel < 0 || l < minLevel) {
+			minLevel = l
+		}
+	}
+	if minLevel < 0 {
+		return nil
+	}
+	return byLevel[minLevel][:s.opts.CompactFanout]
+}
+
+// Close stops the background compactor and closes the WAL. It does not
+// seal: the memtable's tuples stay covered by the live WAL generations and
+// replay on the next Open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	s.mu.Unlock()
+	s.bg.Wait()
+	s.compactMu.Lock() // wait out a straggling explicit Compact
+	s.compactMu.Unlock()
+	err := s.wal.close()
+	s.lock.release()
+	return err
+}
+
+// crashClose drops the store as a crash would: no WAL flush, no tidy-up.
+// Recovery tests pair it with failpoint-aborted operations.
+func (s *Store) crashClose() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+	}
+	s.mu.Unlock()
+	s.bg.Wait()
+	s.wal.abandon()
+	s.lock.release()
+}
+
+// ---- Queries ----
+
+// queryTarget is the query surface shared by *dwarf.Cube (the live
+// memtable's standing cube) and *dwarf.CubeView (sealed segments).
+type queryTarget interface {
+	Point(keys ...string) (dwarf.Aggregate, error)
+	Range(sels []dwarf.Selector) (dwarf.Aggregate, error)
+	GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error)
+}
+
+// targets snapshots the fan-out set: every sealed segment view plus the
+// live cube. The snapshot is immutable, so the query runs lock-free even
+// while seals and compactions swap the store state underneath.
+func (s *Store) targets() ([]queryTarget, error) {
+	st := s.state.Load()
+	live, err := st.mem.Cube()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]queryTarget, 0, len(st.segs)+1)
+	for _, seg := range st.segs {
+		out = append(out, seg.view)
+	}
+	return append(out, live), nil
+}
+
+// fanOut runs fn against every target, concurrently when there are several,
+// and hands the partial results to merge in deterministic target order.
+func fanOut[T any](targets []queryTarget, fn func(queryTarget) (T, error)) ([]T, error) {
+	results := make([]T, len(targets))
+	if len(targets) <= 2 || runtime.GOMAXPROCS(0) == 1 {
+		for i, q := range targets {
+			r, err := fn(q)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, q := range targets {
+		wg.Add(1)
+		go func(i int, q queryTarget) {
+			defer wg.Done()
+			results[i], errs[i] = fn(q)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (s *Store) aggQuery(fn func(queryTarget) (dwarf.Aggregate, error)) (dwarf.Aggregate, error) {
+	targets, err := s.targets()
+	if err != nil {
+		return dwarf.Aggregate{}, err
+	}
+	parts, err := fanOut(targets, fn)
+	if err != nil {
+		return dwarf.Aggregate{}, err
+	}
+	var agg dwarf.Aggregate
+	for _, p := range parts {
+		agg = dwarf.MergeAggregates(agg, p)
+	}
+	return agg, nil
+}
+
+// Point answers a point/ALL query across every sealed segment and the live
+// memtable, reflecting every acknowledged tuple.
+func (s *Store) Point(keys ...string) (dwarf.Aggregate, error) {
+	return s.aggQuery(func(q queryTarget) (dwarf.Aggregate, error) { return q.Point(keys...) })
+}
+
+// Range aggregates the sub-cube addressed by one selector per dimension
+// across segments and the live memtable.
+func (s *Store) Range(sels []dwarf.Selector) (dwarf.Aggregate, error) {
+	return s.aggQuery(func(q queryTarget) (dwarf.Aggregate, error) { return q.Range(sels) })
+}
+
+// GroupBy groups the dimension at index dim under the restriction of sels,
+// merging per-key partial aggregates across segments and the live memtable.
+func (s *Store) GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error) {
+	targets, err := s.targets()
+	if err != nil {
+		return nil, err
+	}
+	parts, err := fanOut(targets, func(q queryTarget) (map[string]dwarf.Aggregate, error) {
+		return q.GroupBy(dim, sels)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]dwarf.Aggregate)
+	for _, part := range parts {
+		for k, a := range part {
+			out[k] = dwarf.MergeAggregates(out[k], a)
+		}
+	}
+	return out, nil
+}
+
+// TotalTuples reports every acknowledged source tuple: sealed plus live.
+// It reads counters only — no memtable flush — so per-request callers
+// (/ingest) stay cheap.
+func (s *Store) TotalTuples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.memCount
+	for _, seg := range s.segs {
+		total += seg.meta.Tuples
+	}
+	return total
+}
+
+// SegmentInfo describes one sealed segment in Stats.
+type SegmentInfo struct {
+	File   string `json:"file"`
+	Tuples int    `json:"tuples"`
+	Level  int    `json:"level"`
+	Bytes  int    `json:"bytes"`
+}
+
+// Stats is a point-in-time description of the store.
+type Stats struct {
+	Dims         []string      `json:"dims"`
+	Segments     []SegmentInfo `json:"segments"`
+	SealedTuples int           `json:"sealed_tuples"`
+	LiveTuples   int           `json:"live_tuples"`
+	TotalTuples  int           `json:"total_tuples"`
+	SealedBytes  int64         `json:"sealed_bytes"`
+	WALGen       uint64        `json:"wal_gen"`
+	WALBytes     int64         `json:"wal_bytes"`
+	Seals        int64         `json:"seals"`
+	Compactions  int64         `json:"compactions"`
+	Appended     int64         `json:"appended"`
+
+	// LastSealError / LastCompactError are the most recent background
+	// maintenance failures, empty once the next attempt succeeds.
+	LastSealError    string `json:"last_seal_error,omitempty"`
+	LastCompactError string `json:"last_compact_error,omitempty"`
+}
+
+// Stats reports the store's current shape: segment inventory by level, live
+// and sealed tuple counts, WAL position and lifetime seal/compaction
+// counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Dims:        append([]string(nil), s.dims...),
+		Segments:    []SegmentInfo{},
+		LiveTuples:  s.memCount,
+		WALGen:      s.wal.gen,
+		WALBytes:    s.wal.bytes,
+		Seals:       s.seals.Load(),
+		Compactions: s.compactions.Load(),
+		Appended:    s.appended.Load(),
+
+		LastSealError:    s.lastSealErr,
+		LastCompactError: s.lastCompactErr,
+	}
+	for _, seg := range s.segs {
+		st.Segments = append(st.Segments, SegmentInfo{
+			File:   seg.meta.File,
+			Tuples: seg.meta.Tuples,
+			Level:  s.levelOf(seg.meta.Tuples),
+			Bytes:  len(seg.data),
+		})
+		st.SealedTuples += seg.meta.Tuples
+		st.SealedBytes += int64(len(seg.data))
+	}
+	s.mu.Unlock()
+	st.TotalTuples = st.SealedTuples + st.LiveTuples
+	return st
+}

@@ -1,0 +1,269 @@
+package cubestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dwarf"
+)
+
+// The write-ahead log makes Append durable before the memtable sees the
+// batch. Each WAL generation is one append-only file, wal-<gen>.log; a seal
+// rotates to a fresh generation and the manifest's WALGen records the lowest
+// generation still covering unsealed tuples. Record layout (all little
+// endian):
+//
+//	crc u32 (over payload) | len u32 | payload
+//	payload: count uvarint, then per tuple:
+//	    ndims uvarint | ndims × (klen uvarint | key bytes) | measure f64
+//
+// A torn or CRC-corrupt tail record ends replay — those tuples were never
+// acknowledged. Corruption inside an intact CRC frame is reported as
+// ErrCorruptWAL: the frame was acknowledged, so silently dropping it would
+// lose data.
+
+// ErrCorruptWAL reports a damaged record body inside a CRC-valid frame.
+var ErrCorruptWAL = errors.New("cubestore: corrupt WAL record")
+
+// ErrBatchTooLarge rejects an Append whose encoded WAL record would exceed
+// maxWALRecord — replay would discard such a record as garbage, so writing
+// it would break the "no acked tuple lost" invariant. Split the batch.
+var ErrBatchTooLarge = errors.New("cubestore: batch exceeds the 1 GiB WAL record limit")
+
+const (
+	walPrefix = "wal-"
+	walSuffix = ".log"
+	// maxWALRecord bounds one record's payload; larger lengths are treated
+	// as a torn tail.
+	maxWALRecord = 1 << 30
+)
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", walPrefix, gen, walSuffix))
+}
+
+// walGenOf parses the generation out of a WAL file name.
+func walGenOf(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix)
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listWALGens returns the generations present in dir, ascending.
+func listWALGens(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := walGenOf(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// wal is one open generation of the log.
+type wal struct {
+	gen   uint64
+	path  string
+	file  *os.File
+	w     *bufio.Writer
+	bytes int64
+}
+
+// openWAL opens (creating if needed) the log file for gen and positions
+// appends at its end.
+func openWAL(dir string, gen uint64) (*wal, error) {
+	path := walPath(dir, gen)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{gen: gen, path: path, file: f, w: bufio.NewWriterSize(f, 1<<16), bytes: st.Size()}, nil
+}
+
+// encodeWALRecord frames one batch as crc|len|payload.
+func encodeWALRecord(tuples []dwarf.Tuple) []byte {
+	payload := binary.AppendUvarint(nil, uint64(len(tuples)))
+	for _, t := range tuples {
+		payload = binary.AppendUvarint(payload, uint64(len(t.Dims)))
+		for _, k := range t.Dims {
+			payload = binary.AppendUvarint(payload, uint64(len(k)))
+			payload = append(payload, k...)
+		}
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(t.Measure))
+	}
+	rec := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))
+	return append(rec, payload...)
+}
+
+// append writes one batch as a single record; with sync it is durable (and
+// therefore acknowledgeable) when append returns.
+func (l *wal) append(tuples []dwarf.Tuple, sync bool) error {
+	rec := encodeWALRecord(tuples)
+	if len(rec)-8 > maxWALRecord {
+		return fmt.Errorf("%w (%d bytes)", ErrBatchTooLarge, len(rec)-8)
+	}
+	if _, err := l.w.Write(rec); err != nil {
+		return err
+	}
+	l.bytes += int64(len(rec))
+	if sync {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		return l.file.Sync()
+	}
+	return nil
+}
+
+// close flushes buffered records and closes the file.
+func (l *wal) close() error {
+	flushErr := l.w.Flush()
+	closeErr := l.file.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// abandon closes the file handle without flushing — the crash path, used by
+// tests to drop a store as a real crash would.
+func (l *wal) abandon() { l.file.Close() }
+
+// replayWAL streams every intact record's batch to fn, in order. A crash
+// can only tear the LAST record (the file is append-only), so a short or
+// CRC-corrupt frame that reaches end-of-file ends replay cleanly — that
+// batch was never acknowledged. A corrupt frame with more data after it is
+// mid-file corruption of acknowledged records and fails loudly with
+// ErrCorruptWAL: dropping the records behind it would silently lose acked
+// tuples. (A corrupted length field loses record framing, so the bytes it
+// implausibly points past EOF with are likewise only accepted as a tail.)
+func replayWAL(path string, fn func(tuples []dwarf.Tuple) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	atEOF := func() bool {
+		_, err := r.Peek(1)
+		return err != nil
+	}
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:])
+		plen := binary.LittleEndian.Uint32(hdr[4:])
+		if plen > maxWALRecord {
+			if atEOF() {
+				return nil // garbage tail
+			}
+			return fmt.Errorf("%w: implausible record length %d mid-file", ErrCorruptWAL, plen)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn record at end-of-file
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			if atEOF() {
+				return nil // corrupt tail: never acknowledged
+			}
+			return fmt.Errorf("%w: checksum mismatch mid-file", ErrCorruptWAL)
+		}
+		tuples, err := decodeWALPayload(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(tuples); err != nil {
+			return err
+		}
+	}
+}
+
+func decodeWALPayload(payload []byte) ([]dwarf.Tuple, error) {
+	count, n := binary.Uvarint(payload)
+	// A tuple encodes to at least 10 bytes (ndims, one 1-byte key length,
+	// the 8-byte measure), which bounds count — and therefore the slice
+	// allocation — by the payload size; a corrupt CRC-valid frame yields a
+	// clean error, never an OOM-sized make.
+	if n <= 0 || count > uint64(len(payload))/10+1 {
+		return nil, fmt.Errorf("%w: bad tuple count", ErrCorruptWAL)
+	}
+	payload = payload[n:]
+	tuples := make([]dwarf.Tuple, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		ndims, n := binary.Uvarint(payload)
+		// Each dimension needs at least its 1-byte key length.
+		if n <= 0 || ndims > uint64(len(payload)-n) {
+			return nil, fmt.Errorf("%w: bad dim count", ErrCorruptWAL)
+		}
+		payload = payload[n:]
+		// Grow dims as keys actually parse rather than trusting the claimed
+		// ndims with one up-front allocation.
+		dims := make([]string, 0, min(ndims, 64))
+		for d := uint64(0); d < ndims; d++ {
+			klen, n := binary.Uvarint(payload)
+			if n <= 0 || klen > uint64(len(payload)-n) {
+				return nil, fmt.Errorf("%w: bad key", ErrCorruptWAL)
+			}
+			dims = append(dims, string(payload[n:n+int(klen)]))
+			payload = payload[n+int(klen):]
+		}
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("%w: truncated measure", ErrCorruptWAL)
+		}
+		measure := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		payload = payload[8:]
+		tuples = append(tuples, dwarf.Tuple{Dims: dims, Measure: measure})
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptWAL, len(payload))
+	}
+	return tuples, nil
+}
+
+// fsyncDir flushes directory metadata (file creations, renames, deletions)
+// so the recovery invariants hold across power loss, not just process death.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -82,14 +82,34 @@ var (
 	ErrNotFiniteValue = errors.New("dwarf: measure must be a finite number")
 )
 
+// ValidateTuple checks one fact tuple against the construction rules New
+// enforces: dimension count, no reserved wildcard key, finite measure.
+// Callers that persist tuples before building — the live store logs a
+// batch to its WAL ahead of the memtable — validate with this same
+// function, so an accepted batch can never fail to build on replay.
+func ValidateTuple(t Tuple, ndims int) error {
+	if len(t.Dims) != ndims {
+		return fmt.Errorf("%w: tuple has %d dims, want %d", ErrDimMismatch, len(t.Dims), ndims)
+	}
+	for _, k := range t.Dims {
+		if k == All {
+			return fmt.Errorf("%w: %q", ErrReservedKey, All)
+		}
+	}
+	if math.IsNaN(t.Measure) || math.IsInf(t.Measure, 0) {
+		return ErrNotFiniteValue
+	}
+	return nil
+}
+
 // New constructs a DWARF cube from the given fact tuples. The tuple slice is
 // not modified; tuples are copied and sorted internally. Duplicate dimension
 // key combinations are merged into one leaf aggregate.
 func New(dims []string, tuples []Tuple, opts ...Option) (*Cube, error) {
 	ats := make([]AggTuple, len(tuples))
 	for i := range tuples {
-		if math.IsNaN(tuples[i].Measure) || math.IsInf(tuples[i].Measure, 0) {
-			return nil, fmt.Errorf("%w: tuple %d", ErrNotFiniteValue, i)
+		if err := ValidateTuple(tuples[i], len(dims)); err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
 		}
 		ats[i] = AggTuple{Dims: tuples[i].Dims, Agg: NewAggregate(tuples[i].Measure)}
 	}

@@ -1,6 +1,6 @@
 package dwarf
 
-import "fmt"
+import "sync"
 
 // Incremental accumulates fact tuples in bounded chunks and maintains a
 // standing cube by merging each completed chunk — the streaming
@@ -9,7 +9,19 @@ import "fmt"
 // (ablations, WithWorkers) apply to every chunk build, so a workers setting
 // shards each flush across goroutines. The zero value is not usable; call
 // NewIncremental.
+//
+// An Incremental is safe for concurrent use: Add, AddBatch, Cube and
+// Buffered may be called from multiple goroutines. Ownership rule for
+// Cube(): the returned *Cube is immutable and stays valid and unchanged
+// forever — later Adds merge into NEW cubes and never touch one already
+// handed out. The flip side is that later standing cubes share sub-dwarfs
+// with earlier ones by pointer, so callers must treat a returned cube (and
+// every Node reachable through Root()) as strictly read-only; writing to its
+// nodes would corrupt the builder's standing cube out from under a
+// concurrent flush. cubestore relies on this rule to query a memtable's
+// standing cube while ingestion keeps appending.
 type Incremental struct {
+	mu        sync.Mutex
 	dims      []string
 	opts      []Option
 	chunkSize int
@@ -38,9 +50,29 @@ func NewIncremental(dims []string, chunkSize int, opts ...Option) (*Incremental,
 // Add buffers one tuple, merging the chunk into the standing cube when the
 // buffer fills.
 func (inc *Incremental) Add(t Tuple) error {
-	if len(t.Dims) != len(inc.dims) {
-		return fmt.Errorf("%w: tuple has %d dims, builder has %d",
-			ErrDimMismatch, len(t.Dims), len(inc.dims))
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.add(t)
+}
+
+// AddBatch buffers many tuples as one atomic call: a Cube() from another
+// goroutine sees either none or all of the batch.
+func (inc *Incremental) AddBatch(tuples []Tuple) error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	for _, t := range tuples {
+		if err := inc.add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (inc *Incremental) add(t Tuple) error {
+	// Full validation up front: a bad tuple rejected here costs one call; a
+	// bad tuple discovered at flush time would poison the whole builder.
+	if err := ValidateTuple(t, len(inc.dims)); err != nil {
+		return err
 	}
 	inc.pending = append(inc.pending, Tuple{Dims: append([]string(nil), t.Dims...), Measure: t.Measure})
 	if len(inc.pending) >= inc.chunkSize {
@@ -49,18 +81,8 @@ func (inc *Incremental) Add(t Tuple) error {
 	return nil
 }
 
-// AddBatch buffers many tuples.
-func (inc *Incremental) AddBatch(tuples []Tuple) error {
-	for _, t := range tuples {
-		if err := inc.Add(t); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // flush builds the pending chunk (sharded when the options carry a worker
-// count) and merges it into the standing cube.
+// count) and merges it into the standing cube. Callers hold inc.mu.
 func (inc *Incremental) flush() error {
 	if len(inc.pending) == 0 {
 		return nil
@@ -79,8 +101,13 @@ func (inc *Incremental) flush() error {
 }
 
 // Cube merges any pending chunk and returns the standing cube. The builder
-// remains usable; later Adds extend from this point.
+// remains usable; later Adds extend from this point. The returned cube is
+// immutable — no later Add or flush modifies it (see the ownership rule on
+// Incremental) — so it is safe to query, encode or retain concurrently with
+// further ingestion.
 func (inc *Incremental) Cube() (*Cube, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
 	if err := inc.flush(); err != nil {
 		return nil, err
 	}
@@ -88,4 +115,13 @@ func (inc *Incremental) Cube() (*Cube, error) {
 }
 
 // Buffered reports the tuples waiting for the next merge.
-func (inc *Incremental) Buffered() int { return len(inc.pending) }
+func (inc *Incremental) Buffered() int {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return len(inc.pending)
+}
+
+// Dims returns the builder's dimension names in order.
+func (inc *Incremental) Dims() []string {
+	return append([]string(nil), inc.dims...)
+}

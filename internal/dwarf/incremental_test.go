@@ -2,8 +2,10 @@ package dwarf
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -74,6 +76,137 @@ func TestIncrementalContinuesAfterCube(t *testing.T) {
 	// The earlier snapshot is immutable.
 	if agg, _ := c1.Point(All); agg.Sum != 3 {
 		t.Errorf("snapshot mutated: %v", agg)
+	}
+}
+
+// TestIncrementalCubeStableAcrossFlushes is the regression test for the
+// Cube() ownership rule: a cube handed out earlier must answer identically
+// after any number of later Adds and flushes, because flushes build new
+// cubes and never mutate shared sub-dwarfs.
+func TestIncrementalCubeStableAcrossFlushes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []string{"a", "b", "c"}
+	inc, err := NewIncremental(dims, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type snap struct {
+		cube    *Cube
+		queries [][]string
+		answers []Aggregate
+	}
+	var snaps []snap
+	tuples := randomTuples(rng, 3, 400, 5)
+	for i, tu := range tuples {
+		if err := inc.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+		if i%37 == 0 {
+			c, err := inc.Cube()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := snap{cube: c}
+			for q := 0; q < 20; q++ {
+				keys := randomQuery(rng, 3, 6)
+				agg, err := c.Point(keys...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.queries = append(s.queries, keys)
+				s.answers = append(s.answers, agg)
+			}
+			snaps = append(snaps, s)
+		}
+	}
+	if _, err := inc.Cube(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range snaps {
+		for q, keys := range s.queries {
+			agg, err := s.cube.Point(keys...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !agg.Equal(s.answers[q]) {
+				t.Fatalf("snapshot %d mutated by later flushes: query %v was %v, now %v",
+					i, keys, s.answers[q], agg)
+			}
+		}
+		if err := s.cube.CheckInvariants(); err != nil {
+			t.Errorf("snapshot %d: %v", i, err)
+		}
+	}
+}
+
+// TestIncrementalConcurrent exercises Add/AddBatch/Cube/Buffered from many
+// goroutines; run under -race it is the regression test for the field races
+// the pre-lock Incremental had (concurrent Cube() flushing while an Add
+// appends to pending).
+func TestIncrementalConcurrent(t *testing.T) {
+	inc, err := NewIncremental([]string{"a", "b"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				tu := Tuple{Dims: []string{fmt.Sprintf("a%d", rng.Intn(5)), fmt.Sprintf("b%d", rng.Intn(5))}, Measure: 1}
+				if rng.Intn(4) == 0 {
+					if err := inc.AddBatch([]Tuple{tu}); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if err := inc.Add(tu); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := inc.Cube()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Point(All, All); err != nil {
+					t.Error(err)
+					return
+				}
+				inc.Buffered()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	c, err := inc.Cube()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := c.Point(All, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != writers*perWriter || agg.Sum != writers*perWriter {
+		t.Errorf("final ALL aggregate = %+v, want count/sum %d", agg, writers*perWriter)
 	}
 }
 

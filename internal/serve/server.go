@@ -13,6 +13,14 @@
 //	POST /query/groupby             {"cube","dim","selectors":[…]}
 //	GET  /stats?cube=N              node/cell counts off the encoded bytes
 //
+// With Options.Store set the server also runs in live mode: the reserved
+// cube name "live" (Options.LiveName) routes every /query/* shape to the
+// cubestore — fanning out over sealed segments plus the memtable, so
+// answers reflect every acknowledged tuple — and two more endpoints appear:
+//
+//	POST /ingest                    {"tuples":[{"dims":[…],"measure":…},…]}
+//	GET  /store/stats               segment inventory, WAL position, counters
+//
 // A selector is {"keys":[…]} for an explicit set, {"lo":…,"hi":…} for an
 // inclusive range, or {} (or omitted trailing entries) for ALL.
 package serve
@@ -28,43 +36,65 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cubestore"
 	"repro/internal/dwarf"
 )
 
 // DefaultCacheSize is the LRU capacity when Options.CacheSize is zero.
 const DefaultCacheSize = 8
 
+// DefaultLiveName is the reserved cube name routing queries to the live
+// store when Options.LiveName is empty.
+const DefaultLiveName = "live"
+
 // Options configures a Server.
 type Options struct {
-	// Dir is the directory of .dwarf cube files served by base name.
+	// Dir is the directory of .dwarf cube files served by base name. It may
+	// be empty when Store is set (live-only serving).
 	Dir string
 	// CacheSize caps the hot-view LRU (DefaultCacheSize when zero).
 	CacheSize int
+	// Store, when set, enables live mode: /ingest appends to it and the
+	// LiveName cube answers queries over it.
+	Store *cubestore.Store
+	// LiveName is the reserved cube name for the live store
+	// (DefaultLiveName when empty).
+	LiveName string
 }
 
-// Server answers cube queries over HTTP straight off encoded cube files.
+// Server answers cube queries over HTTP straight off encoded cube files
+// and, in live mode, straight off a cubestore.
 type Server struct {
-	dir   string
-	cache *viewCache
+	dir      string
+	cache    *viewCache
+	store    *cubestore.Store
+	liveName string
 }
 
-// New builds a Server over opts.Dir, which must exist.
+// New builds a Server over opts.Dir (which must exist when set) and/or the
+// live store.
 func New(opts Options) (*Server, error) {
-	if opts.Dir == "" {
-		return nil, errors.New("serve: cube directory not set")
+	if opts.Dir == "" && opts.Store == nil {
+		return nil, errors.New("serve: neither cube directory nor live store set")
 	}
-	st, err := os.Stat(opts.Dir)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	if !st.IsDir() {
-		return nil, fmt.Errorf("serve: %s is not a directory", opts.Dir)
+	if opts.Dir != "" {
+		st, err := os.Stat(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if !st.IsDir() {
+			return nil, fmt.Errorf("serve: %s is not a directory", opts.Dir)
+		}
 	}
 	size := opts.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	return &Server{dir: opts.Dir, cache: newViewCache(size)}, nil
+	liveName := opts.LiveName
+	if liveName == "" {
+		liveName = DefaultLiveName
+	}
+	return &Server{dir: opts.Dir, cache: newViewCache(size), store: opts.Store, liveName: liveName}, nil
 }
 
 // ListenAndServe runs a Server at addr until the listener fails.
@@ -84,6 +114,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query/range", s.handleRange)
 	mux.HandleFunc("/query/groupby", s.handleGroupBy)
 	mux.HandleFunc("/stats", s.handleStats)
+	if s.store != nil {
+		mux.HandleFunc("/ingest", s.handleIngest)
+		mux.HandleFunc("/store/stats", s.handleStoreStats)
+	}
 	return mux
 }
 
@@ -107,8 +141,13 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = he.status
 	case errors.Is(err, os.ErrNotExist):
 		status = http.StatusNotFound
-	case errors.Is(err, dwarf.ErrBadQuery):
+	case errors.Is(err, dwarf.ErrBadQuery),
+		errors.Is(err, dwarf.ErrDimMismatch),
+		errors.Is(err, dwarf.ErrReservedKey),
+		errors.Is(err, dwarf.ErrNotFiniteValue):
 		status = http.StatusBadRequest
+	case errors.Is(err, cubestore.ErrClosed):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, dwarf.ErrCorruptCube), errors.Is(err, dwarf.ErrBadMagic), errors.Is(err, dwarf.ErrBadVersion):
 		// The file on disk is not a servable cube: the client didn't err,
 		// the registry did.
@@ -141,6 +180,11 @@ func (s *Server) view(name string) (*dwarf.CubeView, error) {
 	if name == "" {
 		return nil, badRequest("missing cube parameter")
 	}
+	if s.dir == "" {
+		// Live-only server: never resolve file names relative to the
+		// process working directory.
+		return nil, badRequest("cube %q not found (live-only server serves %q)", name, s.liveName)
+	}
 	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
 		return nil, badRequest("cube name %q must be a plain file name", name)
 	}
@@ -169,6 +213,25 @@ func (s *Server) view(name string) (*dwarf.CubeView, error) {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return s.cache.add(name, v, st.Size(), st.ModTime()), nil
+}
+
+// querier is the query surface shared by zero-copy views and the live
+// store; the /query/* handlers are written against it.
+type querier interface {
+	Point(keys ...string) (dwarf.Aggregate, error)
+	Range(sels []dwarf.Selector) (dwarf.Aggregate, error)
+	GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error)
+	Dims() []string
+	NumDims() int
+}
+
+// source resolves a cube name to its query target: the live store for the
+// reserved live name, a (cached) file-backed view otherwise.
+func (s *Server) source(name string) (querier, error) {
+	if s.store != nil && name == s.liveName {
+		return s.store, nil
+	}
+	return s.view(name)
 }
 
 // aggJSON is the wire form of an aggregate.
@@ -232,13 +295,9 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 // handleCubes lists the registry: every cube file in the serving directory
-// plus the current hot cache, MRU first.
+// plus the current hot cache, MRU first, plus the live cube when the server
+// fronts a store.
 func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
 	type cubeInfo struct {
 		Name      string `json:"name"`
 		SizeBytes int64  `json:"size_bytes"`
@@ -246,27 +305,38 @@ func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
 		Loaded    bool   `json:"loaded"`
 	}
 	cubes := []cubeInfo{}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".dwarf") {
-			continue
-		}
-		info, err := e.Info()
+	if s.dir != "" {
+		entries, err := os.ReadDir(s.dir)
 		if err != nil {
-			continue
+			writeErr(w, err)
+			return
 		}
-		cubes = append(cubes, cubeInfo{
-			Name:      e.Name(),
-			SizeBytes: info.Size(),
-			Indexed:   fileHasTrailer(filepath.Join(s.dir, e.Name())),
-			Loaded:    s.cache.lookup(e.Name()),
-		})
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".dwarf") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			cubes = append(cubes, cubeInfo{
+				Name:      e.Name(),
+				SizeBytes: info.Size(),
+				Indexed:   fileHasTrailer(filepath.Join(s.dir, e.Name())),
+				Loaded:    s.cache.lookup(e.Name()),
+			})
+		}
+		sort.Slice(cubes, func(i, j int) bool { return cubes[i].Name < cubes[j].Name })
 	}
-	sort.Slice(cubes, func(i, j int) bool { return cubes[i].Name < cubes[j].Name })
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"dir":   s.dir,
 		"cubes": cubes,
 		"cache": s.cache.snapshot(),
-	})
+	}
+	if s.store != nil {
+		out["live"] = s.liveName
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // fileHasTrailer peeks at the file's last bytes for the v2 trailer magic —
@@ -312,7 +382,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 			keys = strings.Split(q.Get("keys"), ",")
 		}
 	}
-	v, err := s.view(cube)
+	v, err := s.source(cube)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -343,7 +413,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	v, err := s.view(req.Cube)
+	v, err := s.source(req.Cube)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -381,7 +451,7 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	v, err := s.view(req.Cube)
+	v, err := s.source(req.Cube)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -423,6 +493,10 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cube := r.URL.Query().Get("cube")
+	if s.store != nil && cube == s.liveName {
+		s.handleStoreStats(w, r)
+		return
+	}
 	v, err := s.view(cube)
 	if err != nil {
 		writeErr(w, err)
@@ -443,5 +517,60 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cells":         st.Cells,
 		"all_cells":     st.AllCells,
 		"total_cells":   st.TotalCells(),
+	})
+}
+
+// tupleSpec is the wire form of one fact tuple.
+type tupleSpec struct {
+	Dims    []string `json:"dims"`
+	Measure float64  `json:"measure"`
+}
+
+// ingestRequest is the body of POST /ingest.
+type ingestRequest struct {
+	Tuples []tupleSpec `json:"tuples"`
+}
+
+// handleIngest appends one batch to the live store. When it responds 200
+// the batch is durable (store fsync policy permitting) and visible to every
+// subsequent /query/* against the live cube.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, badRequest("POST a JSON body to /ingest"))
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeErr(w, badRequest("no tuples in batch"))
+		return
+	}
+	batch := make([]dwarf.Tuple, len(req.Tuples))
+	for i, t := range req.Tuples {
+		batch[i] = dwarf.Tuple{Dims: t.Dims, Measure: t.Measure}
+	}
+	if err := s.store.Append(batch); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"appended":     len(batch),
+		"total_tuples": s.store.TotalTuples(),
+	})
+}
+
+// handleStoreStats reports the live store's shape: segment inventory with
+// compaction levels, live/sealed tuple counts, WAL position and lifetime
+// seal/compaction counters.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube":  s.liveName,
+		"stats": st,
 	})
 }

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cubestore"
 	"repro/internal/dwarf"
 	"repro/internal/jsonstream"
 	"repro/internal/mapper"
@@ -105,7 +106,31 @@ func OpenCubeFile(path string) (*CubeFile, error) { return dwarf.OpenViewFile(pa
 // OpenCubeView opens a view over encoded cube bytes held in memory.
 func OpenCubeView(data []byte) (*CubeView, error) { return dwarf.OpenView(data) }
 
-// ServeOptions configures the dwarfd query service.
+// Live cube store (streaming ingestion).
+type (
+	// LiveStore is a WAL-backed live cube store: durable streaming Appends,
+	// automatic sealing into immutable cube segments, background
+	// compaction, and queries that fan out over segments plus the live
+	// memtable so answers reflect every acknowledged tuple.
+	LiveStore = cubestore.Store
+	// LiveStoreOptions tunes OpenLiveStore (dimensions, seal thresholds,
+	// compaction fanout, durability).
+	LiveStoreOptions = cubestore.Options
+	// LiveStoreStats is a point-in-time description of a LiveStore.
+	LiveStoreStats = cubestore.Stats
+)
+
+// OpenLiveStore opens (creating if needed) a live cube store rooted at dir,
+// recovering any sealed segments and unsealed WAL tuples from a previous
+// run. opts.Dims is required for a new store; closing the store leaves
+// everything durable for the next OpenLiveStore.
+func OpenLiveStore(dir string, opts LiveStoreOptions) (*LiveStore, error) {
+	return cubestore.Open(dir, opts)
+}
+
+// ServeOptions configures the dwarfd query service. Set Store to also
+// serve a live cube store (POST /ingest, GET /store/stats, and the
+// reserved "live" cube name for queries).
 type ServeOptions = serve.Options
 
 // NewCubeServer builds the dwarfd HTTP query service over a directory of

@@ -221,3 +221,73 @@ func TestFacadeServing(t *testing.T) {
 		t.Fatalf("/stats nodes = %v, want %d", out["nodes"], cube.Stats().Nodes)
 	}
 }
+
+func TestFacadeLiveStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenLiveStore(dir, LiveStoreOptions{
+		Dims:       []string{"Day", "Region"},
+		SealTuples: 4,
+		NoSync:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Tuple{
+		{Dims: []string{"d1", "north"}, Measure: 2},
+		{Dims: []string{"d1", "south"}, Measure: 3},
+		{Dims: []string{"d2", "north"}, Measure: 5},
+	}
+	if err := store.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := store.Point("d1", All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Sum != 5 || agg.Count != 2 {
+		t.Fatalf("live point = %+v", agg)
+	}
+	// Crossing the threshold seals; the reopened store recovers everything.
+	if err := store.Append([]Tuple{{Dims: []string{"d2", "west"}, Measure: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Seals != 1 || st.SealedTuples != 4 {
+		t.Fatalf("stats after threshold seal = %+v", st)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenLiveStore(dir, LiveStoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	agg, err = back.Point(All, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Sum != 17 || agg.Count != 4 {
+		t.Fatalf("recovered ALL = %+v", agg)
+	}
+
+	// The facade serves it over HTTP too.
+	srv, err := NewCubeServer(ServeOptions{Store: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/query/point?cube=live&key=*&key=north")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	aggOut, _ := out["aggregate"].(map[string]any)
+	if aggOut["sum"] != float64(7) {
+		t.Fatalf("served live point = %v", out)
+	}
+}
