@@ -26,8 +26,10 @@ var benchPresets = []string{"Day", "Week"}
 // BenchmarkTable2Datasets regenerates Table 2: dataset generation, XML
 // emission size and cube construction for each preset.
 func BenchmarkTable2Datasets(b *testing.B) {
+	b.ReportAllocs()
 	for _, preset := range benchPresets {
 		b.Run(preset, func(b *testing.B) {
+			b.ReportAllocs()
 			p, err := smartcity.PresetByName(preset)
 			if err != nil {
 				b.Fatal(err)
@@ -89,9 +91,11 @@ func benchSave(b *testing.B, kind mapper.Kind, preset string) {
 // BenchmarkTable4StorageSize regenerates Table 4 (stored MB is the
 // "MB-stored" metric of each sub-benchmark).
 func BenchmarkTable4StorageSize(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range mapper.AllKinds() {
 		for _, preset := range benchPresets {
 			b.Run(fmt.Sprintf("%s/%s", kind, preset), func(b *testing.B) {
+				b.ReportAllocs()
 				benchSave(b, kind, preset)
 			})
 		}
@@ -101,9 +105,11 @@ func BenchmarkTable4StorageSize(b *testing.B) {
 // BenchmarkTable5InsertTime regenerates Table 5 (ns/op is the bulk-insert
 // time).
 func BenchmarkTable5InsertTime(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range mapper.AllKinds() {
 		for _, preset := range benchPresets {
 			b.Run(fmt.Sprintf("%s/%s", kind, preset), func(b *testing.B) {
+				b.ReportAllocs()
 				benchSave(b, kind, preset)
 			})
 		}
@@ -113,9 +119,11 @@ func BenchmarkTable5InsertTime(b *testing.B) {
 // BenchmarkBaoComparison regenerates the §5.1 flat-file baseline: writing
 // the cube in both Bao-et-al. clusterings, size as a metric.
 func BenchmarkBaoComparison(b *testing.B) {
+	b.ReportAllocs()
 	for _, layout := range []flatfile.Layout{flatfile.Hierarchical, flatfile.Recursive} {
 		for _, preset := range benchPresets {
 			b.Run(fmt.Sprintf("%s/%s", layout, preset), func(b *testing.B) {
+				b.ReportAllocs()
 				cube, err := bench.DatasetCube(preset)
 				if err != nil {
 					b.Fatal(err)
@@ -139,8 +147,10 @@ func BenchmarkBaoComparison(b *testing.B) {
 
 // BenchmarkCubeConstruction isolates DWARF build cost per dataset scale.
 func BenchmarkCubeConstruction(b *testing.B) {
+	b.ReportAllocs()
 	for _, preset := range benchPresets {
 		b.Run(preset, func(b *testing.B) {
+			b.ReportAllocs()
 			tuples, err := bench.DatasetTuples(preset)
 			if err != nil {
 				b.Fatal(err)
@@ -160,6 +170,7 @@ func BenchmarkCubeConstruction(b *testing.B) {
 // the serial baseline at 1/2/4/8 workers (workers-1 runs the serial code
 // path; the cube is structurally identical at every width).
 func BenchmarkBuildParallel(b *testing.B) {
+	b.ReportAllocs()
 	for _, preset := range benchPresets {
 		tuples, err := bench.DatasetTuples(preset)
 		if err != nil {
@@ -172,6 +183,7 @@ func BenchmarkBuildParallel(b *testing.B) {
 		want := serial.Stats()
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/workers-%d", preset, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				var cube *dwarf.Cube
 				for i := 0; i < b.N; i++ {
 					if cube, err = dwarf.New(smartcity.BikeDims, tuples, dwarf.WithWorkers(workers)); err != nil {
@@ -189,6 +201,7 @@ func BenchmarkBuildParallel(b *testing.B) {
 
 // BenchmarkPointQuery measures in-memory point and wildcard lookups.
 func BenchmarkPointQuery(b *testing.B) {
+	b.ReportAllocs()
 	cube, err := bench.DatasetCube("Week")
 	if err != nil {
 		b.Fatal(err)
@@ -199,6 +212,7 @@ func BenchmarkPointQuery(b *testing.B) {
 		return len(probes) < 512
 	})
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cube.Point(probes[i%len(probes)]...); err != nil {
 				b.Fatal(err)
@@ -206,6 +220,7 @@ func BenchmarkPointQuery(b *testing.B) {
 		}
 	})
 	b.Run("wildcard-suffix", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := append([]string(nil), probes[i%len(probes)]...)
 			q[6], q[7] = dwarf.All, dwarf.All
@@ -215,6 +230,7 @@ func BenchmarkPointQuery(b *testing.B) {
 		}
 	})
 	b.Run("all-dims", func(b *testing.B) {
+		b.ReportAllocs()
 		q := []string{dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All}
 		for i := 0; i < b.N; i++ {
 			if _, err := cube.Point(q...); err != nil {
@@ -226,6 +242,7 @@ func BenchmarkPointQuery(b *testing.B) {
 
 // BenchmarkRangeAndGroupBy measures the richer query primitives.
 func BenchmarkRangeAndGroupBy(b *testing.B) {
+	b.ReportAllocs()
 	cube, err := bench.DatasetCube("Week")
 	if err != nil {
 		b.Fatal(err)
@@ -236,6 +253,7 @@ func BenchmarkRangeAndGroupBy(b *testing.B) {
 		dwarf.SelectAll(), dwarf.SelectAll(), dwarf.SelectKeys("open"),
 	}
 	b.Run("range", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cube.Range(sels); err != nil {
 				b.Fatal(err)
@@ -247,6 +265,7 @@ func BenchmarkRangeAndGroupBy(b *testing.B) {
 		dwarf.SelectAll(), dwarf.SelectAll(), dwarf.SelectAll(), dwarf.SelectAll(),
 	}
 	b.Run("groupby-area", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cube.GroupBy(5, all); err != nil {
 				b.Fatal(err)
@@ -258,6 +277,7 @@ func BenchmarkRangeAndGroupBy(b *testing.B) {
 // BenchmarkIncrementalMerge measures the §7 maintenance primitive: folding
 // one fresh day into a standing week cube.
 func BenchmarkIncrementalMerge(b *testing.B) {
+	b.ReportAllocs()
 	week, err := bench.DatasetCube("Week")
 	if err != nil {
 		b.Fatal(err)
@@ -278,6 +298,7 @@ func BenchmarkIncrementalMerge(b *testing.B) {
 // BenchmarkAblationSuffixCoalescing quantifies DWARF's compression: node
 // counts with full coalescing, hash-consing off, and no sharing at all.
 func BenchmarkAblationSuffixCoalescing(b *testing.B) {
+	b.ReportAllocs()
 	tuples, err := bench.DatasetTuples("Day")
 	if err != nil {
 		b.Fatal(err)
@@ -292,6 +313,7 @@ func BenchmarkAblationSuffixCoalescing(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var nodes int
 			for i := 0; i < b.N; i++ {
 				cube, err := dwarf.New(smartcity.BikeDims, tuples, tc.opts...)
@@ -308,12 +330,14 @@ func BenchmarkAblationSuffixCoalescing(b *testing.B) {
 // BenchmarkAblationBatchSize sweeps the bulk-insert batch size on the
 // NoSQL-DWARF store (the paper inserts "in bulk"; this shows why).
 func BenchmarkAblationBatchSize(b *testing.B) {
+	b.ReportAllocs()
 	cube, err := bench.DatasetCube("Day")
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, size := range []int{1, 10, 100, 1000, 10000} {
 		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				dir := filepath.Join(b.TempDir(), fmt.Sprintf("b%d", i))
@@ -338,6 +362,7 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 // behaviour behind Table 5's NoSQL-Min row: per-row write-path
 // serialization for indexed batches vs. plain group commit.
 func BenchmarkAblationIndexSerialization(b *testing.B) {
+	b.ReportAllocs()
 	cube, err := bench.DatasetCube("Day")
 	if err != nil {
 		b.Fatal(err)
@@ -350,6 +375,7 @@ func BenchmarkAblationIndexSerialization(b *testing.B) {
 		{"group-commit", nosql.Options{GroupCommitIndexedBatches: true}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				dir := filepath.Join(b.TempDir(), fmt.Sprintf("i%d", i))
@@ -373,10 +399,12 @@ func BenchmarkAblationIndexSerialization(b *testing.B) {
 // BenchmarkAblationDimensions sweeps cube dimensionality at a fixed fact
 // count, isolating how dimension count drives DWARF size.
 func BenchmarkAblationDimensions(b *testing.B) {
+	b.ReportAllocs()
 	feed := smartcity.NewBikeFeed(smartcity.BikeConfig{Seed: 9})
 	recs := feed.Take(7358)
 	for _, nd := range []int{2, 4, 6, 8} {
 		b.Run(fmt.Sprintf("dims-%d", nd), func(b *testing.B) {
+			b.ReportAllocs()
 			dims := smartcity.BikeDims[8-nd:]
 			tuples := make([]dwarf.Tuple, len(recs))
 			for i, r := range recs {
@@ -398,8 +426,10 @@ func BenchmarkAblationDimensions(b *testing.B) {
 
 // BenchmarkStoreLoad measures the bi-directional mapper's read side.
 func BenchmarkStoreLoad(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range mapper.AllKinds() {
 		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
 			cube, err := bench.DatasetCube("Day")
 			if err != nil {
 				b.Fatal(err)
@@ -428,8 +458,10 @@ func BenchmarkStoreLoad(b *testing.B) {
 // stored rows of each schema model (§5.1's anticipated query-time impact of
 // dropping the node construct, plus §7's query primitives).
 func BenchmarkOnStoreQuery(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range mapper.AllKinds() {
 		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
 			cube, err := bench.DatasetCube("Day")
 			if err != nil {
 				b.Fatal(err)
@@ -462,6 +494,7 @@ func BenchmarkOnStoreQuery(b *testing.B) {
 // BenchmarkFlatFilePointQuery measures on-disk point queries against both
 // Bao-et-al. layouts (their point-vs-range design goal).
 func BenchmarkFlatFilePointQuery(b *testing.B) {
+	b.ReportAllocs()
 	cube, err := bench.DatasetCube("Day")
 	if err != nil {
 		b.Fatal(err)
@@ -473,6 +506,7 @@ func BenchmarkFlatFilePointQuery(b *testing.B) {
 	})
 	for _, layout := range []flatfile.Layout{flatfile.Hierarchical, flatfile.Recursive} {
 		b.Run(layout.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			path := filepath.Join(b.TempDir(), "cube.dwf")
 			if _, err := flatfile.Write(path, cube, layout); err != nil {
 				b.Fatal(err)
@@ -495,6 +529,7 @@ func BenchmarkFlatFilePointQuery(b *testing.B) {
 // BenchmarkServeOpen measures making a cube servable: full Decode vs the
 // zero-copy OpenView paths (the dwarfd cold-start cost).
 func BenchmarkServeOpen(b *testing.B) {
+	b.ReportAllocs()
 	cube, err := bench.DatasetCube("Week")
 	if err != nil {
 		b.Fatal(err)
@@ -505,6 +540,7 @@ func BenchmarkServeOpen(b *testing.B) {
 	}
 	data := buf.Bytes()
 	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := dwarf.DecodeBytes(data); err != nil {
 				b.Fatal(err)
@@ -512,6 +548,7 @@ func BenchmarkServeOpen(b *testing.B) {
 		}
 	})
 	b.Run("view", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := dwarf.OpenView(data); err != nil {
 				b.Fatal(err)
@@ -519,6 +556,7 @@ func BenchmarkServeOpen(b *testing.B) {
 		}
 	})
 	b.Run("view-trusted", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := dwarf.OpenViewTrusted(data); err != nil {
 				b.Fatal(err)
@@ -530,6 +568,7 @@ func BenchmarkServeOpen(b *testing.B) {
 // BenchmarkServePointQuery mirrors BenchmarkPointQuery against the
 // zero-copy view instead of the decoded cube.
 func BenchmarkServePointQuery(b *testing.B) {
+	b.ReportAllocs()
 	cube, err := bench.DatasetCube("Week")
 	if err != nil {
 		b.Fatal(err)
@@ -548,6 +587,7 @@ func BenchmarkServePointQuery(b *testing.B) {
 		return len(probes) < 512
 	})
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := view.Point(probes[i%len(probes)]...); err != nil {
 				b.Fatal(err)
@@ -555,9 +595,75 @@ func BenchmarkServePointQuery(b *testing.B) {
 		}
 	})
 	b.Run("all-dims", func(b *testing.B) {
+		b.ReportAllocs()
 		q := []string{dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All, dwarf.All}
 		for i := 0; i < b.N; i++ {
 			if _, err := view.Point(q...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompactSegments measures the store's steady-state maintenance
+// path — merging k sealed segments into one — both ways: the seed's
+// decode + pairwise Merge + re-encode, and the streaming zero-copy k-way
+// MergeViews. allocs/op is the headline: the streaming path never
+// materializes a node graph.
+func BenchmarkCompactSegments(b *testing.B) {
+	b.ReportAllocs()
+	tuples, err := bench.DatasetTuples("Day")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const parts = 4
+	segments := make([][]byte, parts)
+	for i := 0; i < parts; i++ {
+		lo, hi := i*len(tuples)/parts, (i+1)*len(tuples)/parts
+		c, err := dwarf.New(smartcity.BikeDims, tuples[lo:hi])
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := c.EncodeIndexed(&buf); err != nil {
+			b.Fatal(err)
+		}
+		segments[i] = buf.Bytes()
+	}
+	b.Run("decode-pairwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			merged, err := dwarf.DecodeBytes(segments[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, seg := range segments[1:] {
+				c, err := dwarf.DecodeBytes(seg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if merged, err = dwarf.Merge(merged, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := merged.EncodeIndexed(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streaming-kway", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			views := make([]*dwarf.CubeView, parts)
+			for j, seg := range segments {
+				v, err := dwarf.OpenViewTrusted(seg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				views[j] = v
+			}
+			if _, _, err := dwarf.MergeViewsBytes(views...); err != nil {
 				b.Fatal(err)
 			}
 		}

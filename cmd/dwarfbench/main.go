@@ -7,6 +7,7 @@
 //	dwarfbench -exp parallel          # sharded-build ablation (1/2/4/8 workers)
 //	dwarfbench -exp serve             # serving path: Decode vs CubeView open + q/s
 //	dwarfbench -exp ingest            # live store: WAL+memtable ingest + freshness
+//	dwarfbench -exp compact           # segment compaction: decode+Merge vs MergeViews
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
 //
 // -workers N builds the Table 2 cubes with N shard workers (the parallel
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, serve, ingest, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, serve, ingest, compact, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
@@ -43,6 +44,8 @@ func main() {
 	repeats := flag.Int("repeats", 3, "runs per measurement in -exp parallel/serve (best kept)")
 	queries := flag.Int("queries", 2000, "point queries per battery in -exp serve")
 	batch := flag.Int("batch", 512, "tuples per Append in -exp ingest")
+	parts := flag.Int("parts", 4, "input segments merged by -exp compact")
+	jsonOut := flag.String("json", "", "also write -exp compact results as JSON to this path (e.g. BENCH_compact.json)")
 	sealTuples := flag.Int("seal", 0, "live-store seal threshold in -exp ingest (0 = default)")
 	sync := flag.Bool("sync", true, "fsync every Append in -exp ingest (the durable configuration)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -115,6 +118,8 @@ func main() {
 		err = runServe(presets, *queries, *repeats)
 	case "ingest":
 		err = runIngest(presets, ingestOpts, progress)
+	case "compact":
+		err = runCompact(presets, *parts, *repeats, *jsonOut)
 	case "all":
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
@@ -122,7 +127,9 @@ func main() {
 					if err = runQuery(presets[:1], *dir); err == nil {
 						if err = runParallel(presets[:1], *workerCounts, *repeats); err == nil {
 							if err = runServe(presets[:1], *queries, *repeats); err == nil {
-								err = runIngest(presets[:1], ingestOpts, progress)
+								if err = runIngest(presets[:1], ingestOpts, progress); err == nil {
+									err = runCompact(presets[:1], *parts, *repeats, *jsonOut)
+								}
 							}
 						}
 					}
@@ -163,6 +170,22 @@ func runParallel(presets []string, countsFlag string, repeats int) error {
 	}
 	bench.FormatParallelBuild(results).Fprint(os.Stdout)
 	fmt.Println()
+	return nil
+}
+
+func runCompact(presets []string, parts, repeats int, jsonOut string) error {
+	results, err := bench.RunCompact(presets, parts, repeats)
+	if err != nil {
+		return err
+	}
+	bench.FormatCompact(results).Fprint(os.Stdout)
+	fmt.Println()
+	if jsonOut != "" {
+		if err := bench.WriteCompactJSON(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
 	return nil
 }
 

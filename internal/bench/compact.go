@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+// The compact experiment measures the store's steady-state hot path:
+// merging k sealed cube segments into one. It compares the seed
+// implementation — DecodeBytes every input into a pointer node graph, fold
+// pairwise with dwarf.Merge, re-encode — against the streaming engine
+// (dwarf.MergeViews: one k-way descent over the encoded bytes, no node
+// allocation), reporting wall clock, allocation count and bytes, and the
+// sampled peak live heap of each.
+
+// CompactCost is one merge path's measured cost.
+type CompactCost struct {
+	Wall       time.Duration `json:"wall_ns"`
+	Allocs     uint64        `json:"allocs"`
+	AllocBytes uint64        `json:"alloc_bytes"`
+	// PeakHeap is the maximum live heap observed during the merge (sampled
+	// every 2ms) minus the pre-merge baseline: the transient working set the
+	// merge adds on top of the resident inputs.
+	PeakHeap uint64 `json:"peak_heap_bytes"`
+}
+
+// CompactResult is one preset's compaction measurement.
+type CompactResult struct {
+	Preset     string `json:"preset"`
+	Inputs     int    `json:"inputs"`
+	Tuples     int    `json:"tuples"`
+	InputBytes int64  `json:"input_bytes"`
+	// OutputBytes is the streaming path's merged segment size (the
+	// canonical encoding; the baseline's output may be slightly larger).
+	OutputBytes int64 `json:"output_bytes"`
+
+	Baseline  CompactCost `json:"baseline"`
+	Streaming CompactCost `json:"streaming"`
+
+	// Identical reports that the streaming output was byte-identical to
+	// EncodeIndexed of a batch build over all input tuples.
+	Identical bool `json:"identical_to_batch"`
+}
+
+// Speedup is baseline wall time over streaming wall time.
+func (r CompactResult) Speedup() float64 {
+	if r.Streaming.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Baseline.Wall) / float64(r.Streaming.Wall)
+}
+
+// AllocRatio is baseline allocations over streaming allocations.
+func (r CompactResult) AllocRatio() float64 {
+	if r.Streaming.Allocs == 0 {
+		return 0
+	}
+	return float64(r.Baseline.Allocs) / float64(r.Streaming.Allocs)
+}
+
+// PeakRatio is baseline peak heap over streaming peak heap.
+func (r CompactResult) PeakRatio() float64 {
+	if r.Streaming.PeakHeap == 0 {
+		return 0
+	}
+	return float64(r.Baseline.PeakHeap) / float64(r.Streaming.PeakHeap)
+}
+
+// measureCompact runs fn under memory accounting: GC to a quiet baseline,
+// sample live heap every 2ms for the peak, and read the allocation counters
+// around the run. Best wall and minimum allocation figures over repeats.
+func measureCompact(repeats int, fn func() error) (CompactCost, error) {
+	var cost CompactCost
+	for r := 0; r < repeats; r++ {
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		var peak atomic.Uint64
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			var m runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					runtime.ReadMemStats(&m)
+					if m.HeapAlloc > peak.Load() {
+						peak.Store(m.HeapAlloc)
+					}
+				}
+			}
+		}()
+		start := time.Now()
+		err := fn()
+		wall := time.Since(start)
+		close(stop)
+		<-done
+		if err != nil {
+			return cost, err
+		}
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		p := peak.Load()
+		if m1.HeapAlloc > p {
+			p = m1.HeapAlloc
+		}
+		if p > m0.HeapAlloc {
+			p -= m0.HeapAlloc
+		} else {
+			p = 0
+		}
+		one := CompactCost{
+			Wall:       wall,
+			Allocs:     m1.Mallocs - m0.Mallocs,
+			AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+			PeakHeap:   p,
+		}
+		if r == 0 || one.Wall < cost.Wall {
+			cost.Wall = one.Wall
+		}
+		if r == 0 || one.Allocs < cost.Allocs {
+			cost.Allocs = one.Allocs
+			cost.AllocBytes = one.AllocBytes
+		}
+		if r == 0 || one.PeakHeap < cost.PeakHeap {
+			cost.PeakHeap = one.PeakHeap
+		}
+	}
+	return cost, nil
+}
+
+// RunCompact splits each preset's fact stream into `parts` consecutive
+// slices, builds and encodes one v2-indexed segment per slice (what the
+// store's seal produces), and measures merging them back into one segment
+// via both paths. The streaming output is checked byte-for-byte against a
+// batch build over all tuples.
+func RunCompact(presets []string, parts, repeats int) ([]CompactResult, error) {
+	if parts < 2 {
+		parts = 2
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	var out []CompactResult
+	for _, preset := range presets {
+		tuples, err := DatasetTuples(preset)
+		if err != nil {
+			return nil, err
+		}
+		segments := make([][]byte, parts)
+		var inputBytes int64
+		for i := 0; i < parts; i++ {
+			lo, hi := i*len(tuples)/parts, (i+1)*len(tuples)/parts
+			c, err := dwarf.New(smartcity.BikeDims, tuples[lo:hi])
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := c.EncodeIndexed(&buf); err != nil {
+				return nil, err
+			}
+			segments[i] = buf.Bytes()
+			inputBytes += int64(buf.Len())
+		}
+		res := CompactResult{Preset: preset, Inputs: parts, Tuples: len(tuples), InputBytes: inputBytes}
+
+		// The seed path: decode every segment, fold pairwise, re-encode.
+		var baselineOut []byte
+		res.Baseline, err = measureCompact(repeats, func() error {
+			merged, err := dwarf.DecodeBytes(segments[0])
+			if err != nil {
+				return err
+			}
+			for _, seg := range segments[1:] {
+				c, err := dwarf.DecodeBytes(seg)
+				if err != nil {
+					return err
+				}
+				if merged, err = dwarf.Merge(merged, c); err != nil {
+					return err
+				}
+			}
+			var buf bytes.Buffer
+			if err := merged.EncodeIndexed(&buf); err != nil {
+				return err
+			}
+			baselineOut = buf.Bytes()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// The streaming path: open zero-copy views (O(1), trailer-indexed)
+		// and run the k-way merge straight over the bytes.
+		var streamOut []byte
+		res.Streaming, err = measureCompact(repeats, func() error {
+			views := make([]*dwarf.CubeView, parts)
+			for i, seg := range segments {
+				v, err := dwarf.OpenViewTrusted(seg)
+				if err != nil {
+					return err
+				}
+				views[i] = v
+			}
+			enc, _, err := dwarf.MergeViewsBytes(views...)
+			if err != nil {
+				return err
+			}
+			streamOut = enc
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.OutputBytes = int64(len(streamOut))
+
+		// Correctness gates: the streaming output must be the canonical
+		// batch encoding, and the baseline output must answer identically.
+		ref, err := dwarf.New(smartcity.BikeDims, tuples)
+		if err != nil {
+			return nil, err
+		}
+		var refBuf bytes.Buffer
+		if err := ref.EncodeIndexed(&refBuf); err != nil {
+			return nil, err
+		}
+		res.Identical = bytes.Equal(streamOut, refBuf.Bytes())
+		if !res.Identical {
+			return nil, fmt.Errorf("bench: %s streaming merge output is not the canonical batch encoding", preset)
+		}
+		base, err := dwarf.DecodeBytes(baselineOut)
+		if err != nil {
+			return nil, err
+		}
+		wild := make([]string, len(smartcity.BikeDims))
+		for i := range wild {
+			wild[i] = dwarf.All
+		}
+		got, _ := base.Point(wild...)
+		want, _ := ref.Point(wild...)
+		if !got.Equal(want) {
+			return nil, fmt.Errorf("bench: %s baseline merge diverged: %v vs %v", preset, got, want)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatCompact renders the compaction comparison.
+func FormatCompact(results []CompactResult) *Table {
+	t := NewTable("Segment compaction — decode+pairwise Merge vs streaming k-way MergeViews",
+		"Dataset", "Inputs", "Tuples", "In MB", "Out MB",
+		"Base wall", "Stream wall", "Speedup",
+		"Base allocs", "Stream allocs", "Alloc ratio",
+		"Base peak MB", "Stream peak MB", "Peak ratio", "Canonical")
+	for _, r := range results {
+		t.AddRow(r.Preset,
+			fmt.Sprintf("%d", r.Inputs),
+			fmt.Sprintf("%d", r.Tuples),
+			fmt.Sprintf("%.1f", float64(r.InputBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(r.OutputBytes)/(1<<20)),
+			r.Baseline.Wall.Round(10*time.Microsecond).String(),
+			r.Streaming.Wall.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", r.Speedup()),
+			fmt.Sprintf("%d", r.Baseline.Allocs),
+			fmt.Sprintf("%d", r.Streaming.Allocs),
+			fmt.Sprintf("%.1fx", r.AllocRatio()),
+			fmt.Sprintf("%.1f", float64(r.Baseline.PeakHeap)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(r.Streaming.PeakHeap)/(1<<20)),
+			fmt.Sprintf("%.1fx", r.PeakRatio()),
+			fmt.Sprintf("%v", r.Identical))
+	}
+	return t
+}
+
+// compactReport is the BENCH_compact.json schema: the perf-trajectory file
+// CI regenerates so compaction regressions are visible across commits.
+type compactReport struct {
+	Experiment string          `json:"experiment"`
+	Generated  string          `json:"generated"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []CompactResult `json:"results"`
+	Summary    map[string]any  `json:"summary"`
+}
+
+// WriteCompactJSON writes the compaction results as JSON to path.
+func WriteCompactJSON(path string, results []CompactResult) error {
+	rep := compactReport{
+		Experiment: "compact",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+		Summary:    map[string]any{},
+	}
+	for _, r := range results {
+		rep.Summary[r.Preset] = map[string]any{
+			"speedup":     fmt.Sprintf("%.2f", r.Speedup()),
+			"alloc_ratio": fmt.Sprintf("%.1f", r.AllocRatio()),
+			"peak_ratio":  fmt.Sprintf("%.1f", r.PeakRatio()),
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

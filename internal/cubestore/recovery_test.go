@@ -103,7 +103,7 @@ func TestRecoveryCrashMidWALWrite(t *testing.T) {
 		t.Fatalf("want a live WAL generation, gens=%v err=%v", gens, err)
 	}
 	walFile = walPath(dir, gens[len(gens)-1])
-	rec := encodeWALRecord(randTuples(rng, 5))
+	rec := appendWALRecord(nil, randTuples(rng, 5))
 	torn := rec[:len(rec)-7]
 	f, err := os.OpenFile(walFile, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {

@@ -166,6 +166,15 @@ type Store struct {
 	compactions atomic.Int64
 	appended    atomic.Int64
 
+	// streamingCompacts / fallbackCompacts split compactions by merge path,
+	// so a store silently living on the decode fallback is visible in Stats.
+	streamingCompacts atomic.Int64
+	fallbackCompacts  atomic.Int64
+
+	// disableStreamingCompact forces the decode+MergeAll fallback; tests use
+	// it to hold both compaction paths to the same answers.
+	disableStreamingCompact bool
+
 	// orphansRemoved counts files deleted by recovery at Open; recovery
 	// tests assert interrupted seals and compactions leave nothing behind.
 	orphansRemoved int
@@ -653,11 +662,18 @@ func (s *Store) Compact() (int, error) {
 }
 
 // compactOnce merges the oldest CompactFanout segments of the fullest
-// eligible level into one. The expensive part — decode, merge, encode,
-// write — runs without mu, so appends and queries proceed; only the
-// manifest swap takes the writer lock. compactMu guarantees a single
-// compactor, so the picked inputs cannot disappear meanwhile (seals only
-// add segments).
+// eligible level into one. The expensive part — merge, encode, write —
+// runs without mu, so appends and queries proceed; only the manifest swap
+// takes the writer lock. compactMu guarantees a single compactor, so the
+// picked inputs cannot disappear meanwhile (seals only add segments).
+//
+// The happy path is the streaming k-way merge: dwarf.MergeViews descends
+// the segments' zero-copy views directly and writes the merged v2-indexed
+// segment in one pass, so compaction never materializes a node graph and
+// its working set is the output segment plus O(depth·fanout·k) cursor
+// state — not the sum of the decoded inputs. If the streaming merge fails
+// (e.g. a segment outgrew the u32 offset index), compaction falls back to
+// decoding every input and folding them with one k-way dwarf.MergeAll.
 func (s *Store) compactOnce() (bool, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -677,24 +693,40 @@ func (s *Store) compactOnce() (bool, error) {
 		return false, nil
 	}
 
-	merged, err := dwarf.DecodeBytes(group[0].data)
-	if err != nil {
-		return false, fmt.Errorf("cubestore: decoding %s: %w", group[0].meta.File, err)
-	}
-	tuples := group[0].meta.Tuples
-	for _, seg := range group[1:] {
-		c, err := dwarf.DecodeBytes(seg.data)
-		if err != nil {
-			return false, fmt.Errorf("cubestore: decoding %s: %w", seg.meta.File, err)
-		}
-		if merged, err = dwarf.Merge(merged, c); err != nil {
-			return false, err
-		}
+	tuples := 0
+	for _, seg := range group {
 		tuples += seg.meta.Tuples
 	}
-	encoded, err := encodeCube(merged)
-	if err != nil {
-		return false, err
+	var encoded []byte
+	streamed := false
+	if !s.disableStreamingCompact {
+		views := make([]*dwarf.CubeView, len(group))
+		for i, seg := range group {
+			views[i] = seg.view
+		}
+		if enc, _, err := dwarf.MergeViewsBytes(views...); err == nil {
+			encoded = enc
+			streamed = true
+		}
+	}
+	if encoded == nil {
+		// Fallback: decode every input once and fold them with a single
+		// k-way merge (one coalesce pass, not k-1 pairwise re-coalesces).
+		cubes := make([]*dwarf.Cube, len(group))
+		for i, seg := range group {
+			c, err := dwarf.DecodeBytes(seg.data)
+			if err != nil {
+				return false, fmt.Errorf("cubestore: decoding %s: %w", seg.meta.File, err)
+			}
+			cubes[i] = c
+		}
+		merged, err := dwarf.MergeAll(cubes...)
+		if err != nil {
+			return false, err
+		}
+		if encoded, err = encodeCube(merged); err != nil {
+			return false, err
+		}
 	}
 	view, err := dwarf.OpenViewTrusted(encoded)
 	if err != nil {
@@ -760,6 +792,11 @@ func (s *Store) compactOnce() (bool, error) {
 	fsyncDir(s.dir)
 	s.publish()
 	s.compactions.Add(1)
+	if streamed {
+		s.streamingCompacts.Add(1)
+	} else {
+		s.fallbackCompacts.Add(1)
+	}
 	s.lastCompactErr = ""
 	return true, nil
 }
@@ -959,6 +996,12 @@ type Stats struct {
 	Compactions  int64         `json:"compactions"`
 	Appended     int64         `json:"appended"`
 
+	// StreamingCompactions counts compactions that ran the zero-copy k-way
+	// merge; FallbackCompactions counts those that fell back to decoding
+	// the inputs. Their sum is Compactions.
+	StreamingCompactions int64 `json:"streaming_compactions"`
+	FallbackCompactions  int64 `json:"fallback_compactions"`
+
 	// LastSealError / LastCompactError are the most recent background
 	// maintenance failures, empty once the next attempt succeeds.
 	LastSealError    string `json:"last_seal_error,omitempty"`
@@ -979,6 +1022,9 @@ func (s *Store) Stats() Stats {
 		Seals:       s.seals.Load(),
 		Compactions: s.compactions.Load(),
 		Appended:    s.appended.Load(),
+
+		StreamingCompactions: s.streamingCompacts.Load(),
+		FallbackCompactions:  s.fallbackCompacts.Load(),
 
 		LastSealError:    s.lastSealErr,
 		LastCompactError: s.lastCompactErr,

@@ -1,6 +1,7 @@
 package cubestore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -491,6 +492,120 @@ func TestStoreOrphanRemovalSparesForeignFiles(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "seg-123.tmp")); err == nil {
 		t.Error("store temp file survived recovery")
+	}
+}
+
+// TestStoreCompactionPaths drives the same workload through both
+// compaction engines — the streaming zero-copy k-way merge (the happy
+// path, which never decodes a segment) and the forced decode+MergeAll
+// fallback — and holds both stores to the batch-build answers. It also
+// pins the path accounting in Stats.
+func TestStoreCompactionPaths(t *testing.T) {
+	for _, fallback := range []bool{false, true} {
+		name := "streaming"
+		if fallback {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			s, err := Open(t.TempDir(), Options{
+				Dims:               testDims,
+				SealTuples:         40,
+				ChunkTuples:        16,
+				CompactFanout:      3,
+				DisableAutoCompact: true,
+				NoSync:             true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			s.disableStreamingCompact = fallback
+			var all []dwarf.Tuple
+			for i := 0; i < 12; i++ {
+				batch := randTuples(rng, 40)
+				if err := s.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, batch...)
+				if err := s.Seal(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n, err := s.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Fatal("expected at least one compaction")
+			}
+			st := s.Stats()
+			if st.StreamingCompactions+st.FallbackCompactions != st.Compactions {
+				t.Fatalf("path counters %d+%d disagree with %d compactions",
+					st.StreamingCompactions, st.FallbackCompactions, st.Compactions)
+			}
+			if fallback && st.StreamingCompactions != 0 {
+				t.Fatalf("forced fallback still ran %d streaming compactions", st.StreamingCompactions)
+			}
+			if !fallback && st.FallbackCompactions != 0 {
+				t.Fatalf("happy path fell back %d times: %+v", st.FallbackCompactions, st)
+			}
+			compareStore(t, s, all, nil, rng, true)
+		})
+	}
+}
+
+// TestStoreStreamingCompactionCanonicalBytes: a segment produced by the
+// streaming compactor is byte-identical to EncodeIndexed of a batch build
+// over the compacted tuples — compaction re-canonicalizes, so repeated
+// merge generations can never degrade the structure.
+func TestStoreStreamingCompactionCanonicalBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		Dims:               testDims,
+		SealTuples:         30,
+		CompactFanout:      3,
+		DisableAutoCompact: true,
+		NoSync:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var all []dwarf.Tuple
+	for i := 0; i < 3; i++ {
+		batch := randTuples(rng, 30)
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Compact(); err != nil || n != 1 {
+		t.Fatalf("Compact = %d, %v; want exactly 1", n, err)
+	}
+	st := s.Stats()
+	if len(st.Segments) != 1 {
+		t.Fatalf("want one merged segment, have %+v", st.Segments)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, st.Segments[0].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dwarf.New(testDims, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ref.EncodeIndexed(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("compacted segment is not the canonical batch encoding: %d vs %d bytes",
+			len(got), want.Len())
 	}
 }
 

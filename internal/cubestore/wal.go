@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/dwarf"
 )
@@ -109,27 +110,37 @@ func openWAL(dir string, gen uint64) (*wal, error) {
 	return &wal{gen: gen, path: path, file: f, w: bufio.NewWriterSize(f, 1<<16), bytes: st.Size()}, nil
 }
 
-// encodeWALRecord frames one batch as crc|len|payload.
-func encodeWALRecord(tuples []dwarf.Tuple) []byte {
-	payload := binary.AppendUvarint(nil, uint64(len(tuples)))
+// walRecPool recycles the per-append record buffer: the WAL frames one
+// record per Append, and without pooling every frame allocates (and grows)
+// a fresh payload slice on the hot ingest path.
+var walRecPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendWALRecord frames one batch as crc|len|payload into buf (reusing its
+// capacity) and returns the grown slice.
+func appendWALRecord(buf []byte, tuples []dwarf.Tuple) []byte {
+	rec := append(buf[:0], 0, 0, 0, 0, 0, 0, 0, 0) // crc + len placeholders
+	rec = binary.AppendUvarint(rec, uint64(len(tuples)))
 	for _, t := range tuples {
-		payload = binary.AppendUvarint(payload, uint64(len(t.Dims)))
+		rec = binary.AppendUvarint(rec, uint64(len(t.Dims)))
 		for _, k := range t.Dims {
-			payload = binary.AppendUvarint(payload, uint64(len(k)))
-			payload = append(payload, k...)
+			rec = binary.AppendUvarint(rec, uint64(len(k)))
+			rec = append(rec, k...)
 		}
-		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(t.Measure))
+		rec = binary.LittleEndian.AppendUint64(rec, math.Float64bits(t.Measure))
 	}
-	rec := make([]byte, 8, 8+len(payload))
+	payload := rec[8:]
 	binary.LittleEndian.PutUint32(rec[0:], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))
-	return append(rec, payload...)
+	return rec
 }
 
 // append writes one batch as a single record; with sync it is durable (and
 // therefore acknowledgeable) when append returns.
 func (l *wal) append(tuples []dwarf.Tuple, sync bool) error {
-	rec := encodeWALRecord(tuples)
+	bp := walRecPool.Get().(*[]byte)
+	rec := appendWALRecord(*bp, tuples)
+	*bp = rec
+	defer walRecPool.Put(bp)
 	if len(rec)-8 > maxWALRecord {
 		return fmt.Errorf("%w (%d bytes)", ErrBatchTooLarge, len(rec)-8)
 	}

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 )
 
 // Binary cube format, used by the flat-file baselines and for moving cubes
@@ -65,15 +66,61 @@ var (
 type crcWriter struct {
 	w   *bufio.Writer
 	crc uint32
+	n   int // bytes written after the magic
 }
 
 func (cw *crcWriter) Write(p []byte) (int, error) {
 	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	cw.n += len(p)
 	return cw.w.Write(p)
+}
+
+// encodeOffsets captures, during one Encode pass, exactly the node index a
+// post-hoc scanEncoded would recover: per-node record and ALL-record
+// offsets (absolute stream positions), the root id and the node section
+// start. EncodeIndexed uses it to attach the v2 trailer without re-scanning
+// the stream it just wrote.
+type encodeOffsets struct {
+	starts, allOffs []uint32
+	rootID          uint64
+	nodesStart      int
+	// order and ids are the emission-order scratch of the encode pass,
+	// pooled here so repeated encodes (seals, every segment write) reuse
+	// their backing storage.
+	order []*Node
+	ids   map[*Node]uint64
+}
+
+var encodeOffsetsPool = sync.Pool{New: func() any {
+	return &encodeOffsets{ids: make(map[*Node]uint64)}
+}}
+
+// reset drops every node reference before the struct goes back in the
+// pool — a pooled encodeOffsets must never pin the node graph of the cube
+// it last encoded (clearing order's full length zeroes the *Node pointers,
+// not just the slice header).
+func (e *encodeOffsets) reset() {
+	e.starts = e.starts[:0]
+	e.allOffs = e.allOffs[:0]
+	e.rootID = 0
+	e.nodesStart = 0
+	clear(e.order)
+	e.order = e.order[:0]
+	clear(e.ids)
 }
 
 // Encode writes the cube to w in the binary cube format.
 func (c *Cube) Encode(w io.Writer) error {
+	idx := encodeOffsetsPool.Get().(*encodeOffsets)
+	err := c.encode(w, idx)
+	idx.reset()
+	encodeOffsetsPool.Put(idx)
+	return err
+}
+
+// encode is the single encoding pass behind Encode and EncodeIndexed,
+// recording node offsets into idx as it writes.
+func (c *Cube) encode(w io.Writer, idx *encodeOffsets) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return err
@@ -130,17 +177,20 @@ func (c *Cube) Encode(w io.Writer) error {
 	}
 
 	// Assign ids children-first so references always point backwards.
-	ids := make(map[*Node]uint64)
-	var order []*Node
+	ids := idx.ids
+	order := idx.order
 	c.VisitDepthFirst(func(n *Node) bool {
 		order = append(order, n)
 		ids[n] = uint64(len(order))
 		return true
 	})
+	idx.order = order
 	if err := writeUvarint(uint64(len(order))); err != nil {
 		return err
 	}
+	idx.nodesStart = len(codecMagic) + cw.n
 	for _, n := range order {
+		idx.starts = append(idx.starts, uint32(len(codecMagic)+cw.n))
 		if err := writeUvarint(uint64(n.Level)); err != nil {
 			return err
 		}
@@ -169,6 +219,7 @@ func (c *Cube) Encode(w io.Writer) error {
 				return err
 			}
 		}
+		idx.allOffs = append(idx.allOffs, uint32(len(codecMagic)+cw.n))
 		var err error
 		if n.Leaf {
 			err = writeAgg(n.AllAgg)
@@ -183,6 +234,7 @@ func (c *Cube) Encode(w io.Writer) error {
 	if c.root != nil {
 		rootID = ids[c.root]
 	}
+	idx.rootID = rootID
 	if err := writeUvarint(rootID); err != nil {
 		return err
 	}
@@ -199,17 +251,43 @@ func (c *Cube) Encode(w io.Writer) error {
 // mmap'd region holding them) gets its node index in O(1) instead of a
 // scan. v1 readers decode the stream unchanged: the trailer sits after the
 // CRC word and is stripped before parsing.
+//
+// The trailer is built from offsets recorded during the encode pass itself
+// — one pass, no re-scan of the stream just written (streams of 4 GiB or
+// more cannot carry u32 offsets and are written without a trailer).
 func (c *Cube) EncodeIndexed(w io.Writer) error {
+	idx := encodeOffsetsPool.Get().(*encodeOffsets)
+	defer func() {
+		idx.reset()
+		encodeOffsetsPool.Put(idx)
+	}()
 	var buf bytes.Buffer
-	if err := c.Encode(&buf); err != nil {
+	if err := c.encode(&buf, idx); err != nil {
 		return err
 	}
-	out, err := AppendOffsetTrailer(buf.Bytes())
-	if err != nil {
-		return err
+	data := buf.Bytes()
+	if len(data) <= maxStreamBytes {
+		data = appendTrailer(data, idx.starts, idx.allOffs, idx.rootID, idx.nodesStart)
 	}
-	_, err = w.Write(out)
+	_, err := w.Write(data)
 	return err
+}
+
+// appendTrailer appends the v2 node-offset trailer (body, body CRC, body
+// length, magic) for the given absolute offsets to an encoded v1 stream.
+func appendTrailer(out []byte, starts, allOffs []uint32, rootID uint64, nodesStart int) []byte {
+	bodyStart := len(out)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(starts)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(rootID))
+	out = binary.LittleEndian.AppendUint32(out, uint32(nodesStart))
+	for i := range starts {
+		out = binary.LittleEndian.AppendUint32(out, starts[i])
+		out = binary.LittleEndian.AppendUint32(out, allOffs[i])
+	}
+	bodyLen := len(out) - bodyStart
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out[bodyStart:]))
+	out = binary.LittleEndian.AppendUint32(out, uint32(bodyLen))
+	return append(out, trailerMagic...)
 }
 
 // AppendOffsetTrailer returns data extended with a v2 node-offset trailer.
@@ -239,24 +317,9 @@ func AppendOffsetTrailer(data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	body := make([]byte, trailerFixedLen+8*len(starts))
-	binary.LittleEndian.PutUint32(body, uint32(len(starts)))
-	binary.LittleEndian.PutUint32(body[4:], uint32(rootID))
-	binary.LittleEndian.PutUint32(body[8:], uint32(h.nodesStart))
-	for i := range starts {
-		binary.LittleEndian.PutUint32(body[trailerFixedLen+8*i:], starts[i])
-		binary.LittleEndian.PutUint32(body[trailerFixedLen+8*i+4:], allOffs[i])
-	}
-	out := make([]byte, 0, len(v1)+len(body)+trailerFootLen)
-	out = append(out, v1...)
-	out = append(out, body...)
-	var word [4]byte
-	binary.LittleEndian.PutUint32(word[:], crc32.ChecksumIEEE(body))
-	out = append(out, word[:]...)
-	binary.LittleEndian.PutUint32(word[:], uint32(len(body)))
-	out = append(out, word[:]...)
-	out = append(out, trailerMagic...)
-	return out, nil
+	out := make([]byte, len(v1), len(v1)+trailerFixedLen+8*len(starts)+trailerFootLen)
+	copy(out, v1)
+	return appendTrailer(out, starts, allOffs, rootID, h.nodesStart), nil
 }
 
 // SplitEncoded separates an encoded stream into its v1 portion and, when a

@@ -32,6 +32,11 @@ func TestWriteFuzzCorpus(t *testing.T) {
 			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", quoted))
 		write("testdata/fuzz/FuzzViewQuery", fmt.Sprintf("seed-%02d", i),
 			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nstring(\"d1\")\nstring(\"north\")\nbyte(%d)\n", quoted, i%4))
+		// Pair each stream with its neighbour so the merge corpus starts
+		// from same-dims, mismatched-dims and not-a-cube combinations.
+		other := strconv.Quote(string(seeds[(i+1)%len(seeds)]))
+		write("testdata/fuzz/FuzzMergeViews", fmt.Sprintf("seed-%02d", i),
+			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n[]byte(%s)\n", quoted, other))
 	}
 	// A resealed-corrupt stream: structurally broken but checksum-valid, so
 	// the corpus starts past the CRC gate.

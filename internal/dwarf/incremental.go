@@ -56,16 +56,22 @@ func (inc *Incremental) Add(t Tuple) error {
 }
 
 // AddBatch buffers many tuples as one atomic call: a Cube() from another
-// goroutine sees either none or all of the batch.
+// goroutine sees either none or all of the batch. All tuples are validated
+// before any is buffered, and however many chunks the batch completes are
+// built individually but folded into the standing cube by a single k-way
+// MergeAll — one coalesce pass instead of one full merge per chunk.
 func (inc *Incremental) AddBatch(tuples []Tuple) error {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
 	for _, t := range tuples {
-		if err := inc.add(t); err != nil {
+		if err := ValidateTuple(t, len(inc.dims)); err != nil {
 			return err
 		}
 	}
-	return nil
+	for _, t := range tuples {
+		inc.pending = append(inc.pending, Tuple{Dims: append([]string(nil), t.Dims...), Measure: t.Measure})
+	}
+	return inc.flush(false)
 }
 
 func (inc *Incremental) add(t Tuple) error {
@@ -76,27 +82,48 @@ func (inc *Incremental) add(t Tuple) error {
 	}
 	inc.pending = append(inc.pending, Tuple{Dims: append([]string(nil), t.Dims...), Measure: t.Measure})
 	if len(inc.pending) >= inc.chunkSize {
-		return inc.flush()
+		return inc.flush(false)
 	}
 	return nil
 }
 
-// flush builds the pending chunk (sharded when the options carry a worker
-// count) and merges it into the standing cube. Callers hold inc.mu.
-func (inc *Incremental) flush() error {
-	if len(inc.pending) == 0 {
+// flush builds every complete chunk (plus, when all is set, the partial
+// tail) as its own delta cube — sharded when the options carry a worker
+// count — and folds the standing cube and all deltas with one k-way
+// MergeAll. The chunk partition is identical to flushing after every
+// chunkSize-th Add, so the resulting aggregates are bit-for-bit the same;
+// only the k-1 intermediate merge passes disappear. Callers hold inc.mu.
+func (inc *Incremental) flush(all bool) error {
+	pending := inc.pending
+	var merge []*Cube
+	for len(pending) >= inc.chunkSize {
+		delta, err := New(inc.dims, pending[:inc.chunkSize], inc.opts...)
+		if err != nil {
+			return err
+		}
+		merge = append(merge, delta)
+		pending = pending[inc.chunkSize:]
+	}
+	if all && len(pending) > 0 {
+		delta, err := New(inc.dims, pending, inc.opts...)
+		if err != nil {
+			return err
+		}
+		merge = append(merge, delta)
+		pending = nil
+	}
+	if len(merge) == 0 {
 		return nil
 	}
-	delta, err := New(inc.dims, inc.pending, inc.opts...)
-	if err != nil {
-		return err
-	}
-	merged, err := Merge(inc.cube, delta)
+	merged, err := MergeAll(append([]*Cube{inc.cube}, merge...)...)
 	if err != nil {
 		return err
 	}
 	inc.cube = merged
-	inc.pending = inc.pending[:0]
+	// Move any unflushed tail to the front of the buffer; the deltas copied
+	// their tuples during construction, so reuse is safe.
+	n := copy(inc.pending, pending)
+	inc.pending = inc.pending[:n]
 	return nil
 }
 
@@ -108,7 +135,7 @@ func (inc *Incremental) flush() error {
 func (inc *Incremental) Cube() (*Cube, error) {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
-	if err := inc.flush(); err != nil {
+	if err := inc.flush(true); err != nil {
 		return nil, err
 	}
 	return inc.cube, nil

@@ -10,18 +10,50 @@ import "fmt"
 // the new batch and merge it into the standing cube. The merged cube carries
 // a's options forward — including the Workers setting, so later Appends keep
 // building sharded.
-func Merge(a, b *Cube) (*Cube, error) {
-	if len(a.dims) != len(b.dims) {
-		return nil, fmt.Errorf("%w: %d vs %d dimensions", ErrDimsMismatch, len(a.dims), len(b.dims))
+func Merge(a, b *Cube) (*Cube, error) { return MergeAll(a, b) }
+
+// MergeAll combines any number of cubes over identical dimension lists in
+// one k-way pass: a single suffixCoalesce descends over all k roots at
+// once, merging cells in key order and folding matching aggregates in input
+// order. Folding k cubes this way costs one coalesce of the union instead
+// of the k-1 full re-coalesce passes a pairwise Merge chain performs, and
+// produces bit-identical aggregates (the pairwise chain folds in the same
+// left-to-right order). The result carries the first cube's options
+// forward and is marked FromQuery when any input is (the same flag rule
+// MergeViews applies, so the two engines stay interchangeable). With a
+// single input the input cube itself is returned.
+//
+// For merging cubes that are already encoded, MergeViews does the same
+// k-way descent directly over the bytes without materializing any nodes.
+func MergeAll(cubes ...*Cube) (*Cube, error) {
+	if len(cubes) == 0 {
+		return nil, fmt.Errorf("dwarf: MergeAll needs at least one cube")
 	}
-	for i := range a.dims {
-		if a.dims[i] != b.dims[i] {
-			return nil, fmt.Errorf("%w: dimension %d is %q vs %q", ErrDimsMismatch, i, a.dims[i], b.dims[i])
+	a := cubes[0]
+	for _, c := range cubes[1:] {
+		if len(a.dims) != len(c.dims) {
+			return nil, fmt.Errorf("%w: %d vs %d dimensions", ErrDimsMismatch, len(a.dims), len(c.dims))
+		}
+		for i := range a.dims {
+			if a.dims[i] != c.dims[i] {
+				return nil, fmt.Errorf("%w: dimension %d is %q vs %q", ErrDimsMismatch, i, a.dims[i], c.dims[i])
+			}
 		}
 	}
+	if len(cubes) == 1 {
+		return a, nil
+	}
 	mb := newBuilder(len(a.dims), a.opts)
-	mb.seq = maxInt64(a.nextSeq, b.nextSeq)
-	root := mb.suffixCoalesce([]*Node{a.root, b.root})
+	roots := make([]*Node, len(cubes))
+	numTuples := 0
+	fromQuery := false
+	for i, c := range cubes {
+		roots[i] = c.root
+		numTuples += c.numTuples
+		fromQuery = fromQuery || c.FromQuery
+		mb.seq = maxInt64(mb.seq, c.nextSeq)
+	}
+	root := mb.suffixCoalesce(roots)
 	if root == nil {
 		root = mb.close(mb.newNode(0))
 	}
@@ -29,7 +61,8 @@ func Merge(a, b *Cube) (*Cube, error) {
 		dims:      append([]string(nil), a.dims...),
 		root:      root,
 		opts:      a.opts,
-		numTuples: a.numTuples + b.numTuples,
+		numTuples: numTuples,
+		FromQuery: fromQuery,
 		nextSeq:   mb.seq,
 	}, nil
 }

@@ -1,0 +1,401 @@
+package dwarf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The streaming-merge differential suite. The central property: MergeViews
+// over any partition of a fact multiset — however the inputs were built
+// (every ablation option set, serial or sharded) and however they were
+// encoded (plain v1 or v2-indexed) — produces bytes identical to
+// EncodeIndexed of one default-options batch build over the whole multiset.
+// Measures are small integers so aggregate arithmetic is exact and the
+// bit-identity claim is unconditional.
+
+// intTuples returns n random tuples with small integer measures.
+func intTuples(rng *rand.Rand, ndims, n, card int) []Tuple {
+	out := make([]Tuple, n)
+	for i := range out {
+		dims := make([]string, ndims)
+		for d := range dims {
+			dims[d] = fmt.Sprintf("k%d", rng.Intn(card))
+		}
+		out[i] = Tuple{Dims: dims, Measure: float64(rng.Intn(19) - 9)}
+	}
+	return out
+}
+
+// partition splits tuples into parts consecutive slices (some possibly
+// empty) at random cut points.
+func partition(rng *rand.Rand, tuples []Tuple, parts int) [][]Tuple {
+	cuts := make([]int, parts-1)
+	for i := range cuts {
+		cuts[i] = rng.Intn(len(tuples) + 1)
+	}
+	for i := range cuts { // insertion sort, tiny
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	out := make([][]Tuple, parts)
+	prev := 0
+	for i, c := range cuts {
+		out[i] = tuples[prev:c]
+		prev = c
+	}
+	out[parts-1] = tuples[prev:]
+	return out
+}
+
+// encodeFor encodes a cube plain (even parts) or indexed (odd), exercising
+// both the trailer-index and lazy-scan view paths in the merge.
+func encodeFor(t *testing.T, c *Cube, indexed bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	if indexed {
+		err = c.EncodeIndexed(&buf)
+	} else {
+		err = c.Encode(&buf)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func batchIndexed(t *testing.T, dims []string, tuples []Tuple) []byte {
+	t.Helper()
+	ref, err := New(dims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ref.EncodeIndexed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeViewsMatchesBatchBytes(t *testing.T) {
+	ablations := [][]Option{
+		nil,
+		{WithoutSuffixCoalescing()},
+		{WithoutHashConsing()},
+		{WithoutSuffixCoalescing(), WithoutHashConsing()},
+	}
+	for ai, opts := range ablations {
+		for _, workers := range []int{1, 4} {
+			for parts := 2; parts <= 5; parts++ {
+				name := fmt.Sprintf("ablation%d/workers%d/parts%d", ai, workers, parts)
+				opts, workers, parts := opts, workers, parts
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					rng := rand.New(rand.NewSource(int64(1000*ai + 10*workers + parts)))
+					ndims := 1 + rng.Intn(4)
+					dims := dimNames(ndims)
+					tuples := intTuples(rng, ndims, 40+rng.Intn(160), 1+rng.Intn(5))
+					views := make([]*CubeView, parts)
+					for i, part := range partition(rng, tuples, parts) {
+						c, err := New(dims, part, append([]Option{WithWorkers(workers)}, opts...)...)
+						if err != nil {
+							t.Fatal(err)
+						}
+						v, err := OpenView(encodeFor(t, c, i%2 == 1))
+						if err != nil {
+							t.Fatal(err)
+						}
+						views[i] = v
+					}
+					got, stats, err := MergeViewsBytes(views...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := batchIndexed(t, dims, tuples)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("MergeViews output differs from the batch build: %d vs %d bytes", len(got), len(want))
+					}
+					if stats.Tuples != len(tuples) || stats.Inputs != parts {
+						t.Fatalf("stats %+v: want %d tuples over %d inputs", stats, len(tuples), parts)
+					}
+					if stats.BytesWritten != int64(len(got)) {
+						t.Fatalf("stats.BytesWritten = %d, wrote %d", stats.BytesWritten, len(got))
+					}
+					ref, err := DecodeBytes(want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rs := ref.Stats(); stats.Nodes != rs.Nodes || stats.Cells != rs.Cells {
+						t.Fatalf("stats count %d nodes / %d cells, batch cube has %d / %d",
+							stats.Nodes, stats.Cells, rs.Nodes, rs.Cells)
+					}
+					// The io.Writer form emits the same stream.
+					var buf bytes.Buffer
+					if _, err := MergeViews(&buf, views...); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(buf.Bytes(), want) {
+						t.Fatal("MergeViews(dst) differs from MergeViewsBytes")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMergeViewsEdgeInputs covers the degenerate shapes compaction can
+// meet: all-empty inputs, empty-plus-loaded, single-tuple cubes, and a
+// single input (which canonicalizes whatever encoding it was given).
+func TestMergeViewsEdgeInputs(t *testing.T) {
+	dims := []string{"a", "b"}
+	mkView := func(tuples []Tuple, opts ...Option) *CubeView {
+		c, err := New(dims, tuples, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := OpenView(encodeFor(t, c, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	one := []Tuple{{Dims: []string{"x", "y"}, Measure: 3}}
+	two := []Tuple{{Dims: []string{"x", "z"}, Measure: 5}, {Dims: []string{"w", "y"}, Measure: 2}}
+
+	cases := []struct {
+		name  string
+		views []*CubeView
+		union []Tuple
+	}{
+		{"all-empty", []*CubeView{mkView(nil), mkView(nil), mkView(nil)}, nil},
+		{"empty-plus-loaded", []*CubeView{mkView(nil), mkView(two), mkView(nil)}, two},
+		{"single-tuple-cubes", []*CubeView{mkView(one), mkView(two)}, append(append([]Tuple{}, one...), two...)},
+		{"single-input", []*CubeView{mkView(two)}, two},
+		{"single-input-ablated", []*CubeView{mkView(two, WithoutSuffixCoalescing(), WithoutHashConsing())}, two},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, stats, err := MergeViewsBytes(tc.views...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := batchIndexed(t, dims, tc.union)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("output differs from batch build: %d vs %d bytes", len(got), len(want))
+			}
+			if stats.Tuples != len(tc.union) {
+				t.Fatalf("stats.Tuples = %d, want %d", stats.Tuples, len(tc.union))
+			}
+		})
+	}
+}
+
+func TestMergeViewsValidation(t *testing.T) {
+	mk := func(dims []string) *CubeView {
+		c, err := New(dims, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := OpenView(encodeFor(t, c, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if _, _, err := MergeViewsBytes(); err == nil {
+		t.Error("MergeViews with no inputs must fail")
+	}
+	if _, _, err := MergeViewsBytes(mk([]string{"a"}), mk([]string{"a", "b"})); !errors.Is(err, ErrDimsMismatch) {
+		t.Errorf("dimension count mismatch: %v", err)
+	}
+	if _, _, err := MergeViewsBytes(mk([]string{"a", "b"}), mk([]string{"a", "c"})); !errors.Is(err, ErrDimsMismatch) {
+		t.Errorf("dimension name mismatch: %v", err)
+	}
+}
+
+// TestMergeViewsFromQueryFlag: merging query-derived cubes keeps the
+// is_cube flag set in the output header.
+func TestMergeViewsFromQueryFlag(t *testing.T) {
+	c, err := New([]string{"a"}, []Tuple{{Dims: []string{"x"}, Measure: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FromQuery = true
+	v, err := OpenView(encodeFor(t, c, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := MergeViewsBytes(v, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := DecodeBytes(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.FromQuery {
+		t.Error("FromQuery flag lost in merge")
+	}
+	// Both engines apply the same flag rule, so the streaming path and the
+	// decode+MergeAll fallback emit identical bytes for the same inputs.
+	inMem, err := MergeAll(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inMem.FromQuery {
+		t.Error("MergeAll dropped the FromQuery flag")
+	}
+	var reenc bytes.Buffer
+	if err := inMem.EncodeIndexed(&reenc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, reenc.Bytes()) {
+		t.Error("streaming merge and MergeAll+EncodeIndexed disagree for FromQuery inputs")
+	}
+}
+
+// TestMergeAllMatchesBatch: the k-way in-memory merge answers exactly like
+// a batch build of the union, for every ablation set, and shares the same
+// left-fold aggregate order as a pairwise Merge chain (bit-identical sums
+// even with fractional measures).
+func TestMergeAllMatchesBatch(t *testing.T) {
+	ablations := [][]Option{
+		nil,
+		{WithoutSuffixCoalescing()},
+		{WithoutHashConsing()},
+		{WithoutSuffixCoalescing(), WithoutHashConsing()},
+	}
+	for ai, opts := range ablations {
+		rng := rand.New(rand.NewSource(int64(ai)))
+		ndims := 1 + rng.Intn(3)
+		dims := dimNames(ndims)
+		var all []Tuple
+		var cubes []*Cube
+		for i := 0; i < 4; i++ {
+			part := randomTuples(rng, ndims, rng.Intn(50), 4)
+			all = append(all, part...)
+			c, err := New(dims, part, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cubes = append(cubes, c)
+		}
+		merged, err := MergeAll(cubes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairwise := cubes[0]
+		for _, c := range cubes[1:] {
+			if pairwise, err = Merge(pairwise, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		union, err := New(dims, all, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.NumSourceTuples() != len(all) {
+			t.Fatalf("ablation %d: tuples %d, want %d", ai, merged.NumSourceTuples(), len(all))
+		}
+		for q := 0; q < 40; q++ {
+			keys := randomQuery(rng, ndims, 5)
+			got, _ := merged.Point(keys...)
+			want, _ := union.Point(keys...)
+			if !got.Equal(want) {
+				t.Fatalf("ablation %d query %v: MergeAll=%v union=%v", ai, keys, got, want)
+			}
+			pw, _ := pairwise.Point(keys...)
+			if math.Float64bits(got.Sum) != math.Float64bits(pw.Sum) || got.Count != pw.Count {
+				t.Fatalf("ablation %d query %v: MergeAll=%v pairwise=%v (fold order diverged)", ai, keys, got, pw)
+			}
+		}
+		if err := merged.CheckInvariants(); err != nil {
+			t.Errorf("ablation %d: %v", ai, err)
+		}
+	}
+	// Degenerate arities.
+	if _, err := MergeAll(); err == nil {
+		t.Error("MergeAll() must fail")
+	}
+	solo, err := New([]string{"d"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := MergeAll(solo); err != nil || got != solo {
+		t.Errorf("MergeAll(single) = %v, %v; want the input cube itself", got, err)
+	}
+}
+
+// FuzzMergeViews drives the streaming merge over arbitrary (resealed)
+// streams: it must never panic, fail only with the codec sentinels or a
+// dimension mismatch, and any stream it does emit must be fully valid and
+// agree with the in-memory MergeAll over the decoded inputs.
+func FuzzMergeViews(f *testing.F) {
+	seeds := fuzzSeedStreams(f)
+	for i, s := range seeds {
+		f.Add(s, seeds[(i+1)%len(seeds)])
+	}
+	f.Fuzz(func(t *testing.T, d1, d2 []byte) {
+		clean := func(op string, err error) {
+			if err == nil || errors.Is(err, ErrDimsMismatch) || errors.Is(err, ErrMergeTooLarge) {
+				return
+			}
+			wantCleanError(t, op, err)
+		}
+		v1, err := OpenView(resealV1(d1))
+		wantCleanError(t, "OpenView", err)
+		v2, err2 := OpenView(resealV1(d2))
+		wantCleanError(t, "OpenView", err2)
+		if err != nil || err2 != nil {
+			return
+		}
+		out, stats, err := MergeViewsBytes(v1, v2)
+		clean("MergeViews", err)
+		if err != nil {
+			return
+		}
+		merged, err := DecodeBytes(out)
+		if err != nil {
+			t.Fatalf("MergeViews emitted an invalid stream: %v", err)
+		}
+		if !HasOffsetTrailer(out) {
+			t.Fatal("MergeViews emitted no offset trailer")
+		}
+		if merged.NumSourceTuples() != stats.Tuples {
+			t.Fatalf("output carries %d tuples, stats say %d", merged.NumSourceTuples(), stats.Tuples)
+		}
+		c1, e1 := DecodeBytes(resealV1(d1))
+		c2, e2 := DecodeBytes(resealV1(d2))
+		if e1 != nil || e2 != nil {
+			return
+		}
+		ref, err := MergeAll(c1, c2)
+		if err != nil {
+			return
+		}
+		wild := make([]string, merged.NumDims())
+		for i := range wild {
+			wild[i] = All
+		}
+		got, err := merged.Point(wild...)
+		if err != nil {
+			t.Fatalf("Point on merged output: %v", err)
+		}
+		want, err := ref.Point(wild...)
+		if err != nil {
+			t.Fatalf("Point on MergeAll reference: %v", err)
+		}
+		if got.Count != want.Count {
+			t.Fatalf("merged count %d, MergeAll count %d", got.Count, want.Count)
+		}
+		if !math.IsNaN(got.Sum) && !math.IsNaN(want.Sum) &&
+			math.Float64bits(got.Sum) != math.Float64bits(want.Sum) {
+			t.Fatalf("merged sum %v, MergeAll sum %v", got.Sum, want.Sum)
+		}
+	})
+}

@@ -69,6 +69,22 @@ func BuildCubeParallel(dims []string, tuples []Tuple, workers int, opts ...CubeO
 // maintenance).
 func MergeCubes(a, b *Cube) (*Cube, error) { return dwarf.Merge(a, b) }
 
+// MergeAllCubes folds any number of cubes over the same dimensions in one
+// k-way pass — cheaper than a chain of MergeCubes and bit-identical in its
+// aggregates.
+func MergeAllCubes(cubes ...*Cube) (*Cube, error) { return dwarf.MergeAll(cubes...) }
+
+// CubeMergeStats describes one streaming merge (MergeCubeViews).
+type CubeMergeStats = dwarf.MergeStats
+
+// MergeCubeViews merges k encoded cubes directly view-to-bytes, writing one
+// v2-indexed stream to dst without materializing any node graph — the
+// engine behind live-store segment compaction. The output is the canonical
+// encoding of the merged facts.
+func MergeCubeViews(dst io.Writer, views ...*CubeView) (CubeMergeStats, error) {
+	return dwarf.MergeViews(dst, views...)
+}
+
 // Zero-copy serving types.
 type (
 	// CubeView answers queries directly against encoded cube bytes — no
