@@ -4,6 +4,8 @@
 //	dwarfbench -exp table4            # storage sizes (Table 4)
 //	dwarfbench -exp table5            # insertion times (Table 5)
 //	dwarfbench -exp bao               # §5.1 flat-file baseline comparison
+//	dwarfbench -exp query             # unified kernel: Cube vs zero-copy CubeView
+//	dwarfbench -exp storequery        # on-store point queries per schema model
 //	dwarfbench -exp parallel          # sharded-build ablation (1/2/4/8 workers)
 //	dwarfbench -exp serve             # serving path: Decode vs CubeView open + q/s
 //	dwarfbench -exp ingest            # live store: WAL+memtable ingest + freshness
@@ -34,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, parallel, serve, ingest, compact, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, storequery, parallel, serve, ingest, compact, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
@@ -42,10 +44,10 @@ func main() {
 	workers := flag.Int("workers", 1, "shard workers for -exp table2 cube construction (1 = serial)")
 	workerCounts := flag.String("worker-counts", "1,2,4,8", "worker counts swept by -exp parallel")
 	repeats := flag.Int("repeats", 3, "runs per measurement in -exp parallel/serve (best kept)")
-	queries := flag.Int("queries", 2000, "point queries per battery in -exp serve")
+	queries := flag.Int("queries", 2000, "point queries per battery in -exp serve/query")
 	batch := flag.Int("batch", 512, "tuples per Append in -exp ingest")
 	parts := flag.Int("parts", 4, "input segments merged by -exp compact")
-	jsonOut := flag.String("json", "", "also write -exp compact results as JSON to this path (e.g. BENCH_compact.json)")
+	jsonOut := flag.String("json", "", "also write -exp compact/query results as JSON to this path (e.g. BENCH_query.json)")
 	sealTuples := flag.Int("seal", 0, "live-store seal threshold in -exp ingest (0 = default)")
 	sync := flag.Bool("sync", true, "fsync every Append in -exp ingest (the durable configuration)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -111,6 +113,8 @@ func main() {
 	case "bao":
 		err = runBao(presets, *dir)
 	case "query":
+		err = runQueryKernel(presets, *queries, *jsonOut, progress)
+	case "storequery":
 		err = runQuery(presets, *dir)
 	case "parallel":
 		err = runParallel(presets, *workerCounts, *repeats)
@@ -124,7 +128,10 @@ func main() {
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
 				if err = runBao(presets, *dir); err == nil {
-					if err = runQuery(presets[:1], *dir); err == nil {
+					if err = runQueryKernel(presets[:1], *queries, "", progress); err == nil {
+						err = runQuery(presets[:1], *dir)
+					}
+					if err == nil {
 						if err = runParallel(presets[:1], *workerCounts, *repeats); err == nil {
 							if err = runServe(presets[:1], *queries, *repeats); err == nil {
 								if err = runIngest(presets[:1], ingestOpts, progress); err == nil {
@@ -216,6 +223,22 @@ func runBao(presets []string, dir string) error {
 	}
 	bench.FormatBao(results).Fprint(os.Stdout)
 	fmt.Println()
+	return nil
+}
+
+func runQueryKernel(presets []string, queries int, jsonOut string, progress func(string)) error {
+	results, err := bench.RunQueryKernel(presets, queries, progress)
+	if err != nil {
+		return err
+	}
+	bench.FormatQueryKernel(results).Fprint(os.Stdout)
+	fmt.Println()
+	if jsonOut != "" {
+		if err := bench.WriteQueryJSON(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
 	return nil
 }
 

@@ -18,10 +18,17 @@
 //	GET  /cubes                                        registry + hot cache
 //	GET  /query/point?cube=week.dwarf&key=2015&key=*…  one key per dimension
 //	POST /query/range    {"cube":…,"selectors":[{"lo":…,"hi":…},…]}
-//	POST /query/groupby  {"cube":…,"dim":"Area","selectors":[…]}
+//	POST /query/groupby  {"cube":…,"dim":"Area","selectors":[…],"limit":…,"offset":…}
+//	POST /query/topk     {"cube":…,"dim":"Station","k":10,"by":"sum","threshold":…}
+//	POST /query/rollup   {"cube":…,"keep":["Month","Area"]}
 //	GET  /stats?cube=week.dwarf
 //	POST /ingest         {"tuples":[{"dims":[…],"measure":…},…]}   (-live)
 //	GET  /store/stats                                              (-live)
+//
+// Every query shape runs through the unified kernel and works identically
+// on cube files and the live cube. Keyed responses (groupby/topk/rollup)
+// are capped at -group-limit groups per response and paginated with
+// limit/offset.
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("dir", "", "directory of .dwarf cube files (default: the -live dir, else .)")
 	cache := flag.Int("cache", serve.DefaultCacheSize, "hot cube views kept in the LRU")
+	groupLimit := flag.Int("group-limit", serve.DefaultGroupLimit,
+		"max groups per group-by/top-k/rollup response (clients page with limit/offset)")
 	live := flag.String("live", "", "directory of a live cube store to open (enables /ingest)")
 	dims := flag.String("dims", strings.Join(smartcity.BikeDims, ","),
 		"comma-separated dimension list for a newly created -live store")
@@ -55,7 +64,7 @@ func main() {
 		}
 	})
 
-	opts := serve.Options{Dir: *dir, CacheSize: *cache}
+	opts := serve.Options{Dir: *dir, CacheSize: *cache, GroupLimit: *groupLimit}
 	if *live != "" {
 		// The -dims default only applies to a store being created; an
 		// existing store's manifest is the truth unless -dims was given

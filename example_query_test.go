@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func exampleCube() *repro.Cube {
+	dims := []string{"City", "Station", "Status"}
+	cube, err := repro.BuildCube(dims, []repro.Tuple{
+		{Dims: []string{"Dublin", "Fenian St", "open"}, Measure: 12},
+		{Dims: []string{"Dublin", "Pearse St", "open"}, Measure: 30},
+		{Dims: []string{"Dublin", "Pearse St", "closed"}, Measure: 4},
+		{Dims: []string{"Cork", "Patrick St", "open"}, Measure: 9},
+		{Dims: []string{"Cork", "Grand Parade", "open"}, Measure: 7},
+		{Dims: []string{"Paris", "Rue Cler", "open"}, Measure: 25},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return cube
+}
+
+// ExampleTopK ranks stations by total measure — the iceberg/top-k shape.
+// The same call works on a CubeView or a LiveStore: all three implement
+// repro.Querier and answer through one query kernel.
+func ExampleTopK() {
+	cube := exampleCube()
+	entries, err := repro.TopK(cube, "Station", nil, repro.TopKSpec{K: 3, By: repro.BySum})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("%s: %g\n", e.Key, e.Agg.Sum)
+	}
+	// Output:
+	// Pearse St: 34
+	// Rue Cler: 25
+	// Fenian St: 12
+}
+
+// ExampleRollUp collapses the cube to the City grain without rebuilding a
+// cube: one sorted row per city, counts preserved.
+func ExampleRollUp() {
+	cube := exampleCube()
+	dims, rows, err := repro.RollUp(cube, "City")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dims)
+	for _, row := range rows {
+		fmt.Printf("%s: sum=%g count=%d\n", row.Keys[0], row.Agg.Sum, row.Agg.Count)
+	}
+	// Output:
+	// [City]
+	// Cork: sum=16 count=2
+	// Dublin: sum=46 count=3
+	// Paris: sum=25 count=1
+}
+
+// ExampleDrillDown expands one member's children: from the city Dublin down
+// to its stations.
+func ExampleDrillDown() {
+	cube := exampleCube()
+	stations, err := repro.DrillDown(cube, map[string]string{"City": "Dublin"}, "Station")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Fenian St: %g\n", stations["Fenian St"].Sum)
+	fmt.Printf("Pearse St: %g\n", stations["Pearse St"].Sum)
+	// Output:
+	// Fenian St: 12
+	// Pearse St: 34
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+// The query experiment measures the unified kernel across the two
+// single-source representations it serves: the in-memory node graph
+// (*dwarf.Cube) and the zero-copy encoded view (*dwarf.CubeView). One
+// battery of point / range / group-by / top-k queries runs on both —
+// byte-equal answers are a hard gate — and each (shape, source) cell is
+// measured with testing.Benchmark, so ns/op and allocs/op come from the
+// standard allocation accounting (the same numbers the committed
+// BenchmarkKernel* benchmarks report). The view numbers pin the zero-copy
+// promise: Point allocates nothing, and the scan shapes allocate only
+// their result containers.
+
+// QueryShapeCost is one (shape, source) measurement.
+type QueryShapeCost struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// QueryShapeResult compares one query shape across the two sources.
+type QueryShapeResult struct {
+	Shape string         `json:"shape"`
+	Cube  QueryShapeCost `json:"cube"`
+	View  QueryShapeCost `json:"view"`
+}
+
+// QueryResultSet is one preset's kernel measurements.
+type QueryResultSet struct {
+	Preset string             `json:"preset"`
+	Tuples int                `json:"tuples"`
+	Shapes []QueryShapeResult `json:"shapes"`
+}
+
+// RunQueryKernel builds each preset's cube, opens its trailer-indexed
+// zero-copy view, verifies both answer the whole battery identically, and
+// measures every query shape on both.
+func RunQueryKernel(presets []string, queries int, progress func(string)) ([]QueryResultSet, error) {
+	if queries <= 0 {
+		queries = 512
+	}
+	var out []QueryResultSet
+	for _, preset := range presets {
+		tuples, err := DatasetTuples(preset)
+		if err != nil {
+			return nil, err
+		}
+		cube, err := dwarf.New(smartcity.BikeDims, tuples)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := cube.EncodeIndexed(&buf); err != nil {
+			return nil, err
+		}
+		view, err := dwarf.OpenViewTrusted(buf.Bytes())
+		if err != nil {
+			return nil, err
+		}
+
+		// Deterministic point battery: base facts with rotating wildcards.
+		var points [][]string
+		cube.Tuples(func(keys []string, _ dwarf.Aggregate) bool {
+			q := append([]string(nil), keys...)
+			switch len(points) % 4 {
+			case 1:
+				q[len(q)-1] = dwarf.All
+			case 2:
+				q[len(q)-1], q[len(q)-2] = dwarf.All, dwarf.All
+			case 3:
+				q[0] = dwarf.All
+			}
+			points = append(points, q)
+			return len(points) < queries
+		})
+		dimIdx := func(name string) int {
+			for i, d := range smartcity.BikeDims {
+				if d == name {
+					return i
+				}
+			}
+			return 0
+		}
+		area, station := dimIdx("Area"), dimIdx("Station")
+		ndims := len(smartcity.BikeDims)
+		rangeSels := make([]dwarf.Selector, ndims)
+		rangeSels[area] = dwarf.SelectRange("area-2", "area-7")
+		rangeSels[dimIdx("Quarter")] = dwarf.SelectKeys("Q1", "Q2", "Q3")
+		allSels := make([]dwarf.Selector, ndims)
+		spec := dwarf.TopKSpec{K: 10, By: dwarf.BySum}
+
+		// Hard differential gate before timing anything.
+		for _, q := range points[:min(len(points), 64)] {
+			a, err := cube.Point(q...)
+			if err != nil {
+				return nil, err
+			}
+			b, err := view.Point(q...)
+			if err != nil {
+				return nil, err
+			}
+			if !a.Equal(b) {
+				return nil, fmt.Errorf("bench: %s cube/view diverged on %v", preset, q)
+			}
+		}
+		cg, err := cube.GroupBy(station, allSels)
+		if err != nil {
+			return nil, err
+		}
+		vg, err := view.GroupBy(station, allSels)
+		if err != nil {
+			return nil, err
+		}
+		if len(cg) != len(vg) {
+			return nil, fmt.Errorf("bench: %s group-by diverged (%d vs %d groups)", preset, len(cg), len(vg))
+		}
+
+		set := QueryResultSet{Preset: preset, Tuples: len(tuples)}
+		type shapeFns struct {
+			name string
+			cube func() error
+			view func() error
+		}
+		i := 0
+		shapes := []shapeFns{
+			{"point",
+				func() error { _, err := cube.Point(points[i%len(points)]...); i++; return err },
+				func() error { _, err := view.Point(points[i%len(points)]...); i++; return err }},
+			{"range",
+				func() error { _, err := cube.Range(rangeSels); return err },
+				func() error { _, err := view.Range(rangeSels); return err }},
+			{"groupby",
+				func() error { _, err := cube.GroupBy(station, allSels); return err },
+				func() error { _, err := view.GroupBy(station, allSels); return err }},
+			{"topk",
+				func() error { _, err := cube.TopK(station, allSels, spec); return err },
+				func() error { _, err := view.TopK(station, allSels, spec); return err }},
+		}
+		for _, sh := range shapes {
+			if progress != nil {
+				progress(fmt.Sprintf("query: %s %s", preset, sh.name))
+			}
+			res := QueryShapeResult{Shape: sh.name}
+			res.Cube, err = measureQuery(sh.cube)
+			if err != nil {
+				return nil, err
+			}
+			res.View, err = measureQuery(sh.view)
+			if err != nil {
+				return nil, err
+			}
+			set.Shapes = append(set.Shapes, res)
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+// measureQuery times one query under the standard benchmark harness.
+func measureQuery(fn func() error) (QueryShapeCost, error) {
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				failed = err
+				b.FailNow()
+			}
+		}
+	})
+	if failed != nil {
+		return QueryShapeCost{}, failed
+	}
+	return QueryShapeCost{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+// FormatQueryKernel renders the kernel comparison.
+func FormatQueryKernel(results []QueryResultSet) *Table {
+	t := NewTable("Unified query kernel — node graph (Cube) vs zero-copy (CubeView)",
+		"Dataset", "Tuples", "Shape",
+		"Cube ns/op", "Cube allocs", "View ns/op", "View allocs", "View B/op")
+	for _, set := range results {
+		for _, sh := range set.Shapes {
+			t.AddRow(set.Preset, fmt.Sprintf("%d", set.Tuples), sh.Shape,
+				fmt.Sprintf("%.0f", sh.Cube.NsPerOp),
+				fmt.Sprintf("%d", sh.Cube.AllocsPerOp),
+				fmt.Sprintf("%.0f", sh.View.NsPerOp),
+				fmt.Sprintf("%d", sh.View.AllocsPerOp),
+				fmt.Sprintf("%d", sh.View.BytesPerOp))
+		}
+	}
+	return t
+}
+
+// queryReport is the BENCH_query.json schema: the perf-trajectory file CI
+// regenerates so kernel regressions are visible across commits.
+type queryReport struct {
+	Experiment string           `json:"experiment"`
+	Generated  string           `json:"generated"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Results    []QueryResultSet `json:"results"`
+}
+
+// WriteQueryJSON writes the kernel results as JSON to path.
+func WriteQueryJSON(path string, results []QueryResultSet) error {
+	rep := queryReport{
+		Experiment: "query",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/dwarf"
+	"repro/internal/query"
 )
 
 // Defaults for Options' zero values.
@@ -855,24 +856,26 @@ func (s *Store) crashClose() {
 
 // ---- Queries ----
 
-// queryTarget is the query surface shared by *dwarf.Cube (the live
-// memtable's standing cube) and *dwarf.CubeView (sealed segments).
-type queryTarget interface {
-	Point(keys ...string) (dwarf.Aggregate, error)
-	Range(sels []dwarf.Selector) (dwarf.Aggregate, error)
-	GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error)
-}
+// The store implements every shape of the shared query surface
+// (query.Querier) the same way: run the unified kernel against each target
+// — every sealed segment's zero-copy CubeView plus the live memtable cube,
+// both dwarf.Sources answering through the same kernel code — then merge
+// the partial results in deterministic target order. Aggregate shapes merge
+// with dwarf.MergeAggregates; keyed shapes merge per key
+// (dwarf.MergeGroupMaps / dwarf.MergePivotGroups); TopK cuts only after
+// every partial group is in, so a key that is small in every segment but
+// large in total still ranks (docs/QUERY.md).
 
 // targets snapshots the fan-out set: every sealed segment view plus the
 // live cube. The snapshot is immutable, so the query runs lock-free even
 // while seals and compactions swap the store state underneath.
-func (s *Store) targets() ([]queryTarget, error) {
+func (s *Store) targets() ([]query.Querier, error) {
 	st := s.state.Load()
 	live, err := st.mem.Cube()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]queryTarget, 0, len(st.segs)+1)
+	out := make([]query.Querier, 0, len(st.segs)+1)
 	for _, seg := range st.segs {
 		out = append(out, seg.view)
 	}
@@ -881,7 +884,7 @@ func (s *Store) targets() ([]queryTarget, error) {
 
 // fanOut runs fn against every target, concurrently when there are several,
 // and hands the partial results to merge in deterministic target order.
-func fanOut[T any](targets []queryTarget, fn func(queryTarget) (T, error)) ([]T, error) {
+func fanOut[T any](targets []query.Querier, fn func(query.Querier) (T, error)) ([]T, error) {
 	results := make([]T, len(targets))
 	if len(targets) <= 2 || runtime.GOMAXPROCS(0) == 1 {
 		for i, q := range targets {
@@ -897,7 +900,7 @@ func fanOut[T any](targets []queryTarget, fn func(queryTarget) (T, error)) ([]T,
 	var wg sync.WaitGroup
 	for i, q := range targets {
 		wg.Add(1)
-		go func(i int, q queryTarget) {
+		go func(i int, q query.Querier) {
 			defer wg.Done()
 			results[i], errs[i] = fn(q)
 		}(i, q)
@@ -911,7 +914,7 @@ func fanOut[T any](targets []queryTarget, fn func(queryTarget) (T, error)) ([]T,
 	return results, nil
 }
 
-func (s *Store) aggQuery(fn func(queryTarget) (dwarf.Aggregate, error)) (dwarf.Aggregate, error) {
+func (s *Store) aggQuery(fn func(query.Querier) (dwarf.Aggregate, error)) (dwarf.Aggregate, error) {
 	targets, err := s.targets()
 	if err != nil {
 		return dwarf.Aggregate{}, err
@@ -927,39 +930,73 @@ func (s *Store) aggQuery(fn func(queryTarget) (dwarf.Aggregate, error)) (dwarf.A
 	return agg, nil
 }
 
+// groupQuery fans a per-key map shape out and merges the partials per key.
+func (s *Store) groupQuery(fn func(query.Querier) (map[string]dwarf.Aggregate, error)) (map[string]dwarf.Aggregate, error) {
+	targets, err := s.targets()
+	if err != nil {
+		return nil, err
+	}
+	parts, err := fanOut(targets, fn)
+	if err != nil {
+		return nil, err
+	}
+	return dwarf.MergeGroupMaps(make(map[string]dwarf.Aggregate), parts...), nil
+}
+
 // Point answers a point/ALL query across every sealed segment and the live
 // memtable, reflecting every acknowledged tuple.
 func (s *Store) Point(keys ...string) (dwarf.Aggregate, error) {
-	return s.aggQuery(func(q queryTarget) (dwarf.Aggregate, error) { return q.Point(keys...) })
+	return s.aggQuery(func(q query.Querier) (dwarf.Aggregate, error) { return q.Point(keys...) })
 }
 
 // Range aggregates the sub-cube addressed by one selector per dimension
 // across segments and the live memtable.
 func (s *Store) Range(sels []dwarf.Selector) (dwarf.Aggregate, error) {
-	return s.aggQuery(func(q queryTarget) (dwarf.Aggregate, error) { return q.Range(sels) })
+	return s.aggQuery(func(q query.Querier) (dwarf.Aggregate, error) { return q.Range(sels) })
 }
 
 // GroupBy groups the dimension at index dim under the restriction of sels,
 // merging per-key partial aggregates across segments and the live memtable.
 func (s *Store) GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error) {
+	return s.groupQuery(func(q query.Querier) (map[string]dwarf.Aggregate, error) {
+		return q.GroupBy(dim, sels)
+	})
+}
+
+// Pivot is the multi-dimension GroupBy across segments and the live
+// memtable: per-target sorted rows are merged per key tuple, so the result
+// is exactly a single cube's Pivot over all acknowledged tuples.
+func (s *Store) Pivot(dims []int, sels []dwarf.Selector) ([]dwarf.PivotGroup, error) {
 	targets, err := s.targets()
 	if err != nil {
 		return nil, err
 	}
-	parts, err := fanOut(targets, func(q queryTarget) (map[string]dwarf.Aggregate, error) {
+	parts, err := fanOut(targets, func(q query.Querier) ([]dwarf.PivotGroup, error) {
+		return q.Pivot(dims, sels)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dwarf.MergePivotGroups(parts...), nil
+}
+
+// TopK ranks the groups of the dimension at index dim across segments and
+// the live memtable. Partial group maps are merged before the threshold and
+// K cut — a per-target cut would drop keys whose weight is spread across
+// segments — so the ranking equals a single cube's over all acknowledged
+// tuples.
+func (s *Store) TopK(dim int, sels []dwarf.Selector, spec dwarf.TopKSpec) ([]dwarf.GroupEntry, error) {
+	groups, err := s.groupQuery(func(q query.Querier) (map[string]dwarf.Aggregate, error) {
 		return q.GroupBy(dim, sels)
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]dwarf.Aggregate)
-	for _, part := range parts {
-		for k, a := range part {
-			out[k] = dwarf.MergeAggregates(out[k], a)
-		}
-	}
-	return out, nil
+	return dwarf.TopKFromGroups(groups, spec), nil
 }
+
+// The store serves the full shared query surface.
+var _ query.Querier = (*Store)(nil)
 
 // TotalTuples reports every acknowledged source tuple: sealed plus live.
 // It reads counters only — no memtable flush — so per-request callers

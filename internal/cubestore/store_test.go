@@ -8,10 +8,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sync"
 	"testing"
 
 	"repro/internal/dwarf"
+	"repro/internal/query"
 )
 
 // Differential suite: a store built by arbitrary interleavings of
@@ -160,10 +162,84 @@ func compareStore(t *testing.T, s *Store, all []dwarf.Tuple, opts []dwarf.Option
 					t.Fatalf("GroupBy(%d) key %q: store=%+v batch=%+v", dim, k, got[k], a)
 				}
 			}
+
+			// TopK: the store's merged-then-cut ranking must equal a single
+			// batch cube's, entry for entry (order included).
+			spec := dwarf.TopKSpec{K: 1 + rng.Intn(4), By: dwarf.Metric(rng.Intn(5))}
+			if rng.Intn(2) == 0 {
+				spec.Threshold, spec.HasThreshold = float64(rng.Intn(20)), true
+			}
+			gotK, err := s.TopK(dim, sels, spec)
+			if err != nil {
+				t.Fatalf("TopK(%d): %v", dim, err)
+			}
+			wantK, _ := ref.TopK(dim, sels, spec)
+			if len(gotK) != len(wantK) {
+				t.Fatalf("TopK(%d)%+v: %d entries, batch has %d\nstore=%v\nbatch=%v",
+					dim, spec, len(gotK), len(wantK), gotK, wantK)
+			}
+			for i := range wantK {
+				if gotK[i].Key != wantK[i].Key || !gotK[i].Agg.Equal(wantK[i].Agg) {
+					t.Fatalf("TopK(%d)%+v entry %d: store=%+v batch=%+v", dim, spec, i, gotK[i], wantK[i])
+				}
+			}
+		}
+	}
+	for q := 0; q < groupRounds; q++ {
+		sels := randSelectors(rng)
+		groupDims := pivotDims(rng)
+		got, err := s.Pivot(groupDims, sels)
+		if err != nil {
+			t.Fatalf("Pivot(%v): %v", groupDims, err)
+		}
+		want, _ := ref.Pivot(groupDims, sels)
+		comparePivot(t, fmt.Sprintf("Pivot(%v)%+v", groupDims, sels), got, want)
+	}
+	// The hierarchy surface runs on the store via the same kernel: RollUp
+	// and DrillDown must match the batch cube too.
+	dims, got, err := query.RollUp(s, "C", "A")
+	if err != nil {
+		t.Fatalf("RollUp: %v", err)
+	}
+	wantDims, want, _ := query.RollUp(ref, "C", "A")
+	if !slices.Equal(dims, wantDims) {
+		t.Fatalf("RollUp dims = %v, batch says %v", dims, wantDims)
+	}
+	comparePivot(t, "RollUp(C,A)", got, want)
+	fixed := map[string]string{"A": dimKey(0, rng.Intn(testDimSizes[0]))}
+	gotDrill, err := query.DrillDown(s, fixed, "B")
+	if err != nil {
+		t.Fatalf("DrillDown: %v", err)
+	}
+	wantDrill, _ := query.DrillDown(ref, fixed, "B")
+	if len(gotDrill) != len(wantDrill) {
+		t.Fatalf("DrillDown(%v): %d members, batch has %d", fixed, len(gotDrill), len(wantDrill))
+	}
+	for k, a := range wantDrill {
+		if !gotDrill[k].Equal(a) {
+			t.Fatalf("DrillDown(%v)[%q]: store=%+v batch=%+v", fixed, k, gotDrill[k], a)
 		}
 	}
 	if got := s.TotalTuples(); got != len(all) {
 		t.Fatalf("TotalTuples = %d, appended %d", got, len(all))
+	}
+}
+
+// pivotDims picks a random non-empty ordered subset of the dimensions.
+func pivotDims(rng *rand.Rand) []int {
+	perm := rng.Perm(len(testDims))
+	return perm[:1+rng.Intn(len(perm))]
+}
+
+func comparePivot(t *testing.T, label string, got, want []dwarf.PivotGroup) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, batch has %d\nstore=%v\nbatch=%v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if !slices.Equal(got[i].Keys, want[i].Keys) || !got[i].Agg.Equal(want[i].Agg) {
+			t.Fatalf("%s row %d: store=%+v batch=%+v", label, i, got[i], want[i])
+		}
 	}
 }
 

@@ -32,6 +32,8 @@ func TestWriteFuzzCorpus(t *testing.T) {
 			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", quoted))
 		write("testdata/fuzz/FuzzViewQuery", fmt.Sprintf("seed-%02d", i),
 			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nstring(\"d1\")\nstring(\"north\")\nbyte(%d)\n", quoted, i%4))
+		write("testdata/fuzz/FuzzQueryKernel", fmt.Sprintf("seed-%02d", i),
+			fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nbyte(%d)\nbyte(%d)\nstring(\"d1\")\nstring(\"north\")\n", quoted, i, i%4))
 		// Pair each stream with its neighbour so the merge corpus starts
 		// from same-dims, mismatched-dims and not-a-cube combinations.
 		other := strconv.Quote(string(seeds[(i+1)%len(seeds)]))
@@ -50,4 +52,6 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", quoted))
 	write("testdata/fuzz/FuzzViewQuery", "seed-resealed",
 		fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nstring(\"*\")\nstring(\"\")\nbyte(2)\n", quoted))
+	write("testdata/fuzz/FuzzQueryKernel", "seed-resealed",
+		fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nbyte(2)\nbyte(1)\nstring(\"*\")\nstring(\"\")\n", quoted))
 }

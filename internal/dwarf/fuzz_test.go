@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+
 	"testing"
 )
 
@@ -121,7 +122,9 @@ func exerciseStream(t *testing.T, data []byte) {
 		t.Fatalf("cube Point on accepted stream: %v", err)
 	}
 	if err == nil && errStats == nil {
-		if !aggV.Equal(aggC) {
+		// Bit-exact comparison: a resealed stream can carry NaN aggregates,
+		// which Aggregate.Equal's == can never equate.
+		if !aggBitsEqual(aggV, aggC) {
 			t.Fatalf("Point(ALL...) diverged: view %v, cube %v", aggV, aggC)
 		}
 		if cst := c.Stats(); stV != cst {
@@ -145,6 +148,157 @@ func FuzzDecode(f *testing.F) {
 			cut := len(data) / 2
 			exerciseStream(t, resealTrailer(resealV1(data[:cut]), data[cut:]))
 		}
+	})
+}
+
+// The kernel fuzzer compares aggregates with builder.go's aggBitsEqual
+// rather than Aggregate.Equal: a fuzzed (checksum-resealed) stream can
+// carry NaN aggregate floats, which == can never equate even when both
+// readers returned the identical bytes.
+
+// sentinelOf maps an error to the sentinel class the kernel contract
+// allows; unknown non-nil errors fail the run via wantCleanError first.
+func sentinelOf(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrBadQuery):
+		return ErrBadQuery
+	case errors.Is(err, ErrBadMagic):
+		return ErrBadMagic
+	case errors.Is(err, ErrBadVersion):
+		return ErrBadVersion
+	default:
+		return ErrCorruptCube
+	}
+}
+
+// FuzzQueryKernel is the differential fuzzer for the unified kernel:
+// arbitrary selector sets and shape choices must answer identically on the
+// decoded *Cube and the zero-copy *CubeView over the same accepted stream,
+// or fail with the same sentinel error class on both.
+func FuzzQueryKernel(f *testing.F) {
+	for i, seed := range fuzzSeedStreams(f) {
+		f.Add(seed, byte(i), byte(i%4), "d1", "north")
+	}
+	f.Fuzz(func(t *testing.T, data []byte, shape, dim byte, k1, k2 string) {
+		sealed := resealV1(data)
+		v, errV := OpenView(sealed)
+		wantCleanError(t, "OpenView", errV)
+		c, errC := DecodeBytes(sealed)
+		wantCleanError(t, "DecodeBytes", errC)
+		if errV != nil || errC != nil {
+			// Acceptance can differ at open time (the view indexes lazily);
+			// FuzzDecode owns that agreement story.
+			return
+		}
+		ndims := v.NumDims()
+		sels := make([]Selector, ndims)
+		keys := make([]string, ndims)
+		for i := range sels {
+			switch (int(shape) + i) % 4 {
+			case 0:
+				keys[i] = All
+			case 1:
+				sels[i] = SelectKeys(k1, k2, k1)
+				keys[i] = k1
+			case 2:
+				lo, hi := k1, k2
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				sels[i] = SelectRange(lo, hi)
+				keys[i] = k2
+			default:
+				sels[i] = SelectRange(k2, k1) // possibly empty range
+				keys[i] = k1
+			}
+		}
+		d := int(dim) % ndims
+		spec := TopKSpec{K: int(shape) % 5, By: Metric(int(dim) % 5), Threshold: 1, HasThreshold: shape%2 == 0}
+
+		// Every shape: both sources must agree on the answer or fail with
+		// the same sentinel class.
+		check := func(op string, cubeErr, viewErr error, equal func() bool) {
+			wantCleanError(t, op+" (cube)", cubeErr)
+			wantCleanError(t, op+" (view)", viewErr)
+			if (cubeErr == nil) != (viewErr == nil) {
+				t.Fatalf("%s diverged: cube err %v, view err %v", op, cubeErr, viewErr)
+			}
+			if cubeErr != nil {
+				if !errors.Is(viewErr, sentinelOf(cubeErr)) && !errors.Is(cubeErr, sentinelOf(viewErr)) {
+					t.Fatalf("%s failed with different sentinels: cube %v, view %v", op, cubeErr, viewErr)
+				}
+				return
+			}
+			if !equal() {
+				t.Fatalf("%s answers diverged", op)
+			}
+		}
+
+		ca, cerr := c.Point(keys...)
+		va, verr := v.Point(keys...)
+		check("Point", cerr, verr, func() bool { return aggBitsEqual(ca, va) })
+
+		cr, cerr := c.Range(sels)
+		vr, verr := v.Range(sels)
+		check("Range", cerr, verr, func() bool { return aggBitsEqual(cr, vr) })
+
+		cg, cerr := c.GroupBy(d, sels)
+		vg, verr := v.GroupBy(d, sels)
+		check("GroupBy", cerr, verr, func() bool {
+			if len(cg) != len(vg) {
+				return false
+			}
+			for k, a := range cg {
+				if b, ok := vg[k]; !ok || !aggBitsEqual(a, b) {
+					return false
+				}
+			}
+			return true
+		})
+
+		pdims := []int{d}
+		if ndims > 1 {
+			pdims = append(pdims, (d+1)%ndims)
+		}
+		cp, cerr := c.Pivot(pdims, sels)
+		vp, verr := v.Pivot(pdims, sels)
+		check("Pivot", cerr, verr, func() bool {
+			if len(cp) != len(vp) {
+				return false
+			}
+			for i := range cp {
+				if len(cp[i].Keys) != len(vp[i].Keys) || !aggBitsEqual(cp[i].Agg, vp[i].Agg) {
+					return false
+				}
+				for j := range cp[i].Keys {
+					if cp[i].Keys[j] != vp[i].Keys[j] {
+						return false
+					}
+				}
+			}
+			return true
+		})
+
+		ck, cerr := c.TopK(d, sels, spec)
+		vk, verr := v.TopK(d, sels, spec)
+		check("TopK", cerr, verr, func() bool {
+			if len(ck) != len(vk) {
+				return false
+			}
+			for i := range ck {
+				if ck[i].Key != vk[i].Key || !aggBitsEqual(ck[i].Agg, vk[i].Agg) {
+					return false
+				}
+			}
+			return true
+		})
+
+		var cFacts, vFacts int
+		c.Tuples(func([]string, Aggregate) bool { cFacts++; return cFacts < 1<<12 })
+		verr = v.Tuples(func([]string, Aggregate) bool { vFacts++; return vFacts < 1<<12 })
+		check("Tuples", nil, verr, func() bool { return cFacts == vFacts })
 	})
 }
 

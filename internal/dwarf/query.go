@@ -1,41 +1,16 @@
 package dwarf
 
-import (
-	"fmt"
-	"sort"
-)
+// The query methods on *Cube are thin wrappers over the unified kernel
+// (kernel.go), which walks the cube through its Source implementation
+// (source.go). The same kernel serves *CubeView, so both representations
+// answer every shape from literally the same code.
 
 // Point answers a point or ALL-wildcard query: one key per dimension, where
 // the reserved All key aggregates over that dimension. A combination absent
 // from the cube yields the zero Aggregate (Count == 0); errors are reserved
 // for malformed queries.
 func (c *Cube) Point(keys ...string) (Aggregate, error) {
-	if len(keys) != len(c.dims) {
-		return Aggregate{}, fmt.Errorf("%w: got %d keys, cube has %d dimensions",
-			ErrBadQuery, len(keys), len(c.dims))
-	}
-	cur := c.root
-	for l := 0; l < len(c.dims); l++ {
-		if cur == nil {
-			return Aggregate{}, nil
-		}
-		if keys[l] == All {
-			if cur.Leaf {
-				return cur.AllAgg, nil
-			}
-			cur = cur.AllChild
-			continue
-		}
-		cell, ok := cur.Lookup(keys[l])
-		if !ok {
-			return Aggregate{}, nil
-		}
-		if cur.Leaf {
-			return cell.Agg, nil
-		}
-		cur = cell.Child
-	}
-	return Aggregate{}, nil
+	return QueryPoint(c, keys...)
 }
 
 // MustPoint is Point for callers that know the key count is right (examples,
@@ -69,134 +44,39 @@ func SelectRange(lo, hi string) Selector { return Selector{Lo: lo, Hi: hi, HasRa
 // isAll reports whether the selector can be answered via the ALL cell.
 func (s Selector) isAll() bool { return !s.HasRange && len(s.Keys) == 0 }
 
-// matchIndexes returns the cell indexes of n matched by the selector.
-func (s Selector) matchIndexes(n *Node) []int {
-	switch {
-	case s.isAll():
-		out := make([]int, len(n.Cells))
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	case s.HasRange:
-		lo := sort.Search(len(n.Cells), func(i int) bool { return n.Cells[i].Key >= s.Lo })
-		var out []int
-		for i := lo; i < len(n.Cells) && n.Cells[i].Key <= s.Hi; i++ {
-			out = append(out, i)
-		}
-		return out
-	default:
-		var out []int
-		seen := make(map[int]bool, len(s.Keys))
-		for _, k := range s.Keys {
-			if i, ok := n.find(k); ok && !seen[i] {
-				seen[i] = true
-				out = append(out, i)
-			}
-		}
-		return out
-	}
-}
-
 // Range aggregates over the sub-cube addressed by one selector per
 // dimension. Pure-ALL dimensions are answered through ALL cells without
 // enumeration, matching how a DWARF serves group-bys.
 func (c *Cube) Range(sels []Selector) (Aggregate, error) {
-	if len(sels) != len(c.dims) {
-		return Aggregate{}, fmt.Errorf("%w: got %d selectors, cube has %d dimensions",
-			ErrBadQuery, len(sels), len(c.dims))
-	}
-	return rangeWalk(c.root, sels), nil
-}
-
-func rangeWalk(n *Node, sels []Selector) Aggregate {
-	if n == nil {
-		return Aggregate{}
-	}
-	sel := sels[0]
-	if sel.isAll() {
-		if n.Leaf {
-			return n.AllAgg
-		}
-		return rangeWalk(n.AllChild, sels[1:])
-	}
-	var agg Aggregate
-	for _, i := range sel.matchIndexes(n) {
-		if n.Leaf {
-			agg = MergeAggregates(agg, n.Cells[i].Agg)
-		} else {
-			agg = MergeAggregates(agg, rangeWalk(n.Cells[i].Child, sels[1:]))
-		}
-	}
-	return agg
+	return QueryRange(c, sels)
 }
 
 // GroupBy returns, for the dimension at index dim, the aggregate of every
 // key under the restriction of sels (sels[dim] is ignored and replaced by
 // each key in turn).
 func (c *Cube) GroupBy(dim int, sels []Selector) (map[string]Aggregate, error) {
-	if dim < 0 || dim >= len(c.dims) {
-		return nil, fmt.Errorf("%w: group-by dimension %d out of range", ErrBadQuery, dim)
-	}
-	if len(sels) != len(c.dims) {
-		return nil, fmt.Errorf("%w: got %d selectors, cube has %d dimensions",
-			ErrBadQuery, len(sels), len(c.dims))
-	}
-	out := make(map[string]Aggregate)
-	groupWalk(c.root, sels, dim, "", out)
-	return out, nil
+	return QueryGroupBy(c, dim, sels)
 }
 
-func groupWalk(n *Node, sels []Selector, dim int, group string, out map[string]Aggregate) {
-	if n == nil {
-		return
-	}
-	depth := n.Level
-	sel := sels[depth]
-	if depth != dim && sel.isAll() {
-		if n.Leaf {
-			out[group] = MergeAggregates(out[group], n.AllAgg)
-			return
-		}
-		groupWalk(n.AllChild, sels, dim, group, out)
-		return
-	}
-	for _, i := range sel.matchIndexes(n) {
-		g := group
-		if depth == dim {
-			g = n.Cells[i].Key
-		}
-		if n.Leaf {
-			out[g] = MergeAggregates(out[g], n.Cells[i].Agg)
-		} else {
-			groupWalk(n.Cells[i].Child, sels, dim, g, out)
-		}
-	}
+// Pivot is the multi-dimension GroupBy: every distinct key combination over
+// the dimensions in dims under the restriction of sels, as sorted rows.
+func (c *Cube) Pivot(dims []int, sels []Selector) ([]PivotGroup, error) {
+	return QueryPivot(c, dims, sels)
+}
+
+// TopK ranks the groups of the dimension at index dim by spec's metric and
+// returns the surviving entries, best first (iceberg threshold and K cut
+// applied after grouping).
+func (c *Cube) TopK(dim int, sels []Selector, spec TopKSpec) ([]GroupEntry, error) {
+	return QueryTopK(c, dim, sels, spec)
 }
 
 // Tuples enumerates the cube's base facts in sorted dimension order, with
 // duplicate key combinations already merged into one aggregate. The callback
 // receives a reused dims slice; copy it to retain.
 func (c *Cube) Tuples(fn func(dims []string, agg Aggregate) bool) {
-	dims := make([]string, len(c.dims))
-	tupleWalk(c.root, dims, 0, fn)
-}
-
-func tupleWalk(n *Node, dims []string, depth int, fn func([]string, Aggregate) bool) bool {
-	if n == nil {
-		return true
-	}
-	for i := range n.Cells {
-		dims[depth] = n.Cells[i].Key
-		if n.Leaf {
-			if !fn(dims, n.Cells[i].Agg) {
-				return false
-			}
-		} else if !tupleWalk(n.Cells[i].Child, dims, depth+1, fn) {
-			return false
-		}
-	}
-	return true
+	// The node-graph source cannot fail mid-walk.
+	_ = QueryTuples(c, fn)
 }
 
 // Extract materializes the sub-cube matched by sels as a new DWARF over the
@@ -204,31 +84,24 @@ func tupleWalk(n *Node, dims []string, depth int, fn func([]string, Aggregate) b
 // extracted cube carries merged aggregates as its leaf measures (sums).
 func (c *Cube) Extract(sels []Selector) (*Cube, error) {
 	if len(sels) != len(c.dims) {
-		return nil, fmt.Errorf("%w: got %d selectors, cube has %d dimensions",
-			ErrBadQuery, len(sels), len(c.dims))
+		return nil, badQueryArity(len(sels), len(c.dims))
 	}
-	var tuples []Tuple
-	dims := make([]string, len(c.dims))
-	extractWalk(c.root, sels, dims, &tuples)
+	dims := make([]int, len(c.dims))
+	for i := range dims {
+		dims[i] = i
+	}
+	rows, err := QueryPivot(c, dims, sels)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]Tuple, len(rows))
+	for i, row := range rows {
+		tuples[i] = Tuple{Dims: row.Keys, Measure: row.Agg.Sum}
+	}
 	sub, err := New(c.dims, tuples)
 	if err != nil {
 		return nil, err
 	}
 	sub.FromQuery = true
 	return sub, nil
-}
-
-func extractWalk(n *Node, sels []Selector, dims []string, out *[]Tuple) {
-	if n == nil {
-		return
-	}
-	sel := sels[n.Level]
-	for _, i := range sel.matchIndexes(n) {
-		dims[n.Level] = n.Cells[i].Key
-		if n.Leaf {
-			*out = append(*out, Tuple{Dims: append([]string(nil), dims...), Measure: n.Cells[i].Agg.Sum})
-		} else {
-			extractWalk(n.Cells[i].Child, sels, dims, out)
-		}
-	}
 }

@@ -522,279 +522,40 @@ func (v *CubeView) lookupCell(n vnode, key string) (agg Aggregate, child uint64,
 	return Aggregate{}, 0, false, nil
 }
 
+// The query methods on *CubeView are thin wrappers over the unified kernel
+// (kernel.go), which reads the encoded bytes through the view's Source
+// implementation (source.go). The same kernel serves *Cube, so both
+// representations answer every shape from literally the same code.
+
 // Point answers a point or ALL-wildcard query against the encoded bytes,
 // with the same semantics as Cube.Point: absent combinations yield the zero
 // Aggregate, errors are reserved for malformed queries and corrupt streams.
 func (v *CubeView) Point(keys ...string) (Aggregate, error) {
-	if len(keys) != len(v.hdr.dims) {
-		return Aggregate{}, fmt.Errorf("%w: got %d keys, cube has %d dimensions",
-			ErrBadQuery, len(keys), len(v.hdr.dims))
-	}
-	if err := v.ensure(); err != nil {
-		return Aggregate{}, err
-	}
-	id := v.rootID
-	for l := 0; l < len(v.hdr.dims); l++ {
-		if id == 0 {
-			return Aggregate{}, nil
-		}
-		n, err := v.node(id)
-		if err != nil {
-			return Aggregate{}, err
-		}
-		if n.level != l {
-			return Aggregate{}, errCorrupt("node %d: level %d at traversal depth %d", id, n.level, l)
-		}
-		if keys[l] == All {
-			if n.leaf {
-				return v.allAgg(n)
-			}
-			if id, err = v.allChild(n); err != nil {
-				return Aggregate{}, err
-			}
-			continue
-		}
-		agg, child, found, err := v.lookupCell(n, keys[l])
-		if err != nil {
-			return Aggregate{}, err
-		}
-		if !found {
-			return Aggregate{}, nil
-		}
-		if n.leaf {
-			return agg, nil
-		}
-		id = child
-	}
-	return Aggregate{}, nil
+	return QueryPoint(v, keys...)
 }
 
 // Range aggregates over the sub-cube addressed by one selector per
 // dimension, mirroring Cube.Range.
 func (v *CubeView) Range(sels []Selector) (Aggregate, error) {
-	if len(sels) != len(v.hdr.dims) {
-		return Aggregate{}, fmt.Errorf("%w: got %d selectors, cube has %d dimensions",
-			ErrBadQuery, len(sels), len(v.hdr.dims))
-	}
-	if err := v.ensure(); err != nil {
-		return Aggregate{}, err
-	}
-	return v.rangeWalk(v.rootID, 0, sels)
-}
-
-func (v *CubeView) rangeWalk(id uint64, depth int, sels []Selector) (Aggregate, error) {
-	if id == 0 {
-		return Aggregate{}, nil
-	}
-	n, err := v.node(id)
-	if err != nil {
-		return Aggregate{}, err
-	}
-	if n.level != depth {
-		return Aggregate{}, errCorrupt("node %d: level %d at traversal depth %d", id, n.level, depth)
-	}
-	sel := sels[depth]
-	if sel.isAll() {
-		if n.leaf {
-			return v.allAgg(n)
-		}
-		child, err := v.allChild(n)
-		if err != nil {
-			return Aggregate{}, err
-		}
-		return v.rangeWalk(child, depth+1, sels)
-	}
-	var agg Aggregate
-	merge := func(a Aggregate, child uint64) error {
-		if !n.leaf {
-			var err error
-			if a, err = v.rangeWalk(child, depth+1, sels); err != nil {
-				return err
-			}
-		}
-		agg = MergeAggregates(agg, a)
-		return nil
-	}
-	if sel.HasRange {
-		cur := n.cells
-		for i := 0; i < n.ncells; i++ {
-			k, err := cur.str()
-			if err != nil {
-				return Aggregate{}, err
-			}
-			if cmpKeyStr(k, sel.Hi) > 0 {
-				break
-			}
-			in := cmpKeyStr(k, sel.Lo) >= 0
-			if n.leaf {
-				if !in {
-					if err := cur.skipAgg(); err != nil {
-						return Aggregate{}, err
-					}
-					continue
-				}
-				a, err := cur.agg()
-				if err != nil {
-					return Aggregate{}, err
-				}
-				agg = MergeAggregates(agg, a)
-			} else {
-				child, err := cur.uvarint()
-				if err != nil {
-					return Aggregate{}, err
-				}
-				if in {
-					if child, err = n.childID(child); err != nil {
-						return Aggregate{}, err
-					}
-					if err := merge(Aggregate{}, child); err != nil {
-						return Aggregate{}, err
-					}
-				}
-			}
-		}
-		return agg, nil
-	}
-	// Explicit key set: merge in the order given, each key once — the same
-	// order Cube's matchIndexes produces.
-	seen := make(map[string]bool, len(sel.Keys))
-	for _, k := range sel.Keys {
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		a, child, found, err := v.lookupCell(n, k)
-		if err != nil {
-			return Aggregate{}, err
-		}
-		if !found {
-			continue
-		}
-		if err := merge(a, child); err != nil {
-			return Aggregate{}, err
-		}
-	}
-	return agg, nil
+	return QueryRange(v, sels)
 }
 
 // GroupBy returns, for the dimension at index dim, the aggregate of every
 // key under the restriction of sels, mirroring Cube.GroupBy.
 func (v *CubeView) GroupBy(dim int, sels []Selector) (map[string]Aggregate, error) {
-	if dim < 0 || dim >= len(v.hdr.dims) {
-		return nil, fmt.Errorf("%w: group-by dimension %d out of range", ErrBadQuery, dim)
-	}
-	if len(sels) != len(v.hdr.dims) {
-		return nil, fmt.Errorf("%w: got %d selectors, cube has %d dimensions",
-			ErrBadQuery, len(sels), len(v.hdr.dims))
-	}
-	if err := v.ensure(); err != nil {
-		return nil, err
-	}
-	out := make(map[string]Aggregate)
-	if err := v.groupWalk(v.rootID, 0, sels, dim, "", out); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return QueryGroupBy(v, dim, sels)
 }
 
-func (v *CubeView) groupWalk(id uint64, depth int, sels []Selector, dim int, group string, out map[string]Aggregate) error {
-	if id == 0 {
-		return nil
-	}
-	n, err := v.node(id)
-	if err != nil {
-		return err
-	}
-	if n.level != depth {
-		return errCorrupt("node %d: level %d at traversal depth %d", id, n.level, depth)
-	}
-	sel := sels[depth]
-	if depth != dim && sel.isAll() {
-		if n.leaf {
-			a, err := v.allAgg(n)
-			if err != nil {
-				return err
-			}
-			out[group] = MergeAggregates(out[group], a)
-			return nil
-		}
-		child, err := v.allChild(n)
-		if err != nil {
-			return err
-		}
-		return v.groupWalk(child, depth+1, sels, dim, group, out)
-	}
-	emit := func(key []byte, a Aggregate, child uint64) error {
-		g := group
-		if depth == dim {
-			g = string(key)
-		}
-		if n.leaf {
-			out[g] = MergeAggregates(out[g], a)
-			return nil
-		}
-		return v.groupWalk(child, depth+1, sels, dim, g, out)
-	}
-	switch {
-	case sel.isAll() || sel.HasRange:
-		cur := n.cells
-		for i := 0; i < n.ncells; i++ {
-			k, err := cur.str()
-			if err != nil {
-				return err
-			}
-			if sel.HasRange && cmpKeyStr(k, sel.Hi) > 0 {
-				break
-			}
-			in := sel.isAll() || cmpKeyStr(k, sel.Lo) >= 0
-			var a Aggregate
-			var child uint64
-			if n.leaf {
-				if !in {
-					if err := cur.skipAgg(); err != nil {
-						return err
-					}
-					continue
-				}
-				if a, err = cur.agg(); err != nil {
-					return err
-				}
-			} else {
-				if child, err = cur.uvarint(); err != nil {
-					return err
-				}
-				if in {
-					if child, err = n.childID(child); err != nil {
-						return err
-					}
-				}
-			}
-			if in {
-				if err := emit(k, a, child); err != nil {
-					return err
-				}
-			}
-		}
-	default:
-		seen := make(map[string]bool, len(sel.Keys))
-		for _, k := range sel.Keys {
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			a, child, found, err := v.lookupCell(n, k)
-			if err != nil {
-				return err
-			}
-			if !found {
-				continue
-			}
-			if err := emit([]byte(k), a, child); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+// Pivot is the multi-dimension GroupBy, mirroring Cube.Pivot, straight off
+// the encoded bytes.
+func (v *CubeView) Pivot(dims []int, sels []Selector) ([]PivotGroup, error) {
+	return QueryPivot(v, dims, sels)
+}
+
+// TopK ranks the groups of the dimension at index dim by spec's metric,
+// mirroring Cube.TopK, straight off the encoded bytes.
+func (v *CubeView) TopK(dim int, sels []Selector, spec TopKSpec) ([]GroupEntry, error) {
+	return QueryTopK(v, dim, sels, spec)
 }
 
 // Tuples enumerates the cube's base facts in sorted dimension order,
@@ -802,55 +563,7 @@ func (v *CubeView) groupWalk(id uint64, depth int, sels []Selector, dim int, gro
 // to retain. Unlike the in-memory cube, enumeration can fail on a corrupt
 // stream, hence the error return.
 func (v *CubeView) Tuples(fn func(dims []string, agg Aggregate) bool) error {
-	if err := v.ensure(); err != nil {
-		return err
-	}
-	dims := make([]string, len(v.hdr.dims))
-	_, err := v.tupleWalk(v.rootID, 0, dims, fn)
-	return err
-}
-
-func (v *CubeView) tupleWalk(id uint64, depth int, dims []string, fn func([]string, Aggregate) bool) (bool, error) {
-	if id == 0 {
-		return true, nil
-	}
-	n, err := v.node(id)
-	if err != nil {
-		return false, err
-	}
-	if n.level != depth {
-		return false, errCorrupt("node %d: level %d at traversal depth %d", id, n.level, depth)
-	}
-	cur := n.cells
-	for i := 0; i < n.ncells; i++ {
-		k, err := cur.str()
-		if err != nil {
-			return false, err
-		}
-		dims[depth] = string(k)
-		if n.leaf {
-			a, err := cur.agg()
-			if err != nil {
-				return false, err
-			}
-			if !fn(dims, a) {
-				return false, nil
-			}
-		} else {
-			child, err := cur.uvarint()
-			if err != nil {
-				return false, err
-			}
-			if child, err = n.childID(child); err != nil {
-				return false, err
-			}
-			cont, err := v.tupleWalk(child, depth+1, dims, fn)
-			if err != nil || !cont {
-				return false, err
-			}
-		}
-	}
-	return true, nil
+	return QueryTuples(v, fn)
 }
 
 // Stats counts nodes and cells straight off the encoded bytes, matching

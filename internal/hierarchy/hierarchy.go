@@ -3,8 +3,13 @@
 // the rollup cube"): dimension hierarchies over DWARF cubes with ROLLUP and
 // DRILL DOWN operations. Hierarchy levels are materialized as derived
 // dimensions (Station → Area, Day → Month → Year), so the standard DWARF
-// ALL machinery answers rollups; RollUp materializes a coarser cube and
-// DrillDown enumerates one member's children.
+// ALL machinery answers rollups.
+//
+// The operations themselves live in internal/query and run on any Querier —
+// an in-memory cube, a zero-copy CubeView or the live store — without
+// decoding or rebuilding anything. This package keeps Expand (hierarchy
+// materialization at construction time) and the cube-materializing RollUp
+// wrapper for callers that want the coarser grain as a standalone DWARF.
 package hierarchy
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/dwarf"
+	"repro/internal/query"
 )
 
 // Hierarchy derives coarser levels from a base dimension.
@@ -29,9 +35,10 @@ type Level struct {
 	Map  func(baseKey string) string
 }
 
-// Hierarchy errors.
+// Hierarchy errors. ErrUnknownDim is the engine's sentinel, so callers can
+// errors.Is-match failures from this package and internal/query alike.
 var (
-	ErrUnknownDim = errors.New("hierarchy: unknown dimension")
+	ErrUnknownDim = query.ErrUnknownDim
 	ErrBadLevels  = errors.New("hierarchy: hierarchy needs at least one level")
 )
 
@@ -91,76 +98,27 @@ func Expand(dims []string, tuples []dwarf.Tuple, hs ...Hierarchy) ([]string, []d
 	return newDims, newTuples, nil
 }
 
-// RollUp materializes the cube at a coarser grain: only the dimensions in
-// keep survive (in the cube's dimension order); all others are aggregated
-// away. Aggregate state (count/min/max) is preserved through the rebuild.
-func RollUp(c *dwarf.Cube, keep ...string) (*dwarf.Cube, error) {
-	dims := c.Dims()
-	keepIdx := make([]int, 0, len(keep))
-	keepSet := make(map[string]bool, len(keep))
-	for _, k := range keep {
-		keepSet[k] = true
+// RollUp materializes q at a coarser grain as a standalone DWARF: only the
+// dimensions in keep survive (in q's dimension order); all others are
+// aggregated away. Aggregate state (count/min/max) is preserved through the
+// rebuild. The grouping itself is one kernel walk (query.RollUp), so q may
+// be an in-memory cube, a zero-copy view or the live store; callers that
+// only need the rows should use query.RollUp directly and skip the build.
+func RollUp(q query.Querier, keep ...string) (*dwarf.Cube, error) {
+	dims, rows, err := query.RollUp(q, keep...)
+	if err != nil {
+		return nil, err
 	}
-	for i, d := range dims {
-		if keepSet[d] {
-			keepIdx = append(keepIdx, i)
-			delete(keepSet, d)
-		}
+	ats := make([]dwarf.AggTuple, len(rows))
+	for i, row := range rows {
+		ats[i] = dwarf.AggTuple{Dims: row.Keys, Agg: row.Agg}
 	}
-	for k := range keepSet {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownDim, k)
-	}
-	if len(keepIdx) == 0 {
-		return nil, fmt.Errorf("%w: nothing to keep", ErrUnknownDim)
-	}
-	newDims := make([]string, len(keepIdx))
-	for i, idx := range keepIdx {
-		newDims[i] = dims[idx]
-	}
-	var ats []dwarf.AggTuple
-	c.Tuples(func(keys []string, agg dwarf.Aggregate) bool {
-		projected := make([]string, len(keepIdx))
-		for i, idx := range keepIdx {
-			projected[i] = keys[idx]
-		}
-		ats = append(ats, dwarf.AggTuple{Dims: projected, Agg: agg})
-		return true
-	})
-	return dwarf.NewFromAggregates(newDims, ats)
+	return dwarf.NewFromAggregates(dims, ats)
 }
 
-// DrillDown enumerates the members one level below a fixed path: fixed maps
-// dimension name → key (missing dimensions are wildcards), dim names the
-// dimension whose members are enumerated. Each member key maps to its
-// aggregate under the fixed path — the DRILL DOWN of §6.
-func DrillDown(c *dwarf.Cube, fixed map[string]string, dim string) (map[string]dwarf.Aggregate, error) {
-	dims := c.Dims()
-	dimIdx := -1
-	sels := make([]dwarf.Selector, len(dims))
-	for i, d := range dims {
-		if d == dim {
-			dimIdx = i
-		}
-		if k, ok := fixed[d]; ok {
-			sels[i] = dwarf.SelectKeys(k)
-		} else {
-			sels[i] = dwarf.SelectAll()
-		}
-	}
-	if dimIdx < 0 {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownDim, dim)
-	}
-	for d := range fixed {
-		found := false
-		for _, have := range dims {
-			if have == d {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("%w: %s", ErrUnknownDim, d)
-		}
-	}
-	return c.GroupBy(dimIdx, sels)
+// DrillDown enumerates the members one level below a fixed path — the DRILL
+// DOWN of §6. It is query.DrillDown, re-exported where the paper's
+// hierarchy story lives; q may be a cube, a view or the live store.
+func DrillDown(q query.Querier, fixed map[string]string, dim string) (map[string]dwarf.Aggregate, error) {
+	return query.DrillDown(q, fixed, dim)
 }

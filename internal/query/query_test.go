@@ -1,0 +1,177 @@
+package query_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dwarf"
+	"repro/internal/query"
+)
+
+func testCube(t *testing.T) (*dwarf.Cube, []dwarf.Tuple) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	dims := []string{"Year", "Area", "Station"}
+	var tuples []dwarf.Tuple
+	for i := 0; i < 400; i++ {
+		tuples = append(tuples, dwarf.Tuple{
+			Dims: []string{
+				fmt.Sprintf("201%d", rng.Intn(3)),
+				fmt.Sprintf("area-%d", rng.Intn(4)),
+				fmt.Sprintf("st-%02d", rng.Intn(12)),
+			},
+			Measure: float64(rng.Intn(25)),
+		})
+	}
+	c, err := dwarf.New(dims, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tuples
+}
+
+func asView(t *testing.T, c *dwarf.Cube) *dwarf.CubeView {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.EncodeIndexed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dwarf.OpenView(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestRollUpAcrossSources: RollUp rows must be identical on the cube and
+// the zero-copy view, and each row must equal the matching wildcard Point.
+func TestRollUpAcrossSources(t *testing.T) {
+	c, _ := testCube(t)
+	v := asView(t, c)
+	for _, q := range []query.Querier{c, v} {
+		dims, rows, err := query.RollUp(q, "Area", "Year")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Kept dimensions come back in cube order regardless of keep order.
+		if len(dims) != 2 || dims[0] != "Year" || dims[1] != "Area" {
+			t.Fatalf("rolled dims = %v", dims)
+		}
+		if len(rows) == 0 {
+			t.Fatal("no rows")
+		}
+		for _, row := range rows {
+			want, err := c.Point(row.Keys[0], row.Keys[1], dwarf.All)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !row.Agg.Equal(want) {
+				t.Fatalf("rollup row %v = %v, wildcard point says %v", row.Keys, row.Agg, want)
+			}
+		}
+	}
+
+	cubeDims, cubeRows, err := query.RollUp(c, "Station")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewDims, viewRows, err := query.RollUp(v, "Station")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cubeDims) != 1 || cubeDims[0] != viewDims[0] || len(cubeRows) != len(viewRows) {
+		t.Fatalf("cube/view rollups diverged: %v/%d vs %v/%d", cubeDims, len(cubeRows), viewDims, len(viewRows))
+	}
+	for i := range cubeRows {
+		if cubeRows[i].Keys[0] != viewRows[i].Keys[0] || !cubeRows[i].Agg.Equal(viewRows[i].Agg) {
+			t.Fatalf("row %d: cube %+v vs view %+v", i, cubeRows[i], viewRows[i])
+		}
+	}
+
+	if _, _, err := query.RollUp(c, "Bogus"); !errors.Is(err, query.ErrUnknownDim) {
+		t.Fatalf("unknown keep: %v", err)
+	}
+	if _, _, err := query.RollUp(c); !errors.Is(err, query.ErrUnknownDim) {
+		t.Fatalf("empty keep: %v", err)
+	}
+}
+
+// TestDrillDownAcrossSources: drill-down member sums must cover their
+// parent exactly, on both representations.
+func TestDrillDownAcrossSources(t *testing.T) {
+	c, _ := testCube(t)
+	v := asView(t, c)
+	for _, q := range []query.Querier{c, v} {
+		areas, err := query.DrillDown(q, nil, "Area")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, _ := c.Point(dwarf.All, dwarf.All, dwarf.All)
+		var sum float64
+		var count int64
+		for _, a := range areas {
+			sum += a.Sum
+			count += a.Count
+		}
+		if sum != total.Sum || count != total.Count {
+			t.Fatalf("area drill-down sums %g/%d != total %g/%d", sum, count, total.Sum, total.Count)
+		}
+		var area string
+		for k := range areas {
+			area = k
+			break
+		}
+		stations, err := query.DrillDown(q, map[string]string{"Area": area}, "Station")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ssum float64
+		for _, a := range stations {
+			ssum += a.Sum
+		}
+		if ssum != areas[area].Sum {
+			t.Fatalf("station sums %g != area %g", ssum, areas[area].Sum)
+		}
+	}
+	if _, err := query.DrillDown(c, nil, "Bogus"); !errors.Is(err, query.ErrUnknownDim) {
+		t.Fatalf("unknown dim: %v", err)
+	}
+	if _, err := query.DrillDown(c, map[string]string{"Nope": "x"}, "Area"); !errors.Is(err, query.ErrUnknownDim) {
+		t.Fatalf("unknown fixed: %v", err)
+	}
+}
+
+// TestTopKByName resolves the dimension by name and pads nil selectors.
+func TestTopKByName(t *testing.T) {
+	c, _ := testCube(t)
+	v := asView(t, c)
+	spec := dwarf.TopKSpec{K: 5, By: dwarf.ByCount}
+	want, err := query.TopKByName(c, "Station", nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := query.TopKByName(v, "Station", nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 5 || len(got) != 5 {
+		t.Fatalf("want 5 entries, got %d / %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Key != got[i].Key || !want[i].Agg.Equal(got[i].Agg) {
+			t.Fatalf("entry %d: cube %+v vs view %+v", i, want[i], got[i])
+		}
+	}
+	// Ranking is count-desc: each entry's count bounds the next.
+	for i := 1; i < len(want); i++ {
+		if want[i].Agg.Count > want[i-1].Agg.Count {
+			t.Fatalf("entries out of order: %+v before %+v", want[i-1], want[i])
+		}
+	}
+	if _, err := query.TopKByName(c, "Bogus", nil, spec); !errors.Is(err, query.ErrUnknownDim) {
+		t.Fatalf("unknown dim: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dwarf"
+)
+
+// TestServerTopK drives /query/topk over both encodings and checks the
+// ranked entries against the in-memory cube's kernel answer.
+func TestServerTopK(t *testing.T) {
+	_, cube, ts := serveFixture(t, 4)
+	want, err := cube.TopK(0, make([]dwarf.Selector, 3), dwarf.TopKSpec{K: 2, By: dwarf.BySum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"plain.dwarf", "indexed.dwarf"} {
+		got := postJSON(t, ts.URL+"/query/topk", map[string]any{
+			"cube": name, "dim": "Day", "k": 2,
+		}, http.StatusOK)
+		entries, ok := got["entries"].([]any)
+		if !ok || len(entries) != len(want) {
+			t.Fatalf("%s: topk entries = %v, want %d", name, got["entries"], len(want))
+		}
+		for i, e := range entries {
+			m := e.(map[string]any)
+			if m["key"] != want[i].Key || m["metric"] != want[i].Agg.Sum {
+				t.Fatalf("%s: entry %d = %v, want %+v", name, i, m, want[i])
+			}
+		}
+		// The K cut is what the client asked for, not a response truncation.
+		if got["by"] != "sum" || got["truncated"] != false || got["total_entries"] != 2.0 {
+			t.Fatalf("%s: topk envelope = %v", name, got)
+		}
+	}
+
+	// Iceberg threshold on count: only regions appearing >= 2 times.
+	got := postJSON(t, ts.URL+"/query/topk", map[string]any{
+		"cube": "indexed.dwarf", "dim": "Region", "by": "count", "threshold": 2,
+	}, http.StatusOK)
+	entries := got["entries"].([]any)
+	wantIce, _ := cube.TopK(1, make([]dwarf.Selector, 3),
+		dwarf.TopKSpec{By: dwarf.ByCount, Threshold: 2, HasThreshold: true})
+	if len(entries) != len(wantIce) {
+		t.Fatalf("iceberg: %d entries, want %d (%v)", len(entries), len(wantIce), got)
+	}
+
+	postJSON(t, ts.URL+"/query/topk", map[string]any{
+		"cube": "plain.dwarf", "dim": "Nope",
+	}, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/query/topk", map[string]any{
+		"cube": "plain.dwarf", "dim": "Day", "by": "median",
+	}, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/query/topk", map[string]any{
+		"cube": "plain.dwarf", "dim": "Day", "k": -1,
+	}, http.StatusBadRequest)
+}
+
+// TestServerRollUp drives /query/rollup and checks the rows against the
+// engine's RollUp on the in-memory cube.
+func TestServerRollUp(t *testing.T) {
+	_, cube, ts := serveFixture(t, 4)
+	for _, name := range []string{"plain.dwarf", "indexed.dwarf"} {
+		got := postJSON(t, ts.URL+"/query/rollup", map[string]any{
+			"cube": name, "keep": []string{"Region"},
+		}, http.StatusOK)
+		rows, ok := got["groups"].([]any)
+		if !ok || len(rows) == 0 {
+			t.Fatalf("%s: rollup rows = %v", name, got["groups"])
+		}
+		for _, r := range rows {
+			m := r.(map[string]any)
+			keys := m["keys"].([]any)
+			want, err := cube.Point(dwarf.All, keys[0].(string), dwarf.All)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := m["aggregate"].(map[string]any)
+			if agg["sum"] != want.Sum || agg["count"] != float64(want.Count) {
+				t.Fatalf("%s: rollup row %v = %v, wildcard point says %+v", name, keys, agg, want)
+			}
+		}
+		dims := got["dims"].([]any)
+		if len(dims) != 1 || dims[0] != "Region" {
+			t.Fatalf("%s: rollup dims = %v", name, dims)
+		}
+	}
+	postJSON(t, ts.URL+"/query/rollup", map[string]any{
+		"cube": "plain.dwarf", "keep": []string{"Nope"},
+	}, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/query/rollup", map[string]any{
+		"cube": "plain.dwarf",
+	}, http.StatusBadRequest)
+}
+
+// TestServerGroupLimit pins the response cap: a group-by (and rollup) over
+// a high-cardinality dimension returns at most GroupLimit groups per
+// response, flags the cut, and pages deterministically with limit/offset.
+func TestServerGroupLimit(t *testing.T) {
+	dir := t.TempDir()
+	var tuples []dwarf.Tuple
+	for i := 0; i < 40; i++ {
+		tuples = append(tuples, dwarf.Tuple{
+			Dims:    []string{keyOf(i), "x"},
+			Measure: float64(i),
+		})
+	}
+	cube, err := dwarf.New([]string{"K", "V"}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cube.EncodeIndexed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wide.dwarf"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Dir: dir, GroupLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Default window: first 10 keys in sorted order, truncated.
+	got := postJSON(t, ts.URL+"/query/groupby", map[string]any{
+		"cube": "wide.dwarf", "dim": "K",
+	}, http.StatusOK)
+	groups := aggOf(t, got, "groups")
+	if len(groups) != 10 || got["truncated"] != true || got["total_groups"] != 40.0 {
+		t.Fatalf("capped groupby = %d groups, envelope %v", len(groups), got)
+	}
+	if _, ok := groups[keyOf(0)]; !ok {
+		t.Fatalf("first page misses smallest key: %v", groups)
+	}
+
+	// Requested limit above the cap is clamped to the cap.
+	got = postJSON(t, ts.URL+"/query/groupby", map[string]any{
+		"cube": "wide.dwarf", "dim": "K", "limit": 1000,
+	}, http.StatusOK)
+	if groups := aggOf(t, got, "groups"); len(groups) != 10 || got["limit"] != 10.0 {
+		t.Fatalf("limit not clamped to cap: %d groups, envelope %v", len(groups), got)
+	}
+
+	// Paging: walk the whole key space in 4 windows, no overlap, no gap;
+	// truncated stays true until the final page, whose false terminates the
+	// client loop.
+	seen := map[string]bool{}
+	for offset := 0; offset < 40; offset += 10 {
+		got := postJSON(t, ts.URL+"/query/groupby", map[string]any{
+			"cube": "wide.dwarf", "dim": "K", "offset": offset,
+		}, http.StatusOK)
+		if wantMore := offset+10 < 40; got["truncated"] != wantMore {
+			t.Fatalf("page at offset %d: truncated = %v, want %v", offset, got["truncated"], wantMore)
+		}
+		for k := range aggOf(t, got, "groups") {
+			if seen[k] {
+				t.Fatalf("key %q served twice while paging", k)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) != 40 {
+		t.Fatalf("paging covered %d of 40 keys", len(seen))
+	}
+
+	// Past the end: empty page, not truncated (nothing remains after it) —
+	// a paging client terminates here; total_groups still reports the size.
+	got = postJSON(t, ts.URL+"/query/groupby", map[string]any{
+		"cube": "wide.dwarf", "dim": "K", "offset": 100,
+	}, http.StatusOK)
+	if groups := aggOf(t, got, "groups"); len(groups) != 0 || got["truncated"] != false || got["total_groups"] != 40.0 {
+		t.Fatalf("past-the-end page = %v", got)
+	}
+
+	// The same cap governs rollup rows and topk entries.
+	got = postJSON(t, ts.URL+"/query/rollup", map[string]any{
+		"cube": "wide.dwarf", "keep": []string{"K"},
+	}, http.StatusOK)
+	if rows := got["groups"].([]any); len(rows) != 10 || got["truncated"] != true {
+		t.Fatalf("capped rollup = %d rows, envelope %v", len(rows), got)
+	}
+	got = postJSON(t, ts.URL+"/query/topk", map[string]any{
+		"cube": "wide.dwarf", "dim": "K",
+	}, http.StatusOK)
+	if entries := got["entries"].([]any); len(entries) != 10 || got["truncated"] != true {
+		t.Fatalf("capped topk = %d entries, envelope %v", len(entries), got)
+	}
+
+	postJSON(t, ts.URL+"/query/groupby", map[string]any{
+		"cube": "wide.dwarf", "dim": "K", "offset": -1,
+	}, http.StatusBadRequest)
+}
+
+func keyOf(i int) string { return "k" + string(rune('a'+i/10)) + string(rune('0'+i%10)) }

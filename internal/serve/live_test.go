@@ -117,6 +117,43 @@ func TestLiveServeEndToEnd(t *testing.T) {
 			for k, a := range gwant {
 				wantAgg(t, aggOf(t, map[string]any{"g": groups[k]}, "g"), a, "group "+k)
 			}
+
+			// The new kernel shapes reach the live store through the same
+			// shared surface: top-k ranking and rollup rows over the store
+			// fan-out must equal the batch cube's, order included.
+			kgot := postJSON(t, ts.URL+"/query/topk", map[string]any{
+				"cube": "live", "dim": "Kind", "k": 2, "by": "count",
+			}, 200)
+			kwant, _ := ref.TopK(2, make([]dwarf.Selector, 3),
+				dwarf.TopKSpec{K: 2, By: dwarf.ByCount})
+			entries, ok := kgot["entries"].([]any)
+			if !ok || len(entries) != len(kwant) {
+				t.Fatalf("live topk: got %v, want %d entries", kgot, len(kwant))
+			}
+			for i, e := range entries {
+				m := e.(map[string]any)
+				if m["key"] != kwant[i].Key {
+					t.Fatalf("live topk entry %d = %v, want %+v", i, m, kwant[i])
+				}
+				wantAgg(t, aggOf(t, m, "aggregate"), kwant[i].Agg, "topk "+kwant[i].Key)
+			}
+
+			ugot := postJSON(t, ts.URL+"/query/rollup", map[string]any{
+				"cube": "live", "keep": []string{"Region", "Kind"},
+			}, 200)
+			rows, ok := ugot["groups"].([]any)
+			uwant, _ := ref.Pivot([]int{1, 2}, make([]dwarf.Selector, 3))
+			if !ok || len(rows) != len(uwant) {
+				t.Fatalf("live rollup: got %v, want %d rows", ugot, len(uwant))
+			}
+			for i, r := range rows {
+				m := r.(map[string]any)
+				keys := m["keys"].([]any)
+				if keys[0] != uwant[i].Keys[0] || keys[1] != uwant[i].Keys[1] {
+					t.Fatalf("live rollup row %d keys = %v, want %v", i, keys, uwant[i].Keys)
+				}
+				wantAgg(t, aggOf(t, m, "aggregate"), uwant[i].Agg, "rollup row")
+			}
 		}
 	}
 

@@ -10,8 +10,14 @@
 //	GET  /cubes                     registry of cube files + the hot cache
 //	GET  /query/point?cube=N&key=K… point/ALL query, one key per dimension
 //	POST /query/range               {"cube","selectors":[{…} per dimension]}
-//	POST /query/groupby             {"cube","dim","selectors":[…]}
+//	POST /query/groupby             {"cube","dim","selectors":[…],"limit","offset"}
+//	POST /query/topk                {"cube","dim","selectors":[…],"k","by","threshold"}
+//	POST /query/rollup              {"cube","keep":["Area",…],"limit","offset"}
 //	GET  /stats?cube=N              node/cell counts off the encoded bytes
+//
+// Every handler programs against the shared query surface (query.Querier),
+// which the unified kernel serves identically for static cube files
+// (zero-copy CubeView) and the live store, so every endpoint works on both.
 //
 // With Options.Store set the server also runs in live mode: the reserved
 // cube name "live" (Options.LiveName) routes every /query/* shape to the
@@ -23,6 +29,14 @@
 //
 // A selector is {"keys":[…]} for an explicit set, {"lo":…,"hi":…} for an
 // inclusive range, or {} (or omitted trailing entries) for ALL.
+//
+// Keyed results (group-by, top-k, rollup) are paginated: at most
+// Options.GroupLimit groups (DefaultGroupLimit when zero) are returned per
+// response, in a deterministic order (key order; rank order for top-k), and
+// "limit"/"offset" window into that order. "truncated": true means more
+// groups remain after this window — clients page by advancing "offset"
+// until it is false — and the total count always rides along, so a
+// high-cardinality dimension can never produce an unbounded response body.
 package serve
 
 import (
@@ -38,10 +52,16 @@ import (
 
 	"repro/internal/cubestore"
 	"repro/internal/dwarf"
+	"repro/internal/query"
 )
 
 // DefaultCacheSize is the LRU capacity when Options.CacheSize is zero.
 const DefaultCacheSize = 8
+
+// DefaultGroupLimit caps how many groups one group-by/top-k/rollup response
+// may carry when Options.GroupLimit is zero. Clients page through larger
+// results with "limit" and "offset".
+const DefaultGroupLimit = 1000
 
 // DefaultLiveName is the reserved cube name routing queries to the live
 // store when Options.LiveName is empty.
@@ -60,15 +80,19 @@ type Options struct {
 	// LiveName is the reserved cube name for the live store
 	// (DefaultLiveName when empty).
 	LiveName string
+	// GroupLimit caps the groups per keyed-query response
+	// (DefaultGroupLimit when zero).
+	GroupLimit int
 }
 
 // Server answers cube queries over HTTP straight off encoded cube files
 // and, in live mode, straight off a cubestore.
 type Server struct {
-	dir      string
-	cache    *viewCache
-	store    *cubestore.Store
-	liveName string
+	dir        string
+	cache      *viewCache
+	store      *cubestore.Store
+	liveName   string
+	groupLimit int
 }
 
 // New builds a Server over opts.Dir (which must exist when set) and/or the
@@ -94,7 +118,14 @@ func New(opts Options) (*Server, error) {
 	if liveName == "" {
 		liveName = DefaultLiveName
 	}
-	return &Server{dir: opts.Dir, cache: newViewCache(size), store: opts.Store, liveName: liveName}, nil
+	limit := opts.GroupLimit
+	if limit <= 0 {
+		limit = DefaultGroupLimit
+	}
+	return &Server{
+		dir: opts.Dir, cache: newViewCache(size),
+		store: opts.Store, liveName: liveName, groupLimit: limit,
+	}, nil
 }
 
 // ListenAndServe runs a Server at addr until the listener fails.
@@ -113,6 +144,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query/point", s.handlePoint)
 	mux.HandleFunc("/query/range", s.handleRange)
 	mux.HandleFunc("/query/groupby", s.handleGroupBy)
+	mux.HandleFunc("/query/topk", s.handleTopK)
+	mux.HandleFunc("/query/rollup", s.handleRollUp)
 	mux.HandleFunc("/stats", s.handleStats)
 	if s.store != nil {
 		mux.HandleFunc("/ingest", s.handleIngest)
@@ -144,7 +177,8 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, dwarf.ErrBadQuery),
 		errors.Is(err, dwarf.ErrDimMismatch),
 		errors.Is(err, dwarf.ErrReservedKey),
-		errors.Is(err, dwarf.ErrNotFiniteValue):
+		errors.Is(err, dwarf.ErrNotFiniteValue),
+		errors.Is(err, query.ErrUnknownDim):
 		status = http.StatusBadRequest
 	case errors.Is(err, cubestore.ErrClosed):
 		status = http.StatusServiceUnavailable
@@ -215,19 +249,10 @@ func (s *Server) view(name string) (*dwarf.CubeView, error) {
 	return s.cache.add(name, v, st.Size(), st.ModTime()), nil
 }
 
-// querier is the query surface shared by zero-copy views and the live
-// store; the /query/* handlers are written against it.
-type querier interface {
-	Point(keys ...string) (dwarf.Aggregate, error)
-	Range(sels []dwarf.Selector) (dwarf.Aggregate, error)
-	GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error)
-	Dims() []string
-	NumDims() int
-}
-
-// source resolves a cube name to its query target: the live store for the
-// reserved live name, a (cached) file-backed view otherwise.
-func (s *Server) source(name string) (querier, error) {
+// source resolves a cube name to its query target — the live store for the
+// reserved live name, a (cached) file-backed view otherwise — as the shared
+// engine surface (query.Querier) every /query/* handler is written against.
+func (s *Server) source(name string) (query.Querier, error) {
 	if s.store != nil && name == s.liveName {
 		return s.store, nil
 	}
@@ -433,12 +458,59 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// page bounds one keyed response: the requested offset into the result's
+// deterministic order plus the requested limit, clamped to the server cap.
+type page struct {
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
+}
+
+// clamp resolves the effective window against the server's group cap.
+func (p page) clamp(cap int) (offset, limit int, err error) {
+	if p.Offset < 0 || p.Limit < 0 {
+		return 0, 0, badRequest("limit and offset must be non-negative")
+	}
+	limit = p.Limit
+	if limit == 0 || limit > cap {
+		limit = cap
+	}
+	return p.Offset, limit, nil
+}
+
+// window cuts rows to [offset, offset+limit). truncated reports that rows
+// remain AFTER the window, so a paging client advances offset exactly while
+// truncated is true and terminates on the final (or past-the-end) page.
+func window[T any](rows []T, offset, limit int) (out []T, truncated bool) {
+	if offset >= len(rows) {
+		return nil, false
+	}
+	rows = rows[offset:]
+	if len(rows) > limit {
+		return rows[:limit], true
+	}
+	return rows, false
+}
+
+// dimIndex resolves a request's dimension field: a dimension name or a
+// 0-based index rendered as a string.
+func dimIndex(q query.Querier, field string) (int, error) {
+	if n, err := strconv.Atoi(field); err == nil {
+		return n, nil
+	}
+	idx, err := query.DimIndex(q, field)
+	if err != nil {
+		return -1, badRequest("unknown dimension %q (have %v)", field, q.Dims())
+	}
+	return idx, nil
+}
+
 // groupByRequest is the body of /query/groupby. Dim is a dimension name or
 // a 0-based index rendered as a string.
 type groupByRequest struct {
 	Cube      string         `json:"cube"`
 	Dim       string         `json:"dim"`
 	Selectors []selectorSpec `json:"selectors"`
+	page
 }
 
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
@@ -456,23 +528,17 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	dims := v.Dims()
-	dim := -1
-	if n, err := strconv.Atoi(req.Dim); err == nil {
-		dim = n
-	} else {
-		for i, d := range dims {
-			if d == req.Dim {
-				dim = i
-				break
-			}
-		}
-		if dim < 0 {
-			writeErr(w, badRequest("unknown dimension %q (have %v)", req.Dim, dims))
-			return
-		}
+	dim, err := dimIndex(v, req.Dim)
+	if err != nil {
+		writeErr(w, err)
+		return
 	}
-	sels, err := selectors(req.Selectors, len(dims))
+	offset, limit, err := req.clamp(s.groupLimit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sels, err := selectors(req.Selectors, v.NumDims())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -482,12 +548,148 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	out := make(map[string]aggJSON, len(groups))
-	for k, a := range groups {
-		out[k] = toAggJSON(a)
+	// The page windows over key-sorted order, so offsets are deterministic.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pageKeys, truncated := window(keys, offset, limit)
+	out := make(map[string]aggJSON, len(pageKeys))
+	for _, k := range pageKeys {
+		out[k] = toAggJSON(groups[k])
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"cube": req.Cube, "dim": dims[dim], "groups": out,
+		"cube": req.Cube, "dim": v.Dims()[dim], "groups": out,
+		"total_groups": len(groups), "offset": offset, "limit": limit,
+		"truncated": truncated,
+	})
+}
+
+// topKRequest is the body of /query/topk. By is a metric name (sum, count,
+// min, max, avg; sum when empty); Threshold, when present, is the iceberg
+// floor applied before the K cut.
+type topKRequest struct {
+	Cube      string         `json:"cube"`
+	Dim       string         `json:"dim"`
+	Selectors []selectorSpec `json:"selectors"`
+	K         int            `json:"k"`
+	By        string         `json:"by"`
+	Threshold *float64       `json:"threshold"`
+	page
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, badRequest("POST a JSON body to /query/topk"))
+		return
+	}
+	var req topKRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := s.source(req.Cube)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	dim, err := dimIndex(v, req.Dim)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	offset, limit, err := req.clamp(s.groupLimit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.K < 0 {
+		writeErr(w, badRequest("k must be non-negative"))
+		return
+	}
+	by, err := dwarf.ParseMetric(req.By)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sels, err := selectors(req.Selectors, v.NumDims())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	spec := dwarf.TopKSpec{K: req.K, By: by}
+	if req.Threshold != nil {
+		spec.Threshold, spec.HasThreshold = *req.Threshold, true
+	}
+	entries, err := v.TopK(dim, sels, spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type entryJSON struct {
+		Key       string  `json:"key"`
+		Metric    float64 `json:"metric"`
+		Aggregate aggJSON `json:"aggregate"`
+	}
+	pageEntries, truncated := window(entries, offset, limit)
+	out := make([]entryJSON, len(pageEntries))
+	for i, e := range pageEntries {
+		out[i] = entryJSON{Key: e.Key, Metric: by.Of(e.Agg), Aggregate: toAggJSON(e.Agg)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": req.Cube, "dim": v.Dims()[dim], "by": by.String(),
+		"entries": out, "total_entries": len(entries),
+		"offset": offset, "limit": limit, "truncated": truncated,
+	})
+}
+
+// rollUpRequest is the body of /query/rollup: the named dimensions to keep;
+// all others are aggregated away through their ALL cells.
+type rollUpRequest struct {
+	Cube string   `json:"cube"`
+	Keep []string `json:"keep"`
+	page
+}
+
+func (s *Server) handleRollUp(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, badRequest("POST a JSON body to /query/rollup"))
+		return
+	}
+	var req rollUpRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := s.source(req.Cube)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	offset, limit, err := req.clamp(s.groupLimit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	dims, rows, err := query.RollUp(v, req.Keep...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type rowJSON struct {
+		Keys      []string `json:"keys"`
+		Aggregate aggJSON  `json:"aggregate"`
+	}
+	pageRows, truncated := window(rows, offset, limit)
+	out := make([]rowJSON, len(pageRows))
+	for i, row := range pageRows {
+		out[i] = rowJSON{Keys: row.Keys, Aggregate: toAggJSON(row.Agg)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": req.Cube, "dims": dims,
+		"groups": out, "total_groups": len(rows),
+		"offset": offset, "limit": limit, "truncated": truncated,
 	})
 }
 

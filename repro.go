@@ -30,6 +30,7 @@ import (
 	"repro/internal/dwarf"
 	"repro/internal/jsonstream"
 	"repro/internal/mapper"
+	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/smartcity"
 	"repro/internal/xmlstream"
@@ -165,6 +166,56 @@ var (
 	SelectKeys  = dwarf.SelectKeys
 	SelectRange = dwarf.SelectRange
 )
+
+// Unified query engine surface. Every type below answers through one query
+// kernel, so a query shape means exactly the same thing on an in-memory
+// Cube, a zero-copy CubeView/CubeFile and a LiveStore.
+type (
+	// Querier is the query surface shared by *Cube, *CubeView and
+	// *LiveStore: Point, Range, GroupBy, Pivot and TopK.
+	Querier = query.Querier
+	// PivotGroup is one row of a multi-dimension GroupBy (Pivot/RollUp).
+	PivotGroup = dwarf.PivotGroup
+	// TopKEntry is one ranked group of a TopK query.
+	TopKEntry = dwarf.GroupEntry
+	// TopKSpec shapes a TopK/iceberg query: ranking metric, optional
+	// threshold, and the K cut.
+	TopKSpec = dwarf.TopKSpec
+	// Metric names the aggregate component TopK ranks by.
+	Metric = dwarf.Metric
+)
+
+// The rankable aggregate components for TopKSpec.By.
+const (
+	BySum   = dwarf.BySum
+	ByCount = dwarf.ByCount
+	ByMin   = dwarf.ByMin
+	ByMax   = dwarf.ByMax
+	ByAvg   = dwarf.ByAvg
+)
+
+// TopK ranks the groups of the named dimension by spec's metric and returns
+// the surviving entries best first (iceberg threshold and K cut applied
+// after all partial aggregates are merged). q may be a cube, a view or a
+// live store.
+func TopK(q Querier, dim string, sels []Selector, spec TopKSpec) ([]TopKEntry, error) {
+	return query.TopKByName(q, dim, sels, spec)
+}
+
+// RollUp collapses q to the named dimensions (in cube dimension order),
+// aggregating everything else away through ALL cells: one sorted row per
+// surviving key combination, counts and min/max preserved. It runs directly
+// on views and live stores — no cube rebuild, no decoding.
+func RollUp(q Querier, keep ...string) (dims []string, rows []PivotGroup, err error) {
+	return query.RollUp(q, keep...)
+}
+
+// DrillDown enumerates the members of the named dimension under a fixed
+// path: fixed maps dimension name → key, missing dimensions are wildcards.
+// Each member key maps to its aggregate under the path.
+func DrillDown(q Querier, fixed map[string]string, dim string) (map[string]Aggregate, error) {
+	return query.DrillDown(q, fixed, dim)
+}
 
 // Construction ablation switches and the parallel-build worker option.
 var (
