@@ -10,6 +10,7 @@
 //	dwarfbench -exp serve             # serving path: Decode vs CubeView open + q/s
 //	dwarfbench -exp ingest            # live store: WAL+memtable ingest + freshness
 //	dwarfbench -exp compact           # segment compaction: decode+Merge vs MergeViews
+//	dwarfbench -exp http              # live TCP load: append encoders vs reflection
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
 //
 // -workers N builds the Table 2 cubes with N shard workers (the parallel
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, storequery, parallel, serve, ingest, compact, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, storequery, parallel, serve, ingest, compact, http, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
@@ -48,6 +49,8 @@ func main() {
 	batch := flag.Int("batch", 512, "tuples per Append in -exp ingest")
 	parts := flag.Int("parts", 4, "input segments merged by -exp compact")
 	jsonOut := flag.String("json", "", "also write -exp compact/query results as JSON to this path (e.g. BENCH_query.json)")
+	connsFlag := flag.String("conns", "1,16,64", "concurrent connections swept by -exp http")
+	requests := flag.Int("requests", 12000, "total requests per -exp http run")
 	sealTuples := flag.Int("seal", 0, "live-store seal threshold in -exp ingest (0 = default)")
 	sync := flag.Bool("sync", true, "fsync every Append in -exp ingest (the durable configuration)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -124,6 +127,8 @@ func main() {
 		err = runIngest(presets, ingestOpts, progress)
 	case "compact":
 		err = runCompact(presets, *parts, *repeats, *jsonOut)
+	case "http":
+		err = runHTTPLoad(presets[0], *connsFlag, *requests, *jsonOut, progress)
 	case "all":
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
@@ -235,6 +240,34 @@ func runQueryKernel(presets []string, queries int, jsonOut string, progress func
 	fmt.Println()
 	if jsonOut != "" {
 		if err := bench.WriteQueryJSON(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
+	return nil
+}
+
+func runHTTPLoad(preset, connsFlag string, requests int, jsonOut string, progress func(string)) error {
+	var conns []int
+	for _, f := range strings.Split(connsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -conns entry %q", f)
+		}
+		conns = append(conns, n)
+	}
+	results, handler, err := bench.RunHTTPLoad(bench.HTTPOptions{
+		Preset: preset, Conns: conns, Requests: requests,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	bench.FormatHTTPHandler(handler).Fprint(os.Stdout)
+	fmt.Println()
+	bench.FormatHTTPLoad(results).Fprint(os.Stdout)
+	fmt.Println()
+	if jsonOut != "" {
+		if err := bench.WriteHTTPJSON(jsonOut, results, handler); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "wrote", jsonOut)

@@ -19,6 +19,7 @@
 //	GET  /query/point?cube=week.dwarf&key=2015&key=*…  one key per dimension
 //	POST /query/range    {"cube":…,"selectors":[{"lo":…,"hi":…},…]}
 //	POST /query/groupby  {"cube":…,"dim":"Area","selectors":[…],"limit":…,"offset":…}
+//	POST /query/pivot    {"cube":…,"dims":["Area","Status"],"selectors":[…]}
 //	POST /query/topk     {"cube":…,"dim":"Station","k":10,"by":"sum","threshold":…}
 //	POST /query/rollup   {"cube":…,"keep":["Month","Area"]}
 //	GET  /stats?cube=week.dwarf

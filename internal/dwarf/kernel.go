@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unsafe"
 )
 
 // This file is the unified query kernel: every query shape is implemented
@@ -209,6 +210,36 @@ func (w *kernelState) rangeAt(n Cursor, depth int) (Aggregate, error) {
 
 // ---- GroupBy / Pivot (one walk serves both) ----
 
+// keyArena clones retained group keys into shared chunks, so a walk over an
+// unstable-key source (encoded views, whose keys alias the mapped bytes)
+// costs one allocation per ~4 KiB of retained key bytes instead of one per
+// key. Handed-out strings alias a chunk that is only ever appended to
+// within its capacity — never grown in place — so they stay valid for the
+// life of the result.
+type keyArena struct{ buf []byte }
+
+const keyArenaChunk = 4096
+
+func (a *keyArena) clone(s string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	if len(s) > cap(a.buf)-len(a.buf) {
+		size := keyArenaChunk
+		if len(s) > size {
+			size = len(s)
+		}
+		a.buf = make([]byte, 0, size)
+	}
+	off := len(a.buf)
+	a.buf = append(a.buf, s...)
+	return unsafe.String(&a.buf[off], len(s))
+}
+
+func (a *keyArena) cloneBytes(b []byte) string {
+	return a.clone(unsafe.String(unsafe.SliceData(b), len(b)))
+}
+
 // pivotState extends the kernel walk with grouping: the dimensions in
 // grouped contribute their cell key to the group identity instead of being
 // collapsed, and leaf aggregates accumulate per distinct group.
@@ -217,6 +248,7 @@ type pivotState struct {
 	grouped []bool
 	keys    []string // current group key per grouped depth
 	stable  bool
+	arena   keyArena // clones of retained keys (unstable sources)
 
 	// Single-dimension grouping (GroupBy) accumulates directly into the
 	// result map; multi-dimension grouping (Pivot) accumulates under an
@@ -226,6 +258,18 @@ type pivotState struct {
 	order   []int // grouped depths in output order (composite mode)
 	acc     map[string]*Aggregate
 	scratch []byte
+	aggSlab []Aggregate // chunked accumulator storage (composite mode)
+}
+
+// newAgg hands out a stable *Aggregate from chunked slab storage: one
+// allocation per chunk of groups, not one per group. Chunks are never grown
+// in place, so earlier pointers stay valid.
+func (w *pivotState) newAgg(a Aggregate) *Aggregate {
+	if len(w.aggSlab) == cap(w.aggSlab) {
+		w.aggSlab = make([]Aggregate, 0, 128)
+	}
+	w.aggSlab = append(w.aggSlab, a)
+	return &w.aggSlab[len(w.aggSlab)-1]
 }
 
 func (w *pivotState) walk(n Cursor, depth int) error {
@@ -300,13 +344,14 @@ func (w *pivotState) walk(n Cursor, depth int) error {
 }
 
 // emit folds one leaf aggregate into the current group. Group keys may
-// alias source memory; they are cloned exactly once, on first insertion.
+// alias source memory; they are cloned exactly once, on first insertion,
+// into the walk's shared arena rather than one heap string per key.
 func (w *pivotState) emit(a Aggregate) {
 	if w.single >= 0 {
 		k := w.keys[w.single]
 		old, ok := w.out[k]
 		if !ok && !w.stable {
-			k = strings.Clone(k)
+			k = w.arena.clone(k)
 		}
 		w.out[k] = MergeAggregates(old, a)
 		return
@@ -316,8 +361,7 @@ func (w *pivotState) emit(a Aggregate) {
 		*p = MergeAggregates(*p, a)
 		return
 	}
-	agg := a
-	w.acc[string(w.scratch)] = &agg
+	w.acc[w.arena.cloneBytes(w.scratch)] = w.newAgg(a)
 }
 
 // appendGroupKey appends the unambiguous composite encoding of the group

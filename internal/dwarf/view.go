@@ -39,6 +39,18 @@ type CubeView struct {
 	starts  []uint32 // starts[id-1]: offset of node id's record
 	allOffs []uint32 // allOffs[id-1]: offset of node id's ALL record
 	rootID  uint64
+
+	// The fanout side-index, built once on the first query (ensure): flat
+	// per-node header metadata plus one offset per cell, so a descent never
+	// re-parses a record header and key lookups binary-search the sorted
+	// cells instead of scanning them. ~13 bytes per node + 4 per cell; for
+	// the serving tier that trade buys the cube-like Point latency the
+	// encoded representation otherwise gives up to varint parsing.
+	levels   []uint16 // levels[id-1]: node id's level
+	ncells   []uint32 // ncells[id-1]: node id's key-cell count
+	cellsOff []uint32 // cellsOff[id-1]: offset of node id's first cell
+	cellIdx  []uint32 // cellIdx[id-1]: node id's slot range start in cellOffs
+	cellOffs []uint32 // one offset per cell record, node-major, key order
 }
 
 // errCorrupt wraps a structural complaint in ErrCorruptCube so every parse
@@ -377,21 +389,90 @@ func (v *CubeView) loadTrailer(body []byte) error {
 	return nil
 }
 
-// ensure makes the node offset index available, building it on first touch
-// when the stream carries no trailer. Safe for concurrent callers.
+// ensure makes the node offset index and the fanout side-index available,
+// building them on the first query so opens stay O(header) for
+// trailer-carrying streams. Safe for concurrent callers.
 func (v *CubeView) ensure() error {
-	if v.indexed {
-		return nil
-	}
 	v.once.Do(func() {
-		starts, allOffs, rootID, err := scanEncoded(v.data, v.hdr)
-		if err != nil {
-			v.idxErr = err
-			return
+		if !v.indexed {
+			starts, allOffs, rootID, err := scanEncoded(v.data, v.hdr)
+			if err != nil {
+				v.idxErr = err
+				return
+			}
+			v.starts, v.allOffs, v.rootID = starts, allOffs, rootID
 		}
-		v.starts, v.allOffs, v.rootID = starts, allOffs, rootID
+		v.idxErr = v.buildFanoutIndex()
 	})
 	return v.idxErr
+}
+
+// buildFanoutIndex walks the node section once, recording every record
+// header (level, cell count, first-cell offset) and every cell offset into
+// flat arrays. All reads are bounds-checked, so a corrupt (trusted-open)
+// stream fails with ErrCorruptCube here rather than mid-query; each node's
+// walk is also cross-checked against the ALL offset the trailer or scan
+// produced, tying the two indexes together.
+func (v *CubeView) buildFanoutIndex() error {
+	nodeCount := v.hdr.nodeCount
+	ndims := uint64(len(v.hdr.dims))
+	levels := make([]uint16, nodeCount)
+	ncells := make([]uint32, nodeCount)
+	cellsOff := make([]uint32, nodeCount)
+	cellIdx := make([]uint32, nodeCount+1)
+	cellOffs := make([]uint32, 0, nodeCount*4)
+	for id := uint64(1); id <= nodeCount; id++ {
+		cur := cursor{data: v.data, pos: int(v.starts[id-1]), end: v.hdr.payloadEnd}
+		level, err := cur.uvarint()
+		if err != nil {
+			return err
+		}
+		if level >= ndims {
+			return errCorrupt("node %d: level %d out of range for %d dimensions", id, level, ndims)
+		}
+		leafB, err := cur.u8()
+		if err != nil {
+			return err
+		}
+		if leafB > 1 {
+			return errCorrupt("node %d: bad leaf flag %d", id, leafB)
+		}
+		leaf := leafB == 1
+		if leaf != (level == ndims-1) {
+			return errCorrupt("node %d: leaf flag %v disagrees with level %d of %d", id, leaf, level, ndims)
+		}
+		nc, err := cur.uvarint()
+		if err != nil {
+			return err
+		}
+		if nc > uint64(cur.end-cur.pos) {
+			return errCorrupt("node %d: cell count %d overruns stream", id, nc)
+		}
+		levels[id-1] = uint16(level)
+		ncells[id-1] = uint32(nc)
+		cellsOff[id-1] = uint32(cur.pos)
+		cellIdx[id-1] = uint32(len(cellOffs))
+		for i := uint64(0); i < nc; i++ {
+			cellOffs = append(cellOffs, uint32(cur.pos))
+			if _, err := cur.str(); err != nil {
+				return err
+			}
+			if leaf {
+				if err := cur.skipAgg(); err != nil {
+					return err
+				}
+			} else if _, err := cur.uvarint(); err != nil {
+				return err
+			}
+		}
+		if uint32(cur.pos) != v.allOffs[id-1] {
+			return errCorrupt("node %d: cells end at %d but ALL record starts at %d", id, cur.pos, v.allOffs[id-1])
+		}
+	}
+	cellIdx[nodeCount] = uint32(len(cellOffs))
+	v.levels, v.ncells, v.cellsOff = levels, ncells, cellsOff
+	v.cellIdx, v.cellOffs = cellIdx, cellOffs
+	return nil
 }
 
 // Indexed reports whether the node offset index was read from a v2 trailer
@@ -427,10 +508,20 @@ type vnode struct {
 }
 
 // node parses the record header of node id. Callers must hold a built index
-// (ensure).
+// (ensure). With the fanout side-index in place the header comes from the
+// flat arrays — no varint parsing per descent step.
 func (v *CubeView) node(id uint64) (vnode, error) {
 	if id == 0 || id > uint64(len(v.starts)) {
 		return vnode{}, errCorrupt("node id %d out of range", id)
+	}
+	if v.cellsOff != nil {
+		level := int(v.levels[id-1])
+		return vnode{
+			id: id, level: level, leaf: level == len(v.hdr.dims)-1,
+			ncells: int(v.ncells[id-1]),
+			cells:  cursor{data: v.data, pos: int(v.cellsOff[id-1]), end: v.hdr.payloadEnd},
+			allPos: int(v.allOffs[id-1]),
+		}, nil
 	}
 	cur := cursor{data: v.data, pos: int(v.starts[id-1]), end: v.hdr.payloadEnd}
 	level, err := cur.uvarint()
@@ -484,9 +575,51 @@ func (n vnode) childID(id uint64) (uint64, error) {
 	return id, nil
 }
 
-// lookupCell scans the node's sorted cells for key. It returns the leaf
-// aggregate or child id of the matching cell.
+// findCell binary-searches node id's sorted cells for key using the fanout
+// side-index. It returns the offset of the matched cell's value (the leaf
+// aggregate bytes or the child-id uvarint). Offsets in cellOffs were
+// validated in-bounds when the index was built.
+func (v *CubeView) findCell(id uint64, key string) (valPos int, ok bool) {
+	lo, hi := int(v.cellIdx[id-1]), int(v.cellIdx[id])
+	end := v.hdr.payloadEnd
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		pos := int(v.cellOffs[m])
+		klen, w := binary.Uvarint(v.data[pos:end])
+		ks := pos + w
+		switch c := cmpKeyStr(v.data[ks:ks+int(klen)], key); {
+		case c < 0:
+			lo = m + 1
+		case c > 0:
+			hi = m
+		default:
+			return ks + int(klen), true
+		}
+	}
+	return 0, false
+}
+
+// lookupCell finds key among the node's sorted cells — a binary search over
+// the fanout side-index when built, a front-to-back scan otherwise. It
+// returns the leaf aggregate or child id of the matching cell.
 func (v *CubeView) lookupCell(n vnode, key string) (agg Aggregate, child uint64, found bool, err error) {
+	if v.cellIdx != nil {
+		valPos, ok := v.findCell(n.id, key)
+		if !ok {
+			return Aggregate{}, 0, false, nil
+		}
+		cur := cursor{data: v.data, pos: valPos, end: v.hdr.payloadEnd}
+		if n.leaf {
+			a, err := cur.agg()
+			return a, 0, err == nil, err
+		}
+		id, err := cur.uvarint()
+		if err != nil {
+			return Aggregate{}, 0, false, err
+		}
+		id, err = n.childID(id)
+		return Aggregate{}, id, err == nil, err
+	}
 	cur := n.cells
 	for i := 0; i < n.ncells; i++ {
 		k, err := cur.str()
@@ -530,8 +663,58 @@ func (v *CubeView) lookupCell(n vnode, key string) (agg Aggregate, child uint64,
 // Point answers a point or ALL-wildcard query against the encoded bytes,
 // with the same semantics as Cube.Point: absent combinations yield the zero
 // Aggregate, errors are reserved for malformed queries and corrupt streams.
+//
+// This is a dedicated descent over the fanout side-index — header metadata
+// from flat arrays, cell lookup by binary search, no interface dispatch —
+// and the differential suites hold it answer-identical to QueryPoint over
+// the generic Source path.
 func (v *CubeView) Point(keys ...string) (Aggregate, error) {
-	return QueryPoint(v, keys...)
+	ndims := len(v.hdr.dims)
+	if len(keys) != ndims {
+		return Aggregate{}, fmt.Errorf("%w: got %d keys, cube has %d dimensions", ErrBadQuery, len(keys), ndims)
+	}
+	if err := v.ensure(); err != nil {
+		return Aggregate{}, err
+	}
+	id := v.rootID
+	if id == 0 {
+		return Aggregate{}, nil
+	}
+	for l := 0; ; l++ {
+		if int(v.levels[id-1]) != l {
+			return Aggregate{}, errCorrupt("node %d: level %d at traversal depth %d", id, v.levels[id-1], l)
+		}
+		leaf := l == ndims-1
+		var valPos int
+		if keys[l] == All {
+			valPos = int(v.allOffs[id-1])
+		} else {
+			pos, ok := v.findCell(id, keys[l])
+			if !ok {
+				return Aggregate{}, nil
+			}
+			valPos = pos
+		}
+		cur := cursor{data: v.data, pos: valPos, end: v.hdr.payloadEnd}
+		if leaf {
+			return cur.agg()
+		}
+		child, err := cur.uvarint()
+		if err != nil {
+			return Aggregate{}, err
+		}
+		if child >= id {
+			return Aggregate{}, errCorrupt("node %d: child id %d is not an earlier node", id, child)
+		}
+		if keys[l] != All && child == 0 {
+			return Aggregate{}, errCorrupt("node %d: cell child id 0", id)
+		}
+		if child == 0 {
+			// An absent ALL sub-dwarf: the whole branch aggregates to zero.
+			return Aggregate{}, nil
+		}
+		id = child
+	}
 }
 
 // Range aggregates over the sub-cube addressed by one selector per

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/cubestore"
+	"repro/internal/dwarf"
+)
+
+// This file is the pre-append-encoder serving path, preserved verbatim and
+// routed to by Options.ReflectJSON: anonymous map[string]any envelopes
+// handed to a reflecting, indenting json.Encoder, with url.Values-based
+// query parsing on the GET point path. It exists for two reasons:
+//
+//   - BENCH_http.json's before/after comparison measures the real old path,
+//     not a flattering reconstruction of it.
+//   - TestModesByteIdentical proves the append encoders reproduce the old
+//     wire bytes exactly, response for response.
+//
+// Nothing here runs unless ReflectJSON is set. Do not "improve" this code;
+// its value is that it does not change.
+
+// writeJSON is the legacy reflection encoder: indented encoding/json
+// straight to the wire. The append encoders replicate its output byte for
+// byte (pinned by encode_test.go).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) legacyError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// legacyPointQuery is the seed's GET /query/point parameter parse: a full
+// url.Values map per request.
+func legacyPointQuery(r *http.Request) (cube string, keys []string) {
+	q := r.URL.Query()
+	cube = q.Get("cube")
+	keys = q["key"]
+	if len(keys) == 0 && q.Get("keys") != "" {
+		keys = strings.Split(q.Get("keys"), ",")
+	}
+	return cube, keys
+}
+
+func (s *Server) legacyCubes(w http.ResponseWriter, cubes []cubeInfo) {
+	out := map[string]any{
+		"dir":   s.dir,
+		"cubes": cubes,
+		"cache": s.cache.snapshot(),
+	}
+	if s.store != nil {
+		out["live"] = s.liveName
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) legacyPoint(w http.ResponseWriter, cube string, keys []string, agg dwarf.Aggregate) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": cube, "keys": keys, "aggregate": toAggJSON(agg),
+	})
+}
+
+func (s *Server) legacyRange(w http.ResponseWriter, cube string, agg dwarf.Aggregate) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": cube, "aggregate": toAggJSON(agg),
+	})
+}
+
+func (s *Server) legacyGroupBy(w http.ResponseWriter, cube, dim string, pageKeys []string,
+	groups map[string]dwarf.Aggregate, offset, limit int, truncated bool) {
+
+	out := make(map[string]aggJSON, len(pageKeys))
+	for _, k := range pageKeys {
+		out[k] = toAggJSON(groups[k])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": cube, "dim": dim, "groups": out,
+		"total_groups": len(groups), "offset": offset, "limit": limit,
+		"truncated": truncated,
+	})
+}
+
+func (s *Server) legacyTopK(w http.ResponseWriter, cube, dim string, by dwarf.Metric,
+	pageEntries []dwarf.GroupEntry, total, offset, limit int, truncated bool) {
+
+	out := make([]entryJSON, len(pageEntries))
+	for i, e := range pageEntries {
+		out[i] = entryJSON{Key: e.Key, Metric: by.Of(e.Agg), Aggregate: toAggJSON(e.Agg)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": cube, "dim": dim, "by": by.String(),
+		"entries": out, "total_entries": total,
+		"offset": offset, "limit": limit, "truncated": truncated,
+	})
+}
+
+func (s *Server) legacyRows(w http.ResponseWriter, cube string, dims []string,
+	rows []dwarf.PivotGroup, total, offset, limit int, truncated bool) {
+
+	out := make([]rowJSON, len(rows))
+	for i, row := range rows {
+		out[i] = rowJSON{Keys: row.Keys, Aggregate: toAggJSON(row.Agg)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube": cube, "dims": dims,
+		"groups": out, "total_groups": total,
+		"offset": offset, "limit": limit, "truncated": truncated,
+	})
+}
+
+func (s *Server) legacyStats(w http.ResponseWriter, cube string, v *dwarf.CubeView, st dwarf.Stats) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube":          cube,
+		"dims":          v.Dims(),
+		"source_tuples": v.NumSourceTuples(),
+		"indexed":       v.Indexed(),
+		"encoded_bytes": v.EncodedBytes(),
+		"nodes":         st.Nodes,
+		"cells":         st.Cells,
+		"all_cells":     st.AllCells,
+		"total_cells":   st.TotalCells(),
+	})
+}
+
+func (s *Server) legacyIngest(w http.ResponseWriter, appended, total int) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"appended":     appended,
+		"total_tuples": total,
+	})
+}
+
+func (s *Server) legacyStoreStats(w http.ResponseWriter, st cubestore.Stats) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cube":  s.liveName,
+		"stats": st,
+	})
+}

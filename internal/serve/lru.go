@@ -21,6 +21,7 @@ type viewCache struct {
 
 type cacheEntry struct {
 	name     string
+	path     string // precomputed filepath.Join(dir, name)
 	view     *dwarf.CubeView
 	size     int64
 	modTime  time.Time
@@ -57,17 +58,29 @@ func (c *viewCache) get(name string, size int64, modTime time.Time) (*dwarf.Cube
 	return ent.view, true
 }
 
+// path returns the cached entry's precomputed file path without promoting
+// it, so the hot request path revalidates without a per-request
+// filepath.Join.
+func (c *viewCache) path(name string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[name]; ok {
+		return el.Value.(*cacheEntry).path, true
+	}
+	return "", false
+}
+
 // add inserts a freshly loaded view, evicting from the cold end past
 // capacity. When two requests race to load the same cube, the first insert
 // wins and the loser's view is returned for its own request only.
-func (c *viewCache) add(name string, v *dwarf.CubeView, size int64, modTime time.Time) *dwarf.CubeView {
+func (c *viewCache) add(name, path string, v *dwarf.CubeView, size int64, modTime time.Time) *dwarf.CubeView {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[name]; ok {
 		c.ll.MoveToFront(el)
 		return el.Value.(*cacheEntry).view
 	}
-	el := c.ll.PushFront(&cacheEntry{name: name, view: v, size: size, modTime: modTime, loadedAt: time.Now()})
+	el := c.ll.PushFront(&cacheEntry{name: name, path: path, view: v, size: size, modTime: modTime, loadedAt: time.Now()})
 	c.byKey[name] = el
 	for c.ll.Len() > c.cap {
 		cold := c.ll.Back()

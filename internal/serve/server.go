@@ -11,6 +11,7 @@
 //	GET  /query/point?cube=N&key=K… point/ALL query, one key per dimension
 //	POST /query/range               {"cube","selectors":[{…} per dimension]}
 //	POST /query/groupby             {"cube","dim","selectors":[…],"limit","offset"}
+//	POST /query/pivot               {"cube","dims":["Area",…],"selectors":[…],"limit","offset"}
 //	POST /query/topk                {"cube","dim","selectors":[…],"k","by","threshold"}
 //	POST /query/rollup              {"cube","keep":["Area",…],"limit","offset"}
 //	GET  /stats?cube=N              node/cell counts off the encoded bytes
@@ -30,13 +31,22 @@
 // A selector is {"keys":[…]} for an explicit set, {"lo":…,"hi":…} for an
 // inclusive range, or {} (or omitted trailing entries) for ALL.
 //
-// Keyed results (group-by, top-k, rollup) are paginated: at most
+// Keyed results (group-by, pivot, top-k, rollup) are paginated: at most
 // Options.GroupLimit groups (DefaultGroupLimit when zero) are returned per
 // response, in a deterministic order (key order; rank order for top-k), and
 // "limit"/"offset" window into that order. "truncated": true means more
 // groups remain after this window — clients page by advancing "offset"
 // until it is false — and the total count always rides along, so a
 // high-cardinality dimension can never produce an unbounded response body.
+//
+// Responses are produced by the hand-rolled appenders in encode.go —
+// pooled buffers, no reflection, paged rows streamed straight out of the
+// kernel's results. Options.ReflectJSON instead routes every response
+// through the original serving path preserved verbatim in legacy.go
+// (map[string]any envelopes + indented encoding/json); output is
+// byte-identical either way, pinned by the differential suite in
+// encode_test.go. The toggle exists for before/after benchmarking and as
+// an escape hatch. See docs/SERVING.md for the encoding contract.
 package serve
 
 import (
@@ -44,11 +54,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/cubestore"
 	"repro/internal/dwarf"
@@ -67,6 +80,13 @@ const DefaultGroupLimit = 1000
 // store when Options.LiveName is empty.
 const DefaultLiveName = "live"
 
+// maxQueryBodyBytes bounds /query/* request bodies; maxIngestBodyBytes
+// bounds /ingest batches. Oversized bodies get a clean 413.
+const (
+	maxQueryBodyBytes  = 1 << 20
+	maxIngestBodyBytes = 64 << 20
+)
+
 // Options configures a Server.
 type Options struct {
 	// Dir is the directory of .dwarf cube files served by base name. It may
@@ -83,16 +103,23 @@ type Options struct {
 	// GroupLimit caps the groups per keyed-query response
 	// (DefaultGroupLimit when zero).
 	GroupLimit int
+	// ReflectJSON routes responses through the original reflection-based
+	// serving path (legacy.go: map envelopes + encoding/json) instead of
+	// the append encoders in encode.go. Output is byte-identical either
+	// way; the toggle exists so the benchmark harness can measure the old
+	// path and as an operational escape hatch.
+	ReflectJSON bool
 }
 
 // Server answers cube queries over HTTP straight off encoded cube files
 // and, in live mode, straight off a cubestore.
 type Server struct {
-	dir        string
-	cache      *viewCache
-	store      *cubestore.Store
-	liveName   string
-	groupLimit int
+	dir         string
+	cache       *viewCache
+	store       *cubestore.Store
+	liveName    string
+	groupLimit  int
+	reflectJSON bool
 }
 
 // New builds a Server over opts.Dir (which must exist when set) and/or the
@@ -125,7 +152,24 @@ func New(opts Options) (*Server, error) {
 	return &Server{
 		dir: opts.Dir, cache: newViewCache(size),
 		store: opts.Store, liveName: liveName, groupLimit: limit,
+		reflectJSON: opts.ReflectJSON,
 	}, nil
+}
+
+// NewHTTPServer wraps handler in an http.Server with the serving tier's
+// timeout policy: a short header-read deadline (slow or stalled clients get
+// net/http's clean 408 instead of holding a connection open), bounded
+// request/response lifetimes sized for the largest allowed ingest batch,
+// and idle keep-alive reaping.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // ListenAndServe runs a Server at addr until the listener fails.
@@ -134,7 +178,7 @@ func ListenAndServe(addr string, opts Options) error {
 	if err != nil {
 		return err
 	}
-	return http.ListenAndServe(addr, s.Handler())
+	return NewHTTPServer(addr, s.Handler()).ListenAndServe()
 }
 
 // Handler returns the server's route table.
@@ -144,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query/point", s.handlePoint)
 	mux.HandleFunc("/query/range", s.handleRange)
 	mux.HandleFunc("/query/groupby", s.handleGroupBy)
+	mux.HandleFunc("/query/pivot", s.handlePivot)
 	mux.HandleFunc("/query/topk", s.handleTopK)
 	mux.HandleFunc("/query/rollup", s.handleRollUp)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -166,36 +211,60 @@ func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// errStatus maps an error to its response status.
+func errStatus(err error) int {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		status = he.status
+		return he.status
 	case errors.Is(err, os.ErrNotExist):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.Is(err, dwarf.ErrBadQuery),
 		errors.Is(err, dwarf.ErrDimMismatch),
 		errors.Is(err, dwarf.ErrReservedKey),
 		errors.Is(err, dwarf.ErrNotFiniteValue),
 		errors.Is(err, query.ErrUnknownDim):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	case errors.Is(err, cubestore.ErrClosed):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	case errors.Is(err, dwarf.ErrCorruptCube), errors.Is(err, dwarf.ErrBadMagic), errors.Is(err, dwarf.ErrBadVersion):
 		// The file on disk is not a servable cube: the client didn't err,
 		// the registry did.
-		status = http.StatusBadGateway
+		return http.StatusBadGateway
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return http.StatusInternalServerError
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+// errorResponse is the error envelope, {"error": …}.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// fail writes the error envelope with the mapped status.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status := errStatus(err)
+	if s.reflectJSON {
+		s.legacyError(w, status, err)
+		return
+	}
+	buf := getBuf()
+	*buf = appendErrorResponse((*buf)[:0], err.Error())
+	send(w, status, buf)
+}
+
+// jsonContentType is the shared Content-Type header value: assigning the
+// slice directly skips Header.Set's per-request []string allocation. The
+// slice is never mutated.
+var jsonContentType = []string{"application/json"}
+
+// send writes one fully-encoded response body and recycles its buffer.
+func send(w http.ResponseWriter, status int, buf *[]byte) {
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	h.Set("Content-Length", strconv.Itoa(len(*buf)))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(*buf)
+	putBuf(buf)
 }
 
 // view resolves a cube name to a (possibly cached) CubeView. Names are
@@ -222,15 +291,20 @@ func (s *Server) view(name string) (*dwarf.CubeView, error) {
 	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
 		return nil, badRequest("cube name %q must be a plain file name", name)
 	}
-	path := filepath.Join(s.dir, name)
-	st, err := os.Stat(path)
+	// The cached entry carries its precomputed path, so the steady-state
+	// request does one stat and no string building.
+	path, cached := s.cache.path(name)
+	if !cached {
+		path = filepath.Join(s.dir, name)
+	}
+	size, modTime, err := statFile(path)
 	if errors.Is(err, os.ErrNotExist) && filepath.Ext(name) == "" {
 		return s.view(name + ".dwarf")
 	}
 	if err != nil {
 		return nil, err
 	}
-	if v, ok := s.cache.get(name, st.Size(), st.ModTime()); ok {
+	if v, ok := s.cache.get(name, size, modTime); ok {
 		return v, nil
 	}
 	data, err := os.ReadFile(path)
@@ -246,7 +320,7 @@ func (s *Server) view(name string) (*dwarf.CubeView, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	return s.cache.add(name, v, st.Size(), st.ModTime()), nil
+	return s.cache.add(name, path, v, size, modTime), nil
 }
 
 // source resolves a cube name to its query target — the live store for the
@@ -310,30 +384,49 @@ func selectors(specs []selectorSpec, ndims int) ([]dwarf.Selector, error) {
 	return out, nil
 }
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+// decodeBody decodes a bounded JSON request body. Bodies over limit map to
+// 413 (and net/http closes the connection); malformed JSON maps to 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
 		return badRequest("bad request body: %v", err)
 	}
 	return nil
+}
+
+// cubeInfo is one registry row in the /cubes response.
+type cubeInfo struct {
+	Name      string `json:"name"`
+	SizeBytes int64  `json:"size_bytes"`
+	Indexed   bool   `json:"indexed"`
+	Loaded    bool   `json:"loaded"`
+}
+
+// cubesResponse is the /cubes envelope.
+type cubesResponse struct {
+	Cache []CacheInfo `json:"cache"`
+	Cubes []cubeInfo  `json:"cubes"`
+	Dir   string      `json:"dir"`
+	Live  string      `json:"live,omitempty"`
 }
 
 // handleCubes lists the registry: every cube file in the serving directory
 // plus the current hot cache, MRU first, plus the live cube when the server
 // fronts a store.
 func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
-	type cubeInfo struct {
-		Name      string `json:"name"`
-		SizeBytes int64  `json:"size_bytes"`
-		Indexed   bool   `json:"indexed"`
-		Loaded    bool   `json:"loaded"`
-	}
 	cubes := []cubeInfo{}
 	if s.dir != "" {
 		entries, err := os.ReadDir(s.dir)
 		if err != nil {
-			writeErr(w, err)
+			s.fail(w, err)
 			return
 		}
 		for _, e := range entries {
@@ -353,15 +446,17 @@ func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
 		}
 		sort.Slice(cubes, func(i, j int) bool { return cubes[i].Name < cubes[j].Name })
 	}
-	out := map[string]any{
-		"dir":   s.dir,
-		"cubes": cubes,
-		"cache": s.cache.snapshot(),
+	if s.reflectJSON {
+		s.legacyCubes(w, cubes)
+		return
 	}
+	live := ""
 	if s.store != nil {
-		out["live"] = s.liveName
+		live = s.liveName
 	}
-	writeJSON(w, http.StatusOK, out)
+	buf := getBuf()
+	*buf = appendCubesResponse((*buf)[:0], s.dir, cubes, s.cache.snapshot(), live, s.store != nil)
+	send(w, http.StatusOK, buf)
 }
 
 // fileHasTrailer peeks at the file's last bytes for the v2 trailer magic —
@@ -389,37 +484,123 @@ type pointRequest struct {
 	Keys []string `json:"keys"`
 }
 
+// pointResponse is the /query/point envelope.
+type pointResponse struct {
+	Aggregate aggJSON  `json:"aggregate"`
+	Cube      string   `json:"cube"`
+	Keys      []string `json:"keys"`
+}
+
+// pointArgs is pooled scratch for the GET /query/point parameter parse, so
+// the hot read path never materializes a url.Values map.
+type pointArgs struct {
+	keys []string
+}
+
+var pointArgsPool = sync.Pool{New: func() any { return &pointArgs{} }}
+
+// parsePointQuery extracts cube and keys from a raw query string with
+// url.ParseQuery's exact semantics — pairs containing ';' or failing to
+// unescape are skipped, first value wins for single-valued parameters —
+// without building a map. Returned strings alias rawQuery unless they
+// needed unescaping; the keys slice is p's, recycled across requests.
+func parsePointQuery(rawQuery string, p *pointArgs) (cube string, keys []string) {
+	p.keys = p.keys[:0]
+	var cubeSet, csvSet bool
+	var keysCSV string
+	for rawQuery != "" {
+		var pair string
+		pair, rawQuery, _ = strings.Cut(rawQuery, "&")
+		if pair == "" || strings.Contains(pair, ";") {
+			continue
+		}
+		rawK, rawV, _ := strings.Cut(pair, "=")
+		k, ok := unescapeQueryComponent(rawK)
+		if !ok {
+			continue
+		}
+		v, ok := unescapeQueryComponent(rawV)
+		if !ok {
+			continue
+		}
+		switch k {
+		case "cube":
+			if !cubeSet {
+				cube, cubeSet = v, true
+			}
+		case "key":
+			p.keys = append(p.keys, v)
+		case "keys":
+			if !csvSet {
+				keysCSV, csvSet = v, true
+			}
+		}
+	}
+	if len(p.keys) == 0 && keysCSV != "" {
+		for rest := keysCSV; ; {
+			k, after, found := strings.Cut(rest, ",")
+			p.keys = append(p.keys, k)
+			if !found {
+				break
+			}
+			rest = after
+		}
+	}
+	if len(p.keys) == 0 {
+		// No key parameters at all: keep the historical null (nil slice)
+		// in the response, not [].
+		return cube, nil
+	}
+	return cube, p.keys
+}
+
+// unescapeQueryComponent is url.QueryUnescape with a zero-allocation pass
+// for the common unescaped case.
+func unescapeQueryComponent(s string) (string, bool) {
+	if !strings.ContainsAny(s, "%+") {
+		return s, true
+	}
+	out, err := url.QueryUnescape(s)
+	if err != nil {
+		return "", false
+	}
+	return out, true
+}
+
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	var cube string
 	var keys []string
 	if r.Method == http.MethodPost {
 		var req pointRequest
-		if err := decodeBody(r, &req); err != nil {
-			writeErr(w, err)
+		if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+			s.fail(w, err)
 			return
 		}
 		cube, keys = req.Cube, req.Keys
+	} else if s.reflectJSON {
+		cube, keys = legacyPointQuery(r)
 	} else {
-		q := r.URL.Query()
-		cube = q.Get("cube")
-		keys = q["key"]
-		if len(keys) == 0 && q.Get("keys") != "" {
-			keys = strings.Split(q.Get("keys"), ",")
-		}
+		pa := pointArgsPool.Get().(*pointArgs)
+		defer pointArgsPool.Put(pa)
+		cube, keys = parsePointQuery(r.URL.RawQuery, pa)
 	}
 	v, err := s.source(cube)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	agg, err := v.Point(keys...)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cube": cube, "keys": keys, "aggregate": toAggJSON(agg),
-	})
+	if s.reflectJSON {
+		s.legacyPoint(w, cube, keys, agg)
+		return
+	}
+	buf := getBuf()
+	*buf = appendPointResponse((*buf)[:0], cube, keys, agg)
+	send(w, http.StatusOK, buf)
 }
 
 // rangeRequest is the body of /query/range.
@@ -428,34 +609,44 @@ type rangeRequest struct {
 	Selectors []selectorSpec `json:"selectors"`
 }
 
+// rangeResponse is the /query/range envelope.
+type rangeResponse struct {
+	Aggregate aggJSON `json:"aggregate"`
+	Cube      string  `json:"cube"`
+}
+
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, badRequest("POST a JSON body to /query/range"))
+		s.fail(w, badRequest("POST a JSON body to /query/range"))
 		return
 	}
 	var req rangeRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		s.fail(w, err)
 		return
 	}
 	v, err := s.source(req.Cube)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	sels, err := selectors(req.Selectors, v.NumDims())
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	agg, err := v.Range(sels)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cube": req.Cube, "aggregate": toAggJSON(agg),
-	})
+	if s.reflectJSON {
+		s.legacyRange(w, req.Cube, agg)
+		return
+	}
+	buf := getBuf()
+	*buf = appendRangeResponse((*buf)[:0], req.Cube, agg)
+	send(w, http.StatusOK, buf)
 }
 
 // page bounds one keyed response: the requested offset into the result's
@@ -513,39 +704,52 @@ type groupByRequest struct {
 	page
 }
 
+// groupByResponse is the /query/groupby envelope layout. The fast path
+// streams the page without materializing the map; the differential suite
+// marshals this struct as the byte-for-byte reference.
+type groupByResponse struct {
+	Cube        string             `json:"cube"`
+	Dim         string             `json:"dim"`
+	Groups      map[string]aggJSON `json:"groups"`
+	Limit       int                `json:"limit"`
+	Offset      int                `json:"offset"`
+	TotalGroups int                `json:"total_groups"`
+	Truncated   bool               `json:"truncated"`
+}
+
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, badRequest("POST a JSON body to /query/groupby"))
+		s.fail(w, badRequest("POST a JSON body to /query/groupby"))
 		return
 	}
 	var req groupByRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		s.fail(w, err)
 		return
 	}
 	v, err := s.source(req.Cube)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	dim, err := dimIndex(v, req.Dim)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	offset, limit, err := req.clamp(s.groupLimit)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	sels, err := selectors(req.Selectors, v.NumDims())
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	groups, err := v.GroupBy(dim, sels)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	// The page windows over key-sorted order, so offsets are deterministic.
@@ -555,15 +759,15 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(keys)
 	pageKeys, truncated := window(keys, offset, limit)
-	out := make(map[string]aggJSON, len(pageKeys))
-	for _, k := range pageKeys {
-		out[k] = toAggJSON(groups[k])
+	dimName := v.Dims()[dim]
+	if s.reflectJSON {
+		s.legacyGroupBy(w, req.Cube, dimName, pageKeys, groups, offset, limit, truncated)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cube": req.Cube, "dim": v.Dims()[dim], "groups": out,
-		"total_groups": len(groups), "offset": offset, "limit": limit,
-		"truncated": truncated,
-	})
+	buf := getBuf()
+	*buf = appendGroupByResponse((*buf)[:0], req.Cube, dimName, pageKeys, groups,
+		len(groups), offset, limit, truncated)
+	send(w, http.StatusOK, buf)
 }
 
 // topKRequest is the body of /query/topk. By is a metric name (sum, count,
@@ -579,43 +783,62 @@ type topKRequest struct {
 	page
 }
 
+// entryJSON is one ranked row in the /query/topk envelope.
+type entryJSON struct {
+	Key       string  `json:"key"`
+	Metric    float64 `json:"metric"`
+	Aggregate aggJSON `json:"aggregate"`
+}
+
+// topKResponse is the /query/topk envelope layout (differential reference).
+type topKResponse struct {
+	By           string      `json:"by"`
+	Cube         string      `json:"cube"`
+	Dim          string      `json:"dim"`
+	Entries      []entryJSON `json:"entries"`
+	Limit        int         `json:"limit"`
+	Offset       int         `json:"offset"`
+	TotalEntries int         `json:"total_entries"`
+	Truncated    bool        `json:"truncated"`
+}
+
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, badRequest("POST a JSON body to /query/topk"))
+		s.fail(w, badRequest("POST a JSON body to /query/topk"))
 		return
 	}
 	var req topKRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		s.fail(w, err)
 		return
 	}
 	v, err := s.source(req.Cube)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	dim, err := dimIndex(v, req.Dim)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	offset, limit, err := req.clamp(s.groupLimit)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	if req.K < 0 {
-		writeErr(w, badRequest("k must be non-negative"))
+		s.fail(w, badRequest("k must be non-negative"))
 		return
 	}
 	by, err := dwarf.ParseMetric(req.By)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	sels, err := selectors(req.Selectors, v.NumDims())
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	spec := dwarf.TopKSpec{K: req.K, By: by}
@@ -624,24 +847,51 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	entries, err := v.TopK(dim, sels, spec)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
-	type entryJSON struct {
-		Key       string  `json:"key"`
-		Metric    float64 `json:"metric"`
-		Aggregate aggJSON `json:"aggregate"`
-	}
 	pageEntries, truncated := window(entries, offset, limit)
-	out := make([]entryJSON, len(pageEntries))
-	for i, e := range pageEntries {
-		out[i] = entryJSON{Key: e.Key, Metric: by.Of(e.Agg), Aggregate: toAggJSON(e.Agg)}
+	dimName := v.Dims()[dim]
+	if s.reflectJSON {
+		s.legacyTopK(w, req.Cube, dimName, by, pageEntries, len(entries), offset, limit, truncated)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cube": req.Cube, "dim": v.Dims()[dim], "by": by.String(),
-		"entries": out, "total_entries": len(entries),
-		"offset": offset, "limit": limit, "truncated": truncated,
-	})
+	buf := getBuf()
+	*buf = appendTopKResponse((*buf)[:0], req.Cube, dimName, by, pageEntries,
+		len(entries), offset, limit, truncated)
+	send(w, http.StatusOK, buf)
+}
+
+// rowJSON is one keyed row in the /query/rollup and /query/pivot envelopes.
+type rowJSON struct {
+	Keys      []string `json:"keys"`
+	Aggregate aggJSON  `json:"aggregate"`
+}
+
+// rowsResponse is the keyed-rows envelope layout shared by /query/rollup
+// and /query/pivot (differential reference).
+type rowsResponse struct {
+	Cube        string    `json:"cube"`
+	Dims        []string  `json:"dims"`
+	Groups      []rowJSON `json:"groups"`
+	Limit       int       `json:"limit"`
+	Offset      int       `json:"offset"`
+	TotalGroups int       `json:"total_groups"`
+	Truncated   bool      `json:"truncated"`
+}
+
+// writeRows emits the shared keyed-rows envelope for a page of pivot-shaped
+// results.
+func (s *Server) writeRows(w http.ResponseWriter, cube string, dims []string,
+	rows []dwarf.PivotGroup, total, offset, limit int, truncated bool) {
+
+	if s.reflectJSON {
+		s.legacyRows(w, cube, dims, rows, total, offset, limit, truncated)
+		return
+	}
+	buf := getBuf()
+	*buf = appendRowsResponse((*buf)[:0], cube, dims, rows, total, offset, limit, truncated)
+	send(w, http.StatusOK, buf)
 }
 
 // rollUpRequest is the body of /query/rollup: the named dimensions to keep;
@@ -654,43 +904,103 @@ type rollUpRequest struct {
 
 func (s *Server) handleRollUp(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, badRequest("POST a JSON body to /query/rollup"))
+		s.fail(w, badRequest("POST a JSON body to /query/rollup"))
 		return
 	}
 	var req rollUpRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		s.fail(w, err)
 		return
 	}
 	v, err := s.source(req.Cube)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	offset, limit, err := req.clamp(s.groupLimit)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	dims, rows, err := query.RollUp(v, req.Keep...)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
-	type rowJSON struct {
-		Keys      []string `json:"keys"`
-		Aggregate aggJSON  `json:"aggregate"`
+	pageRows, truncated := window(rows, offset, limit)
+	s.writeRows(w, req.Cube, dims, pageRows, len(rows), offset, limit, truncated)
+}
+
+// pivotRequest is the body of /query/pivot: the dimensions to group by
+// (names or 0-based indexes rendered as strings), in output-column order.
+type pivotRequest struct {
+	Cube      string         `json:"cube"`
+	Dims      []string       `json:"dims"`
+	Selectors []selectorSpec `json:"selectors"`
+	page
+}
+
+// handlePivot is the multi-dimension group-by: one keyed row per distinct
+// combination over the requested dimensions, sorted by keys, paged like
+// rollup (whose envelope it shares).
+func (s *Server) handlePivot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, badRequest("POST a JSON body to /query/pivot"))
+		return
+	}
+	var req pivotRequest
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, err := s.source(req.Cube)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	offset, limit, err := req.clamp(s.groupLimit)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	dims := make([]int, len(req.Dims))
+	for i, d := range req.Dims {
+		if dims[i], err = dimIndex(v, d); err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+	sels, err := selectors(req.Selectors, v.NumDims())
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	rows, err := v.Pivot(dims, sels)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Pivot validated every index, so naming the columns is now safe.
+	allDims := v.Dims()
+	names := make([]string, len(dims))
+	for i, idx := range dims {
+		names[i] = allDims[idx]
 	}
 	pageRows, truncated := window(rows, offset, limit)
-	out := make([]rowJSON, len(pageRows))
-	for i, row := range pageRows {
-		out[i] = rowJSON{Keys: row.Keys, Aggregate: toAggJSON(row.Agg)}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cube": req.Cube, "dims": dims,
-		"groups": out, "total_groups": len(rows),
-		"offset": offset, "limit": limit, "truncated": truncated,
-	})
+	s.writeRows(w, req.Cube, names, pageRows, len(rows), offset, limit, truncated)
+}
+
+// statsResponse is the /stats envelope.
+type statsResponse struct {
+	AllCells     int      `json:"all_cells"`
+	Cells        int      `json:"cells"`
+	Cube         string   `json:"cube"`
+	Dims         []string `json:"dims"`
+	EncodedBytes int      `json:"encoded_bytes"`
+	Indexed      bool     `json:"indexed"`
+	Nodes        int      `json:"nodes"`
+	SourceTuples int      `json:"source_tuples"`
+	TotalCells   int      `json:"total_cells"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -701,25 +1011,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.view(cube)
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	st, err := v.Stats()
 	if err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cube":          cube,
-		"dims":          v.Dims(),
-		"source_tuples": v.NumSourceTuples(),
-		"indexed":       v.Indexed(),
-		"encoded_bytes": v.EncodedBytes(),
-		"nodes":         st.Nodes,
-		"cells":         st.Cells,
-		"all_cells":     st.AllCells,
-		"total_cells":   st.TotalCells(),
-	})
+	if s.reflectJSON {
+		s.legacyStats(w, cube, v, st)
+		return
+	}
+	buf := getBuf()
+	*buf = appendStatsResponse((*buf)[:0], cube, v.Dims(), v.NumSourceTuples(),
+		v.Indexed(), v.EncodedBytes(), st)
+	send(w, http.StatusOK, buf)
 }
 
 // tupleSpec is the wire form of one fact tuple.
@@ -733,23 +1040,27 @@ type ingestRequest struct {
 	Tuples []tupleSpec `json:"tuples"`
 }
 
+// ingestResponse is the /ingest acknowledgement envelope.
+type ingestResponse struct {
+	Appended    int `json:"appended"`
+	TotalTuples int `json:"total_tuples"`
+}
+
 // handleIngest appends one batch to the live store. When it responds 200
 // the batch is durable (store fsync policy permitting) and visible to every
 // subsequent /query/* against the live cube.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, badRequest("POST a JSON body to /ingest"))
+		s.fail(w, badRequest("POST a JSON body to /ingest"))
 		return
 	}
 	var req ingestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, badRequest("bad request body: %v", err))
+	if err := decodeBody(w, r, &req, maxIngestBodyBytes); err != nil {
+		s.fail(w, err)
 		return
 	}
 	if len(req.Tuples) == 0 {
-		writeErr(w, badRequest("no tuples in batch"))
+		s.fail(w, badRequest("no tuples in batch"))
 		return
 	}
 	batch := make([]dwarf.Tuple, len(req.Tuples))
@@ -757,13 +1068,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		batch[i] = dwarf.Tuple{Dims: t.Dims, Measure: t.Measure}
 	}
 	if err := s.store.Append(batch); err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"appended":     len(batch),
-		"total_tuples": s.store.TotalTuples(),
-	})
+	total := s.store.TotalTuples()
+	if s.reflectJSON {
+		s.legacyIngest(w, len(batch), total)
+		return
+	}
+	buf := getBuf()
+	*buf = appendIngestResponse((*buf)[:0], len(batch), total)
+	send(w, http.StatusOK, buf)
+}
+
+// storeStatsResponse is the /store/stats envelope.
+type storeStatsResponse struct {
+	Cube  string          `json:"cube"`
+	Stats cubestore.Stats `json:"stats"`
 }
 
 // handleStoreStats reports the live store's shape: segment inventory with
@@ -771,8 +1092,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // seal/compaction counters.
 func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cube":  s.liveName,
-		"stats": st,
-	})
+	if s.reflectJSON {
+		s.legacyStoreStats(w, st)
+		return
+	}
+	buf := getBuf()
+	*buf = appendStoreStatsResponse((*buf)[:0], s.liveName, st)
+	send(w, http.StatusOK, buf)
 }

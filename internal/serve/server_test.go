@@ -18,7 +18,7 @@ import (
 
 // serveFixture writes two cube files (one plain, one trailer-indexed) into
 // a temp dir and returns the dir, the source cube, and a test server.
-func serveFixture(t *testing.T, cacheSize int) (string, *dwarf.Cube, *httptest.Server) {
+func serveFixture(t testing.TB, cacheSize int) (string, *dwarf.Cube, *httptest.Server) {
 	t.Helper()
 	tuples := []dwarf.Tuple{
 		{Dims: []string{"d1", "north", "bike"}, Measure: 2},

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package serve
+
+import (
+	"os"
+	"time"
+)
+
+// statFile is the portable fallback for platforms without the direct-stat
+// fast path in stat_linux.go.
+func statFile(path string) (size int64, modTime time.Time, err error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	return st.Size(), st.ModTime(), nil
+}
