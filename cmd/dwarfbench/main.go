@@ -11,6 +11,7 @@
 //	dwarfbench -exp ingest            # live store: WAL+memtable ingest + freshness
 //	dwarfbench -exp compact           # segment compaction: decode+Merge vs MergeViews
 //	dwarfbench -exp http              # live TCP load: append encoders vs reflection
+//	dwarfbench -exp cache             # hot-result cache + rollups vs plain fan-out
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
 //
 // -workers N builds the Table 2 cubes with N shard workers (the parallel
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, storequery, parallel, serve, ingest, compact, http, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, storequery, parallel, serve, ingest, compact, http, cache, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
@@ -129,6 +130,8 @@ func main() {
 		err = runCompact(presets, *parts, *repeats, *jsonOut)
 	case "http":
 		err = runHTTPLoad(presets[0], *connsFlag, *requests, *jsonOut, progress)
+	case "cache":
+		err = runCacheBench(presets, *requests, *jsonOut, progress)
 	case "all":
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
@@ -240,6 +243,24 @@ func runQueryKernel(presets []string, queries int, jsonOut string, progress func
 	fmt.Println()
 	if jsonOut != "" {
 		if err := bench.WriteQueryJSON(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
+	return nil
+}
+
+func runCacheBench(presets []string, requests int, jsonOut string, progress func(string)) error {
+	results, err := bench.RunCacheBench(presets, requests, progress)
+	if err != nil {
+		return err
+	}
+	bench.FormatCacheBench(results).Fprint(os.Stdout)
+	fmt.Println()
+	bench.FormatCacheLadder(results).Fprint(os.Stdout)
+	fmt.Println()
+	if jsonOut != "" {
+		if err := bench.WriteCacheJSON(jsonOut, results); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "wrote", jsonOut)

@@ -13,6 +13,13 @@
 //
 //	dwarfd -live /var/livecube -dims Year,Month,Day,Hour,Quarter,Area,Station,Status
 //
+// The live store caches hot GroupBy/Pivot/TopK results (generation-stamped,
+// never stale; -cache-bytes sets the budget) and can maintain pre-aggregated
+// rollup segments over dimension subsets that grouped queries route through
+// (-rollup, repeatable):
+//
+//	dwarfd -live /var/livecube -cache-bytes 67108864 -rollup Area,Status -rollup Area
+//
 // Endpoints:
 //
 //	GET  /cubes                                        registry + hot cache
@@ -56,6 +63,23 @@ func main() {
 	sealTuples := flag.Int("seal", cubestore.DefaultSealTuples, "live store: memtable tuples per sealed segment")
 	sealAge := flag.Duration("seal-age", time.Minute, "live store: seal a non-empty memtable after this age (0 disables)")
 	workers := flag.Int("workers", 1, "live store: shard workers for memtable builds and seals")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20,
+		"live store: hot-result query cache budget in bytes (0 disables)")
+	var rollups [][]string
+	flag.Func("rollup", "live store: comma-separated dimension subset to maintain a rollup segment for (repeatable)",
+		func(v string) error {
+			var names []string
+			for _, d := range strings.Split(v, ",") {
+				if d = strings.TrimSpace(d); d != "" {
+					names = append(names, d)
+				}
+			}
+			if len(names) == 0 {
+				return fmt.Errorf("empty dimension list")
+			}
+			rollups = append(rollups, names)
+			return nil
+		})
 	flag.Parse()
 
 	dimsSet := false
@@ -83,6 +107,8 @@ func main() {
 			SealTuples: *sealTuples,
 			SealAge:    *sealAge,
 			Workers:    *workers,
+			CacheBytes: *cacheBytes,
+			Rollups:    rollups,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dwarfd:", err)

@@ -1,0 +1,437 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"time"
+
+	"repro/internal/cubestore"
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+// The cache experiment measures the live store's planned query path: the
+// plain every-segment fan-out, the rollup-routed fan-out, and warm
+// hot-result cache hits, on the same sealed store. Bit-identical answers
+// across all three configurations are a hard gate before anything is
+// timed. A budget ladder then replays a fixed working set of distinct
+// grouped queries round-robin under growing cache budgets, reporting the
+// measured hit rate — the thrash-to-resident transition as the working
+// set starts to fit.
+
+// CacheShapeResult compares one query shape across the three paths.
+type CacheShapeResult struct {
+	Shape         string  `json:"shape"`
+	UncachedNs    float64 `json:"uncached_ns_per_op"`
+	RollupNs      float64 `json:"rollup_ns_per_op"`
+	WarmNs        float64 `json:"warm_ns_per_op"`
+	WarmSpeedup   float64 `json:"warm_speedup"`
+	RollupSpeedup float64 `json:"rollup_speedup"`
+}
+
+// CacheLadderRung is one cache-budget point of the hit-rate ladder.
+type CacheLadderRung struct {
+	CacheBytes      int64   `json:"cache_bytes"`
+	DistinctQueries int     `json:"distinct_queries"`
+	Requests        int     `json:"requests"`
+	Hits            int64   `json:"hits"`
+	Misses          int64   `json:"misses"`
+	HitRate         float64 `json:"hit_rate"`
+	NsPerRequest    float64 `json:"ns_per_request"`
+}
+
+// CacheResultSet is one preset's cache measurements.
+type CacheResultSet struct {
+	Preset   string             `json:"preset"`
+	Tuples   int                `json:"tuples"`
+	Segments int                `json:"segments"`
+	Shapes   []CacheShapeResult `json:"shapes"`
+	Ladder   []CacheLadderRung  `json:"ladder"`
+}
+
+// cacheBenchSegments is how many sealed segments the benchmark store is
+// split into — enough that the uncached fan-out does real merge work.
+const cacheBenchSegments = 8
+
+// cacheBenchRollups is the rollup configuration: one subset per grouped
+// shape the battery runs, so the planner has a covering rollup for each.
+func cacheBenchRollups() [][]string {
+	return [][]string{{"Area", "Station"}, {"Area", "Status"}}
+}
+
+// buildCacheBenchDir seals a preset's tuples into cacheBenchSegments
+// segments in dir, leaving the memtable empty, then closes the store. The
+// experiment reopens the same directory once per configuration.
+func buildCacheBenchDir(dir string, tuples []dwarf.Tuple) error {
+	s, err := cubestore.Open(dir, cubestore.Options{
+		Dims:               smartcity.BikeDims,
+		NoSync:             true,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	per := (len(tuples) + cacheBenchSegments - 1) / cacheBenchSegments
+	for off := 0; off < len(tuples); off += per {
+		end := min(off+per, len(tuples))
+		if err := s.Append(tuples[off:end]); err != nil {
+			return err
+		}
+		if err := s.Seal(); err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}
+
+// cacheBenchQueries is the shape battery: GroupBy over Station, a Pivot
+// over (Area, Status), and TopK-10 stations, all unrestricted — the
+// queries the rollup subsets cover.
+type cacheBenchQueries struct {
+	station, area, status int
+	allSels               []dwarf.Selector
+	spec                  dwarf.TopKSpec
+}
+
+func newCacheBenchQueries() cacheBenchQueries {
+	idx := func(name string) int {
+		for i, d := range smartcity.BikeDims {
+			if d == name {
+				return i
+			}
+		}
+		return 0
+	}
+	return cacheBenchQueries{
+		station: idx("Station"),
+		area:    idx("Area"),
+		status:  idx("Status"),
+		allSels: make([]dwarf.Selector, len(smartcity.BikeDims)),
+		spec:    dwarf.TopKSpec{K: 10, By: dwarf.BySum},
+	}
+}
+
+// answers captures one store's full battery output for the differential
+// gate.
+type cacheBenchAnswers struct {
+	groups map[string]dwarf.Aggregate
+	rows   []dwarf.PivotGroup
+	topk   []dwarf.GroupEntry
+}
+
+func (q cacheBenchQueries) run(s *cubestore.Store) (cacheBenchAnswers, error) {
+	var a cacheBenchAnswers
+	var err error
+	if a.groups, err = s.GroupBy(q.station, q.allSels); err != nil {
+		return a, err
+	}
+	if a.rows, err = s.Pivot([]int{q.area, q.status}, q.allSels); err != nil {
+		return a, err
+	}
+	a.topk, err = s.TopK(q.station, q.allSels, q.spec)
+	return a, err
+}
+
+func (a cacheBenchAnswers) equal(b cacheBenchAnswers) error {
+	if len(a.groups) != len(b.groups) {
+		return fmt.Errorf("group counts diverged: %d vs %d", len(a.groups), len(b.groups))
+	}
+	for k, agg := range a.groups {
+		if !b.groups[k].Equal(agg) {
+			return fmt.Errorf("group %q diverged: %+v vs %+v", k, agg, b.groups[k])
+		}
+	}
+	if len(a.rows) != len(b.rows) {
+		return fmt.Errorf("pivot row counts diverged: %d vs %d", len(a.rows), len(b.rows))
+	}
+	for i := range a.rows {
+		if !slices.Equal(a.rows[i].Keys, b.rows[i].Keys) || !a.rows[i].Agg.Equal(b.rows[i].Agg) {
+			return fmt.Errorf("pivot row %d diverged: %+v vs %+v", i, a.rows[i], b.rows[i])
+		}
+	}
+	if len(a.topk) != len(b.topk) {
+		return fmt.Errorf("topk lengths diverged: %d vs %d", len(a.topk), len(b.topk))
+	}
+	for i := range a.topk {
+		if a.topk[i].Key != b.topk[i].Key || !a.topk[i].Agg.Equal(b.topk[i].Agg) {
+			return fmt.Errorf("topk entry %d diverged: %+v vs %+v", i, a.topk[i], b.topk[i])
+		}
+	}
+	return nil
+}
+
+// RunCacheBench measures the serving-cache stack for each preset.
+func RunCacheBench(presets []string, requests int, progress func(string)) ([]CacheResultSet, error) {
+	if requests <= 0 {
+		requests = 2000
+	}
+	q := newCacheBenchQueries()
+	var out []CacheResultSet
+	for _, preset := range presets {
+		tuples, err := DatasetTuples(preset)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "cachebench-"+preset+"-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if progress != nil {
+			progress(fmt.Sprintf("cache: %s build (%d tuples)", preset, len(tuples)))
+		}
+		if err := buildCacheBenchDir(dir, tuples); err != nil {
+			return nil, err
+		}
+		set := CacheResultSet{Preset: preset, Tuples: len(tuples)}
+
+		// Pass 1 — uncached baseline: plain fan-out across every segment.
+		uncached, uncachedAnswers, err := measureCachePass(dir, cubestore.Options{}, q, nil, progress, "cache: "+preset+" uncached")
+		if err != nil {
+			return nil, err
+		}
+
+		// Pass 2 — rollup-routed, no result cache: every query replans and
+		// remerges, but over the pre-aggregated subset cubes.
+		rollup, rollupAnswers, err := measureCachePass(dir, cubestore.Options{Rollups: cacheBenchRollups()},
+			q, func(s *cubestore.Store) error {
+				if _, err := s.Compact(); err != nil {
+					return err
+				}
+				st := s.Stats()
+				set.Segments = len(st.Segments)
+				if len(st.Rollups) != len(cacheBenchRollups()) {
+					return fmt.Errorf("cache bench: %d rollups built, want %d", len(st.Rollups), len(cacheBenchRollups()))
+				}
+				return nil
+			}, progress, "cache: "+preset+" rollup")
+		if err != nil {
+			return nil, err
+		}
+
+		// Pass 3 — warm result cache: after one populating run, every query
+		// is a generation-checked map hit.
+		warm, warmAnswers, err := measureCachePass(dir,
+			cubestore.Options{CacheBytes: 64 << 20, Rollups: cacheBenchRollups()},
+			q, nil, progress, "cache: "+preset+" warm")
+		if err != nil {
+			return nil, err
+		}
+
+		// Hard differential gate: all three paths answered identically.
+		if err := uncachedAnswers.equal(rollupAnswers); err != nil {
+			return nil, fmt.Errorf("cache bench %s: rollup path diverged from fan-out: %w", preset, err)
+		}
+		if err := uncachedAnswers.equal(warmAnswers); err != nil {
+			return nil, fmt.Errorf("cache bench %s: cached path diverged from fan-out: %w", preset, err)
+		}
+
+		for i, shape := range []string{"groupby", "pivot", "topk"} {
+			set.Shapes = append(set.Shapes, CacheShapeResult{
+				Shape:         shape,
+				UncachedNs:    uncached[i].NsPerOp,
+				RollupNs:      rollup[i].NsPerOp,
+				WarmNs:        warm[i].NsPerOp,
+				WarmSpeedup:   uncached[i].NsPerOp / warm[i].NsPerOp,
+				RollupSpeedup: uncached[i].NsPerOp / rollup[i].NsPerOp,
+			})
+		}
+
+		ladder, err := runCacheLadder(dir, q, requests, progress, preset)
+		if err != nil {
+			return nil, err
+		}
+		set.Ladder = ladder
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+// measureCachePass opens the benchmark store with opts, runs setup, takes
+// the differential-gate battery (which also warms any configured cache),
+// measures each shape, and closes the store.
+func measureCachePass(dir string, opts cubestore.Options, q cacheBenchQueries,
+	setup func(*cubestore.Store) error, progress func(string), label string) ([]QueryShapeCost, cacheBenchAnswers, error) {
+	opts.NoSync = true
+	opts.DisableAutoCompact = true
+	s, err := cubestore.Open(dir, opts)
+	if err != nil {
+		return nil, cacheBenchAnswers{}, err
+	}
+	defer s.Close()
+	if setup != nil {
+		if err := setup(s); err != nil {
+			return nil, cacheBenchAnswers{}, err
+		}
+	}
+	answers, err := q.run(s)
+	if err != nil {
+		return nil, cacheBenchAnswers{}, err
+	}
+	if progress != nil {
+		progress(label)
+	}
+	var costs []QueryShapeCost
+	for _, fn := range []func() error{
+		func() error { _, err := s.GroupBy(q.station, q.allSels); return err },
+		func() error { _, err := s.Pivot([]int{q.area, q.status}, q.allSels); return err },
+		func() error { _, err := s.TopK(q.station, q.allSels, q.spec); return err },
+	} {
+		c, err := measureQuery(fn)
+		if err != nil {
+			return nil, cacheBenchAnswers{}, err
+		}
+		costs = append(costs, c)
+	}
+	return costs, answers, nil
+}
+
+// runCacheLadder replays a fixed working set of distinct GroupBy queries
+// round-robin — the LRU's adversarial order — under growing budgets.
+func runCacheLadder(dir string, q cacheBenchQueries, requests int, progress func(string), preset string) ([]CacheLadderRung, error) {
+	// The working set: group by each dimension, crossed with a restriction
+	// on one other dimension, all derived deterministically from the data.
+	keysOf, err := ladderDimKeys(dir, q)
+	if err != nil {
+		return nil, err
+	}
+	ndims := len(smartcity.BikeDims)
+	type ladderQuery struct {
+		dim  int
+		sels []dwarf.Selector
+	}
+	var queries []ladderQuery
+	for i := 0; len(queries) < 64 && i < 8*ndims; i++ {
+		dim, restrict := i%ndims, (i/ndims)%ndims
+		sels := make([]dwarf.Selector, ndims)
+		if restrict != dim && len(keysOf[restrict]) > 0 {
+			n := min(1+i%3, len(keysOf[restrict]))
+			sels[restrict] = dwarf.SelectKeys(keysOf[restrict][:n]...)
+		}
+		queries = append(queries, ladderQuery{dim: dim, sels: sels})
+	}
+
+	var out []CacheLadderRung
+	for _, budget := range []int64{1 << 18, 1 << 20, 1 << 22, 1 << 24} {
+		if progress != nil {
+			progress(fmt.Sprintf("cache: %s ladder %dKiB", preset, budget>>10))
+		}
+		s, err := cubestore.Open(dir, cubestore.Options{
+			NoSync: true, DisableAutoCompact: true, CacheBytes: budget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			lq := queries[i%len(queries)]
+			if _, err := s.GroupBy(lq.dim, lq.sels); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		st := s.Stats()
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+		rung := CacheLadderRung{
+			CacheBytes:      budget,
+			DistinctQueries: len(queries),
+			Requests:        requests,
+			Hits:            st.CacheHits,
+			Misses:          st.CacheMisses,
+			NsPerRequest:    float64(elapsed.Nanoseconds()) / float64(requests),
+		}
+		if total := rung.Hits + rung.Misses; total > 0 {
+			rung.HitRate = float64(rung.Hits) / float64(total)
+		}
+		out = append(out, rung)
+	}
+	return out, nil
+}
+
+// ladderDimKeys collects each dimension's first few member keys (sorted)
+// so ladder restrictions select real data.
+func ladderDimKeys(dir string, q cacheBenchQueries) ([][]string, error) {
+	s, err := cubestore.Open(dir, cubestore.Options{NoSync: true, DisableAutoCompact: true})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	out := make([][]string, len(smartcity.BikeDims))
+	for d := range smartcity.BikeDims {
+		groups, err := s.GroupBy(d, q.allSels)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		out[d] = keys[:min(3, len(keys))]
+	}
+	return out, nil
+}
+
+// FormatCacheBench renders the cache comparison.
+func FormatCacheBench(results []CacheResultSet) *Table {
+	t := NewTable("Hot-result cache + rollup segments — per-query cost and speedup",
+		"Dataset", "Tuples", "Segs", "Shape",
+		"Uncached ns/op", "Rollup ns/op", "Warm ns/op", "Warm ×", "Rollup ×")
+	for _, set := range results {
+		for _, sh := range set.Shapes {
+			t.AddRow(set.Preset, fmt.Sprintf("%d", set.Tuples), fmt.Sprintf("%d", set.Segments), sh.Shape,
+				fmt.Sprintf("%.0f", sh.UncachedNs),
+				fmt.Sprintf("%.0f", sh.RollupNs),
+				fmt.Sprintf("%.0f", sh.WarmNs),
+				fmt.Sprintf("%.1f", sh.WarmSpeedup),
+				fmt.Sprintf("%.1f", sh.RollupSpeedup))
+		}
+	}
+	return t
+}
+
+// FormatCacheLadder renders the budget ladder.
+func FormatCacheLadder(results []CacheResultSet) *Table {
+	t := NewTable("Cache budget ladder — 64 distinct grouped queries, round-robin",
+		"Dataset", "Budget", "Requests", "Hits", "Misses", "Hit rate", "ns/request")
+	for _, set := range results {
+		for _, r := range set.Ladder {
+			t.AddRow(set.Preset, fmt.Sprintf("%dKiB", r.CacheBytes>>10),
+				fmt.Sprintf("%d", r.Requests),
+				fmt.Sprintf("%d", r.Hits), fmt.Sprintf("%d", r.Misses),
+				fmt.Sprintf("%.2f", r.HitRate),
+				fmt.Sprintf("%.0f", r.NsPerRequest))
+		}
+	}
+	return t
+}
+
+// cacheReport is the BENCH_cache.json schema.
+type cacheReport struct {
+	Experiment string           `json:"experiment"`
+	Generated  string           `json:"generated"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Results    []CacheResultSet `json:"results"`
+}
+
+// WriteCacheJSON writes the cache results as JSON to path.
+func WriteCacheJSON(path string, results []CacheResultSet) error {
+	rep := cacheReport{
+		Experiment: "cache",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

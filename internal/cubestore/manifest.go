@@ -21,6 +21,7 @@ const (
 	manifestName    = "MANIFEST"
 	manifestVersion = 1
 	segPrefix       = "seg-"
+	rollupPrefix    = "rollup-"
 	segSuffix       = ".dwarf"
 	tmpSuffix       = ".tmp"
 )
@@ -34,25 +35,50 @@ type segmentMeta struct {
 	Tuples int `json:"tuples"`
 }
 
+// rollupMeta is one rollup segment's manifest entry: a pre-aggregated cube
+// over a subset of the store's dimensions, summarizing an exact set of
+// sealed segments.
+type rollupMeta struct {
+	// File is the rollup's base name inside the store directory.
+	File string `json:"file"`
+	// Dims is the surviving dimension subset, in store dimension order.
+	Dims []string `json:"dims"`
+	// Covers lists the sealed segment files the rollup summarizes. The
+	// rollup may only answer queries while every covered file is still
+	// live — after a compaction replaces one, routing through the rollup
+	// would double-count its tuples against the compacted output.
+	Covers []string `json:"covers"`
+	// Tuples is the rollup cube's own (coalesced) tuple count — the
+	// planner's cost proxy when several rollups cover a query.
+	Tuples int `json:"tuples"`
+}
+
 // manifest is the persistent store state.
 type manifest struct {
 	Version int `json:"version"`
 	// Dims is the cube dimension list, fixed at store creation.
 	Dims []string `json:"dims"`
-	// NextSegID names the next sealed or compacted segment file.
+	// NextSegID names the next sealed, compacted or rollup file.
 	NextSegID uint64 `json:"next_seg_id"`
 	// WALGen is the lowest live WAL generation: generations below it are
 	// sealed into segments and deleted on sight, generations at or above it
 	// replay into the memtable on open.
 	WALGen uint64 `json:"wal_gen"`
+	// Generation counts visible state transitions (appends, seals,
+	// compactions, rollup swaps). Persisted so reopening resumes a strictly
+	// monotonic sequence; query caches stamp results with it.
+	Generation uint64 `json:"generation"`
 	// Segments lists the live segments, oldest first.
 	Segments []segmentMeta `json:"segments"`
+	// Rollups lists the live rollup segments, if any.
+	Rollups []rollupMeta `json:"rollups,omitempty"`
 }
 
 func (m *manifest) clone() manifest {
 	out := *m
 	out.Dims = append([]string(nil), m.Dims...)
 	out.Segments = append([]segmentMeta(nil), m.Segments...)
+	out.Rollups = append([]rollupMeta(nil), m.Rollups...)
 	return out
 }
 
@@ -60,14 +86,23 @@ func segFileName(id uint64) string {
 	return fmt.Sprintf("%s%016d%s", segPrefix, id, segSuffix)
 }
 
+func rollupFileName(id uint64) string {
+	return fmt.Sprintf("%s%016d%s", rollupPrefix, id, segSuffix)
+}
+
 // isSegFile matches only the store's own seg-<16 digits>.dwarf names: the
 // directory may be shared with foreign cube files (dwarfd -live serves
 // static cubes from it), and orphan cleanup must never take those.
-func isSegFile(name string) bool {
-	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+func isSegFile(name string) bool { return isStoreCubeFile(name, segPrefix) }
+
+// isRollupFile matches the store's own rollup-<16 digits>.dwarf names.
+func isRollupFile(name string) bool { return isStoreCubeFile(name, rollupPrefix) }
+
+func isStoreCubeFile(name, prefix string) bool {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, segSuffix) {
 		return false
 	}
-	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), segSuffix)
 	if len(mid) != 16 {
 		return false
 	}
@@ -86,7 +121,8 @@ func isStoreTempFile(name string) bool {
 	if !strings.HasSuffix(name, tmpSuffix) {
 		return false
 	}
-	return strings.HasPrefix(name, manifestName+"-") || strings.HasPrefix(name, segPrefix)
+	return strings.HasPrefix(name, manifestName+"-") ||
+		strings.HasPrefix(name, segPrefix) || strings.HasPrefix(name, rollupPrefix)
 }
 
 // Exists reports whether dir already holds a store (a manifest is

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/dwarf"
+	"repro/internal/qcache"
 	"repro/internal/query"
 )
 
@@ -76,6 +77,15 @@ type Options struct {
 	// CubeOptions are extra construction options (ablation switches)
 	// applied to every memtable build and seal.
 	CubeOptions []dwarf.Option
+	// CacheBytes bounds the hot-result query cache (internal/qcache): full
+	// GroupBy/Pivot/TopK answers stamped with the store generation, plus
+	// never-stale per-segment partials. 0 disables caching.
+	CacheBytes int64
+	// Rollups configures pre-aggregated rollup segments: each entry names a
+	// dimension subset the compactor maintains a summary cube for, and
+	// grouped queries touching only those dimensions route through the
+	// smallest covering rollup instead of every sealed segment.
+	Rollups [][]string
 }
 
 func (o Options) withDefaults() Options {
@@ -117,8 +127,9 @@ type segment struct {
 // locked and its standing cube immutable, so readers of an old snapshot
 // keep a complete view while a seal installs the next one.
 type storeState struct {
-	segs []*segment
-	mem  *dwarf.Incremental
+	segs    []*segment
+	rollups []*rollupSeg
+	mem     *dwarf.Incremental
 }
 
 // Store is a WAL-backed live cube store. All methods are safe for
@@ -152,8 +163,22 @@ type Store struct {
 	memSince time.Time
 	man      manifest
 	segs     []*segment
+	rollups  []*rollupSeg
 
 	state atomic.Pointer[storeState]
+
+	// gen is the store's visible-state generation: it starts from the
+	// manifest's persisted value and is bumped on every visible transition
+	// (append, seal, compaction, rollup swap). Writers bump it under mu;
+	// queries read it lock-free to stamp and validate cached results.
+	gen atomic.Uint64
+
+	// cache holds hot query results and per-segment partials (nil when
+	// Options.CacheBytes is 0). rollupSpecs is the normalized form of
+	// Options.Rollups, fixed at Open.
+	cache       *qcache.Cache
+	rollupSpecs []rollupSpec
+	rollupHits  atomic.Int64
 
 	// compactMu serializes compactions (background loop and explicit
 	// Compact calls); it is never held together with mu.
@@ -266,10 +291,20 @@ func Open(dir string, opts Options) (*Store, error) {
 		kick:    make(chan struct{}, 1),
 		closing: make(chan struct{}),
 	}
+	s.gen.Store(man.Generation)
+	if s.rollupSpecs, err = normalizeRollupSpecs(opts.Rollups, s.dims); err != nil {
+		return nil, err
+	}
+	if opts.CacheBytes > 0 {
+		s.cache = qcache.New(opts.CacheBytes)
+	}
 	if err := s.removeOrphans(); err != nil {
 		return nil, err
 	}
 	if err := s.openSegments(); err != nil {
+		return nil, err
+	}
+	if err := s.openRollups(); err != nil {
 		return nil, err
 	}
 	if err := s.recoverWAL(); err != nil {
@@ -314,11 +349,14 @@ func sameDims(a, b []string) bool {
 }
 
 // removeOrphans deletes every file the manifest does not account for:
-// segments from interrupted seals/compactions, WAL generations already
-// sealed, and temp files.
+// segments from interrupted seals/compactions, rollups from interrupted
+// rollup swaps, WAL generations already sealed, and temp files.
 func (s *Store) removeOrphans() error {
-	live := make(map[string]bool, len(s.man.Segments))
+	live := make(map[string]bool, len(s.man.Segments)+len(s.man.Rollups))
 	for _, m := range s.man.Segments {
+		live[m.File] = true
+	}
+	for _, m := range s.man.Rollups {
 		live[m.File] = true
 	}
 	entries, err := os.ReadDir(s.dir)
@@ -335,7 +373,7 @@ func (s *Store) removeOrphans() error {
 		switch {
 		case isStoreTempFile(name):
 			drop = true
-		case isSegFile(name):
+		case isSegFile(name), isRollupFile(name):
 			drop = !live[name]
 		default:
 			if gen, ok := walGenOf(name); ok {
@@ -413,13 +451,25 @@ func (s *Store) recoverWAL() error {
 	return fsyncDir(s.dir)
 }
 
-// publish installs the current segments + memtable as the read snapshot.
-// Callers hold mu (or are still single-goroutine in Open).
+// publish installs the current segments + rollups + memtable as the read
+// snapshot and bumps the generation: every visible transition (seal,
+// compaction, rollup swap, plus Append bumping directly) invalidates
+// generation-stamped cached results. Callers hold mu (or are still
+// single-goroutine in Open).
 func (s *Store) publish() {
 	segs := make([]*segment, len(s.segs))
 	copy(segs, s.segs)
-	s.state.Store(&storeState{segs: segs, mem: s.mem})
+	rollups := make([]*rollupSeg, len(s.rollups))
+	copy(rollups, s.rollups)
+	s.state.Store(&storeState{segs: segs, rollups: rollups, mem: s.mem})
+	s.gen.Add(1)
 }
+
+// Generation returns the store's visible-state generation: a monotonic
+// counter bumped on every append, seal, compaction and rollup swap, and
+// persisted in the manifest across reopens. Two equal readings with no
+// bump in between guarantee the store answered identically throughout.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // Dims returns the store's dimension names in order.
 func (s *Store) Dims() []string { return append([]string(nil), s.dims...) }
@@ -472,6 +522,12 @@ func (s *Store) Append(tuples []dwarf.Tuple) error {
 	}
 	s.memCount += len(tuples)
 	s.appended.Add(int64(len(tuples)))
+	// The batch is visible in the memtable; bump the generation so cached
+	// results are recomputed. The bump happens after AddBatch, so a query
+	// that read the old generation before this point either recomputes (and
+	// sees a consistent snapshot) or serves a result from before the batch
+	// was acknowledged — never a stale hit after the ack.
+	s.gen.Add(1)
 	if s.memCount >= s.opts.SealTuples {
 		// The batch is already durable and visible, so the ack must not
 		// depend on the seal: a failed seal (e.g. disk full writing the
@@ -538,6 +594,9 @@ func (s *Store) seal() error {
 	newMan.NextSegID = id + 1
 	newMan.WALGen = newGen
 	newMan.Segments = append(newMan.Segments, meta)
+	// publish() below bumps the in-memory generation to exactly this value;
+	// persisting it keeps the sequence monotonic across reopens.
+	newMan.Generation = s.gen.Load() + 1
 	if err := writeManifest(s.dir, newMan); err != nil {
 		nw.close()
 		return err
@@ -590,7 +649,14 @@ func (s *Store) background() {
 	defer s.bg.Done()
 	var tick <-chan time.Time
 	if s.opts.SealAge > 0 {
-		t := time.NewTicker(s.opts.SealAge / 2)
+		// SealAge/2 truncates to 0 for SealAge == 1ns and NewTicker panics
+		// on non-positive intervals; clamp to a floor that still fires well
+		// within any human-scale SealAge.
+		interval := s.opts.SealAge / 2
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		t := time.NewTicker(interval)
 		defer t.Stop()
 		tick = t.C
 	}
@@ -599,6 +665,10 @@ func (s *Store) background() {
 		case <-s.closing:
 			return
 		case <-s.kick:
+			// A kick can arrive long after the last tick (e.g. a seal from a
+			// burst of appends); an aged memtable must not wait another half
+			// SealAge behind it.
+			s.sealIfAged()
 			s.compactBackground()
 		case <-tick:
 			s.sealIfAged()
@@ -622,6 +692,9 @@ func (s *Store) compactBackground() {
 }
 
 func (s *Store) sealIfAged() {
+	if s.opts.SealAge <= 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.memCount == 0 || time.Since(s.memSince) < s.opts.SealAge {
@@ -656,10 +729,18 @@ func (s *Store) Compact() (int, error) {
 			return n, err
 		}
 		if !did {
-			return n, nil
+			break
 		}
 		n++
 	}
+	// With the segment set settled, bring rollup segments up to date; they
+	// are maintained here (under compactMu) because only compactions ever
+	// remove segments — between compactions a rollup's cover can only
+	// become a subset of the live set, never inconsistent with it.
+	if err := s.maintainRollups(); err != nil {
+		return n, err
+	}
+	return n, nil
 }
 
 // compactOnce merges the oldest CompactFanout segments of the fullest
@@ -754,6 +835,7 @@ func (s *Store) compactOnce() (bool, error) {
 	if newMan.NextSegID <= id {
 		newMan.NextSegID = id + 1
 	}
+	newMan.Generation = s.gen.Load() + 1
 	out := newMan.Segments[:0]
 	inserted := false
 	for _, m := range newMan.Segments {
@@ -957,7 +1039,13 @@ func (s *Store) Range(sels []dwarf.Selector) (dwarf.Aggregate, error) {
 
 // GroupBy groups the dimension at index dim under the restriction of sels,
 // merging per-key partial aggregates across segments and the live memtable.
+// With a result cache or rollup segments configured it runs through the
+// planned path in cached.go; answers are identical either way.
 func (s *Store) GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error) {
+	if (s.cache != nil || len(s.rollupSpecs) > 0) &&
+		dim >= 0 && dim < len(s.dims) && len(sels) == len(s.dims) {
+		return s.groupByPlanned(dim, sels)
+	}
 	return s.groupQuery(func(q query.Querier) (map[string]dwarf.Aggregate, error) {
 		return q.GroupBy(dim, sels)
 	})
@@ -967,6 +1055,9 @@ func (s *Store) GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggreg
 // memtable: per-target sorted rows are merged per key tuple, so the result
 // is exactly a single cube's Pivot over all acknowledged tuples.
 func (s *Store) Pivot(dims []int, sels []dwarf.Selector) ([]dwarf.PivotGroup, error) {
+	if (s.cache != nil || len(s.rollupSpecs) > 0) && validPivotArgs(dims, sels, len(s.dims)) {
+		return s.pivotPlanned(dims, sels)
+	}
 	targets, err := s.targets()
 	if err != nil {
 		return nil, err
@@ -986,6 +1077,10 @@ func (s *Store) Pivot(dims []int, sels []dwarf.Selector) ([]dwarf.PivotGroup, er
 // segments — so the ranking equals a single cube's over all acknowledged
 // tuples.
 func (s *Store) TopK(dim int, sels []dwarf.Selector, spec dwarf.TopKSpec) ([]dwarf.GroupEntry, error) {
+	if (s.cache != nil || len(s.rollupSpecs) > 0) &&
+		dim >= 0 && dim < len(s.dims) && len(sels) == len(s.dims) {
+		return s.topKPlanned(dim, sels, spec)
+	}
 	groups, err := s.groupQuery(func(q query.Querier) (map[string]dwarf.Aggregate, error) {
 		return q.GroupBy(dim, sels)
 	})
@@ -1019,25 +1114,53 @@ type SegmentInfo struct {
 	Bytes  int    `json:"bytes"`
 }
 
+// RollupInfo describes one rollup segment in Stats.
+type RollupInfo struct {
+	File   string   `json:"file"`
+	Dims   []string `json:"dims"`
+	Covers int      `json:"covers"`
+	Tuples int      `json:"tuples"`
+	Bytes  int      `json:"bytes"`
+}
+
 // Stats is a point-in-time description of the store.
+//
+// NOTE: internal/serve's hand-rolled encoder mirrors this struct field for
+// field in declaration order; adding or reordering fields requires the
+// matching change in serve/encode.go (TestModesByteIdentical pins it).
 type Stats struct {
 	Dims         []string      `json:"dims"`
 	Segments     []SegmentInfo `json:"segments"`
+	Rollups      []RollupInfo  `json:"rollups,omitempty"`
 	SealedTuples int           `json:"sealed_tuples"`
 	LiveTuples   int           `json:"live_tuples"`
 	TotalTuples  int           `json:"total_tuples"`
 	SealedBytes  int64         `json:"sealed_bytes"`
 	WALGen       uint64        `json:"wal_gen"`
-	WALBytes     int64         `json:"wal_bytes"`
-	Seals        int64         `json:"seals"`
-	Compactions  int64         `json:"compactions"`
-	Appended     int64         `json:"appended"`
+	// Generation is the visible-state generation (see Store.Generation).
+	Generation  uint64 `json:"generation"`
+	WALBytes    int64  `json:"wal_bytes"`
+	Seals       int64  `json:"seals"`
+	Compactions int64  `json:"compactions"`
+	Appended    int64  `json:"appended"`
 
 	// StreamingCompactions counts compactions that ran the zero-copy k-way
 	// merge; FallbackCompactions counts those that fell back to decoding
 	// the inputs. Their sum is Compactions.
 	StreamingCompactions int64 `json:"streaming_compactions"`
 	FallbackCompactions  int64 `json:"fallback_compactions"`
+
+	// Query-cache counters (all zero when Options.CacheBytes is 0):
+	// hits/misses count full-result lookups, the partial pair counts
+	// per-segment partial lookups, RollupHits counts grouped queries the
+	// planner routed through a rollup segment.
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	CachePartialHits   int64 `json:"cache_partial_hits"`
+	CachePartialMisses int64 `json:"cache_partial_misses"`
+	CacheBytes         int64 `json:"cache_bytes"`
+	CacheEntries       int   `json:"cache_entries"`
+	RollupHits         int64 `json:"rollup_hits"`
 
 	// LastSealError / LastCompactError are the most recent background
 	// maintenance failures, empty once the next attempt succeeds.
@@ -1055,6 +1178,7 @@ func (s *Store) Stats() Stats {
 		Segments:    []SegmentInfo{},
 		LiveTuples:  s.memCount,
 		WALGen:      s.wal.gen,
+		Generation:  s.gen.Load(),
 		WALBytes:    s.wal.bytes,
 		Seals:       s.seals.Load(),
 		Compactions: s.compactions.Load(),
@@ -1062,6 +1186,8 @@ func (s *Store) Stats() Stats {
 
 		StreamingCompactions: s.streamingCompacts.Load(),
 		FallbackCompactions:  s.fallbackCompacts.Load(),
+
+		RollupHits: s.rollupHits.Load(),
 
 		LastSealError:    s.lastSealErr,
 		LastCompactError: s.lastCompactErr,
@@ -1076,7 +1202,22 @@ func (s *Store) Stats() Stats {
 		st.SealedTuples += seg.meta.Tuples
 		st.SealedBytes += int64(len(seg.data))
 	}
+	for _, r := range s.rollups {
+		st.Rollups = append(st.Rollups, RollupInfo{
+			File:   r.meta.File,
+			Dims:   append([]string(nil), r.meta.Dims...),
+			Covers: len(r.meta.Covers),
+			Tuples: r.meta.Tuples,
+			Bytes:  len(r.data),
+		})
+	}
 	s.mu.Unlock()
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
+		st.CachePartialHits, st.CachePartialMisses = cs.PartialHits, cs.PartialMisses
+		st.CacheBytes, st.CacheEntries = cs.Bytes, cs.Entries
+	}
 	st.TotalTuples = st.SealedTuples + st.LiveTuples
 	return st
 }

@@ -1,0 +1,304 @@
+// Package qcache is a byte-bounded LRU for query results, built for the
+// cube store's two-level caching scheme:
+//
+//   - Partials ([Cache.GetPartial]/[Cache.PutPartial]) are per-target
+//     intermediate results keyed by target identity + canonical query key.
+//     Sealed segment files are immutable and their names are never reused,
+//     so a partial computed over one never goes stale — it only ever
+//     leaves the cache by LRU eviction.
+//   - Results ([Cache.GetResult]/[Cache.PutResult]) are full merged
+//     answers stamped with the store generation they were computed at. A
+//     lookup whose stamp doesn't match the store's current generation is a
+//     miss; the entry is simply overwritten by the recomputed answer.
+//
+// Keys are opaque strings; the Key* builders produce canonical ones so
+// that two spellings of the same query share a cache entry (see
+// [KeyGroupBy]). Cached values are shared between the cache and every
+// caller that hit it, so callers must treat them as read-only.
+package qcache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dwarf"
+)
+
+// Cache is a byte-bounded LRU safe for concurrent use. The byte budget
+// counts estimated value sizes (see the SizeOf* helpers), not precise heap
+// footprints; keys ride along for free in the estimate's per-entry slack.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	used  int64
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses               atomic.Int64 // result-level
+	partialHits, partialMisses atomic.Int64 // target-level
+}
+
+type entry struct {
+	key  string
+	val  any
+	gen  uint64
+	size int64
+}
+
+// New returns a cache bounded to roughly maxBytes of cached values.
+func New(maxBytes int64) *Cache {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &Cache{max: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// GetResult returns the value cached under key if its generation stamp
+// matches gen. A stale entry counts as a miss and stays put until the
+// caller overwrites it with PutResult.
+func (c *Cache) GetResult(key string, gen uint64) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok {
+		ent := el.Value.(*entry)
+		if ent.gen == gen {
+			c.ll.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return ent.val, true
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// PutResult caches a full merged answer under key, stamped with the store
+// generation it was computed at.
+func (c *Cache) PutResult(key string, val any, gen uint64, size int64) {
+	c.put(key, val, gen, size)
+}
+
+// GetPartial returns the value cached under key with no staleness check —
+// partial keys embed an immutable target's identity, so presence implies
+// validity.
+func (c *Cache) GetPartial(key string) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok {
+		ent := el.Value.(*entry)
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.partialHits.Add(1)
+		return ent.val, true
+	}
+	c.mu.Unlock()
+	c.partialMisses.Add(1)
+	return nil, false
+}
+
+// PutPartial caches a per-target partial under key.
+func (c *Cache) PutPartial(key string, val any, size int64) {
+	c.put(key, val, 0, size)
+}
+
+func (c *Cache) put(key string, val any, gen uint64, size int64) {
+	if size > c.max {
+		// A value bigger than the whole budget would flush everything and
+		// then not fit; refusing it keeps the hot set intact.
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*entry)
+		c.used += size - ent.size
+		ent.val, ent.gen, ent.size = val, gen, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.ll.PushFront(&entry{key: key, val: val, gen: gen, size: size})
+		c.used += size
+	}
+	for c.used > c.max {
+		cold := c.ll.Back()
+		ent := cold.Value.(*entry)
+		c.ll.Remove(cold)
+		delete(c.byKey, ent.key)
+		c.used -= ent.size
+	}
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits, Misses               int64 // result-level lookups
+	PartialHits, PartialMisses int64 // per-target partial lookups
+	Bytes                      int64 // estimated bytes of cached values
+	Entries                    int   // live entries (results + partials)
+}
+
+// Stats returns the cache's current counters and occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	bytes, entries := c.used, c.ll.Len()
+	c.mu.Unlock()
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		PartialHits: c.partialHits.Load(), PartialMisses: c.partialMisses.Load(),
+		Bytes: bytes, Entries: entries,
+	}
+}
+
+// ---- canonical query keys ----
+//
+// A canonical key is a deterministic byte serialization of the query shape
+// and parameters. Selectors are normalized to the kernel's semantics so
+// that spellings the kernel answers identically share one entry:
+//
+//   - A selector carrying both a range and keys means the range (the
+//     HasRange-precedence rule), so Keys are dropped from the key.
+//   - Explicit key lists are deduplicated first-occurrence-wins, exactly
+//     like the kernel's dedupKeys. Order is preserved, NOT sorted: the
+//     kernel folds matches in list order, and float aggregation is only
+//     guaranteed bit-identical for identical fold order.
+
+// KeyGroupBy returns the canonical cache key for a GroupBy over the
+// dimension at index dim under sels.
+func KeyGroupBy(dim int, sels []dwarf.Selector) string {
+	b := make([]byte, 0, 16+16*len(sels))
+	b = append(b, 'g')
+	b = binary.AppendUvarint(b, uint64(dim))
+	b = appendSelectors(b, sels)
+	return string(b)
+}
+
+// KeyPivot returns the canonical cache key for a Pivot over the
+// dimensions at indices dims under sels.
+func KeyPivot(dims []int, sels []dwarf.Selector) string {
+	b := make([]byte, 0, 16+2*len(dims)+16*len(sels))
+	b = append(b, 'p')
+	b = binary.AppendUvarint(b, uint64(len(dims)))
+	for _, d := range dims {
+		b = binary.AppendUvarint(b, uint64(d))
+	}
+	b = appendSelectors(b, sels)
+	return string(b)
+}
+
+// KeyTopK returns the canonical cache key for a TopK over the dimension
+// at index dim under sels with spec.
+func KeyTopK(dim int, sels []dwarf.Selector, spec dwarf.TopKSpec) string {
+	b := make([]byte, 0, 32+16*len(sels))
+	b = append(b, 'k')
+	b = binary.AppendUvarint(b, uint64(dim))
+	b = append(b, byte(spec.By))
+	b = binary.AppendVarint(b, int64(spec.K))
+	if spec.HasThreshold {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, math.Float64bits(spec.Threshold))
+	} else {
+		b = append(b, 0)
+	}
+	b = appendSelectors(b, sels)
+	return string(b)
+}
+
+func appendSelectors(b []byte, sels []dwarf.Selector) []byte {
+	b = binary.AppendUvarint(b, uint64(len(sels)))
+	for i := range sels {
+		b = appendSelector(b, &sels[i])
+	}
+	return b
+}
+
+func appendSelector(b []byte, s *dwarf.Selector) []byte {
+	switch {
+	case s.HasRange:
+		b = append(b, 'R')
+		b = appendString(b, s.Lo)
+		b = appendString(b, s.Hi)
+	case len(s.Keys) > 0:
+		keys := dedupFirstWins(s.Keys)
+		b = append(b, 'K')
+		b = binary.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = appendString(b, k)
+		}
+	default:
+		b = append(b, 'A')
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// dedupFirstWins drops repeated keys, keeping the first occurrence in
+// place — the same normalization the kernel applies before matching.
+func dedupFirstWins(keys []string) []string {
+	for i := 1; i < len(keys); i++ {
+		for j := 0; j < i; j++ {
+			if keys[i] == keys[j] {
+				out := make([]string, 0, len(keys)-1)
+				out = append(out, keys[:i]...)
+				for _, k := range keys[i+1:] {
+					seen := false
+					for _, have := range out {
+						if k == have {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						out = append(out, k)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return keys
+}
+
+// ---- size estimates ----
+//
+// The estimates charge each entry for its string payloads plus a flat
+// per-element overhead (headers, map buckets, slice slots). They are meant
+// to keep the byte bound honest to within a small factor, not to account
+// exactly.
+
+const perElemOverhead = 64
+
+// SizeOfGroupMap estimates the bytes held by a GroupBy result map.
+func SizeOfGroupMap(m map[string]dwarf.Aggregate) int64 {
+	n := int64(perElemOverhead)
+	for k := range m {
+		n += int64(len(k)) + 32 + perElemOverhead
+	}
+	return n
+}
+
+// SizeOfPivotRows estimates the bytes held by a Pivot result.
+func SizeOfPivotRows(rows []dwarf.PivotGroup) int64 {
+	n := int64(perElemOverhead)
+	for i := range rows {
+		for _, k := range rows[i].Keys {
+			n += int64(len(k)) + 16
+		}
+		n += 32 + perElemOverhead
+	}
+	return n
+}
+
+// SizeOfEntries estimates the bytes held by a TopK result.
+func SizeOfEntries(es []dwarf.GroupEntry) int64 {
+	n := int64(perElemOverhead)
+	for i := range es {
+		n += int64(len(es[i].Key)) + 32 + perElemOverhead
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dwarf"
+)
+
+func TestResultGenerationStamp(t *testing.T) {
+	c := New(1 << 20)
+	c.PutResult("k", "v1", 7, 100)
+	if v, ok := c.GetResult("k", 7); !ok || v.(string) != "v1" {
+		t.Fatalf("same-gen lookup: got %v, %v", v, ok)
+	}
+	if _, ok := c.GetResult("k", 8); ok {
+		t.Fatal("stale-gen lookup must miss")
+	}
+	// Overwriting with the new generation revives the key.
+	c.PutResult("k", "v2", 8, 100)
+	if v, ok := c.GetResult("k", 8); !ok || v.(string) != "v2" {
+		t.Fatalf("post-overwrite lookup: got %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("occupancy after overwrite: %+v", st)
+	}
+}
+
+func TestPartialNeverStale(t *testing.T) {
+	c := New(1 << 20)
+	c.PutPartial("seg-1|q", 42, 10)
+	for gen := 0; gen < 3; gen++ {
+		if v, ok := c.GetPartial("seg-1|q"); !ok || v.(int) != 42 {
+			t.Fatalf("partial lookup: got %v, %v", v, ok)
+		}
+	}
+	st := c.Stats()
+	if st.PartialHits != 3 || st.PartialMisses != 0 {
+		t.Fatalf("partial counters: %+v", st)
+	}
+}
+
+func TestByteBoundEviction(t *testing.T) {
+	c := New(250)
+	for i := 0; i < 5; i++ {
+		c.PutPartial(fmt.Sprintf("k%d", i), i, 100) // fits 2 at a time
+	}
+	// Only the two most recent survive.
+	if _, ok := c.GetPartial("k2"); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	for _, k := range []string{"k3", "k4"} {
+		if _, ok := c.GetPartial(k); !ok {
+			t.Fatalf("%s should survive", k)
+		}
+	}
+	if st := c.Stats(); st.Bytes != 200 || st.Entries != 2 {
+		t.Fatalf("occupancy: %+v", st)
+	}
+	// Touching k3 makes k4 the eviction victim.
+	c.GetPartial("k3")
+	c.PutPartial("k5", 5, 100)
+	if _, ok := c.GetPartial("k4"); ok {
+		t.Fatal("k4 should have been evicted after k3 promotion")
+	}
+	if _, ok := c.GetPartial("k3"); !ok {
+		t.Fatal("k3 should survive")
+	}
+}
+
+func TestOversizedValueRefused(t *testing.T) {
+	c := New(100)
+	c.PutPartial("keep", 1, 50)
+	c.PutResult("huge", 2, 1, 1000)
+	if _, ok := c.GetResult("huge", 1); ok {
+		t.Fatal("oversized value must not be cached")
+	}
+	if _, ok := c.GetPartial("keep"); !ok {
+		t.Fatal("oversized insert must not flush the hot set")
+	}
+}
+
+func sel(keys ...string) dwarf.Selector { return dwarf.Selector{Keys: keys} }
+
+func TestKeyCanonicalization(t *testing.T) {
+	all := dwarf.Selector{}
+	rng := dwarf.Selector{Lo: "a", Hi: "b", HasRange: true}
+
+	// HasRange wins over Keys: same range with or without a key list is
+	// the same query per the kernel, so the same key.
+	rngWithKeys := rng
+	rngWithKeys.Keys = []string{"x", "y"}
+	if KeyGroupBy(0, []dwarf.Selector{rng, all}) != KeyGroupBy(0, []dwarf.Selector{rngWithKeys, all}) {
+		t.Fatal("HasRange must shadow Keys in the canonical key")
+	}
+
+	// Duplicate keys collapse first-occurrence-wins.
+	if KeyGroupBy(0, []dwarf.Selector{sel("a", "b", "a"), all}) != KeyGroupBy(0, []dwarf.Selector{sel("a", "b"), all}) {
+		t.Fatal("duplicate keys must collapse")
+	}
+	// Order is preserved, not sorted: fold order changes float results.
+	if KeyGroupBy(0, []dwarf.Selector{sel("b", "a"), all}) == KeyGroupBy(0, []dwarf.Selector{sel("a", "b"), all}) {
+		t.Fatal("key order must be preserved")
+	}
+
+	// Distinct parameters produce distinct keys.
+	keys := []string{
+		KeyGroupBy(0, []dwarf.Selector{all, all}),
+		KeyGroupBy(1, []dwarf.Selector{all, all}),
+		KeyGroupBy(0, []dwarf.Selector{rng, all}),
+		KeyGroupBy(0, []dwarf.Selector{all, rng}),
+		KeyGroupBy(0, []dwarf.Selector{sel("a"), all}),
+		KeyPivot([]int{0}, []dwarf.Selector{all, all}),
+		KeyPivot([]int{0, 1}, []dwarf.Selector{all, all}),
+		KeyPivot([]int{1, 0}, []dwarf.Selector{all, all}),
+		KeyTopK(0, []dwarf.Selector{all, all}, dwarf.TopKSpec{K: 5}),
+		KeyTopK(0, []dwarf.Selector{all, all}, dwarf.TopKSpec{K: 6}),
+		KeyTopK(0, []dwarf.Selector{all, all}, dwarf.TopKSpec{K: 5, By: dwarf.ByCount}),
+		KeyTopK(0, []dwarf.Selector{all, all}, dwarf.TopKSpec{K: 5, HasThreshold: true}),
+		KeyTopK(0, []dwarf.Selector{all, all}, dwarf.TopKSpec{K: 5, Threshold: 2, HasThreshold: true}),
+	}
+	seen := map[string]int{}
+	for i, k := range keys {
+		if j, dup := seen[k]; dup {
+			t.Fatalf("key %d collides with key %d", i, j)
+		}
+		seen[k] = i
+	}
+
+	// Threshold without HasThreshold is not part of the query.
+	if KeyTopK(0, []dwarf.Selector{all}, dwarf.TopKSpec{K: 5, Threshold: 2}) !=
+		KeyTopK(0, []dwarf.Selector{all}, dwarf.TopKSpec{K: 5}) {
+		t.Fatal("inactive threshold must not split keys")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(10_000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%17)
+				switch i % 3 {
+				case 0:
+					c.PutResult(k, i, uint64(i%5), 64)
+				case 1:
+					c.GetResult(k, uint64(i%5))
+				default:
+					c.GetPartial(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Stats()
+}

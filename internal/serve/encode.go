@@ -511,6 +511,26 @@ func appendStoreStatsResponse(buf []byte, cube string, st cubestore.Stats) []byt
 		}
 		w.close(']')
 	}
+	if len(st.Rollups) > 0 {
+		w.key("rollups")
+		w.open('[')
+		for i := range st.Rollups {
+			w.member()
+			w.open('{')
+			w.key("file")
+			w.str(st.Rollups[i].File)
+			w.key("dims")
+			w.strs(st.Rollups[i].Dims)
+			w.key("covers")
+			w.int(int64(st.Rollups[i].Covers))
+			w.key("tuples")
+			w.int(int64(st.Rollups[i].Tuples))
+			w.key("bytes")
+			w.int(int64(st.Rollups[i].Bytes))
+			w.close('}')
+		}
+		w.close(']')
+	}
 	w.key("sealed_tuples")
 	w.int(int64(st.SealedTuples))
 	w.key("live_tuples")
@@ -521,6 +541,8 @@ func appendStoreStatsResponse(buf []byte, cube string, st cubestore.Stats) []byt
 	w.int(st.SealedBytes)
 	w.key("wal_gen")
 	w.uint(st.WALGen)
+	w.key("generation")
+	w.uint(st.Generation)
 	w.key("wal_bytes")
 	w.int(st.WALBytes)
 	w.key("seals")
@@ -533,6 +555,20 @@ func appendStoreStatsResponse(buf []byte, cube string, st cubestore.Stats) []byt
 	w.int(st.StreamingCompactions)
 	w.key("fallback_compactions")
 	w.int(st.FallbackCompactions)
+	w.key("cache_hits")
+	w.int(st.CacheHits)
+	w.key("cache_misses")
+	w.int(st.CacheMisses)
+	w.key("cache_partial_hits")
+	w.int(st.CachePartialHits)
+	w.key("cache_partial_misses")
+	w.int(st.CachePartialMisses)
+	w.key("cache_bytes")
+	w.int(st.CacheBytes)
+	w.key("cache_entries")
+	w.int(int64(st.CacheEntries))
+	w.key("rollup_hits")
+	w.int(st.RollupHits)
 	if st.LastSealError != "" {
 		w.key("last_seal_error")
 		w.str(st.LastSealError)

@@ -230,12 +230,24 @@ func TestEnvelopeEncodersDifferential(t *testing.T) {
 		Dims:         []string{"Day", "Region", "Kind"},
 		Segments:     []cubestore.SegmentInfo{{File: "seg-000001.dwarf", Tuples: 100, Level: 1, Bytes: 2048}},
 		SealedTuples: 100, LiveTuples: 3, TotalTuples: 103,
-		SealedBytes: 2048, WALGen: 4, WALBytes: 96,
+		SealedBytes: 2048, WALGen: 4, Generation: 17, WALBytes: 96,
 		Seals: 2, Compactions: 1, Appended: 103,
 		StreamingCompactions: 1, FallbackCompactions: 0,
+		CacheHits: 40, CacheMisses: 2, CachePartialHits: 120, CachePartialMisses: 6,
+		CacheBytes: 1 << 16, CacheEntries: 9, RollupHits: 13,
 	}
 	check("storestats", appendStoreStatsResponse(nil, "live", sstats),
 		storeStatsResponse{Cube: "live", Stats: sstats})
+	sstats.Rollups = []cubestore.RollupInfo{
+		{File: "rollup-000002.dwarf", Dims: []string{"Region", "Kind"}, Covers: 3, Tuples: 12, Bytes: 512},
+		{File: `rollup-<&"weird>.dwarf`, Dims: nil, Covers: 0, Tuples: 0, Bytes: 0},
+	}
+	check("storestats rollups", appendStoreStatsResponse(nil, "live", sstats),
+		storeStatsResponse{Cube: "live", Stats: sstats})
+	sstats.Rollups = []cubestore.RollupInfo{}
+	check("storestats empty rollups", appendStoreStatsResponse(nil, "live", sstats),
+		storeStatsResponse{Cube: "live", Stats: sstats})
+	sstats.Rollups = nil
 	sstats.LastSealError, sstats.LastCompactError = "disk full", `bad "segment"`
 	sstats.Segments = nil
 	check("storestats errors", appendStoreStatsResponse(nil, "live", sstats),

@@ -72,13 +72,25 @@ func (c *viewCache) path(name string) (string, bool) {
 
 // add inserts a freshly loaded view, evicting from the cold end past
 // capacity. When two requests race to load the same cube, the first insert
-// wins and the loser's view is returned for its own request only.
+// wins — unless the two loads saw different stat pairs (the file was
+// atomically replaced between them): handing the loser the winner's view
+// would answer its request from the wrong file generation, and the stale
+// view would sit at the front of the LRU until the next get revalidation.
+// On a stat mismatch the entry is replaced with the caller's load; either
+// racer may actually be newer, but each request is answered from the bytes
+// it read, and the next get re-stats the file and self-heals the entry.
 func (c *viewCache) add(name, path string, v *dwarf.CubeView, size int64, modTime time.Time) *dwarf.CubeView {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[name]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.size != size || !ent.modTime.Equal(modTime) {
+			el.Value = &cacheEntry{name: name, path: path, view: v, size: size, modTime: modTime, loadedAt: time.Now()}
+			c.ll.MoveToFront(el)
+			return v
+		}
 		c.ll.MoveToFront(el)
-		return el.Value.(*cacheEntry).view
+		return ent.view
 	}
 	el := c.ll.PushFront(&cacheEntry{name: name, path: path, view: v, size: size, modTime: modTime, loadedAt: time.Now()})
 	c.byKey[name] = el
