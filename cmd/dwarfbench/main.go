@@ -12,6 +12,7 @@
 //	dwarfbench -exp compact           # segment compaction: decode+Merge vs MergeViews
 //	dwarfbench -exp http              # live TCP load: append encoders vs reflection
 //	dwarfbench -exp cache             # hot-result cache + rollups vs plain fan-out
+//	dwarfbench -exp cluster           # scatter-gather over N nodes vs one store
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
 //
 // -workers N builds the Table 2 cubes with N shard workers (the parallel
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, storequery, parallel, serve, ingest, compact, http, cache, all")
+	exp := flag.String("exp", "all", "experiment: table2, table4, table5, bao, query, storequery, parallel, serve, ingest, compact, http, cache, cluster, all")
 	presetsFlag := flag.String("presets", "Day,Week,Month", "comma-separated Table 2 datasets (Day,Week,Month,TMonth,SMonth)")
 	kindsFlag := flag.String("kinds", "", "comma-separated schema models to run (default: all four)")
 	dir := flag.String("dir", "", "working directory for store files (default: a temp dir)")
@@ -54,6 +55,7 @@ func main() {
 	requests := flag.Int("requests", 12000, "total requests per -exp http run")
 	sealTuples := flag.Int("seal", 0, "live-store seal threshold in -exp ingest (0 = default)")
 	sync := flag.Bool("sync", true, "fsync every Append in -exp ingest (the durable configuration)")
+	nodes := flag.Int("nodes", 3, "in-process dwarfd nodes in -exp cluster")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -132,6 +134,8 @@ func main() {
 		err = runHTTPLoad(presets[0], *connsFlag, *requests, *jsonOut, progress)
 	case "cache":
 		err = runCacheBench(presets, *requests, *jsonOut, progress)
+	case "cluster":
+		err = runClusterBench(presets, *nodes, *queries, *jsonOut, progress)
 	case "all":
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
@@ -261,6 +265,22 @@ func runCacheBench(presets []string, requests int, jsonOut string, progress func
 	fmt.Println()
 	if jsonOut != "" {
 		if err := bench.WriteCacheJSON(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
+	return nil
+}
+
+func runClusterBench(presets []string, nodes, queries int, jsonOut string, progress func(string)) error {
+	results, err := bench.RunClusterBench(presets, nodes, queries, progress)
+	if err != nil {
+		return err
+	}
+	bench.FormatClusterBench(results).Fprint(os.Stdout)
+	fmt.Println()
+	if jsonOut != "" {
+		if err := bench.WriteClusterJSON(jsonOut, results); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "wrote", jsonOut)

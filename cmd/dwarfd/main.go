@@ -32,6 +32,10 @@
 //	GET  /stats?cube=week.dwarf
 //	POST /ingest         {"tuples":[{"dims":[…],"measure":…},…]}   (-live)
 //	GET  /store/stats                                              (-live)
+//	POST /query/partial  {"shape":…,"cube":…,…}                    (-cluster-node)
+//
+// -cluster-node additionally serves the unpaged partial-result wire format
+// a cluster coordinator (see cmd/dwarfgw) scatter-gathers over.
 //
 // Every query shape runs through the unified kernel and works identically
 // on cube files and the live cube. Keyed responses (groupby/topk/rollup)
@@ -65,6 +69,8 @@ func main() {
 	workers := flag.Int("workers", 1, "live store: shard workers for memtable builds and seals")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20,
 		"live store: hot-result query cache budget in bytes (0 disables)")
+	clusterNode := flag.Bool("cluster-node", false,
+		"serve POST /query/partial for a cluster coordinator (dwarfgw) to scatter-gather over")
 	var rollups [][]string
 	flag.Func("rollup", "live store: comma-separated dimension subset to maintain a rollup segment for (repeatable)",
 		func(v string) error {
@@ -89,7 +95,7 @@ func main() {
 		}
 	})
 
-	opts := serve.Options{Dir: *dir, CacheSize: *cache, GroupLimit: *groupLimit}
+	opts := serve.Options{Dir: *dir, CacheSize: *cache, GroupLimit: *groupLimit, ClusterNode: *clusterNode}
 	if *live != "" {
 		// The -dims default only applies to a store being created; an
 		// existing store's manifest is the truth unless -dims was given

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cubestore"
+	"repro/internal/dwarf"
+	"repro/internal/serve"
+	"repro/internal/smartcity"
+)
+
+// The cluster experiment measures scatter-gather latency: the same preset
+// is hash-partitioned across N in-process dwarfd nodes behind a
+// coordinator and, separately, loaded into one union store. Bit-identical
+// answers across both (every query shape) are a hard gate before anything
+// is timed; the timings then put a number on what the network fan-out and
+// merge cost per shape over the single-node baseline.
+
+// ClusterShapeResult compares one query shape: coordinator vs union store.
+type ClusterShapeResult struct {
+	Shape     string  `json:"shape"`
+	ClusterNs float64 `json:"cluster_ns_per_op"`
+	SingleNs  float64 `json:"single_ns_per_op"`
+	// Overhead is cluster/single — the scatter-gather cost multiple.
+	Overhead float64 `json:"overhead"`
+}
+
+// ClusterResult is one preset's cluster measurements.
+type ClusterResult struct {
+	Preset string               `json:"preset"`
+	Tuples int                  `json:"tuples"`
+	Nodes  int                  `json:"nodes"`
+	Shapes []ClusterShapeResult `json:"shapes"`
+}
+
+// clusterBenchSegments splits each store so per-node queries do real
+// multi-segment merge work, like the cache experiment's stores.
+const clusterBenchSegments = 4
+
+func buildClusterDir(dir string, tuples []dwarf.Tuple) (*cubestore.Store, error) {
+	s, err := cubestore.Open(dir, cubestore.Options{
+		Dims:               smartcity.BikeDims,
+		NoSync:             true,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(tuples) > 0 {
+		per := (len(tuples) + clusterBenchSegments - 1) / clusterBenchSegments
+		for off := 0; off < len(tuples); off += per {
+			end := min(off+per, len(tuples))
+			if err := s.Append(tuples[off:end]); err != nil {
+				s.Close()
+				return nil, err
+			}
+			if err := s.Seal(); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// clusterBattery is the per-shape query list the gate and the timings run.
+type clusterBattery struct {
+	name string
+	run  func(q clusterQuerier) (any, error)
+}
+
+// clusterQuerier is the slice of query.Querier both sides implement.
+type clusterQuerier interface {
+	Point(keys ...string) (dwarf.Aggregate, error)
+	Range(sels []dwarf.Selector) (dwarf.Aggregate, error)
+	GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggregate, error)
+	Pivot(dims []int, sels []dwarf.Selector) ([]dwarf.PivotGroup, error)
+	TopK(dim int, sels []dwarf.Selector, spec dwarf.TopKSpec) ([]dwarf.GroupEntry, error)
+}
+
+func clusterShapes() []clusterBattery {
+	q := newCacheBenchQueries()
+	wild := make([]string, len(smartcity.BikeDims))
+	return []clusterBattery{
+		{"point", func(s clusterQuerier) (any, error) { return s.Point(wild...) }},
+		{"range", func(s clusterQuerier) (any, error) { return s.Range(q.allSels) }},
+		{"groupby", func(s clusterQuerier) (any, error) { return s.GroupBy(q.station, q.allSels) }},
+		{"pivot", func(s clusterQuerier) (any, error) { return s.Pivot([]int{q.area, q.status}, q.allSels) }},
+		{"topk", func(s clusterQuerier) (any, error) { return s.TopK(q.station, q.allSels, q.spec) }},
+	}
+}
+
+// clusterGate compares the full battery bit-for-bit. Bike measures are
+// integer-valued, so sums are exact in float64 and partition order cannot
+// excuse a divergence.
+func clusterGate(coord, single clusterQuerier) error {
+	q := newCacheBenchQueries()
+	a1, err := runBatteryAnswers(coord, q)
+	if err != nil {
+		return fmt.Errorf("cluster battery: %w", err)
+	}
+	a2, err := runBatteryAnswers(single, q)
+	if err != nil {
+		return fmt.Errorf("single-store battery: %w", err)
+	}
+	if a1.total != a2.total {
+		return fmt.Errorf("grand total diverged: cluster %+v single %+v", a1.total, a2.total)
+	}
+	return a1.answers.equal(a2.answers)
+}
+
+type clusterAnswers struct {
+	total   dwarf.Aggregate
+	answers cacheBenchAnswers
+}
+
+func runBatteryAnswers(s clusterQuerier, q cacheBenchQueries) (clusterAnswers, error) {
+	var a clusterAnswers
+	var err error
+	if a.total, err = s.Range(q.allSels); err != nil {
+		return a, err
+	}
+	if a.answers.groups, err = s.GroupBy(q.station, q.allSels); err != nil {
+		return a, err
+	}
+	if a.answers.rows, err = s.Pivot([]int{q.area, q.status}, q.allSels); err != nil {
+		return a, err
+	}
+	a.answers.topk, err = s.TopK(q.station, q.allSels, q.spec)
+	return a, err
+}
+
+// RunClusterBench partitions each preset over `nodes` in-process dwarfd
+// nodes and measures every query shape against the single-store baseline.
+func RunClusterBench(presets []string, nodes, queries int, progress func(string)) ([]ClusterResult, error) {
+	if nodes <= 0 {
+		nodes = 3
+	}
+	if queries <= 0 {
+		queries = 200
+	}
+	var out []ClusterResult
+	for _, preset := range presets {
+		tuples, err := DatasetTuples(preset)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runClusterPreset(preset, tuples, nodes, queries, progress)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runClusterPreset(preset string, tuples []dwarf.Tuple, nodes, queries int, progress func(string)) (ClusterResult, error) {
+	res := ClusterResult{Preset: preset, Tuples: len(tuples), Nodes: nodes}
+	base, err := os.MkdirTemp("", "clusterbench-"+preset+"-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(base)
+	if progress != nil {
+		progress(fmt.Sprintf("cluster: %s build (%d tuples over %d nodes)", preset, len(tuples), nodes))
+	}
+
+	// Hash-partition the preset exactly as coordinator ingest would.
+	parts := make([][]dwarf.Tuple, nodes)
+	for _, tu := range tuples {
+		i := cluster.NodeFor(tu.Dims, nodes)
+		parts[i] = append(parts[i], tu)
+	}
+
+	single, err := buildClusterDir(filepath.Join(base, "single"), tuples)
+	if err != nil {
+		return res, err
+	}
+	defer single.Close()
+
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		st, err := buildClusterDir(filepath.Join(base, fmt.Sprintf("node%d", i)), parts[i])
+		if err != nil {
+			return res, err
+		}
+		defer st.Close()
+		srv, err := serve.New(serve.Options{Store: st, ClusterNode: true})
+		if err != nil {
+			return res, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	coord, err := cluster.New(cluster.Options{Nodes: urls, Dims: smartcity.BikeDims})
+	if err != nil {
+		return res, err
+	}
+
+	// Hard gate: bit-identical before any timing.
+	if err := clusterGate(coord, single); err != nil {
+		return res, fmt.Errorf("cluster differential gate failed (%s): %w", preset, err)
+	}
+
+	for _, sh := range clusterShapes() {
+		if progress != nil {
+			progress(fmt.Sprintf("cluster: %s %s × %d", preset, sh.name, queries))
+		}
+		clusterNs, err := timeShape(coord, sh, queries)
+		if err != nil {
+			return res, err
+		}
+		singleNs, err := timeShape(single, sh, queries)
+		if err != nil {
+			return res, err
+		}
+		r := ClusterShapeResult{Shape: sh.name, ClusterNs: clusterNs, SingleNs: singleNs}
+		if singleNs > 0 {
+			r.Overhead = clusterNs / singleNs
+		}
+		res.Shapes = append(res.Shapes, r)
+	}
+	return res, nil
+}
+
+func timeShape(s clusterQuerier, sh clusterBattery, queries int) (float64, error) {
+	// One warm-up pass keeps connection setup out of the measurement.
+	if _, err := sh.run(s); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		if _, err := sh.run(s); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(queries), nil
+}
+
+// FormatClusterBench renders the scatter-gather comparison.
+func FormatClusterBench(results []ClusterResult) *Table {
+	t := NewTable("Clustered scatter-gather — per-query cost vs one union store",
+		"Dataset", "Tuples", "Nodes", "Shape", "Cluster ns/op", "Single ns/op", "Overhead ×")
+	for _, set := range results {
+		for _, sh := range set.Shapes {
+			t.AddRow(set.Preset, fmt.Sprintf("%d", set.Tuples), fmt.Sprintf("%d", set.Nodes), sh.Shape,
+				fmt.Sprintf("%.0f", sh.ClusterNs),
+				fmt.Sprintf("%.0f", sh.SingleNs),
+				fmt.Sprintf("%.1f", sh.Overhead))
+		}
+	}
+	return t
+}
+
+// clusterReport is the BENCH_cluster.json schema.
+type clusterReport struct {
+	Experiment string          `json:"experiment"`
+	Generated  string          `json:"generated"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []ClusterResult `json:"results"`
+}
+
+// WriteClusterJSON writes the cluster results as JSON to path.
+func WriteClusterJSON(path string, results []ClusterResult) error {
+	rep := clusterReport{
+		Experiment: "cluster",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

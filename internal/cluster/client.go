@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// node is one dwarfd cluster member as seen by the coordinator: a base
+// URL plus the per-attempt timeout and bounded retry/backoff policy.
+type node struct {
+	base    string
+	client  *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+}
+
+// ---- wire types (mirroring internal/serve's request/partial formats) ----
+
+type wireSelector struct {
+	Keys []string `json:"keys,omitempty"`
+	Lo   *string  `json:"lo,omitempty"`
+	Hi   *string  `json:"hi,omitempty"`
+}
+
+type partialReq struct {
+	Shape     string         `json:"shape"`
+	Cube      string         `json:"cube"`
+	Keys      []string       `json:"keys,omitempty"`
+	Dim       string         `json:"dim,omitempty"`
+	Dims      []string       `json:"dims,omitempty"`
+	Selectors []wireSelector `json:"selectors,omitempty"`
+}
+
+// wireAgg decodes the serve aggregate envelope; Avg is derived, ignored.
+type wireAgg struct {
+	Sum   float64 `json:"sum"`
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Avg   float64 `json:"avg"`
+}
+
+func (a wireAgg) agg() dwarf.Aggregate {
+	return dwarf.Aggregate{Sum: a.Sum, Count: a.Count, Min: a.Min, Max: a.Max}
+}
+
+type partialAggResp struct {
+	Generation uint64  `json:"generation"`
+	Aggregate  wireAgg `json:"aggregate"`
+}
+
+type partialGroupsResp struct {
+	Generation uint64             `json:"generation"`
+	Groups     map[string]wireAgg `json:"groups"`
+}
+
+type partialRowsResp struct {
+	Generation uint64 `json:"generation"`
+	Rows       []struct {
+		Keys      []string `json:"keys"`
+		Aggregate wireAgg  `json:"aggregate"`
+	} `json:"rows"`
+}
+
+type errorResp struct {
+	Error string `json:"error"`
+}
+
+// ---- shape calls ----
+
+func (n *node) partialAgg(req partialReq) (dwarf.Aggregate, error) {
+	var resp partialAggResp
+	if err := n.postRetry("/query/partial", req, &resp); err != nil {
+		return dwarf.Aggregate{}, err
+	}
+	return resp.Aggregate.agg(), nil
+}
+
+func (n *node) partialGroups(req partialReq) (map[string]dwarf.Aggregate, error) {
+	var resp partialGroupsResp
+	if err := n.postRetry("/query/partial", req, &resp); err != nil {
+		return nil, err
+	}
+	out := make(map[string]dwarf.Aggregate, len(resp.Groups))
+	for k, a := range resp.Groups {
+		out[k] = a.agg()
+	}
+	return out, nil
+}
+
+func (n *node) partialRows(req partialReq) ([]dwarf.PivotGroup, error) {
+	var resp partialRowsResp
+	if err := n.postRetry("/query/partial", req, &resp); err != nil {
+		return nil, err
+	}
+	rows := make([]dwarf.PivotGroup, len(resp.Rows))
+	for i, r := range resp.Rows {
+		rows[i] = dwarf.PivotGroup{Keys: r.Keys, Agg: r.Aggregate.agg()}
+	}
+	return rows, nil
+}
+
+type wireTuple struct {
+	Dims    []string `json:"dims"`
+	Measure float64  `json:"measure"`
+}
+
+// ingest appends one node's slice of a batch. NO retry: the store has no
+// idempotent dedupe, so re-sending after an ambiguous failure (timeout
+// after the node may have logged the batch) could double-count it. The
+// caller's error names the node so the operator can reconcile explicitly.
+func (n *node) ingest(tuples []dwarf.Tuple) error {
+	specs := make([]wireTuple, len(tuples))
+	for i, tu := range tuples {
+		specs[i] = wireTuple{Dims: tu.Dims, Measure: tu.Measure}
+	}
+	var resp struct {
+		Appended int `json:"appended"`
+	}
+	err := n.post("/ingest", map[string]any{"tuples": specs}, &resp)
+	if err != nil {
+		return err
+	}
+	if resp.Appended != len(tuples) {
+		return fmt.Errorf("node acknowledged %d of %d tuples", resp.Appended, len(tuples))
+	}
+	return nil
+}
+
+// generation reads the node's visible-state generation from /store/stats.
+func (n *node) generation() (uint64, error) {
+	var resp struct {
+		Stats struct {
+			Generation uint64 `json:"generation"`
+		} `json:"stats"`
+	}
+	if err := n.get("/store/stats", &resp); err != nil {
+		return 0, err
+	}
+	return resp.Stats.Generation, nil
+}
+
+// ---- transport ----
+
+// postRetry is post with the bounded retry+backoff policy — queries are
+// idempotent, so transport failures and 5xx responses are retried up to
+// n.retries times with doubling backoff.
+func (n *node) postRetry(path string, body, out any) error {
+	var err error
+	backoff := n.backoff
+	for attempt := 0; ; attempt++ {
+		err = n.post(path, body, out)
+		if err == nil || !retryable(err) || attempt >= n.retries {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// statusError is a non-2xx node response; 5xx ones are retryable.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("HTTP %d: %s", e.status, e.msg)
+	}
+	return fmt.Sprintf("HTTP %d", e.status)
+}
+
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status >= 500
+	}
+	// Everything else at this layer is a transport/timeout failure.
+	return true
+}
+
+func (n *node) post(path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.do(req, out)
+}
+
+func (n *node) get(path string, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), n.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return n.do(req, out)
+}
+
+func (n *node) do(req *http.Request, out any) error {
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResp
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return &statusError{status: resp.StatusCode, msg: e.Error}
+		}
+		return &statusError{status: resp.StatusCode}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

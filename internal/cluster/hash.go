@@ -1,0 +1,34 @@
+package cluster
+
+// NodeFor maps one tuple's dimension keys to its home node index in an
+// n-node cluster: FNV-1a over every key with a length prefix, mod n. The
+// function is pure and stable — the same keys always land on the same
+// node, which is what makes per-node cubes partials of the logical cube:
+// every tuple of a given key combination folds into exactly one node, so
+// aggregates for any cell are disjoint across nodes and merge losslessly.
+//
+// The length prefix keeps distinct key lists from colliding by
+// concatenation ({"ab","c"} vs {"a","bc"}); a separator byte alone would
+// still collide on keys containing the separator.
+func NodeFor(keys []string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, k := range keys {
+		l := len(k)
+		h ^= uint64(l & 0xff)
+		h *= prime64
+		h ^= uint64(l >> 8 & 0xff)
+		h *= prime64
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+	}
+	return int(h % uint64(n))
+}

@@ -28,7 +28,13 @@ import (
 //
 // Cached values are shared across callers and with the cache itself, so
 // results returned by the planned path are read-only — callers that mutate
-// a GroupBy map must copy it first (none of the in-tree ones do).
+// a GroupBy map must copy it first. The contract is audited end-to-end:
+// dwarf.TopKFromGroups only reads the map it ranks (topKPlanned hands it
+// the cache-shared GroupBy map directly), serve's paging only subslices
+// cached []PivotGroup/[]GroupEntry results, and query.DrillDown — the one
+// name-level API whose callers naturally mutate the result — copies before
+// returning. TestPlannedPathSharedResultsRace in the serve package pins
+// the whole surface under the race detector.
 
 // plannedTarget is one immutable fan-out input: a view plus the (possibly
 // dimension-remapped) query to run against it, and the backing file name

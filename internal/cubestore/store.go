@@ -1151,11 +1151,14 @@ type Stats struct {
 	FallbackCompactions  int64 `json:"fallback_compactions"`
 
 	// Query-cache counters (all zero when Options.CacheBytes is 0):
-	// hits/misses count full-result lookups, the partial pair counts
+	// hits/misses/stale count full-result lookups (stale = an entry was
+	// present but stamped with an older generation, so the miss came from
+	// write churn rather than a cold cache), the partial pair counts
 	// per-segment partial lookups, RollupHits counts grouped queries the
 	// planner routed through a rollup segment.
 	CacheHits          int64 `json:"cache_hits"`
 	CacheMisses        int64 `json:"cache_misses"`
+	CacheStale         int64 `json:"cache_stale"`
 	CachePartialHits   int64 `json:"cache_partial_hits"`
 	CachePartialMisses int64 `json:"cache_partial_misses"`
 	CacheBytes         int64 `json:"cache_bytes"`
@@ -1214,7 +1217,7 @@ func (s *Store) Stats() Stats {
 	s.mu.Unlock()
 	if s.cache != nil {
 		cs := s.cache.Stats()
-		st.CacheHits, st.CacheMisses = cs.Hits, cs.Misses
+		st.CacheHits, st.CacheMisses, st.CacheStale = cs.Hits, cs.Misses, cs.Stale
 		st.CachePartialHits, st.CachePartialMisses = cs.PartialHits, cs.PartialMisses
 		st.CacheBytes, st.CacheEntries = cs.Bytes, cs.Entries
 	}

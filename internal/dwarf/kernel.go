@@ -490,6 +490,11 @@ func compareKeyTuples(a, b []string) int {
 // given — the store's fan-out merge for Pivot and RollUp.
 func MergePivotGroups(parts ...[]PivotGroup) []PivotGroup {
 	if len(parts) == 1 {
+		// Aliases the lone input rather than copying. Callers merging
+		// cache-shared partials must therefore always include at least one
+		// private part (the store always appends the live memtable's rows,
+		// a cluster coordinator merges one part per node), or copy before
+		// treating the result as their own.
 		return parts[0]
 	}
 	acc := make(map[string]*Aggregate)
@@ -631,7 +636,9 @@ func QueryTopK(src Source, dim int, sels []Selector, spec TopKSpec) ([]GroupEntr
 // TopKFromGroups ranks a (fully merged) group map: metric descending, ties
 // by key ascending, iceberg threshold applied before the K cut. It is the
 // single finishing step shared by every TopK path, so single-source and
-// fan-out answers order identically.
+// fan-out answers order identically. groups is read, never mutated — the
+// store's planned path and the cluster coordinator both hand it a
+// cache-shared map, relying on that.
 func TopKFromGroups(groups map[string]Aggregate, spec TopKSpec) []GroupEntry {
 	out := make([]GroupEntry, 0, len(groups))
 	for k, a := range groups {

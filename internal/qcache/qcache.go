@@ -37,7 +37,7 @@ type Cache struct {
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
 
-	hits, misses               atomic.Int64 // result-level
+	hits, misses, stale        atomic.Int64 // result-level
 	partialHits, partialMisses atomic.Int64 // target-level
 }
 
@@ -57,8 +57,10 @@ func New(maxBytes int64) *Cache {
 }
 
 // GetResult returns the value cached under key if its generation stamp
-// matches gen. A stale entry counts as a miss and stays put until the
-// caller overwrites it with PutResult.
+// matches gen. A stale entry misses like a cold one — it stays put until
+// the caller overwrites it with PutResult — but is counted separately in
+// Stats.Stale, so hit-rate diagnostics under write churn can tell "the
+// cache never saw this query" from "the answer was there but outdated".
 func (c *Cache) GetResult(key string, gen uint64) (any, bool) {
 	c.mu.Lock()
 	el, ok := c.byKey[key]
@@ -66,10 +68,16 @@ func (c *Cache) GetResult(key string, gen uint64) (any, bool) {
 		ent := el.Value.(*entry)
 		if ent.gen == gen {
 			c.ll.MoveToFront(el)
+			// Capture under the lock: a concurrent put may overwrite
+			// ent.val in place the moment we release it.
+			val := ent.val
 			c.mu.Unlock()
 			c.hits.Add(1)
-			return ent.val, true
+			return val, true
 		}
+		c.mu.Unlock()
+		c.stale.Add(1)
+		return nil, false
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
@@ -91,9 +99,10 @@ func (c *Cache) GetPartial(key string) (any, bool) {
 	if ok {
 		ent := el.Value.(*entry)
 		c.ll.MoveToFront(el)
+		val := ent.val // capture under the lock; put may overwrite in place
 		c.mu.Unlock()
 		c.partialHits.Add(1)
-		return ent.val, true
+		return val, true
 	}
 	c.mu.Unlock()
 	c.partialMisses.Add(1)
@@ -105,7 +114,17 @@ func (c *Cache) PutPartial(key string, val any, size int64) {
 	c.put(key, val, 0, size)
 }
 
+// minEntryBytes is the floor charged per cached entry. Size estimates come
+// from callers; trusting a zero or negative one would let used drift below
+// the truth (a negative total even makes the eviction loop unreachable and
+// the cache grow without bound), so put clamps every charge to at least
+// one entry's bookkeeping overhead.
+const minEntryBytes = perElemOverhead
+
 func (c *Cache) put(key string, val any, gen uint64, size int64) {
+	if size < minEntryBytes {
+		size = minEntryBytes
+	}
 	if size > c.max {
 		// A value bigger than the whole budget would flush everything and
 		// then not fit; refusing it keeps the hot set intact.
@@ -131,9 +150,12 @@ func (c *Cache) put(key string, val any, gen uint64, size int64) {
 	}
 }
 
-// Stats is a point-in-time counter snapshot.
+// Stats is a point-in-time counter snapshot. Misses counts cold lookups
+// only; Stale counts lookups that found an entry with an outdated
+// generation stamp. A recompute follows either one, so the effective miss
+// rate is (Misses+Stale)/(Hits+Misses+Stale).
 type Stats struct {
-	Hits, Misses               int64 // result-level lookups
+	Hits, Misses, Stale        int64 // result-level lookups
 	PartialHits, PartialMisses int64 // per-target partial lookups
 	Bytes                      int64 // estimated bytes of cached values
 	Entries                    int   // live entries (results + partials)
@@ -145,7 +167,7 @@ func (c *Cache) Stats() Stats {
 	bytes, entries := c.used, c.ll.Len()
 	c.mu.Unlock()
 	return Stats{
-		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Stale: c.stale.Load(),
 		PartialHits: c.partialHits.Load(), PartialMisses: c.partialMisses.Load(),
 		Bytes: bytes, Entries: entries,
 	}

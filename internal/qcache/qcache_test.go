@@ -23,11 +23,19 @@ func TestResultGenerationStamp(t *testing.T) {
 		t.Fatalf("post-overwrite lookup: got %v, %v", v, ok)
 	}
 	st := c.Stats()
-	if st.Hits != 2 || st.Misses != 1 {
+	// The gen-8 lookup found the gen-7 entry, so it is a stale lookup, not
+	// a cold miss.
+	if st.Hits != 2 || st.Misses != 0 || st.Stale != 1 {
 		t.Fatalf("counters: %+v", st)
 	}
 	if st.Entries != 1 || st.Bytes != 100 {
 		t.Fatalf("occupancy after overwrite: %+v", st)
+	}
+	if _, ok := c.GetResult("absent", 8); ok {
+		t.Fatal("unknown key must miss")
+	}
+	if st = c.Stats(); st.Misses != 1 || st.Stale != 1 {
+		t.Fatalf("cold miss must not count as stale: %+v", st)
 	}
 }
 
@@ -82,6 +90,45 @@ func TestOversizedValueRefused(t *testing.T) {
 	}
 	if _, ok := c.GetPartial("keep"); !ok {
 		t.Fatal("oversized insert must not flush the hot set")
+	}
+}
+
+func TestSizeClampedToMinimum(t *testing.T) {
+	// Zero and negative caller estimates must not corrupt the byte
+	// accounting: each entry is charged at least minEntryBytes, so the
+	// budget still bounds the entry count and eviction still fires.
+	c := New(4 * minEntryBytes)
+	for i := 0; i < 100; i++ {
+		c.PutPartial(fmt.Sprintf("z%d", i), i, 0)
+	}
+	if st := c.Stats(); st.Entries != 4 || st.Bytes != 4*minEntryBytes {
+		t.Fatalf("zero-size entries must be clamped: %+v", st)
+	}
+	for i := 0; i < 100; i++ {
+		c.PutResult(fmt.Sprintf("n%d", i), i, 1, -1<<40)
+	}
+	st := c.Stats()
+	if st.Entries != 4 || st.Bytes != 4*minEntryBytes {
+		t.Fatalf("negative-size entries must be clamped: %+v", st)
+	}
+	if st.Bytes < 0 {
+		t.Fatalf("used bytes went negative: %+v", st)
+	}
+	// The cache still works after the hostile inserts.
+	c.PutResult("k", "v", 1, minEntryBytes)
+	if v, ok := c.GetResult("k", 1); !ok || v.(string) != "v" {
+		t.Fatalf("cache wedged after clamped inserts: %v, %v", v, ok)
+	}
+}
+
+func TestOverwriteShrinkClamped(t *testing.T) {
+	// Overwriting an entry with a zero-size estimate must release the old
+	// charge down to the clamp, not below it.
+	c := New(1 << 20)
+	c.PutResult("k", "big", 1, 10_000)
+	c.PutResult("k", "small", 2, 0)
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != minEntryBytes {
+		t.Fatalf("shrink accounting: %+v", st)
 	}
 }
 
@@ -161,4 +208,38 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 	c.Stats()
+}
+
+// TestConcurrentHitOverwriteRace hammers one key with overwrites and hits.
+// put overwrites entries in place, so a hit must capture the value before
+// releasing the lock — reading ent.val after Unlock races with the next
+// overwrite (caught by -race; this pins the capture-under-lock fix).
+func TestConcurrentHitOverwriteRace(t *testing.T) {
+	c := New(10_000)
+	c.PutResult("hot", 0, 1, 64)
+	c.PutPartial("warm", 0, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.PutResult("hot", i, 1, 64)
+				c.PutPartial("warm", i, 64)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if v, ok := c.GetResult("hot", 1); ok {
+					_ = v.(int)
+				}
+				if v, ok := c.GetPartial("warm"); ok {
+					_ = v.(int)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -106,6 +106,12 @@ func RollUp(q Querier, keep ...string) ([]string, []dwarf.PivotGroup, error) {
 // dimension whose members are enumerated. Each member key maps to its
 // aggregate under the fixed path — the DRILL DOWN of the paper's §6,
 // served by one kernel group-by on any Querier.
+//
+// The returned map is the caller's to keep and mutate. When q is a live
+// store with a result cache, GroupBy hands back the cache-shared map
+// (read-only by contract), so DrillDown copies it before returning —
+// drill-down callers routinely prune and annotate the member map, and a
+// shared-map mutation here would silently corrupt every later cache hit.
 func DrillDown(q Querier, fixed map[string]string, dim string) (map[string]dwarf.Aggregate, error) {
 	dims := q.Dims()
 	dimIdx := -1
@@ -133,7 +139,15 @@ func DrillDown(q Querier, fixed map[string]string, dim string) (map[string]dwarf
 			return nil, fmt.Errorf("%w: %s", ErrUnknownDim, d)
 		}
 	}
-	return q.GroupBy(dimIdx, sels)
+	groups, err := q.GroupBy(dimIdx, sels)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]dwarf.Aggregate, len(groups))
+	for k, a := range groups {
+		out[k] = a
+	}
+	return out, nil
 }
 
 // TopKByName is TopK with the grouped dimension resolved by name. A nil

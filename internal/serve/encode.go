@@ -559,6 +559,8 @@ func appendStoreStatsResponse(buf []byte, cube string, st cubestore.Stats) []byt
 	w.int(st.CacheHits)
 	w.key("cache_misses")
 	w.int(st.CacheMisses)
+	w.key("cache_stale")
+	w.int(st.CacheStale)
 	w.key("cache_partial_hits")
 	w.int(st.CachePartialHits)
 	w.key("cache_partial_misses")

@@ -109,6 +109,12 @@ type Options struct {
 	// way; the toggle exists so the benchmark harness can measure the old
 	// path and as an operational escape hatch.
 	ReflectJSON bool
+	// ClusterNode additionally mounts POST /query/partial — the compact,
+	// unpaged per-node wire format a cluster coordinator scatter-gathers
+	// over (internal/cluster, docs/CLUSTER.md). Off by default: partial
+	// responses carry full group maps with no paging cap, so the endpoint
+	// is only for dwarfd processes fronted by a coordinator.
+	ClusterNode bool
 }
 
 // Server answers cube queries over HTTP straight off encoded cube files
@@ -120,6 +126,7 @@ type Server struct {
 	liveName    string
 	groupLimit  int
 	reflectJSON bool
+	clusterNode bool
 }
 
 // New builds a Server over opts.Dir (which must exist when set) and/or the
@@ -152,7 +159,7 @@ func New(opts Options) (*Server, error) {
 	return &Server{
 		dir: opts.Dir, cache: newViewCache(size),
 		store: opts.Store, liveName: liveName, groupLimit: limit,
-		reflectJSON: opts.ReflectJSON,
+		reflectJSON: opts.ReflectJSON, clusterNode: opts.ClusterNode,
 	}, nil
 }
 
@@ -192,6 +199,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query/topk", s.handleTopK)
 	mux.HandleFunc("/query/rollup", s.handleRollUp)
 	mux.HandleFunc("/stats", s.handleStats)
+	if s.clusterNode {
+		mux.HandleFunc("/query/partial", s.handlePartial)
+	}
 	if s.store != nil {
 		mux.HandleFunc("/ingest", s.handleIngest)
 		mux.HandleFunc("/store/stats", s.handleStoreStats)
