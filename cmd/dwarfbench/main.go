@@ -13,6 +13,7 @@
 //	dwarfbench -exp http              # live TCP load: append encoders vs reflection
 //	dwarfbench -exp cache             # hot-result cache + rollups vs plain fan-out
 //	dwarfbench -exp cluster           # scatter-gather over N nodes vs one store
+//	dwarfbench -exp prune             # zone-map pruning: windowed queries vs full fan-out
 //	dwarfbench -exp all -presets Day,Week,Month,TMonth,SMonth
 //
 // -workers N builds the Table 2 cubes with N shard workers (the parallel
@@ -136,6 +137,8 @@ func main() {
 		err = runCacheBench(presets, *requests, *jsonOut, progress)
 	case "cluster":
 		err = runClusterBench(presets, *nodes, *queries, *jsonOut, progress)
+	case "prune":
+		err = runPruneBench(presets, *jsonOut, progress)
 	case "all":
 		if err = runTable2(presets, *workers); err == nil {
 			if err = runTables45(); err == nil {
@@ -265,6 +268,22 @@ func runCacheBench(presets []string, requests int, jsonOut string, progress func
 	fmt.Println()
 	if jsonOut != "" {
 		if err := bench.WriteCacheJSON(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
+	return nil
+}
+
+func runPruneBench(presets []string, jsonOut string, progress func(string)) error {
+	results, err := bench.RunPruneBench(presets, progress)
+	if err != nil {
+		return err
+	}
+	bench.FormatPruneBench(results).Fprint(os.Stdout)
+	fmt.Println()
+	if jsonOut != "" {
+		if err := bench.WritePruneJSON(jsonOut, results); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "wrote", jsonOut)

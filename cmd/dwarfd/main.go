@@ -37,6 +37,11 @@
 // -cluster-node additionally serves the unpaged partial-result wire format
 // a cluster coordinator (see cmd/dwarfgw) scatter-gathers over.
 //
+// -warm pre-opens cube files into the view LRU at startup ("*" warms every
+// .dwarf file in -dir), and -time-dim/-time-layout enable trailing-window
+// queries: a /query/* body carrying "window":"24h" compiles to a range
+// selector [now-24h, now] on the named dimension.
+//
 // Every query shape runs through the unified kernel and works identically
 // on cube files and the live cube. Keyed responses (groupby/topk/rollup)
 // are capped at -group-limit groups per response and paginated with
@@ -71,6 +76,12 @@ func main() {
 		"live store: hot-result query cache budget in bytes (0 disables)")
 	clusterNode := flag.Bool("cluster-node", false,
 		"serve POST /query/partial for a cluster coordinator (dwarfgw) to scatter-gather over")
+	warm := flag.String("warm", "",
+		"comma-separated cube file names to pre-open into the view LRU at startup (* warms every .dwarf file in -dir)")
+	timeDim := flag.String("time-dim", "",
+		"dimension that query \"window\" parameters compile a range selector against")
+	timeLayout := flag.String("time-layout", "2006-01-02",
+		"Go time layout the -time-dim keys are formatted with")
 	var rollups [][]string
 	flag.Func("rollup", "live store: comma-separated dimension subset to maintain a rollup segment for (repeatable)",
 		func(v string) error {
@@ -95,7 +106,10 @@ func main() {
 		}
 	})
 
-	opts := serve.Options{Dir: *dir, CacheSize: *cache, GroupLimit: *groupLimit, ClusterNode: *clusterNode}
+	opts := serve.Options{
+		Dir: *dir, CacheSize: *cache, GroupLimit: *groupLimit, ClusterNode: *clusterNode,
+		TimeDim: *timeDim, TimeLayout: *timeLayout,
+	}
 	if *live != "" {
 		// The -dims default only applies to a store being created; an
 		// existing store's manifest is the truth unless -dims was given
@@ -131,12 +145,43 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "dwarfd: serving cubes from %s on %s (cache %d)\n", opts.Dir, *addr, *cache)
-	// ListenAndServe only returns on failure; stop the store's background
-	// maintenance before exiting (os.Exit would skip a defer).
-	err := serve.ListenAndServe(*addr, opts)
+	srv, err := serve.New(opts)
+	if err == nil && *warm != "" {
+		err = srv.Warm(warmList(*warm, opts.Dir))
+	}
+	if err == nil {
+		// ListenAndServe only returns on failure; stop the store's background
+		// maintenance before exiting (os.Exit would skip a defer).
+		err = serve.NewHTTPServer(*addr, srv.Handler()).ListenAndServe()
+	}
 	if opts.Store != nil {
 		opts.Store.Close()
 	}
 	fmt.Fprintln(os.Stderr, "dwarfd:", err)
 	os.Exit(1)
+}
+
+// warmList expands the -warm argument: explicit comma-separated names, or
+// every .dwarf file in dir for "*".
+func warmList(arg, dir string) []string {
+	if arg != "*" {
+		var names []string
+		for _, n := range strings.Split(arg, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".dwarf") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
 }

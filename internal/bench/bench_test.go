@@ -219,3 +219,34 @@ func TestRunServe(t *testing.T) {
 		t.Fatalf("FormatServe missing dataset row:\n%s", out)
 	}
 }
+
+func TestRunPruneBench(t *testing.T) {
+	results, err := RunPruneBench([]string{"Day"}, nil)
+	if err != nil {
+		t.Fatalf("RunPruneBench: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Segments < 1 || len(r.Windows) == 0 {
+		t.Fatalf("empty measurement: %+v", r)
+	}
+	for _, w := range r.Windows {
+		if w.SegmentsScanned+w.SegmentsPruned != w.SegmentsTotal {
+			t.Fatalf("window %s: scanned %d + pruned %d != %d",
+				w.Window, w.SegmentsScanned, w.SegmentsPruned, w.SegmentsTotal)
+		}
+		if len(w.Pruned) != 3 || len(w.Full) != 3 || w.Speedup <= 0 {
+			t.Fatalf("window %s missing timings: %+v", w.Window, w)
+		}
+	}
+	// The 1-day trailing window must prune when more than one day sealed.
+	if r.Segments > 1 && r.Windows[0].SegmentsPruned == 0 {
+		t.Fatalf("1d window pruned nothing over %d segments", r.Segments)
+	}
+	out := FormatPruneBench(results).String()
+	if !strings.Contains(out, "Day") || !strings.Contains(out, "1d") {
+		t.Fatalf("FormatPruneBench missing rows:\n%s", out)
+	}
+}

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/cubestore"
+	"repro/internal/dwarf"
+	"repro/internal/smartcity"
+)
+
+// The prune experiment measures zone-map pruning on a time-sliced store:
+// a preset's tuples are sealed into one segment per calendar day, then
+// trailing-window queries (the compiled form of the HTTP "window"
+// parameter — a range selector on the Day dimension) run twice over the
+// same directory, once with pruning and once with Options.NoPrune.
+// Bit-identical answers between the two passes are a hard gate before
+// anything is timed; the pruned pass must also scan a strict subset of
+// the sealed segments.
+
+// PruneShapeCost is one shape's cost on one pass.
+type PruneShapeCost struct {
+	Shape   string  `json:"shape"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// PruneWindowResult compares a trailing window across the two passes.
+type PruneWindowResult struct {
+	// Window is the trailing span, in the preset's day keys.
+	Window string `json:"window"`
+	// SegmentsTotal / SegmentsScanned / SegmentsPruned describe the pruned
+	// pass's fan-out for one query of this window: scanned + pruned =
+	// total, and scanned must be a strict subset when the window is.
+	SegmentsTotal   int64 `json:"segments_total"`
+	SegmentsScanned int64 `json:"segments_scanned"`
+	SegmentsPruned  int64 `json:"segments_pruned"`
+	// Pruned and Full are the same shape battery timed with pruning on
+	// and off.
+	Pruned []PruneShapeCost `json:"pruned"`
+	Full   []PruneShapeCost `json:"full"`
+	// Speedup is the full/pruned ratio of the Range shape.
+	Speedup float64 `json:"speedup"`
+}
+
+// PruneResultSet is one preset's prune measurements.
+type PruneResultSet struct {
+	Preset   string              `json:"preset"`
+	Tuples   int                 `json:"tuples"`
+	Days     int                 `json:"days"`
+	Segments int                 `json:"segments"`
+	Windows  []PruneWindowResult `json:"windows"`
+}
+
+// buildPruneDir seals a preset's tuples one calendar day per segment
+// (tuples arrive in time order, so each seal's memtable holds exactly one
+// day) and returns the sorted distinct day keys.
+func buildPruneDir(dir string, tuples []dwarf.Tuple) ([]string, error) {
+	s, err := cubestore.Open(dir, cubestore.Options{
+		Dims:               smartcity.BikeDims,
+		NoSync:             true,
+		DisableAutoCompact: true,
+		SealTuples:         1 << 30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	seen := map[string]bool{}
+	var days []string
+	start := 0
+	for i, tu := range tuples {
+		d := tu.Dims[2]
+		if !seen[d] {
+			seen[d] = true
+			days = append(days, d)
+			if i > start {
+				if err := s.Append(tuples[start:i]); err != nil {
+					return nil, err
+				}
+				if err := s.Seal(); err != nil {
+					return nil, err
+				}
+				start = i
+			}
+		}
+	}
+	if err := s.Append(tuples[start:]); err != nil {
+		return nil, err
+	}
+	if err := s.Seal(); err != nil {
+		return nil, err
+	}
+	sort.Strings(days)
+	return days, s.Close()
+}
+
+// windowSels builds the compiled form of a trailing window covering the
+// last n of days: a range selector on the Day dimension, every other
+// dimension unrestricted.
+func windowSels(days []string, n int) []dwarf.Selector {
+	sels := make([]dwarf.Selector, len(smartcity.BikeDims))
+	sels[2] = dwarf.SelectRange(days[len(days)-n], days[len(days)-1])
+	return sels
+}
+
+// pruneAnswers is the gated battery for one window: the full Range
+// aggregate, a GroupBy over Station and a TopK over Area inside it.
+type pruneAnswers struct {
+	rangeAgg dwarf.Aggregate
+	groups   map[string]dwarf.Aggregate
+	topk     []dwarf.GroupEntry
+}
+
+func runPruneBattery(s *cubestore.Store, sels []dwarf.Selector) (pruneAnswers, error) {
+	var a pruneAnswers
+	var err error
+	if a.rangeAgg, err = s.Range(sels); err != nil {
+		return a, err
+	}
+	if a.groups, err = s.GroupBy(6, sels); err != nil {
+		return a, err
+	}
+	if a.topk, err = s.TopK(5, sels, dwarf.TopKSpec{K: 5, By: dwarf.BySum}); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func (a pruneAnswers) equal(b pruneAnswers) error {
+	if a.rangeAgg != b.rangeAgg {
+		return fmt.Errorf("range: %+v vs %+v", a.rangeAgg, b.rangeAgg)
+	}
+	if len(a.groups) != len(b.groups) {
+		return fmt.Errorf("groupby: %d vs %d groups", len(a.groups), len(b.groups))
+	}
+	for k, va := range a.groups {
+		if vb, ok := b.groups[k]; !ok || va != vb {
+			return fmt.Errorf("groupby[%s]: %+v vs %+v", k, va, vb)
+		}
+	}
+	if len(a.topk) != len(b.topk) {
+		return fmt.Errorf("topk: %d vs %d entries", len(a.topk), len(b.topk))
+	}
+	for i := range a.topk {
+		if a.topk[i] != b.topk[i] {
+			return fmt.Errorf("topk[%d]: %+v vs %+v", i, a.topk[i], b.topk[i])
+		}
+	}
+	return nil
+}
+
+// measurePrunePass opens dir with or without pruning, gates the window's
+// answers, and times the battery. It also returns the scanned/pruned
+// segment deltas for one Range of the window.
+func measurePrunePass(dir string, noPrune bool, sels []dwarf.Selector) ([]PruneShapeCost, pruneAnswers, int64, int64, error) {
+	s, err := cubestore.Open(dir, cubestore.Options{
+		NoSync:             true,
+		DisableAutoCompact: true,
+		NoPrune:            noPrune,
+	})
+	if err != nil {
+		return nil, pruneAnswers{}, 0, 0, err
+	}
+	defer s.Close()
+	answers, err := runPruneBattery(s, sels)
+	if err != nil {
+		return nil, pruneAnswers{}, 0, 0, err
+	}
+	before := s.Stats()
+	if _, err := s.Range(sels); err != nil {
+		return nil, pruneAnswers{}, 0, 0, err
+	}
+	after := s.Stats()
+	scanned := after.SegmentsScanned - before.SegmentsScanned
+	pruned := after.SegmentsPruned - before.SegmentsPruned
+	var costs []PruneShapeCost
+	for _, shape := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"Range", func() error { _, err := s.Range(sels); return err }},
+		{"GroupBy(Station)", func() error { _, err := s.GroupBy(6, sels); return err }},
+		{"TopK(Area)", func() error { _, err := s.TopK(5, sels, dwarf.TopKSpec{K: 5, By: dwarf.BySum}); return err }},
+	} {
+		c, err := measureQuery(shape.fn)
+		if err != nil {
+			return nil, pruneAnswers{}, 0, 0, err
+		}
+		costs = append(costs, PruneShapeCost{Shape: shape.name, NsPerOp: c.NsPerOp})
+	}
+	return costs, answers, scanned, pruned, nil
+}
+
+// RunPruneBench builds the day-sliced store per preset and compares the
+// pruned and prune-disabled passes over a ladder of trailing windows.
+func RunPruneBench(presets []string, progress func(string)) ([]PruneResultSet, error) {
+	var out []PruneResultSet
+	for _, preset := range presets {
+		tuples, err := smartcity.Dataset(preset)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "dwarfbench-prune-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		days, err := buildPruneDir(dir, tuples)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("prune/%s: %d tuples sealed into %d day segments", preset, len(tuples), len(days)))
+		}
+		set := PruneResultSet{Preset: preset, Tuples: len(tuples), Days: len(days), Segments: len(days)}
+		for _, n := range []int{1, 2, len(days)} {
+			if n > len(days) {
+				continue
+			}
+			sels := windowSels(days, n)
+			pruned, wantA, scanned, prunedSegs, err := measurePrunePass(dir, false, sels)
+			if err != nil {
+				return nil, err
+			}
+			full, gotA, _, _, err := measurePrunePass(dir, true, sels)
+			if err != nil {
+				return nil, err
+			}
+			// The gate: pruning may only change the fan-out, never the
+			// answer — and a sub-span window must scan a strict subset.
+			if err := wantA.equal(gotA); err != nil {
+				return nil, fmt.Errorf("prune/%s window %dd: pruned and full answers differ: %w", preset, n, err)
+			}
+			if n < len(days) && scanned >= int64(len(days)) {
+				return nil, fmt.Errorf("prune/%s window %dd: scanned %d of %d segments — nothing pruned", preset, n, scanned, len(days))
+			}
+			if scanned+prunedSegs != int64(len(days)) {
+				return nil, fmt.Errorf("prune/%s window %dd: scanned %d + pruned %d != %d segments", preset, n, scanned, prunedSegs, len(days))
+			}
+			set.Windows = append(set.Windows, PruneWindowResult{
+				Window:          fmt.Sprintf("%dd", n),
+				SegmentsTotal:   int64(len(days)),
+				SegmentsScanned: scanned,
+				SegmentsPruned:  prunedSegs,
+				Pruned:          pruned,
+				Full:            full,
+				Speedup:         full[0].NsPerOp / pruned[0].NsPerOp,
+			})
+			if progress != nil {
+				progress(fmt.Sprintf("prune/%s: window %dd scans %d/%d segments", preset, n, scanned, len(days)))
+			}
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+// FormatPruneBench renders the prune comparison.
+func FormatPruneBench(results []PruneResultSet) *Table {
+	t := NewTable("Zone-map pruning — trailing windows on a day-sliced store",
+		"Dataset", "Window", "Scanned", "Pruned",
+		"Range pruned ns", "Range full ns", "Speedup")
+	for _, set := range results {
+		for _, w := range set.Windows {
+			t.AddRow(set.Preset, w.Window,
+				fmt.Sprintf("%d/%d", w.SegmentsScanned, w.SegmentsTotal),
+				fmt.Sprintf("%d", w.SegmentsPruned),
+				fmt.Sprintf("%.0f", w.Pruned[0].NsPerOp),
+				fmt.Sprintf("%.0f", w.Full[0].NsPerOp),
+				fmt.Sprintf("%.2fx", w.Speedup))
+		}
+	}
+	return t
+}
+
+type pruneReport struct {
+	Experiment string           `json:"experiment"`
+	Generated  string           `json:"generated"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Results    []PruneResultSet `json:"results"`
+}
+
+// WritePruneJSON writes the prune results in the BENCH_*.json layout.
+func WritePruneJSON(path string, results []PruneResultSet) error {
+	rep := pruneReport{
+		Experiment: "prune",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

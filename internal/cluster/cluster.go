@@ -251,6 +251,9 @@ func (c *Coordinator) Point(keys ...string) (dwarf.Aggregate, error) {
 }
 
 func (c *Coordinator) point(nodes []*node, keys []string) (dwarf.Aggregate, []*NodeError, error) {
+	if i, ok := c.pointOwner(nodes, keys); ok {
+		nodes = nodes[i : i+1]
+	}
 	parts, failed := scatter(nodes, func(n *node) (dwarf.Aggregate, error) {
 		return n.partialAgg(partialReq{Shape: "point", Cube: c.live, Keys: keys})
 	})
@@ -258,6 +261,27 @@ func (c *Coordinator) point(nodes []*node, keys []string) (dwarf.Aggregate, []*N
 		return dwarf.Aggregate{}, failed, err
 	}
 	return mergeAggs(parts), failed, nil
+}
+
+// pointOwner reports the single node that can hold a fully bound point
+// tuple. Append hash-routes each tuple by its full key tuple (NodeFor), so
+// a point query binding every dimension matches tuples living on exactly
+// one partition; every other node would contribute the zero aggregate, and
+// merging zeros is the identity — asking one node is bit-identical to the
+// full scatter. Routing applies only when nodes is the full partition map:
+// an ALL wildcard aggregates across partitions, and a survivor subset (the
+// gateway's allow_partial re-run) no longer indexes like the partition map,
+// so both fall back to the scatter.
+func (c *Coordinator) pointOwner(nodes []*node, keys []string) (int, bool) {
+	if len(nodes) != c.NumNodes() || len(keys) != len(c.dims) {
+		return 0, false
+	}
+	for _, k := range keys {
+		if k == dwarf.All {
+			return 0, false
+		}
+	}
+	return NodeFor(keys, len(nodes)), true
 }
 
 // Range aggregates one selector per dimension across the cluster.

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -285,7 +286,30 @@ func TestNodeKillStrictError(t *testing.T) {
 		}
 	}
 
-	_, err := tc.coord.Point("d0", "north", "bike")
+	// A fully bound point routes to its single owner, so strict mode only
+	// fails when that owner is the dead node — and the error then reports
+	// a 1-node scatter. A survivor-owned cell keeps answering, and any
+	// wildcard falls back to the full scatter and fails like the rest.
+	var deadKeys, aliveKeys []string
+	for _, tu := range testTuples(120) {
+		if NodeFor(tu.Dims, 3) == 1 {
+			deadKeys = tu.Dims
+		} else {
+			aliveKeys = tu.Dims
+		}
+	}
+	_, err := tc.coord.Point(deadKeys...)
+	if err == nil || !strings.Contains(err.Error(), dead.srv.URL) {
+		t.Fatalf("dead-owned Point: err %v does not name %s", err, dead.srv.URL)
+	}
+	var se *scatterError
+	if !asScatter(err, &se) || se.total != 1 || len(se.failed) != 1 {
+		t.Fatalf("dead-owned Point: want a 1/1 scatter error, got %v", err)
+	}
+	if got, err := tc.coord.Point(aliveKeys...); err != nil || got.Count == 0 {
+		t.Fatalf("survivor-owned Point: %+v, %v", got, err)
+	}
+	_, err = tc.coord.Point("d0", dwarf.All, "bike")
 	check("Point", err)
 	_, err = tc.coord.Range(allSels())
 	check("Range", err)
@@ -507,5 +531,132 @@ func TestNodeForDeterminism(t *testing.T) {
 
 	if NodeFor([]string{"ab", "c"}, 1<<30) == NodeFor([]string{"a", "bc"}, 1<<30) {
 		t.Fatal("length prefix failed: concatenation collision")
+	}
+}
+
+// TestPointRoutesToSingleNode proves the point fast path at the wire: with
+// every dimension bound, the coordinator asks exactly one of the three
+// nodes — the tuple's Append-time owner — while a wildcard anywhere in the
+// key falls back to the full scatter. Each counted answer is also checked
+// against a union store, so routing can never trade correctness for fewer
+// requests.
+func TestPointRoutesToSingleNode(t *testing.T) {
+	const k = 3
+	var hits [k]atomic.Int64
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		st, err := cubestore.Open(t.TempDir(), cubestore.Options{Dims: testDims, SealTuples: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		sv, err := serve.New(serve.Options{Store: st, ClusterNode: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, i := sv.Handler(), i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	coord, err := New(Options{Nodes: urls, Dims: testDims, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := cubestore.Open(t.TempDir(), cubestore.Options{Dims: testDims, SealTuples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { union.Close() })
+	tuples := testTuples(90)
+	if err := coord.Append(tuples); err != nil {
+		t.Fatal(err)
+	}
+	if err := union.Append(tuples); err != nil {
+		t.Fatal(err)
+	}
+	reset := func() {
+		for i := range hits {
+			hits[i].Store(0)
+		}
+	}
+	requests := func() (total int64, asked []int) {
+		for i := range hits {
+			n := hits[i].Load()
+			total += n
+			if n > 0 {
+				asked = append(asked, i)
+			}
+		}
+		return total, asked
+	}
+
+	// Every fully bound tuple in the dataset: one request, to its owner.
+	seen := map[string]bool{}
+	for _, tu := range tuples {
+		key := strings.Join(tu.Dims, "\x00")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		want, err := union.Point(tu.Dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reset()
+		got, err := coord.Point(tu.Dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("point %v: %+v, union %+v", tu.Dims, got, want)
+		}
+		total, asked := requests()
+		if total != 1 || len(asked) != 1 || asked[0] != NodeFor(tu.Dims, k) {
+			t.Fatalf("point %v made %d requests to nodes %v, want 1 to owner %d",
+				tu.Dims, total, asked, NodeFor(tu.Dims, k))
+		}
+	}
+
+	// A bound tuple no node holds still answers (the zero aggregate) with
+	// a single request.
+	reset()
+	got, err := coord.Point("nope", "nope", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (dwarf.Aggregate{}) {
+		t.Fatalf("absent cell: %+v", got)
+	}
+	if total, _ := requests(); total != 1 {
+		t.Fatalf("absent cell made %d requests, want 1", total)
+	}
+
+	// Any wildcard disables routing: the cell's tuples may live anywhere.
+	for _, keys := range [][]string{
+		{dwarf.All, "north", "bike"},
+		{"d0", dwarf.All, "bike"},
+		{"d0", "north", dwarf.All},
+		{dwarf.All, dwarf.All, dwarf.All},
+	} {
+		want, err := union.Point(keys...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reset()
+		got, err := coord.Point(keys...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("point %v: %+v, union %+v", keys, got, want)
+		}
+		if total, asked := requests(); total != k || len(asked) != k {
+			t.Fatalf("wildcard point %v made %d requests to nodes %v, want all %d",
+				keys, total, asked, k)
+		}
 	}
 }

@@ -286,12 +286,41 @@ func TestGatewayPartialAnswers(t *testing.T) {
 		}
 	}
 
-	// A point whose cell lives on a surviving node still answers partially;
-	// the marking is what distinguishes it from a complete answer.
+	// Point routing interacts with the dead node three ways. A fully bound
+	// point is asked of its single owning node, so a cell owned by a
+	// survivor answers completely — no partial marking — while one owned
+	// by the dead node fails strict and is marked after the re-run over
+	// the survivor subset (which scatters: the subset is not the partition
+	// map). A wildcard point always scatters and so always answers
+	// partially here.
+	var aliveKeys, deadKeys []string
+	for _, tu := range tuples {
+		if NodeFor(tu.Dims, len(tc.nodes)) == 1 {
+			deadKeys = tu.Dims
+		} else {
+			aliveKeys = tu.Dims
+		}
+	}
+	if aliveKeys == nil || deadKeys == nil {
+		t.Fatal("fixture tuples do not cover both owners")
+	}
 	resp = postJSON(t, gw.URL+"/query/point",
-		map[string]any{"keys": []string{"", "", ""}, "allow_partial": true}, http.StatusOK)
+		map[string]any{"keys": aliveKeys, "allow_partial": true}, http.StatusOK)
+	if resp["partial"] == true {
+		t.Fatalf("survivor-owned point wrongly marked partial: %v", resp)
+	}
+	if aggOf(t, resp["aggregate"]).Count == 0 {
+		t.Fatalf("survivor-owned point lost its cell: %v", resp)
+	}
+	resp = postJSON(t, gw.URL+"/query/point",
+		map[string]any{"keys": deadKeys, "allow_partial": true}, http.StatusOK)
 	if resp["partial"] != true {
-		t.Fatalf("partial point not marked: %v", resp)
+		t.Fatalf("dead-owned point not marked partial: %v", resp)
+	}
+	resp = postJSON(t, gw.URL+"/query/point",
+		map[string]any{"keys": []string{dwarf.All, "", ""}, "allow_partial": true}, http.StatusOK)
+	if resp["partial"] != true {
+		t.Fatalf("wildcard point not marked partial: %v", resp)
 	}
 
 	// All nodes dead: allow_partial does NOT fabricate an empty answer.

@@ -65,36 +65,67 @@ func validPivotArgs(dims []int, sels []dwarf.Selector, ndims int) bool {
 // planTargets picks the fan-out set for a query grouping by the store
 // dimensions in grouped under sels: a covering rollup (query remapped to
 // its subset) replaces the segments it summarizes, everything else fans
-// out as usual. The flag reports whether a rollup was planned in.
-func planTargets(st *storeState, grouped []int, sels []dwarf.Selector) ([]plannedTarget, bool) {
+// out as usual, and zone maps then drop any target — segment or rollup —
+// that provably holds no selected tuple. Pruning only shrinks the fan-out;
+// the merged answer and the cache keys are unchanged either way. The flag
+// reports whether a rollup was planned in.
+func (s *Store) planTargets(st *storeState, grouped []int, sels []dwarf.Selector) ([]plannedTarget, bool) {
+	prune := !s.opts.NoPrune
+	admitSeg := func(seg *segment) bool {
+		return !prune || dwarf.ZonesAdmit(seg.zones, sels)
+	}
+	pruned := int64(0)
 	r := st.chooseRollup(grouped, sels)
+	var out []plannedTarget
+	viaRollup := false
 	if r == nil {
-		out := make([]plannedTarget, len(st.segs))
-		for i, seg := range st.segs {
-			out[i] = plannedTarget{view: seg.view, file: seg.meta.File, dims: grouped, sels: sels}
+		out = make([]plannedTarget, 0, len(st.segs))
+		for _, seg := range st.segs {
+			if !admitSeg(seg) {
+				pruned++
+				continue
+			}
+			out = append(out, plannedTarget{view: seg.view, file: seg.meta.File, dims: grouped, sels: sels})
 		}
-		return out, false
-	}
-	rdims := make([]int, len(grouped))
-	for i, d := range grouped {
-		rdims[i] = r.pos[d]
-	}
-	rsels := make([]dwarf.Selector, len(r.dimIdx))
-	for j, d := range r.dimIdx {
-		rsels[j] = sels[d]
-	}
-	covered := make(map[string]bool, len(r.meta.Covers))
-	for _, f := range r.meta.Covers {
-		covered[f] = true
-	}
-	out := make([]plannedTarget, 0, len(st.segs)+1-len(r.meta.Covers))
-	out = append(out, plannedTarget{view: r.view, file: r.meta.File, dims: rdims, sels: rsels})
-	for _, seg := range st.segs {
-		if !covered[seg.meta.File] {
+	} else {
+		viaRollup = true
+		rdims := make([]int, len(grouped))
+		for i, d := range grouped {
+			rdims[i] = r.pos[d]
+		}
+		rsels := make([]dwarf.Selector, len(r.dimIdx))
+		for j, d := range r.dimIdx {
+			rsels[j] = sels[d]
+		}
+		covered := make(map[string]bool, len(r.meta.Covers))
+		for _, f := range r.meta.Covers {
+			covered[f] = true
+		}
+		out = make([]plannedTarget, 0, len(st.segs)+1-len(r.meta.Covers))
+		// The rollup's own zone maps (over its dimension subset) prune it
+		// like any segment: rejected means every covered segment's selected
+		// slice is empty, so dropping the whole target is sound.
+		if !prune || dwarf.ZonesAdmit(r.zones, rsels) {
+			out = append(out, plannedTarget{view: r.view, file: r.meta.File, dims: rdims, sels: rsels})
+		} else {
+			pruned++
+		}
+		for _, seg := range st.segs {
+			if covered[seg.meta.File] {
+				continue
+			}
+			if !admitSeg(seg) {
+				pruned++
+				continue
+			}
 			out = append(out, plannedTarget{view: seg.view, file: seg.meta.File, dims: grouped, sels: sels})
 		}
 	}
-	return out, true
+	if pruned > 0 {
+		s.segsPruned.Add(pruned)
+	}
+	s.segsScanned.Add(int64(len(out)))
+	return out, viaRollup
 }
 
 // runIndexed runs fn for every index in [0,n), concurrently under the same
@@ -160,7 +191,7 @@ func (s *Store) mergedGroups(dim int, sels []dwarf.Selector, qkey string) (map[s
 	if err != nil {
 		return nil, err
 	}
-	targets, viaRollup := planTargets(st, []int{dim}, sels)
+	targets, viaRollup := s.planTargets(st, []int{dim}, sels)
 	if viaRollup {
 		s.rollupHits.Add(1)
 	}
@@ -225,7 +256,7 @@ func (s *Store) mergedPivot(dims []int, sels []dwarf.Selector, qkey string) ([]d
 	if err != nil {
 		return nil, err
 	}
-	targets, viaRollup := planTargets(st, dims, sels)
+	targets, viaRollup := s.planTargets(st, dims, sels)
 	if viaRollup {
 		s.rollupHits.Add(1)
 	}

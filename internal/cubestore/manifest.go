@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/dwarf"
 )
 
 // The manifest is the store's root of truth: a JSON file naming every live
@@ -33,6 +35,12 @@ type segmentMeta struct {
 	// Tuples is the number of source tuples sealed into the segment; it
 	// determines the segment's compaction level.
 	Tuples int `json:"tuples"`
+	// Zones are the segment's per-dimension zone maps (min/max key plus
+	// distinct-key count), duplicated from the file's v3 metadata section so
+	// the planner prunes fan-out without opening the file. Absent for
+	// segments sealed before zone maps existed — the planner then falls back
+	// to the view's own maps, or scans unconditionally.
+	Zones []dwarf.ZoneMap `json:"zones,omitempty"`
 }
 
 // rollupMeta is one rollup segment's manifest entry: a pre-aggregated cube
@@ -51,6 +59,9 @@ type rollupMeta struct {
 	// Tuples is the rollup cube's own (coalesced) tuple count — the
 	// planner's cost proxy when several rollups cover a query.
 	Tuples int `json:"tuples"`
+	// Zones are the rollup cube's zone maps over Dims (its own dimension
+	// order, a subset of the store's).
+	Zones []dwarf.ZoneMap `json:"zones,omitempty"`
 }
 
 // manifest is the persistent store state.

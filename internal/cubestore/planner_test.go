@@ -72,7 +72,7 @@ func TestPlanTargetsRollupCoverGone(t *testing.T) {
 	st := plannerState(t, dims, []string{"seg-1.dwarf", "seg-3.dwarf"},
 		[]string{"Region", "Kind"}, []string{"seg-1.dwarf", "seg-2.dwarf"})
 	sels := make([]dwarf.Selector, len(dims))
-	targets, viaRollup := planTargets(st, []int{1}, sels)
+	targets, viaRollup := new(Store).planTargets(st, []int{1}, sels)
 	if viaRollup {
 		t.Fatal("partially covering rollup must not be planned in")
 	}
@@ -92,7 +92,7 @@ func TestPlanTargetsRollupRemap(t *testing.T) {
 		[]string{"Region", "Kind"}, []string{"seg-1.dwarf"})
 	sels := make([]dwarf.Selector, len(dims))
 	sels[2] = dwarf.SelectKeys("bike")
-	targets, viaRollup := planTargets(st, []int{2}, sels)
+	targets, viaRollup := new(Store).planTargets(st, []int{2}, sels)
 	if !viaRollup {
 		t.Fatal("fully covering rollup must be planned in")
 	}

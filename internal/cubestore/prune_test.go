@@ -1,0 +1,373 @@
+package cubestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dwarf"
+)
+
+// Zone-map pruning tests. The invariant under test: pruning changes which
+// sealed segments a query fans out to, never the answer — a store with
+// NoPrune set is the oracle, and every shape must match it bit for bit.
+
+var pruneDims = []string{"Day", "Kind"}
+
+// day formats a June 2015 day number at the fixture's key grain.
+func day(n int) string { return fmt.Sprintf("2015-06-%02d", n) }
+
+// pruneFixture builds a store with one sealed segment per day 1..6 (three
+// kinds each) plus one unsealed live tuple, with compaction held off so
+// the day slicing survives. Day-ranged queries then have provably
+// non-overlapping segments to drop.
+func pruneFixture(t *testing.T, noPrune bool) *Store {
+	t.Helper()
+	store, err := Open(t.TempDir(), Options{
+		Dims: pruneDims, NoSync: true, DisableAutoCompact: true,
+		SealTuples: 1 << 20, NoPrune: noPrune,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	for d := 1; d <= 6; d++ {
+		var tuples []dwarf.Tuple
+		for i, kind := range []string{"air", "bike", "noise"} {
+			tuples = append(tuples, dwarf.Tuple{
+				Dims: []string{day(d), kind}, Measure: float64(d*10 + i),
+			})
+		}
+		if err := store.Append(tuples); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Append([]dwarf.Tuple{{Dims: []string{day(7), "bike"}, Measure: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// pruneBattery runs the selective query battery over both stores and
+// requires identical answers everywhere. Selector cases deliberately cover
+// the planner's edges: a single key per dimension, ranges touching one /
+// several / zero segments, an inverted (empty-intersection) range, keys
+// straddling segment boundaries, and the live-only day.
+func pruneBattery(t *testing.T, pruned, oracle *Store) {
+	t.Helper()
+	selCases := [][]dwarf.Selector{
+		{dwarf.SelectKeys(day(3)), dwarf.SelectKeys("bike")},
+		{dwarf.SelectRange(day(2), day(4)), {}},
+		{dwarf.SelectRange(day(5), day(5)), dwarf.SelectKeys("air", "noise")},
+		{dwarf.SelectRange(day(8), day(9)), {}},
+		{dwarf.SelectRange(day(4), day(2)), {}},
+		{dwarf.SelectKeys(day(1), day(6)), {}},
+		{dwarf.SelectKeys(day(7)), {}},
+		{{}, dwarf.SelectKeys("bike")},
+		{{}, {}},
+	}
+	for i, sels := range selCases {
+		wantR, err1 := oracle.Range(sels)
+		gotR, err2 := pruned.Range(sels)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("case %d Range: oracle err=%v pruned err=%v", i, err1, err2)
+		}
+		if gotR != wantR {
+			t.Fatalf("case %d Range: pruned %+v, oracle %+v", i, gotR, wantR)
+		}
+		for dim := range pruneDims {
+			wantG, err1 := oracle.GroupBy(dim, sels)
+			gotG, err2 := pruned.GroupBy(dim, sels)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("case %d GroupBy(%d): oracle err=%v pruned err=%v", i, dim, err1, err2)
+			}
+			if !reflect.DeepEqual(gotG, wantG) {
+				t.Fatalf("case %d GroupBy(%d): pruned %v, oracle %v", i, dim, gotG, wantG)
+			}
+		}
+		wantP, err1 := oracle.Pivot([]int{0, 1}, sels)
+		gotP, err2 := pruned.Pivot([]int{0, 1}, sels)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("case %d Pivot: oracle err=%v pruned err=%v", i, err1, err2)
+		}
+		if !reflect.DeepEqual(gotP, wantP) {
+			t.Fatalf("case %d Pivot: pruned %v, oracle %v", i, gotP, wantP)
+		}
+		wantK, err1 := oracle.TopK(1, sels, dwarf.TopKSpec{K: 2, By: dwarf.BySum})
+		gotK, err2 := pruned.TopK(1, sels, dwarf.TopKSpec{K: 2, By: dwarf.BySum})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("case %d TopK: oracle err=%v pruned err=%v", i, err1, err2)
+		}
+		if !reflect.DeepEqual(gotK, wantK) {
+			t.Fatalf("case %d TopK: pruned %v, oracle %v", i, gotK, wantK)
+		}
+	}
+	for _, keys := range [][]string{
+		{day(3), "bike"}, {day(7), "bike"}, {day(9), "bike"},
+		{day(2), dwarf.All}, {dwarf.All, "air"}, {dwarf.All, dwarf.All},
+	} {
+		want, err1 := oracle.Point(keys...)
+		got, err2 := pruned.Point(keys...)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Point(%v): oracle err=%v pruned err=%v", keys, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("Point(%v): pruned %+v, oracle %+v", keys, got, want)
+		}
+	}
+}
+
+// TestPruneDifferential is the core gate: the pruned store equals the
+// NoPrune oracle on every shape, while its counters prove segments were
+// actually dropped and the oracle's prove none were.
+func TestPruneDifferential(t *testing.T) {
+	pruned, oracle := pruneFixture(t, false), pruneFixture(t, true)
+	pruneBattery(t, pruned, oracle)
+
+	ps, os := pruned.Stats(), oracle.Stats()
+	if ps.SegmentsPruned == 0 {
+		t.Fatal("selective battery pruned nothing")
+	}
+	if os.SegmentsPruned != 0 {
+		t.Fatalf("NoPrune store pruned %d segments", os.SegmentsPruned)
+	}
+	if ps.SegmentsScanned >= os.SegmentsScanned {
+		t.Fatalf("pruned store scanned %d segments, oracle %d",
+			ps.SegmentsScanned, os.SegmentsScanned)
+	}
+
+	// An inverted range admits no segment at all, and a single bound day
+	// admits exactly one of six — pin the exact counter deltas.
+	before := pruned.Stats()
+	if _, err := pruned.Range([]dwarf.Selector{dwarf.SelectRange(day(4), day(2)), {}}); err != nil {
+		t.Fatal(err)
+	}
+	after := pruned.Stats()
+	if sc, pr := after.SegmentsScanned-before.SegmentsScanned, after.SegmentsPruned-before.SegmentsPruned; sc != 0 || pr != 6 {
+		t.Fatalf("inverted range scanned %d pruned %d, want 0/6", sc, pr)
+	}
+	before = after
+	if _, err := pruned.Range([]dwarf.Selector{dwarf.SelectKeys(day(3)), {}}); err != nil {
+		t.Fatal(err)
+	}
+	after = pruned.Stats()
+	if sc, pr := after.SegmentsScanned-before.SegmentsScanned, after.SegmentsPruned-before.SegmentsPruned; sc != 1 || pr != 5 {
+		t.Fatalf("single day scanned %d pruned %d, want 1/5", sc, pr)
+	}
+}
+
+// stripMetaTrailer rewrites a segment file without its v3 zone-map section,
+// reproducing a file sealed before zone maps existed (the v3 section is a
+// pure suffix after the v2 offset trailer).
+func stripMetaTrailer(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const magic = "DWRFMET3"
+	if len(data) < 16 || string(data[len(data)-len(magic):]) != magic {
+		t.Fatalf("%s has no v3 meta trailer", path)
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(data[len(data)-12 : len(data)-8]))
+	if err := os.WriteFile(path, data[:len(data)-16-bodyLen], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruneLegacySegmentConservative strips one segment down to pre-v3
+// bytes and deletes its manifest zones: the reopened store must scan that
+// segment unconditionally (never prune it) while still pruning its
+// zone-mapped neighbors — and answers stay equal to the NoPrune oracle.
+func TestPruneLegacySegmentConservative(t *testing.T) {
+	dir := t.TempDir()
+	open := func(noPrune bool) *Store {
+		s, err := Open(dir, Options{
+			Dims: pruneDims, NoSync: true, DisableAutoCompact: true,
+			SealTuples: 1 << 20, NoPrune: noPrune,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	store := open(false)
+	for d := 1; d <= 2; d++ {
+		if err := store.Append([]dwarf.Tuple{{Dims: []string{day(d), "bike"}, Measure: float64(d)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Age the day-2 segment: no zones in the manifest, no v3 section in
+	// the file.
+	m, ok, err := loadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest: ok=%v err=%v", ok, err)
+	}
+	if len(m.Segments) != 2 {
+		t.Fatalf("want 2 segments, have %d", len(m.Segments))
+	}
+	legacy := &m.Segments[1]
+	if len(legacy.Zones) != len(pruneDims) {
+		t.Fatalf("sealed segment missing manifest zones: %+v", legacy)
+	}
+	legacy.Zones = nil
+	stripMetaTrailer(t, filepath.Join(dir, legacy.File))
+	if err := writeManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+
+	store = open(false)
+	defer store.Close()
+
+	// Selecting day 1 scans the mapped day-1 segment AND the legacy one
+	// (conservative: no zones means no proof of non-overlap); selecting
+	// day 2 prunes only the mapped segment.
+	before := store.Stats()
+	got, err := store.Range([]dwarf.Selector{dwarf.SelectKeys(day(1)), {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := store.Stats()
+	if sc, pr := after.SegmentsScanned-before.SegmentsScanned, after.SegmentsPruned-before.SegmentsPruned; sc != 2 || pr != 0 {
+		t.Fatalf("day-1 query scanned %d pruned %d, want 2/0", sc, pr)
+	}
+	if got.Count != 1 || got.Sum != 1 {
+		t.Fatalf("day-1 answer: %+v", got)
+	}
+	before = after
+	got, err = store.Range([]dwarf.Selector{dwarf.SelectKeys(day(2)), {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after = store.Stats()
+	if sc, pr := after.SegmentsScanned-before.SegmentsScanned, after.SegmentsPruned-before.SegmentsPruned; sc != 1 || pr != 1 {
+		t.Fatalf("day-2 query scanned %d pruned %d, want 1/1", sc, pr)
+	}
+	if got.Count != 1 || got.Sum != 2 {
+		t.Fatalf("day-2 answer: %+v", got)
+	}
+}
+
+// TestPruneUnderMaintenance interleaves day-ranged queries with appends,
+// seals, explicit compactions and (via Rollups + cache) rollup swaps, under
+// the race detector: pruning must never observe a torn segment set, and the
+// settled store must still match a NoPrune oracle over the same tuples.
+func TestPruneUnderMaintenance(t *testing.T) {
+	store, err := Open(t.TempDir(), Options{
+		Dims: pruneDims, NoSync: true, DisableAutoCompact: true,
+		SealTuples: 1 << 20, CacheBytes: 1 << 20,
+		Rollups: [][]string{{"Kind"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	kinds := []string{"air", "bike", "noise"}
+	var mu sync.Mutex
+	var all []dwarf.Tuple
+	appendDay := func(d int) {
+		var tuples []dwarf.Tuple
+		for i, kind := range kinds {
+			tuples = append(tuples, dwarf.Tuple{
+				Dims: []string{day(d%28 + 1), kind}, Measure: float64(d + i),
+			})
+		}
+		if err := store.Append(tuples); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		all = append(all, tuples...)
+		mu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := rng.Intn(28) + 1
+				sels := []dwarf.Selector{dwarf.SelectRange(day(lo), day(lo+2)), {}}
+				if rng.Intn(2) == 0 {
+					if _, err := store.Range(sels); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, err := store.GroupBy(1, make([]dwarf.Selector, 2)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	for d := 0; d < 40; d++ {
+		appendDay(d)
+		if d%3 == 2 {
+			if err := store.Seal(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d%10 == 9 {
+			if _, err := store.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	time.Sleep(10 * time.Millisecond) // let any in-flight rollup swap land
+
+	oracle := pruneOracle(t, all)
+	sels := []dwarf.Selector{{}, {}}
+	want, err1 := oracle.GroupBy(0, sels)
+	got, err2 := store.GroupBy(0, sels)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("settled GroupBy: oracle err=%v store err=%v", err1, err2)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("settled store diverged:\nstore  %v\noracle %v", got, want)
+	}
+	pruneBattery(t, store, oracle)
+}
+
+// pruneOracle is a NoPrune store holding exactly the given tuples.
+func pruneOracle(t *testing.T, tuples []dwarf.Tuple) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{
+		Dims: pruneDims, NoSync: true, DisableAutoCompact: true,
+		SealTuples: 1 << 20, NoPrune: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if err := s.Append(tuples); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -41,6 +41,9 @@ type rollupSeg struct {
 	// pos maps store dimension index -> rollup position (-1 if dropped).
 	dimIdx []int
 	pos    []int
+	// zones are the rollup cube's zone maps over its own dimension order
+	// (manifest copy, else the view's; nil admits everything).
+	zones []dwarf.ZoneMap
 }
 
 func dimsKey(names []string) string { return strings.Join(names, "\x00") }
@@ -98,6 +101,13 @@ func newRollupSeg(meta rollupMeta, data []byte, view *dwarf.CubeView, dims []str
 		at[d] = i
 	}
 	r := &rollupSeg{meta: meta, data: data, view: view, pos: make([]int, len(dims))}
+	r.zones = meta.Zones
+	if len(r.zones) != len(meta.Dims) {
+		r.zones = nil
+		if view != nil {
+			r.zones = view.ZoneMaps()
+		}
+	}
 	for i := range r.pos {
 		r.pos[i] = -1
 	}
@@ -318,7 +328,7 @@ func (s *Store) swapRollup(spec rollupSpec, segs []*segment, cover []string) err
 	id := s.man.NextSegID
 	s.man.NextSegID++
 	s.mu.Unlock()
-	meta := rollupMeta{File: rollupFileName(id), Dims: spec.names, Covers: cover, Tuples: len(rows)}
+	meta := rollupMeta{File: rollupFileName(id), Dims: spec.names, Covers: cover, Tuples: len(rows), Zones: view.ZoneMaps()}
 	if err := writeSegmentFile(s.dir, meta.File, encoded); err != nil {
 		return err
 	}

@@ -86,6 +86,10 @@ type Options struct {
 	// grouped queries touching only those dimensions route through the
 	// smallest covering rollup instead of every sealed segment.
 	Rollups [][]string
+	// NoPrune disables zone-map pruning: every query fans out to every
+	// sealed segment regardless of its zone maps. Differential tests use it
+	// to hold the pruned and unpruned paths to identical answers.
+	NoPrune bool
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +124,10 @@ type segment struct {
 	meta segmentMeta
 	data []byte
 	view *dwarf.CubeView
+	// zones are the segment's per-dimension zone maps: the manifest entry's
+	// copy when present, else the view's own (v3 streams), else nil — and a
+	// nil slice admits every query, so old segments are always scanned.
+	zones []dwarf.ZoneMap
 }
 
 // storeState is the immutable read snapshot queries fan out over. The
@@ -179,6 +187,13 @@ type Store struct {
 	cache       *qcache.Cache
 	rollupSpecs []rollupSpec
 	rollupHits  atomic.Int64
+
+	// segsScanned / segsPruned count sealed and rollup fan-out targets that
+	// queries actually ran versus targets dropped because their zone maps
+	// proved no selected tuple could match. The live memtable is counted in
+	// neither — it is never pruned.
+	segsScanned atomic.Int64
+	segsPruned  atomic.Int64
 
 	// compactMu serializes compactions (background loop and explicit
 	// Compact calls); it is never held together with mu.
@@ -407,7 +422,11 @@ func (s *Store) openSegments() error {
 		if err != nil {
 			return fmt.Errorf("cubestore: segment %s: %w", m.File, err)
 		}
-		s.segs = append(s.segs, &segment{meta: m, data: data, view: view})
+		zones := m.Zones
+		if len(zones) != len(s.dims) {
+			zones = view.ZoneMaps()
+		}
+		s.segs = append(s.segs, &segment{meta: m, data: data, view: view, zones: zones})
 	}
 	return nil
 }
@@ -581,7 +600,7 @@ func (s *Store) seal() error {
 		return err
 	}
 	id := s.man.NextSegID
-	meta := segmentMeta{File: segFileName(id), Tuples: s.memCount}
+	meta := segmentMeta{File: segFileName(id), Tuples: s.memCount, Zones: view.ZoneMaps()}
 	if err := writeSegmentFile(s.dir, meta.File, encoded); err != nil {
 		nw.close()
 		return err
@@ -609,7 +628,7 @@ func (s *Store) seal() error {
 	s.wal.close()
 	s.wal = nw
 	s.man = newMan
-	s.segs = append(s.segs, &segment{meta: meta, data: encoded, view: view})
+	s.segs = append(s.segs, &segment{meta: meta, data: encoded, view: view, zones: meta.Zones})
 	mem, err := dwarf.NewIncremental(s.dims, s.opts.ChunkTuples, s.opts.cubeOptions()...)
 	if err != nil {
 		return err
@@ -814,7 +833,7 @@ func (s *Store) compactOnce() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	meta := segmentMeta{File: segFileName(id), Tuples: tuples}
+	meta := segmentMeta{File: segFileName(id), Tuples: tuples, Zones: view.ZoneMaps()}
 	if err := writeSegmentFile(s.dir, meta.File, encoded); err != nil {
 		return false, err
 	}
@@ -863,7 +882,7 @@ func (s *Store) compactOnce() (bool, error) {
 	for _, seg := range s.segs {
 		if inputs[seg.meta.File] {
 			if !insertedSeg {
-				newSegs = append(newSegs, &segment{meta: meta, data: encoded, view: view})
+				newSegs = append(newSegs, &segment{meta: meta, data: encoded, view: view, zones: meta.Zones})
 				insertedSeg = true
 			}
 			os.Remove(filepath.Join(s.dir, seg.meta.File))
@@ -949,19 +968,41 @@ func (s *Store) crashClose() {
 // large in total still ranks (docs/QUERY.md).
 
 // targets snapshots the fan-out set: every sealed segment view plus the
-// live cube. The snapshot is immutable, so the query runs lock-free even
-// while seals and compactions swap the store state underneath.
-func (s *Store) targets() ([]query.Querier, error) {
+// live cube, minus segments whose zone maps prove no selected tuple can
+// live there. admit is the per-segment admission test (dwarf.ZonesAdmit or
+// ZonesAdmitPoint closed over the query); nil disables pruning, as does
+// Options.NoPrune. Skipping a segment never changes the merged answer: an
+// absent key contributes the zero Aggregate, and merging zero is identity.
+// The snapshot is immutable, so the query runs lock-free even while seals
+// and compactions swap the store state underneath.
+func (s *Store) targets(admit func([]dwarf.ZoneMap) bool) ([]query.Querier, error) {
 	st := s.state.Load()
 	live, err := st.mem.Cube()
 	if err != nil {
 		return nil, err
 	}
+	if s.opts.NoPrune {
+		admit = nil
+	}
 	out := make([]query.Querier, 0, len(st.segs)+1)
+	pruned := int64(0)
 	for _, seg := range st.segs {
+		if admit != nil && !admit(seg.zones) {
+			pruned++
+			continue
+		}
 		out = append(out, seg.view)
 	}
+	if pruned > 0 {
+		s.segsPruned.Add(pruned)
+	}
+	s.segsScanned.Add(int64(len(out)))
 	return append(out, live), nil
+}
+
+// admitRange closes dwarf.ZonesAdmit over one selector list.
+func admitRange(sels []dwarf.Selector) func([]dwarf.ZoneMap) bool {
+	return func(zones []dwarf.ZoneMap) bool { return dwarf.ZonesAdmit(zones, sels) }
 }
 
 // fanOut runs fn against every target, concurrently when there are several,
@@ -996,8 +1037,8 @@ func fanOut[T any](targets []query.Querier, fn func(query.Querier) (T, error)) (
 	return results, nil
 }
 
-func (s *Store) aggQuery(fn func(query.Querier) (dwarf.Aggregate, error)) (dwarf.Aggregate, error) {
-	targets, err := s.targets()
+func (s *Store) aggQuery(admit func([]dwarf.ZoneMap) bool, fn func(query.Querier) (dwarf.Aggregate, error)) (dwarf.Aggregate, error) {
+	targets, err := s.targets(admit)
 	if err != nil {
 		return dwarf.Aggregate{}, err
 	}
@@ -1013,8 +1054,8 @@ func (s *Store) aggQuery(fn func(query.Querier) (dwarf.Aggregate, error)) (dwarf
 }
 
 // groupQuery fans a per-key map shape out and merges the partials per key.
-func (s *Store) groupQuery(fn func(query.Querier) (map[string]dwarf.Aggregate, error)) (map[string]dwarf.Aggregate, error) {
-	targets, err := s.targets()
+func (s *Store) groupQuery(admit func([]dwarf.ZoneMap) bool, fn func(query.Querier) (map[string]dwarf.Aggregate, error)) (map[string]dwarf.Aggregate, error) {
+	targets, err := s.targets(admit)
 	if err != nil {
 		return nil, err
 	}
@@ -1026,15 +1067,18 @@ func (s *Store) groupQuery(fn func(query.Querier) (map[string]dwarf.Aggregate, e
 }
 
 // Point answers a point/ALL query across every sealed segment and the live
-// memtable, reflecting every acknowledged tuple.
+// memtable, reflecting every acknowledged tuple. Segments whose zone maps
+// exclude any bound key are pruned from the fan-out.
 func (s *Store) Point(keys ...string) (dwarf.Aggregate, error) {
-	return s.aggQuery(func(q query.Querier) (dwarf.Aggregate, error) { return q.Point(keys...) })
+	admit := func(zones []dwarf.ZoneMap) bool { return dwarf.ZonesAdmitPoint(zones, keys) }
+	return s.aggQuery(admit, func(q query.Querier) (dwarf.Aggregate, error) { return q.Point(keys...) })
 }
 
 // Range aggregates the sub-cube addressed by one selector per dimension
-// across segments and the live memtable.
+// across segments and the live memtable, pruning segments whose zone maps
+// prove the selection empty there.
 func (s *Store) Range(sels []dwarf.Selector) (dwarf.Aggregate, error) {
-	return s.aggQuery(func(q query.Querier) (dwarf.Aggregate, error) { return q.Range(sels) })
+	return s.aggQuery(admitRange(sels), func(q query.Querier) (dwarf.Aggregate, error) { return q.Range(sels) })
 }
 
 // GroupBy groups the dimension at index dim under the restriction of sels,
@@ -1046,7 +1090,7 @@ func (s *Store) GroupBy(dim int, sels []dwarf.Selector) (map[string]dwarf.Aggreg
 		dim >= 0 && dim < len(s.dims) && len(sels) == len(s.dims) {
 		return s.groupByPlanned(dim, sels)
 	}
-	return s.groupQuery(func(q query.Querier) (map[string]dwarf.Aggregate, error) {
+	return s.groupQuery(admitRange(sels), func(q query.Querier) (map[string]dwarf.Aggregate, error) {
 		return q.GroupBy(dim, sels)
 	})
 }
@@ -1058,7 +1102,7 @@ func (s *Store) Pivot(dims []int, sels []dwarf.Selector) ([]dwarf.PivotGroup, er
 	if (s.cache != nil || len(s.rollupSpecs) > 0) && validPivotArgs(dims, sels, len(s.dims)) {
 		return s.pivotPlanned(dims, sels)
 	}
-	targets, err := s.targets()
+	targets, err := s.targets(admitRange(sels))
 	if err != nil {
 		return nil, err
 	}
@@ -1081,7 +1125,7 @@ func (s *Store) TopK(dim int, sels []dwarf.Selector, spec dwarf.TopKSpec) ([]dwa
 		dim >= 0 && dim < len(s.dims) && len(sels) == len(s.dims) {
 		return s.topKPlanned(dim, sels, spec)
 	}
-	groups, err := s.groupQuery(func(q query.Querier) (map[string]dwarf.Aggregate, error) {
+	groups, err := s.groupQuery(admitRange(sels), func(q query.Querier) (map[string]dwarf.Aggregate, error) {
 		return q.GroupBy(dim, sels)
 	})
 	if err != nil {
@@ -1165,6 +1209,14 @@ type Stats struct {
 	CacheEntries       int   `json:"cache_entries"`
 	RollupHits         int64 `json:"rollup_hits"`
 
+	// SegmentsScanned / SegmentsPruned count sealed and rollup fan-out
+	// targets actually run versus targets dropped because their zone maps
+	// proved no selected tuple could match (the live memtable counts in
+	// neither). Zero pruned with NoPrune set, or when every segment predates
+	// zone maps.
+	SegmentsScanned int64 `json:"segments_scanned"`
+	SegmentsPruned  int64 `json:"segments_pruned"`
+
 	// LastSealError / LastCompactError are the most recent background
 	// maintenance failures, empty once the next attempt succeeds.
 	LastSealError    string `json:"last_seal_error,omitempty"`
@@ -1191,6 +1243,9 @@ func (s *Store) Stats() Stats {
 		FallbackCompactions:  s.fallbackCompacts.Load(),
 
 		RollupHits: s.rollupHits.Load(),
+
+		SegmentsScanned: s.segsScanned.Load(),
+		SegmentsPruned:  s.segsPruned.Load(),
 
 		LastSealError:    s.lastSealErr,
 		LastCompactError: s.lastCompactErr,

@@ -43,6 +43,19 @@ import (
 // All offsets are absolute byte positions in the v1 stream. Streams larger
 // than 4 GiB cannot carry a trailer (offsets are u32) and fall back to the
 // scan-built index.
+//
+// An optional v3 metadata section may follow the v2 trailer, carrying the
+// per-dimension zone maps (see zonemap.go). Like the v2 trailer it is
+// self-describing — detected by its own 8-byte magic at the very end of the
+// stream, with its own CRC — so v1 and v2 readers are unaffected: they
+// either strip it or never look past the v1 CRC word:
+//
+//	meta body:
+//	  ndims uvarint
+//	  per dimension: distinct uvarint | min key (uvarint len + bytes)
+//	                 | max key (uvarint len + bytes)
+//	meta footer:
+//	  crc32 (IEEE) of body u32 | body length u32 | magic "DWRFMET3"
 const (
 	codecMagic   = "DWRFCUBE"
 	codecVersion = 1
@@ -50,6 +63,9 @@ const (
 	trailerMagic    = "DWRFNDX2"
 	trailerFixedLen = 12                        // node count + root id + nodes start
 	trailerFootLen  = 4 + 4 + len(trailerMagic) // body CRC + body length + magic
+
+	metaMagic   = "DWRFMET3"
+	metaFootLen = 4 + 4 + len(metaMagic) // body CRC + body length + magic
 
 	// maxStreamBytes bounds streams that can carry or build a u32 offset
 	// index.
@@ -84,6 +100,10 @@ type encodeOffsets struct {
 	starts, allOffs []uint32
 	rootID          uint64
 	nodesStart      int
+	// zones, when non-nil, accumulates per-dimension zone maps from the
+	// cell keys the pass writes. Plain Encode leaves it nil — the v1-only
+	// path pays nothing.
+	zones *zoneAcc
 	// order and ids are the emission-order scratch of the encode pass,
 	// pooled here so repeated encodes (seals, every segment write) reuse
 	// their backing storage.
@@ -104,6 +124,7 @@ func (e *encodeOffsets) reset() {
 	e.allOffs = e.allOffs[:0]
 	e.rootID = 0
 	e.nodesStart = 0
+	e.zones = nil
 	clear(e.order)
 	e.order = e.order[:0]
 	clear(e.ids)
@@ -206,6 +227,9 @@ func (c *Cube) encode(w io.Writer, idx *encodeOffsets) error {
 		}
 		for i := range n.Cells {
 			cell := &n.Cells[i]
+			if idx.zones != nil {
+				idx.zones.addString(n.Level, cell.Key)
+			}
 			if err := writeString(cell.Key); err != nil {
 				return err
 			}
@@ -247,20 +271,23 @@ func (c *Cube) encode(w io.Writer, idx *encodeOffsets) error {
 }
 
 // EncodeIndexed writes the cube in the v1 format followed by the v2
-// node-offset trailer, so OpenView on the resulting bytes (or a file or
-// mmap'd region holding them) gets its node index in O(1) instead of a
-// scan. v1 readers decode the stream unchanged: the trailer sits after the
-// CRC word and is stripped before parsing.
+// node-offset trailer and the v3 zone-map metadata section, so OpenView on
+// the resulting bytes (or a file or mmap'd region holding them) gets its
+// node index in O(1) instead of a scan, plus per-dimension zone maps for
+// prune-before-scan planning. v1 readers decode the stream unchanged: both
+// sections sit after the CRC word and are stripped before parsing.
 //
-// The trailer is built from offsets recorded during the encode pass itself
-// — one pass, no re-scan of the stream just written (streams of 4 GiB or
-// more cannot carry u32 offsets and are written without a trailer).
+// The trailer and zone maps are built from offsets and keys recorded during
+// the encode pass itself — one pass, no re-scan of the stream just written
+// (streams of 4 GiB or more cannot carry u32 offsets and are written
+// without either section).
 func (c *Cube) EncodeIndexed(w io.Writer) error {
 	idx := encodeOffsetsPool.Get().(*encodeOffsets)
 	defer func() {
 		idx.reset()
 		encodeOffsetsPool.Put(idx)
 	}()
+	idx.zones = newZoneAcc(len(c.dims))
 	var buf bytes.Buffer
 	if err := c.encode(&buf, idx); err != nil {
 		return err
@@ -268,6 +295,7 @@ func (c *Cube) EncodeIndexed(w io.Writer) error {
 	data := buf.Bytes()
 	if len(data) <= maxStreamBytes {
 		data = appendTrailer(data, idx.starts, idx.allOffs, idx.rootID, idx.nodesStart)
+		data = appendMetaTrailer(data, idx.zones.zones)
 	}
 	_, err := w.Write(data)
 	return err
@@ -290,13 +318,14 @@ func appendTrailer(out []byte, starts, allOffs []uint32, rootID uint64, nodesSta
 	return append(out, trailerMagic...)
 }
 
-// AppendOffsetTrailer returns data extended with a v2 node-offset trailer.
-// The input must be a valid encoded cube; a stream that already carries a
-// trailer is returned unchanged. The v1 portion of the stream is not
-// modified. Streams of 4 GiB or more cannot be indexed (u32 offsets) and
-// are returned unchanged as well.
+// AppendOffsetTrailer returns data extended with a v2 node-offset trailer
+// and a v3 zone-map metadata section, both recorded during the single
+// validating scan. The input must be a valid encoded cube; a stream that
+// already carries a v2 trailer is returned unchanged. The v1 portion of the
+// stream is not modified. Streams of 4 GiB or more cannot be indexed (u32
+// offsets) and are returned unchanged as well.
 func AppendOffsetTrailer(data []byte) ([]byte, error) {
-	v1, trailer, err := splitIndexed(data)
+	v1, trailer, _, err := splitSections(data)
 	if err != nil {
 		return nil, err
 	}
@@ -313,13 +342,15 @@ func AppendOffsetTrailer(data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	starts, allOffs, rootID, err := scanEncoded(v1, h)
+	zacc := newZoneAcc(len(h.dims))
+	starts, allOffs, rootID, err := scanEncoded(v1, h, zacc)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, len(v1), len(v1)+trailerFixedLen+8*len(starts)+trailerFootLen)
 	copy(out, v1)
-	return appendTrailer(out, starts, allOffs, rootID, h.nodesStart), nil
+	out = appendTrailer(out, starts, allOffs, rootID, h.nodesStart)
+	return appendMetaTrailer(out, zacc.zones), nil
 }
 
 // SplitEncoded separates an encoded stream into its v1 portion and, when a
@@ -337,16 +368,40 @@ func HasOffsetTrailer(data []byte) bool {
 }
 
 // splitIndexed separates an encoded stream into its v1 portion and, when a
-// valid v2 node-offset trailer is attached, the trailer body. A trailing
-// byte pattern that merely resembles a trailer (magic present, CRC or
-// bounds wrong) is treated as part of the v1 stream, whose own CRC then
-// decides its fate.
+// valid v2 node-offset trailer is attached, the trailer body. A v3
+// metadata section, if present, is stripped and dropped — callers that
+// want the zone maps use splitSections.
 func splitIndexed(data []byte) (v1, trailerBody []byte, err error) {
+	v1, trailerBody, _, err = splitSections(data)
+	return v1, trailerBody, err
+}
+
+// splitSections separates an encoded stream into its v1 portion, the v2
+// node-offset trailer body (nil when absent) and the v3 metadata body (nil
+// when absent). Sections are detected from the end of the stream, v3 first
+// — the order they are appended in. A trailing byte pattern that merely
+// resembles a section (magic present, CRC or bounds wrong) is treated as
+// part of the stream before it, whose own CRC then decides its fate.
+func splitSections(data []byte) (v1, trailerBody, metaBody []byte, err error) {
 	if len(data) < len(codecMagic)+4 {
-		return nil, nil, errCorrupt("stream of %d bytes is shorter than magic plus checksum", len(data))
+		return nil, nil, nil, errCorrupt("stream of %d bytes is shorter than magic plus checksum", len(data))
 	}
 	if string(data[:len(codecMagic)]) != codecMagic {
-		return nil, nil, ErrBadMagic
+		return nil, nil, nil, ErrBadMagic
+	}
+	if len(data) >= len(codecMagic)+4+metaFootLen &&
+		string(data[len(data)-len(metaMagic):]) == metaMagic {
+		bodyLen := int(binary.LittleEndian.Uint32(data[len(data)-len(metaMagic)-4:]))
+		total := bodyLen + metaFootLen
+		if total >= metaFootLen && total <= len(data)-(len(codecMagic)+4) {
+			start := len(data) - total
+			body := data[start : start+bodyLen]
+			want := binary.LittleEndian.Uint32(data[start+bodyLen:])
+			if crc32.ChecksumIEEE(body) == want {
+				metaBody = body
+				data = data[:start]
+			}
+		}
 	}
 	if len(data) >= len(codecMagic)+4+trailerFootLen &&
 		string(data[len(data)-len(trailerMagic):]) == trailerMagic {
@@ -357,11 +412,11 @@ func splitIndexed(data []byte) (v1, trailerBody []byte, err error) {
 			body := data[start : start+bodyLen]
 			want := binary.LittleEndian.Uint32(data[start+bodyLen:])
 			if crc32.ChecksumIEEE(body) == want {
-				return data[:start], body, nil
+				return data[:start], body, metaBody, nil
 			}
 		}
 	}
-	return data, nil, nil
+	return data, nil, metaBody, nil
 }
 
 // verifyPayload checks the CRC word of a v1 stream (no trailer).

@@ -70,15 +70,20 @@ func corruptionBase(t *testing.T) map[string][]byte {
 // each length.
 func TestCorruptionTruncation(t *testing.T) {
 	for name, data := range corruptionBase(t) {
-		// Cutting the v2 stream exactly at the trailer boundary leaves a
-		// complete, valid v1 stream — the trailer is an optional suffix, so
-		// that one truncation is legitimately accepted.
-		v1, _, err := splitIndexed(data)
+		// Cutting the indexed stream exactly at a section boundary leaves a
+		// complete, valid stream — the v2 trailer and v3 metadata section
+		// are optional suffixes, so those truncations are legitimately
+		// accepted. Every other length must be rejected.
+		v1, _, meta, err := splitSections(data)
 		if err != nil {
 			t.Fatal(err)
 		}
+		okLen := map[int]bool{len(v1): true}
+		if meta != nil {
+			okLen[len(data)-(len(meta)+metaFootLen)] = true
+		}
 		for n := 0; n < len(data); n++ {
-			assertClean(t, name+" truncated", data[:n], n != len(v1))
+			assertClean(t, name+" truncated", data[:n], !okLen[n])
 		}
 		assertClean(t, name+" intact", data, false)
 	}
@@ -210,6 +215,10 @@ func TestCorruptionForgedTrailer(t *testing.T) {
 			t.Fatal(err)
 		}
 		full := append([]byte(nil), idx.Bytes()...)
+		// Drop the v3 metadata section EncodeIndexed now appends so the
+		// stream ends with the v2 trailer this test forges.
+		metaLen := int(binary.LittleEndian.Uint32(full[len(full)-12:])) + metaFootLen
+		full = full[:len(full)-metaLen]
 		bodyLen := int(binary.LittleEndian.Uint32(full[len(full)-12:]))
 		bodyStart := len(full) - trailerFootLen - bodyLen
 		body := full[bodyStart : bodyStart+bodyLen]
@@ -272,4 +281,95 @@ func TestCorruptionForgedTrailer(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestCorruptionForgedMeta checks v3-metadata-specific attacks: a section
+// whose CRC is valid but whose zone maps are hostile must be rejected by
+// OpenView (pruning decisions ride on these bounds), while DecodeBytes —
+// which never reads zone maps — keeps accepting the intact v1 payload, and
+// a section with a bad CRC collapses the whole tail into the v1 checksum,
+// which rejects it.
+func TestCorruptionForgedMeta(t *testing.T) {
+	c := goldenCube(t)
+	var idx bytes.Buffer
+	if err := c.EncodeIndexed(&idx); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), idx.Bytes()...)
+	metaLen := int(binary.LittleEndian.Uint32(full[len(full)-12:])) + metaFootLen
+	base := full[:len(full)-metaLen] // valid v1 + v2, no metadata section
+
+	seal := func(body []byte) []byte {
+		out := append([]byte(nil), base...)
+		out = append(out, body...)
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+		return append(out, metaMagic...)
+	}
+	appendZone := func(b []byte, distinct uint64, min, max string) []byte {
+		b = binary.AppendUvarint(b, distinct)
+		b = binary.AppendUvarint(b, uint64(len(min)))
+		b = append(b, min...)
+		b = binary.AppendUvarint(b, uint64(len(max)))
+		b = append(b, max...)
+		return b
+	}
+	// The golden cube's true zone maps, resealed: must reproduce the
+	// original stream bit for bit and open cleanly.
+	valid := binary.AppendUvarint(nil, 4)
+	valid = appendZone(valid, 2, "2015", "2016")
+	valid = appendZone(valid, 2, "Feb", "Jan")
+	valid = appendZone(valid, 3, "east", "south")
+	valid = appendZone(valid, 3, "bike", "scooter")
+	if !bytes.Equal(seal(valid), full) {
+		t.Fatal("resealing the true zone maps does not reproduce EncodeIndexed output")
+	}
+
+	three := binary.AppendUvarint(nil, 3)
+	three = appendZone(three, 2, "2015", "2016")
+	three = appendZone(three, 2, "Feb", "Jan")
+	three = appendZone(three, 3, "east", "south")
+
+	forged := func(mutate func(b []byte, d uint64, min, max string) []byte) []byte {
+		b := binary.AppendUvarint(nil, 4)
+		b = mutate(b, 2, "2015", "2016")
+		b = appendZone(b, 2, "Feb", "Jan")
+		b = appendZone(b, 3, "east", "south")
+		b = appendZone(b, 3, "bike", "scooter")
+		return b
+	}
+
+	cases := map[string][]byte{
+		"garbage body":   seal([]byte{0xde, 0xad, 0xbe, 0xef}),
+		"empty body":     seal(nil),
+		"ndims mismatch": seal(three),
+		"min above max": seal(forged(func(b []byte, _ uint64, min, max string) []byte {
+			return appendZone(b, 2, max, min)
+		})),
+		"min differs from max with one key": seal(forged(func(b []byte, _ uint64, min, max string) []byte {
+			return appendZone(b, 1, min, max)
+		})),
+		"bounds with zero keys": seal(forged(func(b []byte, _ uint64, min, max string) []byte {
+			return appendZone(b, 0, min, max)
+		})),
+		"huge distinct count": seal(forged(func(b []byte, _ uint64, min, max string) []byte {
+			return appendZone(b, maxUvarint, min, max)
+		})),
+		"trailing bytes": seal(append(append([]byte(nil), valid...), 0x00)),
+	}
+	for name, data := range cases {
+		assertClean(t, name, data, false)
+		if _, err := OpenView(data); err == nil {
+			t.Fatalf("%s: OpenView accepted a forged metadata section", name)
+		}
+		if _, err := DecodeBytes(data); err != nil {
+			t.Fatalf("%s: DecodeBytes rejected a stream whose v1 payload is intact: %v", name, err)
+		}
+	}
+
+	// A bad section CRC means the section is not stripped: the tail joins
+	// the v1 stream, whose checksum then rejects everything.
+	badCRC := append([]byte(nil), full...)
+	badCRC[len(badCRC)-metaFootLen] ^= 1
+	assertClean(t, "bad meta CRC", badCRC, true)
 }

@@ -70,6 +70,18 @@ func resealTrailer(v1Sealed, body []byte) []byte {
 	return append(out, trailerMagic...)
 }
 
+// resealMeta attaches a CRC-valid v3 metadata footer to arbitrary body
+// bytes, so zone-map validation sees internally "authentic" garbage.
+func resealMeta(stream, body []byte) []byte {
+	out := append(append([]byte(nil), stream...), body...)
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], crc32.ChecksumIEEE(body))
+	out = append(out, word[:]...)
+	binary.LittleEndian.PutUint32(word[:], uint32(len(body)))
+	out = append(out, word[:]...)
+	return append(out, metaMagic...)
+}
+
 // wantCleanError fails the fuzz run unless err is one of the codec's three
 // sentinels — the no-panic, no-mystery-error contract.
 func wantCleanError(t *testing.T, op string, err error) {
@@ -102,6 +114,24 @@ func exerciseStream(t *testing.T, data []byte) {
 	wantCleanError(t, "view Point", err)
 	stV, errStats := v.Stats()
 	wantCleanError(t, "view Stats", errStats)
+	// An accepted stream's zone maps must honor the parse invariants. (A
+	// CRC-valid forged section may still LIE about the key ranges — readers
+	// cannot detect that, which is why pruning trusts only maps written by
+	// the encoders; containment itself is asserted in zonemap_test.go over
+	// self-encoded streams.)
+	if zones := v.ZoneMaps(); zones != nil {
+		if len(zones) != ndims {
+			t.Fatalf("ZoneMaps returned %d maps for %d dimensions", len(zones), ndims)
+		}
+		for d, z := range zones {
+			if z.Distinct < 0 || z.Min > z.Max || (z.Distinct == 0 && (z.Min != "" || z.Max != "")) {
+				t.Fatalf("zone map %d violates invariants: %+v", d, z)
+			}
+		}
+		if !ZonesAdmitPoint(zones, wild) {
+			t.Fatal("zone maps rejected the all-ALL point")
+		}
+	}
 	var facts int
 	err = v.Tuples(func(dims []string, agg Aggregate) bool {
 		facts++
@@ -147,6 +177,41 @@ func FuzzDecode(f *testing.F) {
 		if len(data) > 16 {
 			cut := len(data) / 2
 			exerciseStream(t, resealTrailer(resealV1(data[:cut]), data[cut:]))
+		}
+	})
+}
+
+// FuzzMetaTrailer is the v3 metadata decoder's fuzzer: arbitrary bytes
+// sealed as a CRC-valid metadata section — on top of raw input, a resealed
+// v1 stream, and a valid indexed stream with its real section stripped —
+// must never panic, fail only with the sentinel errors, and leave v1/v2
+// readers (DecodeBytes ignores zone maps entirely) working wherever the
+// carried stream is intact.
+func FuzzMetaTrailer(f *testing.F) {
+	seeds := fuzzSeedStreams(f)
+	valid := binary.AppendUvarint(nil, 3)
+	for i := 0; i < 3; i++ {
+		valid = binary.AppendUvarint(valid, 2)
+		valid = append(valid, 0x01, 'a', 0x01, 'b')
+	}
+	for i, seed := range seeds {
+		f.Add(seed, valid[:(i*5)%(len(valid)+1)])
+	}
+	f.Add(seeds[3], valid)
+	f.Fuzz(func(t *testing.T, data, body []byte) {
+		exerciseStream(t, resealMeta(data, body))
+		exerciseStream(t, resealMeta(resealV1(data), body))
+
+		// A well-formed indexed stream with its real metadata section
+		// replaced by a forged one: DecodeBytes must keep accepting (the v1
+		// payload and v2 trailer are untouched), OpenView must accept only
+		// if the forged zone maps parse.
+		base := seeds[3] // the 2-dim indexed seed
+		metaLen := int(binary.LittleEndian.Uint32(base[len(base)-12:])) + metaFootLen
+		forged := resealMeta(base[:len(base)-metaLen], body)
+		exerciseStream(t, forged)
+		if _, err := DecodeBytes(forged); err != nil {
+			t.Fatalf("DecodeBytes rejected an intact stream with a forged metadata section: %v", err)
 		}
 	})
 }

@@ -2,13 +2,15 @@ package dwarf
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 // goldenCube builds the fixed cube committed as testdata/golden_v1.dwarf
-// (plain v1) and testdata/golden_v2.dwarf (with the offset trailer). Any
+// (plain v1), testdata/golden_v2.dwarf (with the offset trailer) and
+// testdata/golden_v3.dwarf (offset trailer plus zone-map metadata). Any
 // change to its bytes is a format break and must be a deliberate,
 // version-bumped decision.
 func goldenCube(tb testing.TB) *Cube {
@@ -55,7 +57,14 @@ func TestWriteGolden(t *testing.T) {
 	if err := c.EncodeIndexed(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(goldenPath("golden_v2.dwarf"), buf.Bytes(), 0o644); err != nil {
+	full := buf.Bytes()
+	// golden_v2 is the pre-zone-map layout — the full stream minus the v3
+	// section — kept as the old-reader fixture.
+	metaLen := int(binary.LittleEndian.Uint32(full[len(full)-12:])) + metaFootLen
+	if err := os.WriteFile(goldenPath("golden_v2.dwarf"), full[:len(full)-metaLen], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath("golden_v3.dwarf"), full, 0o644); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,6 +80,15 @@ func TestGoldenByteStable(t *testing.T) {
 	wantV2, err := os.ReadFile(goldenPath("golden_v2.dwarf"))
 	if err != nil {
 		t.Fatalf("missing fixture (regenerate with WRITE_GOLDEN=1): %v", err)
+	}
+	wantV3, err := os.ReadFile(goldenPath("golden_v3.dwarf"))
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with WRITE_GOLDEN=1): %v", err)
+	}
+	// The v3 stream extends the v2 stream: same v1 payload and offset
+	// trailer, with only the metadata section appended.
+	if !bytes.HasPrefix(wantV3, wantV2) {
+		t.Fatal("golden_v3.dwarf does not extend golden_v2.dwarf")
 	}
 	for _, workers := range []int{1, 4} {
 		c, err := New([]string{"Year", "Month", "Region", "Kind"}, goldenTuples(), WithWorkers(workers))
@@ -89,8 +107,8 @@ func TestGoldenByteStable(t *testing.T) {
 		if err := c.EncodeIndexed(&buf); err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(buf.Bytes(), wantV2) {
-			t.Fatalf("workers=%d: EncodeIndexed is not byte-stable against golden_v2.dwarf", workers)
+		if !bytes.Equal(buf.Bytes(), wantV3) {
+			t.Fatalf("workers=%d: EncodeIndexed is not byte-stable against golden_v3.dwarf", workers)
 		}
 	}
 }
@@ -144,6 +162,43 @@ func TestGoldenV1StaysReadable(t *testing.T) {
 	assertViewMatchesCube(t, c2, v2, "golden v2")
 	if got, want := c2.Stats(), c.Stats(); got != want {
 		t.Fatalf("v2 decode Stats %+v differ from v1 %+v", got, want)
+	}
+	if v2.ZoneMaps() != nil {
+		t.Fatal("v2 fixture unexpectedly carries zone maps")
+	}
+
+	// The v3 fixture opens through every reader and carries the pinned
+	// zone maps of the golden facts.
+	dataV3, err := os.ReadFile(goldenPath("golden_v3.dwarf"))
+	if err != nil {
+		t.Fatalf("missing fixture: %v", err)
+	}
+	if !HasOffsetTrailer(dataV3) {
+		t.Fatal("golden_v3.dwarf carries no trailer")
+	}
+	c3, err := DecodeBytes(dataV3)
+	if err != nil {
+		t.Fatalf("DecodeBytes(v3): %v", err)
+	}
+	v3, err := OpenView(dataV3)
+	if err != nil {
+		t.Fatalf("OpenView(v3): %v", err)
+	}
+	assertViewMatchesCube(t, c3, v3, "golden v3")
+	wantZones := []ZoneMap{
+		{Min: "2015", Max: "2016", Distinct: 2},
+		{Min: "Feb", Max: "Jan", Distinct: 2},
+		{Min: "east", Max: "south", Distinct: 3},
+		{Min: "bike", Max: "scooter", Distinct: 3},
+	}
+	gotZones := v3.ZoneMaps()
+	if len(gotZones) != len(wantZones) {
+		t.Fatalf("v3 zone maps: got %d dimensions, want %d", len(gotZones), len(wantZones))
+	}
+	for d := range wantZones {
+		if gotZones[d] != wantZones[d] {
+			t.Fatalf("v3 zone map %d = %+v, want %+v", d, gotZones[d], wantZones[d])
+		}
 	}
 
 	// A known point answer, pinned so fixture regeneration that changes

@@ -231,6 +231,13 @@ type viewMerger struct {
 	rec    []byte // record under construction (only used at emit time)
 	key    []byte // memo key scratch
 
+	// zones accumulates the output's per-dimension zone maps. Keys are
+	// folded only when a record is appended (not when it dedups to an
+	// already-emitted node, whose keys were folded then), so the union over
+	// emitted records at level d is exactly dimension d's distinct key set —
+	// the same maps a batch build of the merged facts would record.
+	zones *zoneAcc
+
 	cells  int
 	shared int
 }
@@ -249,6 +256,7 @@ func newViewMerger(views []*CubeView) *viewMerger {
 		single: single,
 		multi:  make(map[string]uint32),
 		levels: make([]levelScratch, ndims),
+		zones:  newZoneAcc(ndims),
 	}
 }
 
@@ -441,12 +449,15 @@ func (m *viewMerger) emit(level int, leaf bool, cells []mcell, allID uint32, all
 	id := uint32(len(m.starts))
 	m.canon[h] = append(m.canon[h], id)
 	m.cells += len(cells)
+	for i := range cells {
+		m.zones.add(level, cells[i].key)
+	}
 	return id, nil
 }
 
 // assemble lays the final stream down: v1 header, node section (offsets
-// shifted to absolute), root id, CRC, then the v2 offset trailer — the
-// byte-for-byte layout EncodeIndexed produces.
+// shifted to absolute), root id, CRC, then the v2 offset trailer and the
+// v3 zone-map section — the byte-for-byte layout EncodeIndexed produces.
 func (m *viewMerger) assemble(dims []string, numTuples uint64, fromQuery bool, rootOut uint32) ([]byte, error) {
 	hdr := make([]byte, 0, 64)
 	hdr = append(hdr, codecMagic...)
@@ -482,7 +493,8 @@ func (m *viewMerger) assemble(dims []string, numTuples uint64, fromQuery bool, r
 		m.starts[i] += uint32(nodesStart)
 		m.allOffs[i] += uint32(nodesStart)
 	}
-	return appendTrailer(out, m.starts, m.allOffs, uint64(rootOut), nodesStart), nil
+	out = appendTrailer(out, m.starts, m.allOffs, uint64(rootOut), nodesStart)
+	return appendMetaTrailer(out, m.zones.zones), nil
 }
 
 // appendAggregate encodes an aggregate exactly as the codec's writeAgg

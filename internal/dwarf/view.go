@@ -40,6 +40,10 @@ type CubeView struct {
 	allOffs []uint32 // allOffs[id-1]: offset of node id's ALL record
 	rootID  uint64
 
+	// zones are the per-dimension zone maps from the v3 metadata section,
+	// nil when the stream carries none (v1/v2 files). Immutable after open.
+	zones []ZoneMap
+
 	// The fanout side-index, built once on the first query (ensure): flat
 	// per-node header metadata plus one offset per cell, so a descent never
 	// re-parses a record header and key lookups binary-search the sorted
@@ -196,7 +200,9 @@ func parseViewHeader(v1 []byte) (viewHeader, error) {
 // child ids pointing backwards to nodes one level deeper, and the stream
 // fully consumed. It returns the per-node record and ALL-record offsets plus
 // the root id — the same index the v2 trailer carries precomputed.
-func scanEncoded(v1 []byte, h viewHeader) (starts, allOffs []uint32, rootID uint64, err error) {
+// When zacc is non-nil the scan also folds every cell key into it, giving
+// the upgrade path (AppendOffsetTrailer) its zone maps for free.
+func scanEncoded(v1 []byte, h viewHeader, zacc *zoneAcc) (starts, allOffs []uint32, rootID uint64, err error) {
 	if len(v1) > maxStreamBytes {
 		return nil, nil, 0, errCorrupt("stream of %d bytes exceeds the 4 GiB offset-index limit", len(v1))
 	}
@@ -243,6 +249,9 @@ func scanEncoded(v1 []byte, h viewHeader) (starts, allOffs []uint32, rootID uint
 				return nil, nil, 0, errCorrupt("node %d: cell keys not strictly sorted", id)
 			}
 			prevKey = key
+			if zacc != nil {
+				zacc.add(int(level), key)
+			}
 			if leaf {
 				if _, err := cur.agg(); err != nil {
 					return nil, nil, 0, err
@@ -308,7 +317,7 @@ func OpenView(data []byte) (*CubeView, error) { return openView(data, true) }
 func OpenViewTrusted(data []byte) (*CubeView, error) { return openView(data, false) }
 
 func openView(data []byte, verify bool) (*CubeView, error) {
-	v1, trailer, err := splitIndexed(data)
+	v1, trailer, meta, err := splitSections(data)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +331,11 @@ func openView(data []byte, verify bool) (*CubeView, error) {
 		return nil, err
 	}
 	v := &CubeView{data: v1, hdr: h}
+	if meta != nil {
+		if v.zones, err = parseZoneMaps(meta, len(h.dims)); err != nil {
+			return nil, err
+		}
+	}
 	if trailer != nil {
 		if err := v.loadTrailer(trailer); err != nil {
 			return nil, err
@@ -395,7 +409,7 @@ func (v *CubeView) loadTrailer(body []byte) error {
 func (v *CubeView) ensure() error {
 	v.once.Do(func() {
 		if !v.indexed {
-			starts, allOffs, rootID, err := scanEncoded(v.data, v.hdr)
+			starts, allOffs, rootID, err := scanEncoded(v.data, v.hdr, nil)
 			if err != nil {
 				v.idxErr = err
 				return
@@ -478,6 +492,16 @@ func (v *CubeView) buildFanoutIndex() error {
 // Indexed reports whether the node offset index was read from a v2 trailer
 // (true) or must be / was built by scanning (false).
 func (v *CubeView) Indexed() bool { return v.indexed }
+
+// ZoneMaps returns the per-dimension zone maps carried by the stream's v3
+// metadata section, or nil when the stream has none (v1/v2 files) — callers
+// must then treat every segment as possibly matching.
+func (v *CubeView) ZoneMaps() []ZoneMap {
+	if v.zones == nil {
+		return nil
+	}
+	return append([]ZoneMap(nil), v.zones...)
+}
 
 // Dims returns the cube's dimension names in order.
 func (v *CubeView) Dims() []string { return append([]string(nil), v.hdr.dims...) }

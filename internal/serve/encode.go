@@ -571,6 +571,10 @@ func appendStoreStatsResponse(buf []byte, cube string, st cubestore.Stats) []byt
 	w.int(int64(st.CacheEntries))
 	w.key("rollup_hits")
 	w.int(st.RollupHits)
+	w.key("segments_scanned")
+	w.int(st.SegmentsScanned)
+	w.key("segments_pruned")
+	w.int(st.SegmentsPruned)
 	if st.LastSealError != "" {
 		w.key("last_seal_error")
 		w.str(st.LastSealError)

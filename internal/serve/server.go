@@ -50,6 +50,7 @@
 package serve
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -115,6 +116,18 @@ type Options struct {
 	// responses carry full group maps with no paging cap, so the endpoint
 	// is only for dwarfd processes fronted by a coordinator.
 	ClusterNode bool
+	// TimeDim, when set, names the dimension a request's "window" parameter
+	// compiles against: window "24h" becomes an inclusive range selector
+	// [now-24h, now] on that dimension. The dimension's keys must be
+	// timestamps formatted with TimeLayout (a Go time layout, e.g.
+	// "2006-01-02") so lexicographic key order equals time order.
+	TimeDim string
+	// TimeLayout is the Go time layout TimeDim keys are formatted with.
+	// Required when TimeDim is set.
+	TimeLayout string
+	// Now overrides the clock windows are anchored to; time.Now when nil.
+	// Tests pin it for deterministic windows.
+	Now func() time.Time
 }
 
 // Server answers cube queries over HTTP straight off encoded cube files
@@ -127,6 +140,9 @@ type Server struct {
 	groupLimit  int
 	reflectJSON bool
 	clusterNode bool
+	timeDim     string
+	timeLayout  string
+	now         func() time.Time
 }
 
 // New builds a Server over opts.Dir (which must exist when set) and/or the
@@ -156,11 +172,35 @@ func New(opts Options) (*Server, error) {
 	if limit <= 0 {
 		limit = DefaultGroupLimit
 	}
+	if opts.TimeDim != "" && opts.TimeLayout == "" {
+		return nil, errors.New("serve: TimeDim set without TimeLayout")
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Server{
 		dir: opts.Dir, cache: newViewCache(size),
 		store: opts.Store, liveName: liveName, groupLimit: limit,
 		reflectJSON: opts.ReflectJSON, clusterNode: opts.ClusterNode,
+		timeDim: opts.TimeDim, timeLayout: opts.TimeLayout, now: now,
 	}, nil
+}
+
+// Warm pre-opens the named cube files into the hot-view LRU so the first
+// request after startup pays no cold read. The live name is skipped (the
+// store needs no warming); any other unloadable name fails loudly — a
+// misspelled -warm argument should stop the process, not serve cold.
+func (s *Server) Warm(names []string) error {
+	for _, name := range names {
+		if s.store != nil && name == s.liveName {
+			continue
+		}
+		if _, err := s.view(name); err != nil {
+			return fmt.Errorf("serve: warming %q: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // NewHTTPServer wraps handler in an http.Server with the serving tier's
@@ -394,6 +434,50 @@ func selectors(specs []selectorSpec, ndims int) ([]dwarf.Selector, error) {
 	return out, nil
 }
 
+// applyWindow compiles a request's "window" duration into an inclusive
+// range selector [now-window, now] on the server's time dimension, in
+// place. The window composes with the other dimensions' selectors but
+// conflicts with an explicit selector on the time dimension itself — the
+// request is ambiguous, so it is rejected rather than silently merged.
+func (s *Server) applyWindow(q query.Querier, sels []dwarf.Selector, win string) error {
+	if win == "" {
+		return nil
+	}
+	if s.timeDim == "" {
+		return badRequest("window given but the server has no time dimension configured")
+	}
+	idx, err := query.DimIndex(q, s.timeDim)
+	if err != nil {
+		return badRequest("window: cube has no %q dimension (have %v)", s.timeDim, q.Dims())
+	}
+	if sels[idx].HasRange || len(sels[idx].Keys) > 0 {
+		return badRequest("window conflicts with an explicit selector on %q", s.timeDim)
+	}
+	d, err := parseWindow(win)
+	if err != nil {
+		return err
+	}
+	now := s.now()
+	sels[idx] = dwarf.SelectRange(now.Add(-d).Format(s.timeLayout), now.Format(s.timeLayout))
+	return nil
+}
+
+// parseWindow accepts time.ParseDuration forms ("90m", "24h") plus a day
+// suffix ("7d"), which ParseDuration lacks.
+func parseWindow(win string) (time.Duration, error) {
+	if n, ok := strings.CutSuffix(win, "d"); ok {
+		if days, err := strconv.Atoi(n); err == nil && days > 0 {
+			return time.Duration(days) * 24 * time.Hour, nil
+		}
+		return 0, badRequest("bad window %q: want a positive duration like 24h or 7d", win)
+	}
+	d, err := time.ParseDuration(win)
+	if err != nil || d <= 0 {
+		return 0, badRequest("bad window %q: want a positive duration like 24h or 7d", win)
+	}
+	return d, nil
+}
+
 // decodeBody decodes a bounded JSON request body. Bodies over limit map to
 // 413 (and net/http closes the connection); malformed JSON maps to 400.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
@@ -470,7 +554,10 @@ func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
 }
 
 // fileHasTrailer peeks at the file's last bytes for the v2 trailer magic —
-// a display hint, not a validation (OpenView does that).
+// a display hint, not a validation (OpenView does that). Streams written
+// since zone maps end with the v3 metadata section instead, so when the
+// tail carries the v3 magic the check walks one self-describing section
+// back and looks for the v2 magic there.
 func fileHasTrailer(path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
@@ -481,9 +568,23 @@ func fileHasTrailer(path string) bool {
 	if err != nil || st.Size() < 16 {
 		return false
 	}
+	end := st.Size()
 	var tail [8]byte
-	if _, err := f.ReadAt(tail[:], st.Size()-8); err != nil {
+	if _, err := f.ReadAt(tail[:], end-8); err != nil {
 		return false
+	}
+	if string(tail[:]) == "DWRFMET3" {
+		var lenWord [4]byte
+		if _, err := f.ReadAt(lenWord[:], end-12); err != nil {
+			return false
+		}
+		end -= int64(binary.LittleEndian.Uint32(lenWord[:])) + 16
+		if end < 16 {
+			return false
+		}
+		if _, err := f.ReadAt(tail[:], end-8); err != nil {
+			return false
+		}
 	}
 	return string(tail[:]) == "DWRFNDX2"
 }
@@ -613,10 +714,13 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	send(w, http.StatusOK, buf)
 }
 
-// rangeRequest is the body of /query/range.
+// rangeRequest is the body of /query/range. Window, when set, is a
+// trailing-duration shorthand ("24h", "7d") compiled into a range selector
+// on the server's time dimension (Options.TimeDim).
 type rangeRequest struct {
 	Cube      string         `json:"cube"`
 	Selectors []selectorSpec `json:"selectors"`
+	Window    string         `json:"window,omitempty"`
 }
 
 // rangeResponse is the /query/range envelope.
@@ -642,6 +746,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	sels, err := selectors(req.Selectors, v.NumDims())
 	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := s.applyWindow(v, sels, req.Window); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -711,6 +819,7 @@ type groupByRequest struct {
 	Cube      string         `json:"cube"`
 	Dim       string         `json:"dim"`
 	Selectors []selectorSpec `json:"selectors"`
+	Window    string         `json:"window,omitempty"`
 	page
 }
 
@@ -757,6 +866,10 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	if err := s.applyWindow(v, sels, req.Window); err != nil {
+		s.fail(w, err)
+		return
+	}
 	groups, err := v.GroupBy(dim, sels)
 	if err != nil {
 		s.fail(w, err)
@@ -790,6 +903,7 @@ type topKRequest struct {
 	K         int            `json:"k"`
 	By        string         `json:"by"`
 	Threshold *float64       `json:"threshold"`
+	Window    string         `json:"window,omitempty"`
 	page
 }
 
@@ -848,6 +962,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	sels, err := selectors(req.Selectors, v.NumDims())
 	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := s.applyWindow(v, sels, req.Window); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -947,6 +1065,7 @@ type pivotRequest struct {
 	Cube      string         `json:"cube"`
 	Dims      []string       `json:"dims"`
 	Selectors []selectorSpec `json:"selectors"`
+	Window    string         `json:"window,omitempty"`
 	page
 }
 
@@ -982,6 +1101,10 @@ func (s *Server) handlePivot(w http.ResponseWriter, r *http.Request) {
 	}
 	sels, err := selectors(req.Selectors, v.NumDims())
 	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := s.applyWindow(v, sels, req.Window); err != nil {
 		s.fail(w, err)
 		return
 	}

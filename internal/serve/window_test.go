@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+import "repro/internal/dwarf"
+
+// windowFixture serves a ten-day date-keyed cube with the clock pinned to
+// 2015-06-10 18:00 UTC, so every window compiles to a knowable range.
+func windowFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	var tuples []dwarf.Tuple
+	for day := 1; day <= 10; day++ {
+		for i, kind := range []string{"bike", "car"} {
+			tuples = append(tuples, dwarf.Tuple{
+				Dims:    []string{fmt.Sprintf("2015-06-%02d", day), kind},
+				Measure: float64(day*3 + i),
+			})
+		}
+	}
+	cube, err := dwarf.New([]string{"Date", "Kind"}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "week.dwarf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.EncodeIndexed(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Dir: dir, TimeDim: "Date", TimeLayout: "2006-01-02",
+		Now: func() time.Time { return time.Date(2015, 6, 10, 18, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestWindowedQueries checks that "window" compiles to exactly the range
+// selector a client would write by hand: every windowed response must be
+// deeply equal to its explicit-range twin, on every query shape.
+func TestWindowedQueries(t *testing.T) {
+	ts := windowFixture(t)
+	explicit := func(lo, hi string) []map[string]any {
+		return []map[string]any{{"lo": lo, "hi": hi}, {}}
+	}
+
+	// now-72h = 2015-06-07 18:00, formatted to the day grain: [06-07, 06-10].
+	for _, win := range []string{"72h", "3d"} {
+		got := postJSON(t, ts.URL+"/query/range",
+			map[string]any{"cube": "week.dwarf", "window": win}, http.StatusOK)
+		want := postJSON(t, ts.URL+"/query/range",
+			map[string]any{"cube": "week.dwarf", "selectors": explicit("2015-06-07", "2015-06-10")}, http.StatusOK)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %q: %v, explicit range %v", win, got, want)
+		}
+		all := postJSON(t, ts.URL+"/query/range",
+			map[string]any{"cube": "week.dwarf"}, http.StatusOK)
+		if reflect.DeepEqual(got, all) {
+			t.Fatalf("window %q did not restrict the scan: %v", win, got)
+		}
+	}
+
+	got := postJSON(t, ts.URL+"/query/groupby",
+		map[string]any{"cube": "week.dwarf", "dim": "Kind", "window": "2d"}, http.StatusOK)
+	want := postJSON(t, ts.URL+"/query/groupby",
+		map[string]any{"cube": "week.dwarf", "dim": "Kind", "selectors": explicit("2015-06-08", "2015-06-10")}, http.StatusOK)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("windowed groupby: %v, explicit %v", got, want)
+	}
+
+	got = postJSON(t, ts.URL+"/query/topk",
+		map[string]any{"cube": "week.dwarf", "dim": "Date", "k": 3, "window": "5d"}, http.StatusOK)
+	want = postJSON(t, ts.URL+"/query/topk",
+		map[string]any{"cube": "week.dwarf", "dim": "Date", "k": 3, "selectors": explicit("2015-06-05", "2015-06-10")}, http.StatusOK)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("windowed topk: %v, explicit %v", got, want)
+	}
+
+	got = postJSON(t, ts.URL+"/query/pivot",
+		map[string]any{"cube": "week.dwarf", "dims": []string{"Kind"}, "window": "4d"}, http.StatusOK)
+	want = postJSON(t, ts.URL+"/query/pivot",
+		map[string]any{"cube": "week.dwarf", "dims": []string{"Kind"}, "selectors": explicit("2015-06-06", "2015-06-10")}, http.StatusOK)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("windowed pivot: %v, explicit %v", got, want)
+	}
+}
+
+// TestWindowValidation pins every 400 the window path owes the client.
+func TestWindowValidation(t *testing.T) {
+	ts := windowFixture(t)
+
+	// A window never silently overrides an explicit time-dimension
+	// selector — keys or range alike.
+	for _, sel := range []map[string]any{
+		{"keys": []string{"2015-06-01"}},
+		{"lo": "2015-06-01", "hi": "2015-06-03"},
+	} {
+		resp := postJSON(t, ts.URL+"/query/range", map[string]any{
+			"cube": "week.dwarf", "window": "2d", "selectors": []map[string]any{sel, {}},
+		}, http.StatusBadRequest)
+		if !strings.Contains(resp["error"].(string), "conflict") {
+			t.Fatalf("conflicting selector: %v", resp)
+		}
+	}
+	// A restriction on some OTHER dimension composes fine.
+	postJSON(t, ts.URL+"/query/range", map[string]any{
+		"cube": "week.dwarf", "window": "2d",
+		"selectors": []map[string]any{{}, {"keys": []string{"bike"}}},
+	}, http.StatusOK)
+
+	// Malformed or non-positive windows.
+	for _, win := range []string{"xyz", "-5h", "0s", "0d", "-2d", "1.5d", "d"} {
+		postJSON(t, ts.URL+"/query/range",
+			map[string]any{"cube": "week.dwarf", "window": win}, http.StatusBadRequest)
+	}
+
+	// A server with no time dimension configured refuses windows outright.
+	_, _, plain := serveFixture(t, 2)
+	resp := postJSON(t, plain.URL+"/query/range",
+		map[string]any{"cube": "indexed", "window": "24h"}, http.StatusBadRequest)
+	if !strings.Contains(resp["error"].(string), "no time dimension") {
+		t.Fatalf("no-TimeDim error: %v", resp)
+	}
+
+	// TimeDim configured but absent from the queried cube.
+	dir, _, _ := serveFixture(t, 2)
+	s, err := New(Options{Dir: dir, TimeDim: "Nope", TimeLayout: "2006-01-02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := httptest.NewServer(s.Handler())
+	t.Cleanup(miss.Close)
+	postJSON(t, miss.URL+"/query/range",
+		map[string]any{"cube": "indexed", "window": "24h"}, http.StatusBadRequest)
+
+	// TimeDim without a layout is a config error, not a per-request 400.
+	if _, err := New(Options{Dir: dir, TimeDim: "Day"}); err == nil {
+		t.Fatal("New accepted TimeDim without TimeLayout")
+	}
+}
+
+// TestWarm pins the startup pre-open path: warmed cubes show loaded in the
+// registry before any query, and a bad name fails loudly instead of
+// serving cold.
+func TestWarm(t *testing.T) {
+	dir, _, _ := serveFixture(t, 4)
+	s, err := New(Options{Dir: dir, CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm([]string{"indexed.dwarf", "plain.dwarf"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	loaded := map[string]bool{}
+	for _, c := range getJSON(t, ts.URL+"/cubes", http.StatusOK)["cubes"].([]any) {
+		row := c.(map[string]any)
+		loaded[row["name"].(string)] = row["loaded"].(bool)
+	}
+	if !loaded["indexed.dwarf"] || !loaded["plain.dwarf"] || loaded["junk.dwarf"] {
+		t.Fatalf("loaded after warm: %v", loaded)
+	}
+
+	for _, bad := range []string{"nope.dwarf", "junk.dwarf"} {
+		err := s.Warm([]string{bad})
+		if err == nil || !strings.Contains(err.Error(), bad) {
+			t.Fatalf("Warm(%q) = %v, want an error naming it", bad, err)
+		}
+	}
+}
