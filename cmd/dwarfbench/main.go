@@ -9,6 +9,7 @@
 //	dwarfbench -exp parallel          # sharded-build ablation (1/2/4/8 workers)
 //	dwarfbench -exp serve             # serving path: Decode vs CubeView open + q/s
 //	dwarfbench -exp ingest            # live store: WAL+memtable ingest + freshness
+//	dwarfbench -exp ingest -writers 1,4,16,64   # group-commit writer ladder
 //	dwarfbench -exp compact           # segment compaction: decode+Merge vs MergeViews
 //	dwarfbench -exp http              # live TCP load: append encoders vs reflection
 //	dwarfbench -exp cache             # hot-result cache + rollups vs plain fan-out
@@ -55,6 +56,7 @@ func main() {
 	connsFlag := flag.String("conns", "1,16,64", "concurrent connections swept by -exp http")
 	requests := flag.Int("requests", 12000, "total requests per -exp http run")
 	sealTuples := flag.Int("seal", 0, "live-store seal threshold in -exp ingest (0 = default)")
+	writersFlag := flag.String("writers", "", "concurrent-writer ladder for -exp ingest, e.g. 1,4,16,64 (empty = single-writer replay)")
 	sync := flag.Bool("sync", true, "fsync every Append in -exp ingest (the durable configuration)")
 	nodes := flag.Int("nodes", 3, "in-process dwarfd nodes in -exp cluster")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -109,6 +111,7 @@ func main() {
 		Workers:    *workers,
 		Sync:       *sync,
 		Verify:     *verify,
+		Repeats:    *repeats,
 	}
 
 	var err error
@@ -128,7 +131,11 @@ func main() {
 	case "serve":
 		err = runServe(presets, *queries, *repeats)
 	case "ingest":
-		err = runIngest(presets, ingestOpts, progress)
+		if *writersFlag != "" {
+			err = runIngestLadder(presets, *writersFlag, ingestOpts, *jsonOut, progress)
+		} else {
+			err = runIngest(presets, ingestOpts, progress)
+		}
 	case "compact":
 		err = runCompact(presets, *parts, *repeats, *jsonOut)
 	case "http":
@@ -218,6 +225,30 @@ func runIngest(presets []string, opts bench.IngestOptions, progress func(string)
 	}
 	bench.FormatIngest(results).Fprint(os.Stdout)
 	fmt.Println()
+	return nil
+}
+
+func runIngestLadder(presets []string, writersFlag string, opts bench.IngestOptions, jsonOut string, progress func(string)) error {
+	var counts []int
+	for _, f := range strings.Split(writersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -writers entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	results, err := bench.RunIngestLadder(presets, counts, opts, progress)
+	if err != nil {
+		return err
+	}
+	bench.FormatIngestLadder(results).Fprint(os.Stdout)
+	fmt.Println()
+	if jsonOut != "" {
+		if err := bench.WriteIngestJSON(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", jsonOut)
+	}
 	return nil
 }
 

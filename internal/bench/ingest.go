@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cubestore"
@@ -49,6 +52,7 @@ type IngestOptions struct {
 	Workers    int  // shard workers for memtable builds and seals
 	Sync       bool // fsync every Append (the durable configuration)
 	Verify     bool // cross-check final answers against a batch cube
+	Repeats    int  // ladder runs per (writers, mode) cell, best kept (default 1)
 }
 
 // RunIngest replays each preset's bike feed through a live store in a
@@ -195,4 +199,250 @@ func FormatIngest(results []IngestResult) *Table {
 			fmt.Sprintf("%v", r.WALSynced))
 	}
 	return t
+}
+
+// The writer ladder measures what the group-commit pipeline buys: the same
+// preset is replayed by N concurrent writers twice — once with every Append
+// serialized behind a bench-level mutex (the pre-group-commit design: one
+// writer in the WAL critical section, one fsync per batch) and once letting
+// the store's committer group them. Durable (fsync-per-commit) throughput,
+// fsync rate and client-observed append latency are reported per cell.
+
+// IngestLadderResult is one (writers, mode) cell of the ladder.
+type IngestLadderResult struct {
+	Preset    string `json:"preset"`
+	Mode      string `json:"mode"` // "serial": mutex-serialized appends; "grouped": concurrent group commit
+	Writers   int    `json:"writers"`
+	Tuples    int    `json:"tuples"`
+	BatchSize int    `json:"batch_size"`
+	Sync      bool   `json:"sync"`
+
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+
+	// Commit accounting straight from the store: in serial mode every batch
+	// is its own group (FsyncsSaved 0); grouped mode shares fsyncs.
+	GroupCommits int64   `json:"group_commits"`
+	FsyncsSaved  int64   `json:"fsyncs_saved"`
+	FsyncsPerSec float64 `json:"fsyncs_per_sec"`
+
+	// Client-observed Append latency (for serial mode this includes the
+	// wait for the serializing mutex, as a real client would see).
+	AppendP50NS int64 `json:"append_p50_ns"`
+	AppendP99NS int64 `json:"append_p99_ns"`
+	AppendMaxNS int64 `json:"append_max_ns"`
+
+	Seals           int64 `json:"seals"`
+	FrozenMemtables int64 `json:"frozen_memtables"`
+}
+
+// RunIngestLadder sweeps writer counts over each preset, serial vs grouped.
+func RunIngestLadder(presets []string, writerCounts []int, opts IngestOptions, progress func(string)) ([]IngestLadderResult, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 512
+	}
+	var out []IngestLadderResult
+	for _, preset := range presets {
+		tuples, err := DatasetTuples(preset)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range writerCounts {
+			for _, mode := range []string{"serial", "grouped"} {
+				// Shared-disk fsync latency is spiky; best-of-N per cell (the
+				// same policy the parallel and serve experiments use) keeps
+				// the run the disk didn't interrupt.
+				var res IngestLadderResult
+				for rep := 0; rep < max(opts.Repeats, 1); rep++ {
+					r, err := runIngestLadderCell(preset, tuples, w, mode, opts)
+					if err != nil {
+						return nil, err
+					}
+					if rep == 0 || r.TuplesPerSec > res.TuplesPerSec {
+						res = r
+					}
+				}
+				out = append(out, res)
+				if progress != nil {
+					progress(fmt.Sprintf("  %s %d writers %-7s %8.0f tuples/sec  %6.0f fsyncs/sec  p99 %s",
+						preset, w, mode, res.TuplesPerSec, res.FsyncsPerSec,
+						time.Duration(res.AppendP99NS).Round(10*time.Microsecond)))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func runIngestLadderCell(preset string, tuples []dwarf.Tuple, writers int, mode string, opts IngestOptions) (IngestLadderResult, error) {
+	res := IngestLadderResult{
+		Preset: preset, Mode: mode, Writers: writers,
+		Tuples: len(tuples), BatchSize: opts.BatchSize, Sync: opts.Sync,
+	}
+	// The ladder measures commit-path concurrency, not CPU parallelism: the
+	// writers must be able to enqueue while the committer sits in fsync.
+	// With GOMAXPROCS < writers+1 the runtime can keep the committer's P
+	// through the whole syscall (until sysmon retakes it), starving the
+	// waiting writers and silently serializing both modes.
+	if gmp := runtime.GOMAXPROCS(0); gmp < writers+1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(writers + 1))
+	}
+	dir, err := os.MkdirTemp("", "ingest-ladder-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := cubestore.Open(dir, cubestore.Options{
+		Dims:       smartcity.BikeDims,
+		SealTuples: opts.SealTuples,
+		NoSync:     !opts.Sync,
+		Workers:    opts.Workers,
+	})
+	if err != nil {
+		return res, err
+	}
+	var serialMu sync.Mutex
+	lats := make([][]time.Duration, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	per := (len(tuples) + writers - 1) / writers
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		lo := w * per
+		hi := min(lo+per, len(tuples))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, shard []dwarf.Tuple) {
+			defer wg.Done()
+			for off := 0; off < len(shard); off += opts.BatchSize {
+				end := min(off+opts.BatchSize, len(shard))
+				t0 := time.Now()
+				if mode == "serial" {
+					serialMu.Lock()
+				}
+				err := store.Append(shard[off:end])
+				if mode == "serial" {
+					serialMu.Unlock()
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, tuples[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			store.Close()
+			return res, err
+		}
+	}
+	res.ElapsedNS = elapsed.Nanoseconds()
+	res.TuplesPerSec = float64(len(tuples)) / elapsed.Seconds()
+	var merged []time.Duration
+	for _, l := range lats {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	if len(merged) > 0 {
+		res.AppendP50NS = merged[len(merged)/2].Nanoseconds()
+		res.AppendP99NS = merged[len(merged)*99/100].Nanoseconds()
+		res.AppendMaxNS = merged[len(merged)-1].Nanoseconds()
+	}
+	st := store.Stats()
+	res.GroupCommits, res.FsyncsSaved = st.GroupCommits, st.FsyncsSaved
+	res.Seals, res.FrozenMemtables = st.Seals, st.FrozenMemtables
+	if opts.Sync {
+		// Seals and compactions fsync too, but the WAL commit rate is the
+		// number the ladder is about: one fsync per group.
+		res.FsyncsPerSec = float64(st.GroupCommits) / elapsed.Seconds()
+	}
+	if opts.Verify {
+		if err := verifyIngest(store, tuples); err != nil {
+			store.Close()
+			return res, err
+		}
+	}
+	return res, store.Close()
+}
+
+// FormatIngestLadder renders the ladder with per-cell speedup over the
+// serialized baseline at the same writer count.
+func FormatIngestLadder(results []IngestLadderResult) *Table {
+	t := NewTable("Concurrent ingest — group-commit WAL vs serialized appends (durable unless fsync=false)",
+		"Dataset", "Writers", "Mode", "Tuples/sec", "vs serial", "fsyncs/sec", "Saved", "p50", "p99", "max", "fsync")
+	serialTPS := map[string]float64{}
+	for _, r := range results {
+		if r.Mode == "serial" {
+			serialTPS[fmt.Sprintf("%s/%d", r.Preset, r.Writers)] = r.TuplesPerSec
+		}
+	}
+	for _, r := range results {
+		speedup := "1.00x"
+		if base := serialTPS[fmt.Sprintf("%s/%d", r.Preset, r.Writers)]; base > 0 && r.Mode != "serial" {
+			speedup = fmt.Sprintf("%.2fx", r.TuplesPerSec/base)
+		}
+		t.AddRow(r.Preset,
+			fmt.Sprintf("%d", r.Writers),
+			r.Mode,
+			fmt.Sprintf("%.0f", r.TuplesPerSec),
+			speedup,
+			fmt.Sprintf("%.0f", r.FsyncsPerSec),
+			fmt.Sprintf("%d", r.FsyncsSaved),
+			time.Duration(r.AppendP50NS).Round(10*time.Microsecond).String(),
+			time.Duration(r.AppendP99NS).Round(10*time.Microsecond).String(),
+			time.Duration(r.AppendMaxNS).Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%v", r.Sync))
+	}
+	return t
+}
+
+type ingestReport struct {
+	Experiment string               `json:"experiment"`
+	Generated  string               `json:"generated"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Results    []IngestLadderResult `json:"results"`
+	Summary    map[string]any       `json:"summary"`
+}
+
+// WriteIngestJSON writes the ladder results plus a grouped-vs-serial
+// speedup summary per (preset, writers) pair.
+func WriteIngestJSON(path string, results []IngestLadderResult) error {
+	rep := ingestReport{
+		Experiment: "ingest",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    results,
+		Summary:    map[string]any{},
+	}
+	cells := map[string][2]float64{} // key -> [serial tps, grouped tps]
+	for _, r := range results {
+		key := fmt.Sprintf("%s/%dw", r.Preset, r.Writers)
+		c := cells[key]
+		if r.Mode == "serial" {
+			c[0] = r.TuplesPerSec
+		} else {
+			c[1] = r.TuplesPerSec
+		}
+		cells[key] = c
+	}
+	for key, c := range cells {
+		if c[0] > 0 && c[1] > 0 {
+			rep.Summary[key] = map[string]any{
+				"serial_tuples_per_sec":  fmt.Sprintf("%.0f", c[0]),
+				"grouped_tuples_per_sec": fmt.Sprintf("%.0f", c[1]),
+				"speedup":                fmt.Sprintf("%.2f", c[1]/c[0]),
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -182,12 +182,19 @@ func (s *Store) groupsAt(gen uint64, dim int, sels []dwarf.Selector) (map[string
 }
 
 // mergedGroups computes a GroupBy through the planner: cached partials for
-// immutable targets, a fresh walk for the rest and the live memtable, all
-// merged in deterministic target order (rollup, then uncovered segments
-// oldest-first, then live) into a fresh map.
+// immutable targets, a fresh walk for the rest plus the frozen and live
+// memtables, all merged in deterministic target order (rollup, then
+// uncovered segments oldest-first, then frozen memtables oldest-first, then
+// live) into a fresh map. Frozen memtables are recomputed like the live one
+// — they have no backing file to key never-stale partials on, and they
+// disappear into a segment shortly anyway.
 func (s *Store) mergedGroups(dim int, sels []dwarf.Selector, qkey string) (map[string]dwarf.Aggregate, error) {
 	st := s.state.Load()
 	live, err := st.mem.Cube()
+	if err != nil {
+		return nil, err
+	}
+	memCubes, err := memtableCubes(st, live)
 	if err != nil {
 		return nil, err
 	}
@@ -195,8 +202,8 @@ func (s *Store) mergedGroups(dim int, sels []dwarf.Selector, qkey string) (map[s
 	if viaRollup {
 		s.rollupHits.Add(1)
 	}
-	parts := make([]map[string]dwarf.Aggregate, len(targets)+1)
-	missing := make([]int, 0, len(targets)+1)
+	parts := make([]map[string]dwarf.Aggregate, len(targets)+len(memCubes))
+	missing := make([]int, 0, len(parts))
 	for i := range targets {
 		if s.cache != nil {
 			if v, ok := s.cache.GetPartial(targets[i].file + "|" + qkey); ok {
@@ -206,11 +213,13 @@ func (s *Store) mergedGroups(dim int, sels []dwarf.Selector, qkey string) (map[s
 		}
 		missing = append(missing, i)
 	}
-	missing = append(missing, len(targets)) // live memtable: always recomputed
+	for i := range memCubes { // memtables: always recomputed
+		missing = append(missing, len(targets)+i)
+	}
 	err = runIndexed(len(missing), func(k int) error {
 		i := missing[k]
-		if i == len(targets) {
-			m, err := live.GroupBy(dim, sels)
+		if i >= len(targets) {
+			m, err := memCubes[i-len(targets)].GroupBy(dim, sels)
 			parts[i] = m
 			return err
 		}
@@ -229,6 +238,20 @@ func (s *Store) mergedGroups(dim int, sels []dwarf.Selector, qkey string) (map[s
 		return nil, err
 	}
 	return dwarf.MergeGroupMaps(make(map[string]dwarf.Aggregate), parts...), nil
+}
+
+// memtableCubes lists the snapshot's always-recomputed fan-out tail: every
+// frozen memtable's cube, oldest first, then the live cube.
+func memtableCubes(st *storeState, live *dwarf.Cube) ([]*dwarf.Cube, error) {
+	out := make([]*dwarf.Cube, 0, len(st.frozen)+1)
+	for _, fz := range st.frozen {
+		c, err := fz.mem.Cube()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return append(out, live), nil
 }
 
 func (s *Store) pivotPlanned(dims []int, sels []dwarf.Selector) ([]dwarf.PivotGroup, error) {
@@ -256,12 +279,16 @@ func (s *Store) mergedPivot(dims []int, sels []dwarf.Selector, qkey string) ([]d
 	if err != nil {
 		return nil, err
 	}
+	memCubes, err := memtableCubes(st, live)
+	if err != nil {
+		return nil, err
+	}
 	targets, viaRollup := s.planTargets(st, dims, sels)
 	if viaRollup {
 		s.rollupHits.Add(1)
 	}
-	parts := make([][]dwarf.PivotGroup, len(targets)+1)
-	missing := make([]int, 0, len(targets)+1)
+	parts := make([][]dwarf.PivotGroup, len(targets)+len(memCubes))
+	missing := make([]int, 0, len(parts))
 	for i := range targets {
 		if s.cache != nil {
 			if v, ok := s.cache.GetPartial(targets[i].file + "|" + qkey); ok {
@@ -271,11 +298,13 @@ func (s *Store) mergedPivot(dims []int, sels []dwarf.Selector, qkey string) ([]d
 		}
 		missing = append(missing, i)
 	}
-	missing = append(missing, len(targets))
+	for i := range memCubes {
+		missing = append(missing, len(targets)+i)
+	}
 	err = runIndexed(len(missing), func(k int) error {
 		i := missing[k]
-		if i == len(targets) {
-			rows, err := live.Pivot(dims, sels)
+		if i >= len(targets) {
+			rows, err := memCubes[i-len(targets)].Pivot(dims, sels)
 			parts[i] = rows
 			return err
 		}

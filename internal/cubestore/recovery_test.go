@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dwarf"
@@ -137,12 +139,12 @@ func TestRecoveryCrashDuringSeal(t *testing.T) {
 			dir := t.TempDir()
 			rng := rand.New(rand.NewSource(23))
 			s, all := openRecoveryStore(t, dir, rng, 8)
-			s.failpoint = func(name string) error {
+			s.setFailpoint(func(name string) error {
 				if name == fp {
 					return errInjected
 				}
 				return nil
-			}
+			})
 			if err := s.Seal(); !errors.Is(err, errInjected) {
 				t.Fatalf("Seal with failpoint %s = %v", fp, err)
 			}
@@ -201,12 +203,12 @@ func TestRecoveryCrashDuringCompaction(t *testing.T) {
 			if len(before.Segments) != 2 {
 				t.Fatalf("setup: want 2 segments, have %+v", before.Segments)
 			}
-			s.failpoint = func(name string) error {
+			s.setFailpoint(func(name string) error {
 				if name == fp {
 					return errInjected
 				}
 				return nil
-			}
+			})
 			if _, err := s.Compact(); !errors.Is(err, errInjected) {
 				t.Fatalf("Compact with failpoint %s = %v", fp, err)
 			}
@@ -276,12 +278,12 @@ func TestRecoveryRepeatedCrashes(t *testing.T) {
 			}
 			all = append(all, batch...)
 		}
-		s.failpoint = func(name string) error {
+		s.setFailpoint(func(name string) error {
 			if name == fp {
 				return fmt.Errorf("%w at %s", errInjected, name)
 			}
 			return nil
-		}
+		})
 		sealErr := s.Seal()
 		var compactErr error
 		if sealErr == nil {
@@ -398,4 +400,159 @@ func TestRecoveryManifestIsTruth(t *testing.T) {
 	if _, err := Open(dir, Options{}); err == nil {
 		t.Fatal("open with a missing manifest-listed segment should fail")
 	}
+}
+
+// TestRecoveryCrashWithQueuedCommits crashes with a non-empty commit queue:
+// batches handed to the committer but never written. None of them was
+// acknowledged, so after reopen exactly the previously-acked tuples exist —
+// the queued batches must not surface, and the earlier acks must not be
+// lost.
+func TestRecoveryCrashWithQueuedCommits(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(131))
+	s, all := openRecoveryStore(t, dir, rng, 5)
+	s.setFailpoint(func(name string) error {
+		if name == fpCommitWrite {
+			return errInjected
+		}
+		return nil
+	})
+	// Concurrent writers pile batches into the commit queue; the committer
+	// dies before writing any of them.
+	const writers = 4
+	batches := make([][]dwarf.Tuple, writers)
+	for w := range batches {
+		batches[w] = randTuples(rng, rng.Intn(8)+1)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := s.Append(batches[w]); !errors.Is(err, errInjected) {
+				t.Errorf("queued append %d = %v, want injected crash", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.crashClose()
+
+	s2 := reopenAndVerify(t, dir, all, rng)
+	// The unwritten batches stay gone, and the reopened store accepts the
+	// retries cleanly.
+	for w := 0; w < writers; w++ {
+		if err := s2.Append(batches[w]); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batches[w]...)
+	}
+	compareStore(t, s2, all, nil, rng, true)
+	s2.Close()
+}
+
+// TestRecoveryCrashWithFrozenPending stacks several frozen memtables behind
+// a failing sealer, then crashes. Every frozen tuple is still covered by
+// its live WAL generation (the manifest never advanced), so replay must
+// reconstruct all of them exactly once.
+func TestRecoveryCrashWithFrozenPending(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(137))
+	s, err := Open(dir, Options{
+		Dims:               testDims,
+		SealTuples:         1 << 30, // manual freezes only
+		ChunkTuples:        7,
+		MaxFrozen:          4,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.setFailpoint(func(name string) error {
+		if name == fpSealBuilt {
+			return errInjected
+		}
+		return nil
+	})
+	var all []dwarf.Tuple
+	for round := 0; round < 3; round++ {
+		batch := randTuples(rng, rng.Intn(10)+1)
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+		// The freeze succeeds (memtable swapped, WAL rotated) but every seal
+		// attempt dies before writing anything: the frozen queue grows.
+		if err := s.Seal(); !errors.Is(err, errInjected) {
+			t.Fatalf("round %d: Seal = %v, want injected crash", round, err)
+		}
+	}
+	st := s.Stats()
+	if st.SealQueueDepth != 3 || st.FrozenMemtables != 3 || st.Seals != 0 {
+		t.Fatalf("want 3 frozen memtables pending, stats = %+v", st)
+	}
+	// Read-your-writes holds across the frozen stack before the crash.
+	compareStore(t, s, all, nil, rng, false)
+	s.crashClose()
+
+	// Reopen replays the (still live) WAL generations of all three frozen
+	// memtables plus the live one: every acked tuple exactly once, and the
+	// recovered store seals to completion.
+	s2 := reopenAndVerify(t, dir, all, rng)
+	if err := s2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.SealedTuples != len(all) || st.LiveTuples != 0 || st.SealQueueDepth != 0 {
+		t.Fatalf("recovered store did not seal cleanly: %+v", st)
+	}
+	compareStore(t, s2, all, nil, rng, true)
+	assertDirAccounted(t, dir, s2)
+	s2.Close()
+}
+
+// TestRecoverySealFailureRequeueReopen: a seal that dies after writing its
+// segment file (but before the manifest commit) keeps its frozen memtable
+// queued; the retry seals the same tuples into a fresh segment, and the
+// reopen removes the abandoned file — the tuples exist exactly once
+// throughout.
+func TestRecoverySealFailureRequeueReopen(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(139))
+	s, all := openRecoveryStore(t, dir, rng, 6)
+	var attempts atomic.Int32
+	s.setFailpoint(func(name string) error {
+		if name == fpSealSegmentWritten && attempts.Add(1) == 1 {
+			return errInjected
+		}
+		return nil
+	})
+	// The first attempt may be taken by the explicit Seal or by the kicked
+	// background sealer; either way it fails, requeues the frozen memtable,
+	// and a later drive seals it.
+	if err := s.Seal(); err != nil && !errors.Is(err, errInjected) {
+		t.Fatalf("Seal = %v", err)
+	}
+	for s.Stats().Seals == 0 {
+		if err := s.Seal(); err != nil {
+			t.Fatalf("retry Seal = %v", err)
+		}
+	}
+	if n := attempts.Load(); n < 2 {
+		t.Fatalf("seal attempts = %d, want a failure plus a successful retry", n)
+	}
+	st := s.Stats()
+	if st.Seals != 1 || st.SealQueueDepth != 0 || st.SealedTuples != len(all) || st.LastSealError != "" {
+		t.Fatalf("after requeued seal: %+v", st)
+	}
+	compareStore(t, s, all, nil, rng, true)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The failed attempt's segment file is still on disk, unreferenced;
+	// reopen deletes it and serves the committed copy only.
+	s2 := reopenAndVerify(t, dir, all, rng)
+	if s2.orphansRemoved == 0 {
+		t.Error("expected the abandoned segment file from the failed seal attempt to be removed")
+	}
+	s2.Close()
 }

@@ -371,7 +371,9 @@ func (s *Store) swapRollup(spec rollupSpec, segs []*segment, cover []string) err
 	if replaced != "" {
 		os.Remove(filepath.Join(s.dir, replaced))
 	}
-	fsyncDir(s.dir)
+	// Surfaces a failed sync of the replaced-rollup deletion in Stats; a
+	// resurrected file is re-deleted as an orphan on the next open.
+	s.noteDirSync(fsyncDir(s.dir))
 	s.publish()
 	return nil
 }
@@ -413,7 +415,7 @@ func (s *Store) removeRollup(r *rollupSeg) error {
 	}
 	s.rollups = keep
 	os.Remove(filepath.Join(s.dir, r.meta.File))
-	fsyncDir(s.dir)
+	s.noteDirSync(fsyncDir(s.dir))
 	s.publish()
 	return nil
 }

@@ -1,21 +1,27 @@
 // Package cubestore is the live layer over the DWARF cube pipeline: an
 // LSM-of-cubes that makes ingestion durable and continuously queryable.
-// Appends land in a write-ahead log plus an in-memory dwarf.Incremental
-// memtable; when the memtable reaches a size or age threshold it is sealed
-// into an immutable v2 cube segment file and the covered WAL generations
-// are dropped; a background compactor merges small sealed segments into
+// Concurrent Append callers enqueue validated batches into a commit queue;
+// a single committer goroutine group-commits the queue — every pending
+// record written, one fsync for all of them — then folds each batch into
+// the in-memory dwarf.Incremental memtable and releases the waiters. When
+// the memtable reaches a size or age threshold it is frozen: a fresh
+// memtable and a rotated WAL generation are swapped in atomically and the
+// frozen (memtable, generation) pair is handed to a background sealer that
+// encodes it into an immutable v2 cube segment file and drops the covered
+// WAL generations; a background compactor merges small sealed segments into
 // larger ones with dwarf.Merge, leveled by tuple count, committing each
 // transition by atomically swapping the segment manifest. Queries fan out
-// across every sealed segment's zero-copy CubeView plus the live memtable
-// cube and merge the partial aggregates, so answers always reflect every
-// acknowledged tuple.
+// across every sealed segment's zero-copy CubeView, every frozen memtable
+// awaiting its seal, and the live memtable cube, and merge the partial
+// aggregates, so answers always reflect every acknowledged tuple.
 //
 // Recovery invariants (docs/STORE.md spells out the full state machine):
 // an acknowledged tuple lives in exactly one of {a manifest-listed segment,
-// a live WAL generation}; segment files the manifest does not list and WAL
-// generations below the manifest's WALGen are garbage and are deleted on
-// open; a torn WAL tail is discarded because its batch was never
-// acknowledged.
+// a live WAL generation} — a frozen memtable is the in-memory image of one
+// or more still-live WAL generations, so it adds no third durable home;
+// segment files the manifest does not list and WAL generations below the
+// manifest's WALGen are garbage and are deleted on open; a torn WAL tail
+// is discarded because its batch was never acknowledged.
 package cubestore
 
 import (
@@ -39,6 +45,7 @@ const (
 	DefaultSealTuples    = 16384
 	DefaultChunkTuples   = 4096
 	DefaultCompactFanout = 4
+	DefaultMaxFrozen     = 4
 )
 
 // ErrClosed is returned by operations on a closed store.
@@ -90,6 +97,11 @@ type Options struct {
 	// sealed segment regardless of its zone maps. Differential tests use it
 	// to hold the pruned and unpruned paths to identical answers.
 	NoPrune bool
+	// MaxFrozen bounds the frozen-memtable queue (DefaultMaxFrozen when 0):
+	// when the live memtable is full and this many frozen memtables already
+	// await the background sealer, commits wait for a seal to free a slot
+	// instead of growing memory without limit.
+	MaxFrozen int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +116,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactFanout < 2 {
 		o.CompactFanout = DefaultCompactFanout
+	}
+	if o.MaxFrozen <= 0 {
+		o.MaxFrozen = DefaultMaxFrozen
 	}
 	return o
 }
@@ -130,13 +145,30 @@ type segment struct {
 	zones []dwarf.ZoneMap
 }
 
+// frozenMem is a memtable that reached its seal threshold and was swapped
+// out of the write path: immutable in content (no more folds), still fully
+// queryable, and still covered by its WAL generations until the background
+// sealer lands it as a segment. walGenHi is the highest WAL generation
+// holding its tuples; the seal that commits it advances the manifest's
+// WALGen to walGenHi+1, making those generations dead.
+type frozenMem struct {
+	mem      *dwarf.Incremental
+	count    int
+	walGenHi uint64
+}
+
 // storeState is the immutable read snapshot queries fan out over. The
-// memtable pointer is shared with the writer — Incremental is internally
+// memtable pointers are shared with the writer — Incremental is internally
 // locked and its standing cube immutable, so readers of an old snapshot
-// keep a complete view while a seal installs the next one.
+// keep a complete view while a seal installs the next one. Frozen memtables
+// sit between the sealed segments and the live memtable in fan-out order:
+// when one seals, its cube moves to the end of segs and off the front of
+// frozen, so the merge order of every tuple is stable across the
+// transition.
 type storeState struct {
 	segs    []*segment
 	rollups []*rollupSeg
+	frozen  []*frozenMem
 	mem     *dwarf.Incremental
 }
 
@@ -146,6 +178,11 @@ type storeState struct {
 // flushes them under the memtable's own mutex, so a concurrent Append can
 // wait for one chunk build (bounded by ChunkTuples); seals and compactions
 // are never blocked by readers.
+//
+// Appends do not take mu either: they enqueue onto the commit queue and a
+// single committer goroutine holds mu across each group commit. Only the
+// committer, the sealer, compaction manifest swaps, and Stats/TotalTuples
+// take mu.
 type Store struct {
 	dir  string
 	opts Options
@@ -156,22 +193,47 @@ type Store struct {
 	// lock is the exclusive directory lock held for the store's lifetime.
 	lock *dirLock
 
-	// mu serializes writers: Append, seal, and every manifest swap.
+	// qmu guards the commit queue. Append enqueues under qmu and blocks on
+	// its request's done channel; the committer drains the whole queue in
+	// one swap and commits it as a group under mu. qmu is never held
+	// together with mu.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []*commitReq
+	qclosed bool
+
+	// mu serializes state writers: the committer, freezes, seal and
+	// compaction manifest swaps.
 	mu     sync.Mutex
 	closed bool
 	// fatalErr, once set, disables Append: the WAL and memtable may have
 	// diverged (a record reached the file but its write errored, so the
-	// batch was never acknowledged yet would replay). A successful seal
-	// clears it — sealing rotates away from and deletes the suspect
-	// generation, re-grounding disk state on the memtable's contents.
+	// batch was never acknowledged yet would replay). A seal that advances
+	// the manifest's WALGen past fatalGen clears it — sealing rotates away
+	// from and deletes the suspect generation, re-grounding disk state on
+	// the memtable's contents.
 	fatalErr error
+	fatalGen uint64
 	wal      *wal
 	mem      *dwarf.Incremental
 	memCount int
 	memSince time.Time
-	man      manifest
-	segs     []*segment
-	rollups  []*rollupSeg
+	// frozen is the FIFO queue of memtables awaiting the background sealer,
+	// oldest first; its length is bounded by Options.MaxFrozen via commit
+	// backpressure.
+	frozen []*frozenMem
+	// sealAborted, once set (mu held), halts the frozen queue: a seal
+	// failed during or after its manifest write, so whether it committed
+	// is unknown, and re-running it could list the memtable's segment
+	// twice. The store stays consistent, queryable and appendable — the
+	// frozen tuples are served from memory and still WAL-covered if the
+	// swap didn't land — and the next open resolves which outcome
+	// happened from the manifest. Failures before the manifest write
+	// (build, encode, segment write) commit nothing and stay retryable.
+	sealAborted error
+	man         manifest
+	segs        []*segment
+	rollups     []*rollupSeg
 
 	state atomic.Pointer[storeState]
 
@@ -196,16 +258,43 @@ type Store struct {
 	segsPruned  atomic.Int64
 
 	// compactMu serializes compactions (background loop and explicit
-	// Compact calls); it is never held together with mu.
+	// Compact calls); sealMu serializes seals (the background sealer and
+	// explicit Seal calls draining the frozen queue). Neither is ever held
+	// together with mu, and they are never held together.
 	compactMu sync.Mutex
+	sealMu    sync.Mutex
 
-	kick    chan struct{}
-	closing chan struct{}
-	bg      sync.WaitGroup
+	kick chan struct{}
+	// sealKick wakes the background sealer: sent on every freeze and
+	// whenever the committer sees frozen memtables pending (which retries a
+	// previously failed seal under ingest pressure).
+	sealKick chan struct{}
+	// frozenFreed is signalled each time a seal commits, waking commits
+	// blocked on MaxFrozen backpressure.
+	frozenFreed chan struct{}
+	closing     chan struct{}
+	bg          sync.WaitGroup
 
 	seals       atomic.Int64
 	compactions atomic.Int64
 	appended    atomic.Int64
+
+	// groupCommits counts committer rounds (each is at most one fsync);
+	// fsyncsSaved counts synced batches that shared a group leader's fsync
+	// instead of issuing their own, so groupCommits + fsyncsSaved equals
+	// the number of acked synced batches. frozenTotal counts lifetime
+	// freezes.
+	groupCommits atomic.Int64
+	fsyncsSaved  atomic.Int64
+	frozenTotal  atomic.Int64
+
+	// dirSyncErrs counts failed directory syncs after post-commit file
+	// deletions (dead WAL gens, replaced rollups). Not fatal — the orphans
+	// are re-deleted on the next open — but surfaced in Stats rather than
+	// dropped. errMu guards lastDirSyncErr (writers hold varying locks).
+	dirSyncErrs    atomic.Int64
+	errMu          sync.Mutex
+	lastDirSyncErr string
 
 	// streamingCompacts / fallbackCompacts split compactions by merge path,
 	// so a store silently living on the decode fallback is visible in Stats.
@@ -226,15 +315,17 @@ type Store struct {
 	lastSealErr    string
 	lastCompactErr string
 
-	// failpoint, when set by tests, is called at named commit points; an
-	// error aborts the operation there, leaving the on-disk state exactly
-	// as a crash at that point would. The in-memory store is then poisoned
-	// and must be dropped via crashClose.
-	failpoint func(name string) error
+	// failpoint, when set by tests (setFailpoint), is called at named commit
+	// points; an error aborts the operation there, leaving the on-disk state
+	// exactly as a crash at that point would. The in-memory store is then
+	// poisoned and must be dropped via crashClose. Atomic because the
+	// background sealer reads it while tests swap it mid-run.
+	failpoint atomic.Pointer[func(name string) error]
 }
 
 // Failpoint names, in commit order.
 const (
+	fpCommitWrite            = "commit:write"
 	fpSealBuilt              = "seal:built"
 	fpSealSegmentWritten     = "seal:segment-written"
 	fpSealManifestSwapped    = "seal:manifest-swapped"
@@ -243,10 +334,20 @@ const (
 )
 
 func (s *Store) fail(name string) error {
-	if s.failpoint == nil {
+	fp := s.failpoint.Load()
+	if fp == nil {
 		return nil
 	}
-	return s.failpoint(name)
+	return (*fp)(name)
+}
+
+// setFailpoint installs (or with nil clears) the test failpoint hook.
+func (s *Store) setFailpoint(fn func(name string) error) {
+	if fn == nil {
+		s.failpoint.Store(nil)
+		return
+	}
+	s.failpoint.Store(&fn)
 }
 
 // Open opens (creating if needed) the store rooted at dir: it loads the
@@ -298,14 +399,17 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 
 	s := &Store{
-		dir:     dir,
-		opts:    opts,
-		dims:    append([]string(nil), man.Dims...),
-		lock:    lock,
-		man:     man,
-		kick:    make(chan struct{}, 1),
-		closing: make(chan struct{}),
+		dir:         dir,
+		opts:        opts,
+		dims:        append([]string(nil), man.Dims...),
+		lock:        lock,
+		man:         man,
+		kick:        make(chan struct{}, 1),
+		sealKick:    make(chan struct{}, 1),
+		frozenFreed: make(chan struct{}, 1),
+		closing:     make(chan struct{}),
 	}
+	s.qcond = sync.NewCond(&s.qmu)
 	s.gen.Store(man.Generation)
 	if s.rollupSpecs, err = normalizeRollupSpecs(opts.Rollups, s.dims); err != nil {
 		return nil, err
@@ -326,7 +430,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.publish()
-	s.bg.Add(1)
+	s.bg.Add(3)
+	go s.committer()
+	go s.sealer()
 	go s.background()
 	ok = true
 	return s, nil
@@ -480,7 +586,9 @@ func (s *Store) publish() {
 	copy(segs, s.segs)
 	rollups := make([]*rollupSeg, len(s.rollups))
 	copy(rollups, s.rollups)
-	s.state.Store(&storeState{segs: segs, rollups: rollups, mem: s.mem})
+	frozen := make([]*frozenMem, len(s.frozen))
+	copy(frozen, s.frozen)
+	s.state.Store(&storeState{segs: segs, rollups: rollups, frozen: frozen, mem: s.mem})
 	s.gen.Add(1)
 }
 
@@ -496,9 +604,22 @@ func (s *Store) Dims() []string { return append([]string(nil), s.dims...) }
 // NumDims returns the number of dimensions.
 func (s *Store) NumDims() int { return len(s.dims) }
 
+// commitReq is one Append waiting in the commit queue: its validated batch,
+// the pre-framed WAL record (encoded by the caller, off the serial path),
+// and the channel the committer acks on.
+type commitReq struct {
+	tuples []dwarf.Tuple
+	rec    []byte
+	done   chan error
+}
+
 // Append validates and durably logs one batch, then folds it into the live
 // memtable — when Append returns, every tuple is crash-safe (unless NoSync)
-// and visible to queries. Reaching the seal threshold seals inline.
+// and visible to queries. Concurrent Appends are group-committed: the
+// committer goroutine writes every queued record and issues one fsync for
+// the whole group, so N concurrent writers share a single disk flush
+// instead of serializing N of them. Reaching the seal threshold freezes the
+// memtable for the background sealer; the ack never waits on a seal.
 func (s *Store) Append(tuples []dwarf.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
@@ -511,75 +632,313 @@ func (s *Store) Append(tuples []dwarf.Tuple) error {
 			return fmt.Errorf("cubestore: tuple %d: %w", i, err)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	// Frame the WAL record here, outside any lock: CRC and encoding are the
+	// CPU cost of a commit, and paying it per caller keeps the committer's
+	// serial section down to write+fsync+fold.
+	bp := walRecPool.Get().(*[]byte)
+	rec := appendWALRecord(*bp, tuples)
+	*bp = rec
+	if len(rec)-8 > maxWALRecord {
+		// Size check fires before any byte is written: plain rejection.
+		walRecPool.Put(bp)
+		return fmt.Errorf("%w (%d bytes)", ErrBatchTooLarge, len(rec)-8)
+	}
+	req := &commitReq{tuples: tuples, rec: rec, done: make(chan error, 1)}
+	s.qmu.Lock()
+	if s.qclosed {
+		s.qmu.Unlock()
+		walRecPool.Put(bp)
 		return ErrClosed
 	}
-	if s.fatalErr != nil {
-		return fmt.Errorf("cubestore: appends disabled until the next successful seal or reopen: %w", s.fatalErr)
-	}
-	if err := s.wal.append(tuples, !s.opts.NoSync); err != nil {
-		if errors.Is(err, ErrBatchTooLarge) {
-			// Size check fires before any byte is written: plain rejection.
-			return err
+	s.queue = append(s.queue, req)
+	s.qcond.Signal()
+	s.qmu.Unlock()
+	err := <-req.done
+	walRecPool.Put(bp)
+	return err
+}
+
+// committer is the single consumer of the commit queue: it drains every
+// pending request in one swap and commits them as a group. Queue depth is
+// naturally bounded — each Append has at most one request outstanding — so
+// a group is at most one batch per concurrent writer.
+func (s *Store) committer() {
+	defer s.bg.Done()
+	for {
+		s.qmu.Lock()
+		for len(s.queue) == 0 && !s.qclosed {
+			s.qcond.Wait()
 		}
-		// The record may be partly or fully on disk without having been
+		group := s.queue
+		s.queue = nil
+		closed := s.qclosed
+		s.qmu.Unlock()
+		if closed {
+			// Requests still queued at Close were never committed: fail
+			// them so no caller blocks forever.
+			for _, r := range group {
+				r.done <- ErrClosed
+			}
+			return
+		}
+		s.commitGroup(group)
+	}
+}
+
+// commitGroup makes one group of batches durable and visible: every record
+// written to the WAL, ONE fsync for all of them, then each batch folded
+// into the memtable, then the acks. Per-caller semantics are exactly those
+// of the old serialized Append — when done receives nil, that batch is
+// durable (unless NoSync) and visible to queries.
+func (s *Store) commitGroup(group []*commitReq) {
+	s.mu.Lock()
+	// Backpressure: with the live memtable at its threshold and the frozen
+	// queue at its bound, adding more would grow memory without limit.
+	// Kick the sealer (retrying a previously failed seal, if that is what
+	// backed the queue up) and wait for a slot; the poll interval makes the
+	// retry loop self-driving even if a seal failure ate the kick.
+	for !s.closed && s.sealAborted == nil && s.memCount >= s.opts.SealTuples && len(s.frozen) >= s.opts.MaxFrozen {
+		s.kickSeal()
+		s.mu.Unlock()
+		select {
+		case <-s.frozenFreed:
+		case <-s.closing:
+		case <-time.After(50 * time.Millisecond):
+		}
+		s.mu.Lock()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		for _, r := range group {
+			r.done <- ErrClosed
+		}
+		return
+	}
+	if s.fatalErr != nil {
+		err := fmt.Errorf("cubestore: appends disabled until the next successful seal or reopen: %w", s.fatalErr)
+		s.mu.Unlock()
+		for _, r := range group {
+			r.done <- err
+		}
+		return
+	}
+	if err := s.fail(fpCommitWrite); err != nil {
+		// A crash with the group still queued: nothing written, nothing
+		// acked. The callers see the failure and the WAL is untouched, so
+		// none of these batches may surface after a reopen.
+		s.mu.Unlock()
+		for _, r := range group {
+			r.done <- err
+		}
+		return
+	}
+	var werr error
+	wrote := 0
+	for _, r := range group {
+		if werr = s.wal.writeRecord(r.rec); werr != nil {
+			break
+		}
+		wrote++
+	}
+	if werr == nil && !s.opts.NoSync {
+		werr = s.wal.sync()
+	}
+	if werr != nil {
+		// Records may be partly or fully on disk without having been
 		// acknowledged; accepting more appends (a client retry, say) into
-		// the same generation could double-count it after a crash.
-		s.fatalErr = err
-		return err
+		// the same generation could double-count them after a crash.
+		s.fatalErr = werr
+		s.fatalGen = s.wal.gen
+		s.mu.Unlock()
+		for _, r := range group {
+			r.done <- werr
+		}
+		return
 	}
-	if err := s.mem.AddBatch(tuples); err != nil {
-		// Logged but not in the memtable: the generation must not be
-		// replayed against this memtable's seals.
-		s.fatalErr = err
-		return err
+	s.groupCommits.Add(1)
+	if !s.opts.NoSync && wrote > 1 {
+		s.fsyncsSaved.Add(int64(wrote - 1))
 	}
-	if s.memCount == 0 {
-		s.memSince = time.Now()
+	// Fold each batch into the memtable. A fold failure poisons the store
+	// (logged but not in the memtable: the generation must not be replayed
+	// against this memtable's seals) and fails that batch and the rest of
+	// the group; earlier batches are already durable and visible, so they
+	// still ack.
+	folded := 0
+	var foldErr error
+	for _, r := range group {
+		if foldErr = s.mem.AddBatch(r.tuples); foldErr != nil {
+			s.fatalErr = foldErr
+			s.fatalGen = s.wal.gen
+			break
+		}
+		if s.memCount == 0 {
+			s.memSince = time.Now()
+		}
+		s.memCount += len(r.tuples)
+		s.appended.Add(int64(len(r.tuples)))
+		folded++
 	}
-	s.memCount += len(tuples)
-	s.appended.Add(int64(len(tuples)))
-	// The batch is visible in the memtable; bump the generation so cached
-	// results are recomputed. The bump happens after AddBatch, so a query
-	// that read the old generation before this point either recomputes (and
-	// sees a consistent snapshot) or serves a result from before the batch
-	// was acknowledged — never a stale hit after the ack.
-	s.gen.Add(1)
-	if s.memCount >= s.opts.SealTuples {
-		// The batch is already durable and visible, so the ack must not
-		// depend on the seal: a failed seal (e.g. disk full writing the
-		// segment) is recorded and retried on the next threshold crossing
-		// or age tick, while the tuples stay covered by the live WAL.
-		if err := s.seal(); err != nil {
+	// The group is visible in the memtable; bump the generation so cached
+	// results are recomputed. The bump happens after the folds and before
+	// the acks, so a query that read the old generation either recomputes
+	// (and sees a consistent snapshot) or serves a result from before the
+	// batches were acknowledged — never a stale hit after an ack.
+	if folded > 0 {
+		s.gen.Add(1)
+	}
+	if s.fatalErr == nil && s.memCount >= s.opts.SealTuples && len(s.frozen) < s.opts.MaxFrozen {
+		// The batches are already durable and visible, so the acks must not
+		// depend on the freeze: a failure (e.g. the new WAL generation could
+		// not be opened) is recorded and retried on the next group, while
+		// the tuples stay covered by the live WAL.
+		if err := s.freezeLocked(); err != nil {
 			s.lastSealErr = err.Error()
 		}
 	}
-	return nil
-}
-
-// Seal forces the memtable into a sealed segment now (no-op when empty).
-func (s *Store) Seal() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	if len(s.frozen) > 0 {
+		s.kickSeal()
 	}
-	return s.seal()
+	s.mu.Unlock()
+	for i, r := range group {
+		if i < folded {
+			r.done <- nil
+		} else {
+			r.done <- foldErr
+		}
+	}
 }
 
-// seal turns the memtable into a durable segment. Callers hold mu. Commit
-// order — segment file, then manifest, then WAL deletion — is what recovery
-// leans on: before the manifest swap the tuples are still covered by live
-// WAL generations and the segment file is an orphan; after it, the WAL
-// generations are dead. The in-memory swap happens only once the on-disk
-// state is fully committed, so any earlier error leaves a consistent store.
-func (s *Store) seal() error {
+// freezeLocked retires the live memtable into the frozen queue and rotates
+// the WAL: a fresh memtable and a new WAL generation are swapped in, and
+// the frozen (memtable, generation-range) pair waits for the background
+// sealer. Callers hold mu. Nothing is written or deleted here — the frozen
+// tuples stay covered by their (now idle) WAL generations until the seal
+// commits, so a crash at any point replays them.
+func (s *Store) freezeLocked() error {
 	if s.memCount == 0 {
 		return nil
 	}
-	cube, err := s.mem.Cube()
+	mem, err := dwarf.NewIncremental(s.dims, s.opts.ChunkTuples, s.opts.cubeOptions()...)
+	if err != nil {
+		return err
+	}
+	nw, err := openWAL(s.dir, s.wal.gen+1)
+	if err != nil {
+		return err
+	}
+	fz := &frozenMem{mem: s.mem, count: s.memCount, walGenHi: s.wal.gen}
+	// A close error here is not data loss: the frozen memtable holds every
+	// acked tuple and the seal re-grounds disk state on it. (With NoSync a
+	// lost buffered record was already inside the NoSync crash window.)
+	s.wal.close()
+	s.wal = nw
+	s.mem = mem
+	s.memCount = 0
+	s.memSince = time.Time{}
+	s.frozen = append(s.frozen, fz)
+	s.frozenTotal.Add(1)
+	s.publish()
+	s.kickSeal()
+	return nil
+}
+
+func (s *Store) kickSeal() {
+	select {
+	case s.sealKick <- struct{}{}:
+	default:
+	}
+}
+
+// Seal forces every buffered tuple into sealed segments now: the live
+// memtable is frozen (no-op when empty) and the frozen queue drained
+// synchronously. Safe alongside concurrent appends and the background
+// sealer.
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	err := s.freezeLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = s.drainFrozen()
+	return err
+}
+
+// sealer is the background half of the freeze/seal split: each kick drains
+// the frozen queue. A failed seal is recorded in lastSealErr and the entry
+// stays at the front of the queue; the retry rides the next kick (a new
+// freeze, an explicit Seal, commit backpressure, or an age tick).
+func (s *Store) sealer() {
+	defer s.bg.Done()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-s.sealKick:
+		}
+		if n, err := s.drainFrozen(); err == nil && n > 0 {
+			// New segments may have made a compaction level full.
+			select {
+			case s.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// drainFrozen seals frozen memtables oldest-first until the queue is empty
+// or a seal fails, returning how many sealed. sealMu makes it safe to call
+// from both the background sealer and explicit Seal. FIFO order is what
+// keeps the manifest's WALGen monotonic: each commit advances it to the
+// sealed memtable's walGenHi+1.
+func (s *Store) drainFrozen() (int, error) {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	sealed := 0
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return sealed, ErrClosed
+		}
+		if err := s.sealAborted; err != nil {
+			s.mu.Unlock()
+			return sealed, err
+		}
+		if len(s.frozen) == 0 {
+			s.mu.Unlock()
+			return sealed, nil
+		}
+		fz := s.frozen[0]
+		s.mu.Unlock()
+		if err := s.sealFrozen(fz); err != nil {
+			if !errors.Is(err, ErrClosed) {
+				s.mu.Lock()
+				s.lastSealErr = err.Error()
+				s.mu.Unlock()
+			}
+			return sealed, err
+		}
+		sealed++
+	}
+}
+
+// sealFrozen turns one frozen memtable into a durable segment. Commit order
+// — segment file, then manifest, then WAL deletion — is what recovery leans
+// on: before the manifest swap the tuples are still covered by live WAL
+// generations and the segment file is an orphan; after it, the WAL
+// generations are dead. The expensive build runs without mu, so commits and
+// queries proceed; only the id reservation and the manifest swap take the
+// lock. The in-memory swap happens only once the on-disk state is fully
+// committed, so any earlier error leaves a consistent store with the entry
+// still frozen and still WAL-covered.
+func (s *Store) sealFrozen(fz *frozenMem) error {
+	cube, err := fz.mem.Cube()
 	if err != nil {
 		return err
 	}
@@ -594,65 +953,104 @@ func (s *Store) seal() error {
 	if err != nil {
 		return err
 	}
-	newGen := s.wal.gen + 1
-	nw, err := openWAL(s.dir, newGen)
-	if err != nil {
-		return err
+	// Reserve the output id so a compaction racing with this seal cannot
+	// allocate the same segment file name; the reservation is persisted by
+	// whichever manifest swap commits first.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
 	}
 	id := s.man.NextSegID
-	meta := segmentMeta{File: segFileName(id), Tuples: s.memCount, Zones: view.ZoneMaps()}
+	s.man.NextSegID++
+	s.mu.Unlock()
+	meta := segmentMeta{File: segFileName(id), Tuples: fz.count, Zones: view.ZoneMaps()}
 	if err := writeSegmentFile(s.dir, meta.File, encoded); err != nil {
-		nw.close()
 		return err
 	}
 	if err := s.fail(fpSealSegmentWritten); err != nil {
-		nw.close()
 		return err
 	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	newGen := fz.walGenHi + 1
 	newMan := s.man.clone()
-	newMan.NextSegID = id + 1
-	newMan.WALGen = newGen
+	if newMan.NextSegID <= id {
+		newMan.NextSegID = id + 1
+	}
+	if newGen > newMan.WALGen {
+		newMan.WALGen = newGen
+	}
 	newMan.Segments = append(newMan.Segments, meta)
 	// publish() below bumps the in-memory generation to exactly this value;
 	// persisting it keeps the sequence monotonic across reopens.
 	newMan.Generation = s.gen.Load() + 1
+	// Past this point a failure is indeterminate — the rename may or may
+	// not have landed — so it latches sealAborted instead of retrying (see
+	// the field comment for why both outcomes stay consistent).
 	if err := writeManifest(s.dir, newMan); err != nil {
-		nw.close()
+		s.sealAborted = err
+		s.mu.Unlock()
 		return err
 	}
 	if err := s.fail(fpSealManifestSwapped); err != nil {
+		s.sealAborted = err
+		s.mu.Unlock()
 		return err
 	}
 
-	// On-disk state is committed; swap in-memory state and drop dead WALs.
-	s.wal.close()
-	s.wal = nw
+	// On-disk state is committed; swap in-memory state. The sealed memtable
+	// is frozen[0] (FIFO), so appending its segment and popping the front
+	// keeps every tuple's position in the fan-out order unchanged.
 	s.man = newMan
 	s.segs = append(s.segs, &segment{meta: meta, data: encoded, view: view, zones: meta.Zones})
-	mem, err := dwarf.NewIncremental(s.dims, s.opts.ChunkTuples, s.opts.cubeOptions()...)
-	if err != nil {
-		return err
-	}
-	s.mem = mem
-	s.memCount = 0
-	s.memSince = time.Time{}
-	if gens, err := listWALGens(s.dir); err == nil {
-		for _, gen := range gens {
-			if gen < newGen {
-				os.Remove(walPath(s.dir, gen))
-			}
-		}
-		fsyncDir(s.dir)
+	s.frozen = s.frozen[1:]
+	if s.fatalErr != nil && newGen > s.fatalGen {
+		// The suspect generation is now dead and about to be deleted; disk
+		// state is re-grounded on what the memtables held.
+		s.fatalErr = nil
 	}
 	s.publish()
 	s.seals.Add(1)
 	s.lastSealErr = ""
-	s.fatalErr = nil
+	s.mu.Unlock()
 	select {
-	case s.kick <- struct{}{}:
+	case s.frozenFreed <- struct{}{}:
 	default:
 	}
+
+	// Drop the dead WAL generations. A failed directory sync here is
+	// surfaced in Stats but is not data loss: the deletions are of dead
+	// files, and any that survive a crash are re-deleted on the next open.
+	if gens, err := listWALGens(s.dir); err == nil {
+		removed := false
+		for _, gen := range gens {
+			if gen < newMan.WALGen {
+				os.Remove(walPath(s.dir, gen))
+				removed = true
+			}
+		}
+		if removed {
+			s.noteDirSync(fsyncDir(s.dir))
+		}
+	}
 	return nil
+}
+
+// noteDirSync records a failed directory sync (nil is a no-op): counted and
+// kept in Stats so a store whose metadata flushes are failing is visible.
+func (s *Store) noteDirSync(err error) {
+	if err == nil {
+		return
+	}
+	s.dirSyncErrs.Add(1)
+	s.errMu.Lock()
+	s.lastDirSyncErr = err.Error()
+	s.errMu.Unlock()
 }
 
 func encodeCube(c *dwarf.Cube) ([]byte, error) {
@@ -715,13 +1113,20 @@ func (s *Store) sealIfAged() {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed || s.memCount == 0 || time.Since(s.memSince) < s.opts.SealAge {
+		// Still give a stuck frozen queue (a previously failed seal) its
+		// retry tick.
+		retry := !s.closed && len(s.frozen) > 0
+		s.mu.Unlock()
+		if retry {
+			s.kickSeal()
+		}
 		return
 	}
-	if err := s.seal(); err != nil {
+	if err := s.freezeLocked(); err != nil {
 		s.lastSealErr = err.Error()
 	}
+	s.mu.Unlock()
 }
 
 // levelOf maps a segment's tuple count to its compaction level.
@@ -891,7 +1296,10 @@ func (s *Store) compactOnce() (bool, error) {
 		newSegs = append(newSegs, seg)
 	}
 	s.segs = newSegs
-	fsyncDir(s.dir)
+	// The rename'd manifest was already dir-synced by writeManifest; this
+	// sync covers the input-segment deletions. Failure is surfaced in Stats,
+	// not fatal: resurrected deleted files are re-removed on the next open.
+	s.noteDirSync(fsyncDir(s.dir))
 	s.publish()
 	s.compactions.Add(1)
 	if streamed {
@@ -921,9 +1329,10 @@ func (s *Store) pickCompaction() []*segment {
 	return byLevel[minLevel][:s.opts.CompactFanout]
 }
 
-// Close stops the background compactor and closes the WAL. It does not
-// seal: the memtable's tuples stay covered by the live WAL generations and
-// replay on the next Open.
+// Close stops the committer, sealer and background compactor and closes
+// the WAL. It does not seal: live and frozen memtable tuples stay covered
+// by the live WAL generations and replay on the next Open. Appends still
+// queued (never committed) fail with ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -933,9 +1342,15 @@ func (s *Store) Close() error {
 	s.closed = true
 	close(s.closing)
 	s.mu.Unlock()
+	s.qmu.Lock()
+	s.qclosed = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	s.bg.Wait()
 	s.compactMu.Lock() // wait out a straggling explicit Compact
 	s.compactMu.Unlock()
+	s.sealMu.Lock() // and a straggling explicit Seal's drain
+	s.sealMu.Unlock()
 	err := s.wal.close()
 	s.lock.release()
 	return err
@@ -950,7 +1365,13 @@ func (s *Store) crashClose() {
 		close(s.closing)
 	}
 	s.mu.Unlock()
+	s.qmu.Lock()
+	s.qclosed = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	s.bg.Wait()
+	s.sealMu.Lock()
+	s.sealMu.Unlock()
 	s.wal.abandon()
 	s.lock.release()
 }
@@ -967,14 +1388,16 @@ func (s *Store) crashClose() {
 // every partial group is in, so a key that is small in every segment but
 // large in total still ranks (docs/QUERY.md).
 
-// targets snapshots the fan-out set: every sealed segment view plus the
-// live cube, minus segments whose zone maps prove no selected tuple can
-// live there. admit is the per-segment admission test (dwarf.ZonesAdmit or
-// ZonesAdmitPoint closed over the query); nil disables pruning, as does
-// Options.NoPrune. Skipping a segment never changes the merged answer: an
-// absent key contributes the zero Aggregate, and merging zero is identity.
-// The snapshot is immutable, so the query runs lock-free even while seals
-// and compactions swap the store state underneath.
+// targets snapshots the fan-out set: every sealed segment view, every
+// frozen memtable awaiting its seal, and the live cube, minus segments
+// whose zone maps prove no selected tuple can live there. admit is the
+// per-segment admission test (dwarf.ZonesAdmit or ZonesAdmitPoint closed
+// over the query); nil disables pruning, as does Options.NoPrune. Skipping
+// a segment never changes the merged answer: an absent key contributes the
+// zero Aggregate, and merging zero is identity. Frozen memtables are never
+// pruned (no zone maps) and count in neither scan counter, like the live
+// memtable. The snapshot is immutable, so the query runs lock-free even
+// while commits, seals and compactions swap the store state underneath.
 func (s *Store) targets(admit func([]dwarf.ZoneMap) bool) ([]query.Querier, error) {
 	st := s.state.Load()
 	live, err := st.mem.Cube()
@@ -984,7 +1407,7 @@ func (s *Store) targets(admit func([]dwarf.ZoneMap) bool) ([]query.Querier, erro
 	if s.opts.NoPrune {
 		admit = nil
 	}
-	out := make([]query.Querier, 0, len(st.segs)+1)
+	out := make([]query.Querier, 0, len(st.segs)+len(st.frozen)+1)
 	pruned := int64(0)
 	for _, seg := range st.segs {
 		if admit != nil && !admit(seg.zones) {
@@ -997,6 +1420,13 @@ func (s *Store) targets(admit func([]dwarf.ZoneMap) bool) ([]query.Querier, erro
 		s.segsPruned.Add(pruned)
 	}
 	s.segsScanned.Add(int64(len(out)))
+	for _, fz := range st.frozen {
+		c, err := fz.mem.Cube()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
 	return append(out, live), nil
 }
 
@@ -1137,13 +1567,16 @@ func (s *Store) TopK(dim int, sels []dwarf.Selector, spec dwarf.TopKSpec) ([]dwa
 // The store serves the full shared query surface.
 var _ query.Querier = (*Store)(nil)
 
-// TotalTuples reports every acknowledged source tuple: sealed plus live.
-// It reads counters only — no memtable flush — so per-request callers
-// (/ingest) stay cheap.
+// TotalTuples reports every acknowledged source tuple: sealed plus frozen
+// plus live. It reads counters only — no memtable flush — so per-request
+// callers (/ingest) stay cheap.
 func (s *Store) TotalTuples() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	total := s.memCount
+	for _, fz := range s.frozen {
+		total += fz.count
+	}
 	for _, seg := range s.segs {
 		total += seg.meta.Tuples
 	}
@@ -1217,10 +1650,33 @@ type Stats struct {
 	SegmentsScanned int64 `json:"segments_scanned"`
 	SegmentsPruned  int64 `json:"segments_pruned"`
 
+	// GroupCommits counts committer rounds — each is at most one WAL fsync,
+	// however many concurrent Appends it covered. FsyncsSaved counts synced
+	// batches that rode a group leader's fsync instead of issuing their
+	// own: GroupCommits + FsyncsSaved equals the number of acked synced
+	// batches, and FsyncsSaved is zero under a single writer (or NoSync).
+	GroupCommits int64 `json:"group_commits"`
+	FsyncsSaved  int64 `json:"fsyncs_saved"`
+
+	// FrozenMemtables counts lifetime memtable freezes (threshold, age or
+	// explicit Seal); SealQueueDepth is how many frozen memtables currently
+	// await the background sealer (bounded by Options.MaxFrozen). Their
+	// tuples count in LiveTuples until the seal commits.
+	FrozenMemtables int64 `json:"frozen_memtables"`
+	SealQueueDepth  int   `json:"seal_queue_depth"`
+
+	// DirSyncErrors counts failed directory syncs after post-commit file
+	// deletions (dead WAL generations, replaced rollups); LastDirSyncError
+	// is the most recent one. Not data loss — surviving files are
+	// re-deleted on the next open — but a disk whose metadata flushes fail
+	// should be visible.
+	DirSyncErrors int64 `json:"dir_sync_errors"`
+
 	// LastSealError / LastCompactError are the most recent background
 	// maintenance failures, empty once the next attempt succeeds.
 	LastSealError    string `json:"last_seal_error,omitempty"`
 	LastCompactError string `json:"last_compact_error,omitempty"`
+	LastDirSyncError string `json:"last_dir_sync_error,omitempty"`
 }
 
 // Stats reports the store's current shape: segment inventory by level, live
@@ -1247,8 +1703,19 @@ func (s *Store) Stats() Stats {
 		SegmentsScanned: s.segsScanned.Load(),
 		SegmentsPruned:  s.segsPruned.Load(),
 
+		GroupCommits: s.groupCommits.Load(),
+		FsyncsSaved:  s.fsyncsSaved.Load(),
+
+		FrozenMemtables: s.frozenTotal.Load(),
+		SealQueueDepth:  len(s.frozen),
+
+		DirSyncErrors: s.dirSyncErrs.Load(),
+
 		LastSealError:    s.lastSealErr,
 		LastCompactError: s.lastCompactErr,
+	}
+	for _, fz := range s.frozen {
+		st.LiveTuples += fz.count
 	}
 	for _, seg := range s.segs {
 		st.Segments = append(st.Segments, SegmentInfo{
@@ -1270,6 +1737,9 @@ func (s *Store) Stats() Stats {
 		})
 	}
 	s.mu.Unlock()
+	s.errMu.Lock()
+	st.LastDirSyncError = s.lastDirSyncErr
+	s.errMu.Unlock()
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		st.CacheHits, st.CacheMisses, st.CacheStale = cs.Hits, cs.Misses, cs.Stale

@@ -11,6 +11,7 @@ import (
 	"slices"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dwarf"
 	"repro/internal/query"
@@ -455,34 +456,54 @@ func TestStoreAppendAckSurvivesSealFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	s.failpoint = func(name string) error {
+	s.setFailpoint(func(name string) error {
 		if name == fpSealBuilt {
 			return errInjected
 		}
 		return nil
-	}
+	})
 	rng := rand.New(rand.NewSource(3))
-	batch := randTuples(rng, 12) // crosses the threshold, seal fails
+	batch := randTuples(rng, 12) // crosses the threshold, freezing for the sealer
 	if err := s.Append(batch); err != nil {
 		t.Fatalf("ack must not depend on the seal: %v", err)
 	}
+	// The seal runs in the background sealer now; wait for its failure to
+	// surface. The frozen memtable keeps serving its tuples throughout.
+	waitForStats(t, s, "failed seal recorded", func(st Stats) bool { return st.LastSealError != "" })
 	st := s.Stats()
-	if st.LastSealError == "" || st.Seals != 0 || st.LiveTuples != 12 {
+	if st.Seals != 0 || st.LiveTuples != 12 || st.FrozenMemtables != 1 || st.SealQueueDepth != 1 {
 		t.Fatalf("failed seal not recorded: %+v", st)
 	}
 	agg, err := s.Point(dwarf.All, dwarf.All, dwarf.All)
 	if err != nil || agg.Count != 12 {
 		t.Fatalf("acked tuples not visible after seal failure: %+v, %v", agg, err)
 	}
-	// Maintenance heals: with the failpoint cleared the next threshold
-	// crossing seals everything and clears the recorded error.
-	s.failpoint = nil
+	// Maintenance heals: with the failpoint cleared, the frozen memtable is
+	// still queued and the next drain (explicit Seal here, for determinism)
+	// seals it plus the fresh live tuples, clearing the recorded error.
+	s.setFailpoint(nil)
 	if err := s.Append(randTuples(rng, 1)); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
 	st = s.Stats()
-	if st.LastSealError != "" || st.Seals != 1 || st.SealedTuples != 13 || st.LiveTuples != 0 {
+	if st.LastSealError != "" || st.Seals != 2 || st.SealedTuples != 13 || st.LiveTuples != 0 || st.SealQueueDepth != 0 {
 		t.Fatalf("seal retry did not heal: %+v", st)
+	}
+}
+
+// waitForStats polls Stats until cond holds, failing the test after a
+// deadline — the seam between synchronous acks and the async sealer.
+func waitForStats(t *testing.T, s *Store, what string, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(s.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s: %+v", what, s.Stats())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -134,27 +134,25 @@ func appendWALRecord(buf []byte, tuples []dwarf.Tuple) []byte {
 	return rec
 }
 
-// append writes one batch as a single record; with sync it is durable (and
-// therefore acknowledgeable) when append returns.
-func (l *wal) append(tuples []dwarf.Tuple, sync bool) error {
-	bp := walRecPool.Get().(*[]byte)
-	rec := appendWALRecord(*bp, tuples)
-	*bp = rec
-	defer walRecPool.Put(bp)
-	if len(rec)-8 > maxWALRecord {
-		return fmt.Errorf("%w (%d bytes)", ErrBatchTooLarge, len(rec)-8)
-	}
+// writeRecord appends one framed record to the log buffer. It is the write
+// half of a group commit: the committer writes every queued record, then
+// issues a single sync for the whole group.
+func (l *wal) writeRecord(rec []byte) error {
 	if _, err := l.w.Write(rec); err != nil {
 		return err
 	}
 	l.bytes += int64(len(rec))
-	if sync {
-		if err := l.w.Flush(); err != nil {
-			return err
-		}
-		return l.file.Sync()
-	}
 	return nil
+}
+
+// sync makes every written record durable: buffered bytes are flushed and the
+// file fsynced. One call covers every record written since the last sync —
+// the whole point of group commit.
+func (l *wal) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.file.Sync()
 }
 
 // close flushes buffered records and closes the file.

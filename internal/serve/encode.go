@@ -575,6 +575,16 @@ func appendStoreStatsResponse(buf []byte, cube string, st cubestore.Stats) []byt
 	w.int(st.SegmentsScanned)
 	w.key("segments_pruned")
 	w.int(st.SegmentsPruned)
+	w.key("group_commits")
+	w.int(st.GroupCommits)
+	w.key("fsyncs_saved")
+	w.int(st.FsyncsSaved)
+	w.key("frozen_memtables")
+	w.int(st.FrozenMemtables)
+	w.key("seal_queue_depth")
+	w.int(int64(st.SealQueueDepth))
+	w.key("dir_sync_errors")
+	w.int(st.DirSyncErrors)
 	if st.LastSealError != "" {
 		w.key("last_seal_error")
 		w.str(st.LastSealError)
@@ -582,6 +592,10 @@ func appendStoreStatsResponse(buf []byte, cube string, st cubestore.Stats) []byt
 	if st.LastCompactError != "" {
 		w.key("last_compact_error")
 		w.str(st.LastCompactError)
+	}
+	if st.LastDirSyncError != "" {
+		w.key("last_dir_sync_error")
+		w.str(st.LastDirSyncError)
 	}
 	w.close('}')
 	w.close('}')

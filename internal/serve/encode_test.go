@@ -235,6 +235,8 @@ func TestEnvelopeEncodersDifferential(t *testing.T) {
 		StreamingCompactions: 1, FallbackCompactions: 0,
 		CacheHits: 40, CacheMisses: 2, CachePartialHits: 120, CachePartialMisses: 6,
 		CacheBytes: 1 << 16, CacheEntries: 9, RollupHits: 13,
+		GroupCommits: 42, FsyncsSaved: 61,
+		FrozenMemtables: 5, SealQueueDepth: 2, DirSyncErrors: 1,
 	}
 	check("storestats", appendStoreStatsResponse(nil, "live", sstats),
 		storeStatsResponse{Cube: "live", Stats: sstats})
@@ -249,6 +251,7 @@ func TestEnvelopeEncodersDifferential(t *testing.T) {
 		storeStatsResponse{Cube: "live", Stats: sstats})
 	sstats.Rollups = nil
 	sstats.LastSealError, sstats.LastCompactError = "disk full", `bad "segment"`
+	sstats.LastDirSyncError = "sync /store: input/output error"
 	sstats.Segments = nil
 	check("storestats errors", appendStoreStatsResponse(nil, "live", sstats),
 		storeStatsResponse{Cube: "live", Stats: sstats})

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/smartcity"
 )
@@ -247,9 +248,17 @@ func TestFacadeLiveStore(t *testing.T) {
 	if agg.Sum != 5 || agg.Count != 2 {
 		t.Fatalf("live point = %+v", agg)
 	}
-	// Crossing the threshold seals; the reopened store recovers everything.
+	// Crossing the threshold seals (in the background sealer); the reopened
+	// store recovers everything.
 	if err := store.Append([]Tuple{{Dims: []string{"d2", "west"}, Measure: 7}}); err != nil {
 		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for store.Stats().Seals == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("threshold seal never landed: %+v", store.Stats())
+		}
+		time.Sleep(time.Millisecond)
 	}
 	if st := store.Stats(); st.Seals != 1 || st.SealedTuples != 4 {
 		t.Fatalf("stats after threshold seal = %+v", st)
